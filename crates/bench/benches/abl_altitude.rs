@@ -1,0 +1,111 @@
+//! ABL-ALT — the §III-D ablation: altitude-based size gating. Quantifies
+//! the precision gain from discarding size-infeasible detections on a
+//! controlled detection stream (ground truth + synthetic clutter), and
+//! benchmarks the filter itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dronet_data::flight::{FlightSimulator, Waypoint, World, WorldConfig};
+use dronet_detect::altitude::{AltitudeFilter, CameraModel};
+use dronet_metrics::matching::match_detections;
+use dronet_metrics::BBox;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+}
+
+/// Detections = ground truth + clutter of infeasible sizes (buildings,
+/// specks), mimicking a detector with size-agnostic false positives.
+fn synthetic_stream(altitude: f32, px: usize) -> Vec<(Vec<(BBox, f32)>, Vec<BBox>)> {
+    let world = World::generate(WorldConfig::default(), 3);
+    let flight = FlightSimulator::new(
+        world,
+        vec![
+            Waypoint { x: 40.0, y: 200.0, altitude_m: altitude },
+            Waypoint { x: 360.0, y: 200.0, altitude_m: altitude },
+        ],
+        16.0,
+        2.0,
+        px,
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    flight
+        .map(|frame| {
+            let gt: Vec<BBox> = frame.annotations.iter().map(|a| a.bbox).collect();
+            let mut dets: Vec<(BBox, f32)> =
+                gt.iter().map(|b| (*b, 0.9f32)).collect();
+            // Clutter: 3 infeasible false positives per frame.
+            for _ in 0..3 {
+                let fp = if rng.gen() {
+                    BBox::new(rng.gen(), rng.gen(), 0.3 + rng.gen::<f32>() * 0.3, 0.25)
+                } else {
+                    BBox::new(rng.gen(), rng.gen(), 0.004, 0.004)
+                };
+                dets.push((fp, 0.8));
+            }
+            (dets, gt)
+        })
+        .collect()
+}
+
+fn bench_altitude(c: &mut Criterion) {
+    let altitude = 60.0f32;
+    let px = 96usize;
+    let stream = synthetic_stream(altitude, px);
+    let camera = CameraModel::new(60f32.to_radians(), px);
+    let filter = AltitudeFilter::new(camera, altitude, (3.5, 5.5), 0.45).unwrap();
+
+    let evaluate = |gated: bool| -> (f32, f32) {
+        let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+        for (dets, gt) in &stream {
+            let kept: Vec<(BBox, f32)> = dets
+                .iter()
+                .filter(|(b, _)| !gated || filter.is_feasible(b))
+                .copied()
+                .collect();
+            let m = match_detections(&kept, gt, 0.5);
+            tp += m.true_positives;
+            fp += m.false_positives;
+            fn_ += m.false_negatives;
+        }
+        (
+            tp as f32 / (tp + fn_).max(1) as f32,
+            tp as f32 / (tp + fp).max(1) as f32,
+        )
+    };
+    let (sens_off, prec_off) = evaluate(false);
+    let (sens_on, prec_on) = evaluate(true);
+    eprintln!("\n==== ABL-ALT: altitude gating (paper III-D) ====");
+    eprintln!("without gate: sens {sens_off:.3} prec {prec_off:.3}");
+    eprintln!("with gate:    sens {sens_on:.3} prec {prec_on:.3}");
+    eprintln!(
+        "precision gain: +{:.1} points at {:.1} points sensitivity cost\n",
+        (prec_on - prec_off) * 100.0,
+        (sens_off - sens_on) * 100.0
+    );
+
+    let boxes: Vec<BBox> = stream
+        .iter()
+        .flat_map(|(d, _)| d.iter().map(|(b, _)| *b))
+        .collect();
+    c.bench_function("ablalt_filter_per_box", |b| {
+        b.iter(|| {
+            let kept = boxes.iter().filter(|bx| filter.is_feasible(bx)).count();
+            std::hint::black_box(kept)
+        })
+    });
+    c.bench_function("ablalt_full_stream_gating", |b| {
+        b.iter(|| std::hint::black_box(evaluate(true).1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_altitude
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! ABL-D — ablation of DroNet's own design choices (the rules §III-C
+//! states: grow filters gradually with depth, mix 1x1 bottlenecks into
+//! the head, keep 5 pools). Each variant differs from DroNet in exactly
+//! one choice; we compare cost, projected UAV frame rate and measured
+//! host latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dronet_bench::{input_image, rng};
+use dronet_nn::cost::network_cost;
+use dronet_nn::{cfg, Network};
+use dronet_platform::{Platform, PlatformId};
+use std::time::Duration;
+
+const INPUT: usize = 256;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn variant(name: &str, body: &str) -> (String, Network) {
+    let text = format!(
+        "[net]\nchannels=3\nheight={INPUT}\nwidth={INPUT}\n{body}\n[region]\nanchors=0.74,0.81, 1.18,1.26, 1.75,1.82, 2.61,2.68, 4.03,4.12\nnum=5\nclasses=1\n"
+    );
+    let mut net = cfg::parse(&text).unwrap_or_else(|e| panic!("variant {name}: {e}"));
+    net.init_weights(&mut rng(3));
+    (name.to_string(), net)
+}
+
+fn conv(filters: usize, size: usize, bn: bool) -> String {
+    format!(
+        "[convolutional]\nbatch_normalize={}\nfilters={filters}\nsize={size}\nstride=1\npad=1\nactivation=leaky\n",
+        u8::from(bn)
+    )
+}
+
+fn pool() -> String {
+    "[maxpool]\nsize=2\nstride=2\n".to_string()
+}
+
+fn head() -> String {
+    "[convolutional]\nfilters=30\nsize=1\nstride=1\nactivation=linear\n".to_string()
+}
+
+fn dronet_like(with_bottleneck: bool, with_bn: bool, pools: usize) -> String {
+    let mut s = String::new();
+    // Backbone: filters grow 8,8,16,32,64 with a pool between stages.
+    for (i, f) in [8usize, 8, 16, 32, 64].iter().enumerate() {
+        s += &conv(*f, 3, with_bn);
+        if i < pools {
+            s += &pool();
+        }
+    }
+    // Head: 3x3(128) then either the 1x1 bottleneck or a second 3x3(128).
+    s += &conv(128, 3, with_bn);
+    if with_bottleneck {
+        s += "[convolutional]\nbatch_normalize=1\nfilters=64\nsize=1\nstride=1\nactivation=leaky\n";
+    } else {
+        s += &conv(128, 3, with_bn);
+    }
+    s += &conv(128, 3, with_bn);
+    s += &head();
+    s
+}
+
+fn bench_design_choices(c: &mut Criterion) {
+    let variants = vec![
+        variant("dronet-baseline", &dronet_like(true, true, 5)),
+        variant("no-1x1-bottleneck", &dronet_like(false, true, 5)),
+        variant("no-batchnorm", &dronet_like(true, false, 5)),
+        variant("4-pools-finer-grid", &dronet_like(true, true, 4)),
+    ];
+
+    eprintln!("\n==== ABL-D: DroNet design-choice ablation @{INPUT} ====");
+    eprintln!(
+        "{:<22} {:>10} {:>10} {:>14}",
+        "variant", "GFLOPs", "params", "Odroid FPS"
+    );
+    let odroid = Platform::preset(PlatformId::OdroidXu4);
+    for (name, net) in &variants {
+        let cost = network_cost(net);
+        eprintln!(
+            "{:<22} {:>10.3} {:>10} {:>14.2}",
+            name,
+            cost.total_gflops(),
+            cost.total_params(),
+            odroid.project_cost(&cost).fps.0
+        );
+    }
+    eprintln!();
+
+    let x = input_image(INPUT, 5);
+    let mut group = c.benchmark_group("abl_design_forward");
+    for (name, mut net) in variants {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| std::hint::black_box(net.forward(&x).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_design_choices
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! ABL-Q — the §V future-work ablation: INT8 post-training quantization.
+//! Compares fp32 vs int8 forward latency, reports model-size compression
+//! and output divergence, and projects the memory-roofline benefit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dronet_bench::{input_image, model};
+use dronet_core::quant::{relative_output_error, QuantizedNetwork};
+use dronet_core::ModelId;
+use dronet_nn::cost::network_cost;
+use std::time::Duration;
+
+const INPUT: usize = 192;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let mut fp32 = model(ModelId::DroNet, INPUT);
+    let mut int8 = QuantizedNetwork::from_network(&fp32);
+    let x = input_image(INPUT, 3);
+
+    let rel = relative_output_error(&mut fp32, &mut int8, &x).unwrap();
+    let compression = int8.compression_vs(&fp32);
+    eprintln!("\n==== ABL-Q: INT8 post-training quantization (DroNet @{INPUT}) ====");
+    eprintln!("weight compression: {compression:.2}x");
+    eprintln!("relative output error: {rel:.4}");
+    eprintln!(
+        "fp32 weight footprint: {:.2} MB -> int8 {:.2} MB",
+        network_cost(&fp32).weight_bytes() / (1024.0 * 1024.0),
+        int8.weight_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    c.bench_function("ablq_fp32_forward", |b| {
+        b.iter(|| std::hint::black_box(fp32.forward(&x).unwrap().len()))
+    });
+    c.bench_function("ablq_int8_forward", |b| {
+        b.iter(|| std::hint::black_box(int8.forward(&x).unwrap().len()))
+    });
+    c.bench_function("ablq_quantize_network", |b| {
+        b.iter(|| std::hint::black_box(QuantizedNetwork::from_network(&fp32).weight_bytes()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_quantization
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! FIG1/FIG2 — regenerates the architecture tables of Figs. 1-2 and
+//! measures real host forward latency per model (at a reduced 192-pixel
+//! input so the Tiny-YOLO-VOC baseline stays benchable; relative ratios
+//! are preserved because every model is measured at the same size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dronet_bench::{input_image, model};
+use dronet_core::ModelId;
+use dronet_eval::figures;
+use dronet_nn::cost::network_cost;
+use std::time::Duration;
+
+const BENCH_INPUT: usize = 192;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+fn print_tables_once() {
+    eprintln!("\n==== FIG 1: baseline network structures ====");
+    for summary in figures::fig1_architectures() {
+        eprintln!("{summary}");
+    }
+    eprintln!("==== FIG 2: DroNet @512 ====\n{}", figures::fig2_dronet());
+}
+
+fn bench_forward_per_model(c: &mut Criterion) {
+    print_tables_once();
+    let mut group = c.benchmark_group("fig1_forward_latency");
+    for id in ModelId::ALL {
+        let mut net = model(id, BENCH_INPUT);
+        let x = input_image(BENCH_INPUT, 42);
+        let gflops = network_cost(&net).total_gflops();
+        eprintln!("{:<14} {:.3} GFLOPs @{BENCH_INPUT}", id.name(), gflops);
+        group.bench_function(BenchmarkId::from_parameter(id.name()), |b| {
+            b.iter(|| std::hint::black_box(net.forward(&x).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_forward_per_model
+}
+criterion_main!(benches);

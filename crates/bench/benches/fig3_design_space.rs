@@ -1,0 +1,46 @@
+//! FIG3 — the input-size design-space sweep. Prints the regenerated
+//! Fig. 3 table (normalised metrics for 4 models x 9 sizes) and measures
+//! (a) the harness itself and (b) real host forward latency of DroNet
+//! across the paper's input-size range, whose relative scaling is the
+//! physical basis of the FPS axis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dronet_bench::{input_image, model};
+use dronet_core::ModelId;
+use dronet_eval::figures;
+use dronet_eval::sweep::{cpu_sweep, SweepConfig};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_sweep_harness(c: &mut Criterion) {
+    let results = cpu_sweep(&SweepConfig::paper());
+    eprintln!("\n{}", figures::fig3_table(&results).to_text());
+    c.bench_function("fig3_full_sweep", |b| {
+        b.iter(|| std::hint::black_box(cpu_sweep(&SweepConfig::paper()).len()))
+    });
+}
+
+fn bench_dronet_across_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_dronet_forward");
+    for &input in &[352usize, 416, 512, 608] {
+        let mut net = model(ModelId::DroNet, input);
+        let x = input_image(input, 1);
+        group.bench_function(BenchmarkId::from_parameter(input), |b| {
+            b.iter(|| std::hint::black_box(net.forward(&x).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sweep_harness, bench_dronet_across_sizes
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! FIG4 — the weighted composite Score. Prints the regenerated Fig. 4
+//! table (best configuration per model under eq. 3's weights) and
+//! benchmarks the scoring pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dronet_eval::figures;
+use dronet_eval::sweep::{best_per_model, cpu_sweep, SweepConfig};
+use dronet_metrics::score::score_candidates;
+use dronet_metrics::{MetricVector, ScoreWeights};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let results = cpu_sweep(&SweepConfig::paper());
+    eprintln!("\n{}", figures::fig4_table(&results).to_text());
+    let best = best_per_model(&results);
+    eprintln!(
+        "winner: {} at input {}\n",
+        best.iter()
+            .max_by(|a, b| a.score.total_cmp(&b.score))
+            .unwrap()
+            .model,
+        best.iter()
+            .max_by(|a, b| a.score.total_cmp(&b.score))
+            .unwrap()
+            .input
+    );
+
+    let raw: Vec<MetricVector> = results.iter().map(|r| r.metrics).collect();
+    let weights = ScoreWeights::paper();
+    c.bench_function("fig4_score_36_candidates", |b| {
+        b.iter(|| std::hint::black_box(score_candidates(&raw, &weights).len()))
+    });
+    c.bench_function("fig4_best_per_model", |b| {
+        b.iter(|| std::hint::black_box(best_per_model(&results).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! FIG5/§IV-B — the UAV deployment experiment. Prints the regenerated
+//! deployment table (DroNet-512 and TinyYoloVoc-512 on i5/Odroid/RPi3),
+//! measures the host forward pass that anchors the projections, and
+//! benchmarks a full pipeline frame (inference + decode + NMS) like the
+//! on-board loop of Fig. 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dronet_bench::{input_image, model};
+use dronet_core::ModelId;
+use dronet_detect::DetectorBuilder;
+use dronet_eval::figures;
+use dronet_nn::cost::network_cost;
+use dronet_platform::{Platform, PlatformId};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+fn bench_deployment(c: &mut Criterion) {
+    eprintln!("\n{}", figures::fig5_table().to_text());
+
+    // Host anchor: measure DroNet-512 on this machine and show how the
+    // model scales it to each platform.
+    let mut net = model(ModelId::DroNet, 512);
+    let x = input_image(512, 9);
+    let cost = network_cost(&net);
+    let t0 = std::time::Instant::now();
+    let reps = 5;
+    for _ in 0..reps {
+        std::hint::black_box(net.forward(&x).unwrap().len());
+    }
+    let host = t0.elapsed() / reps;
+    let host_gflops = Platform::implied_gflops(&cost, host);
+    eprintln!(
+        "host anchor: DroNet-512 forward {:.1} ms (~{host_gflops:.1} GFLOP/s effective)",
+        host.as_secs_f64() * 1e3
+    );
+    for id in PlatformId::EVALUATION {
+        let platform = Platform::preset(id);
+        let scaled = platform.scale_from_measurement(&cost, host, host_gflops);
+        eprintln!(
+            "  scaled to {:16} {:>7.1} ms ({:.2} FPS) vs analytic {:.2} FPS",
+            id.name(),
+            scaled.as_secs_f64() * 1e3,
+            1.0 / scaled.as_secs_f64(),
+            platform.project_cost(&cost).fps.0
+        );
+    }
+
+    c.bench_function("fig5_dronet512_forward_host", |b| {
+        b.iter(|| std::hint::black_box(net.forward(&x).unwrap().len()))
+    });
+
+    // Full on-board frame: inference + decode + NMS at the deployed size.
+    let mut detector = DetectorBuilder::new(model(ModelId::DroNet, 512))
+        .confidence_threshold(0.4)
+        .build()
+        .unwrap();
+    c.bench_function("fig5_full_detection_frame", |b| {
+        b.iter(|| std::hint::black_box(detector.detect(&x).unwrap().len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_deployment
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! TAB-A — extraction and verification of every Section IV claim. Prints
+//! the full claim report and benchmarks the checker (it exercises the
+//! whole analytic stack: zoo builds, cost model, projections, response
+//! model, sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dronet_eval::claims::check_all;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+fn bench_claims(c: &mut Criterion) {
+    eprintln!("\n==== Section IV claims ====");
+    for claim in check_all() {
+        eprintln!("{claim}");
+    }
+    eprintln!();
+    c.bench_function("tab_a_check_all_claims", |b| {
+        b.iter(|| std::hint::black_box(check_all().len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_claims
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Training-pipeline benchmark: one forward+loss+backward+SGD step of
+//! MicroDroNet on a synthetic batch — the unit of work behind the paper's
+//! training stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dronet_bench::bench_dataset;
+use dronet_core::zoo;
+use dronet_data::dataset::VehicleDataset;
+use dronet_metrics::BBox;
+use dronet_tensor::Tensor;
+use dronet_train::{Sgd, YoloLoss, YoloLossConfig};
+use std::time::Duration;
+
+const INPUT: usize = 64;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let dataset = bench_dataset(INPUT, 8);
+    let anchors = vec![(0.8f32, 0.8f32), (1.4, 1.4), (2.0, 2.0)];
+    let mut net = zoo::micro_dronet_with_width(INPUT, anchors, 2).unwrap();
+    let region = net
+        .layers()
+        .last()
+        .unwrap()
+        .as_region()
+        .unwrap()
+        .config()
+        .clone();
+    let loss = YoloLoss::new(region, YoloLossConfig::default());
+    let mut opt = Sgd::new(1e-3);
+
+    // A fixed 8-image batch.
+    let samples: Vec<_> = dataset
+        .scenes()
+        .iter()
+        .map(|s| VehicleDataset::sample(s, INPUT))
+        .collect();
+    let images: Vec<Tensor> = samples.iter().map(|s| s.image.clone()).collect();
+    let batch = Tensor::stack_batch(&images).unwrap();
+    let truths: Vec<Vec<BBox>> = samples.iter().map(|s| s.boxes.clone()).collect();
+
+    c.bench_function("train_forward_only_batch8", |b| {
+        b.iter(|| std::hint::black_box(net.forward(&batch).unwrap().len()))
+    });
+
+    c.bench_function("train_full_sgd_step_batch8", |b| {
+        b.iter(|| {
+            let out = net.forward_train(&batch).unwrap();
+            let (breakdown, grad) = loss.evaluate(&out, &truths).unwrap();
+            net.backward(&grad).unwrap();
+            opt.step(&mut net, 8);
+            net.zero_grads();
+            std::hint::black_box(breakdown.total())
+        })
+    });
+
+    c.bench_function("train_loss_eval_only", |b| {
+        let out = net.forward(&batch).unwrap();
+        b.iter(|| std::hint::black_box(loss.evaluate(&out, &truths).unwrap().0.total()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_train_step
+}
+criterion_main!(benches);

@@ -1,0 +1,399 @@
+//! INT8 post-training quantization — the paper's §V future-work item
+//! ("applying finer-level optimizations to reduce bitwidth precisions"),
+//! built out as a usable extension.
+//!
+//! The scheme is standard symmetric post-training quantization:
+//!
+//! * batch-norm parameters are **folded** into the convolution weights and
+//!   bias (inference-only transform),
+//! * weights are quantized per output channel to `i8`
+//!   (`scale = max_abs / 127`),
+//! * activations are quantized per tensor, dynamically, at each layer
+//!   input,
+//! * accumulation happens in `i32`, then results are rescaled to `f32`.
+//!
+//! [`QuantizedNetwork`] runs inference only; training stays in fp32.
+
+use dronet_nn::{Activation, Conv2d, Layer, MaxPool2d, Network, NnError, RegionLayer, Result};
+use dronet_tensor::im2col::{im2col, ConvGeometry};
+use dronet_tensor::{Shape, Tensor};
+
+/// A convolution whose weights are stored as per-output-channel symmetric
+/// `i8` with batch norm pre-folded.
+#[derive(Debug, Clone)]
+pub struct QuantizedConv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    activation: Activation,
+    /// `i8` weights, `[out_c][in_c*k*k]` row-major.
+    qweights: Vec<i8>,
+    /// Per-output-channel dequantization scales.
+    wscales: Vec<f32>,
+    /// Folded fp32 bias.
+    bias: Vec<f32>,
+}
+
+impl QuantizedConv2d {
+    /// Quantizes a trained fp32 convolution, folding its batch norm.
+    pub fn from_conv(conv: &Conv2d) -> Self {
+        let out_c = conv.out_channels();
+        let fan = conv.in_channels() * conv.kernel() * conv.kernel();
+        let w = conv.weights().as_slice();
+
+        // Fold BN: w' = w * gamma / sqrt(var + eps); b' = bias - gamma*mean/sqrt(var+eps)
+        // (conv bias plays the role of BN beta in the Darknet layout).
+        let mut folded_w = vec![0.0f32; w.len()];
+        let mut folded_b = conv.bias().to_vec();
+        if let Some(bn) = conv.batch_norm() {
+            for oc in 0..out_c {
+                let inv_std = 1.0 / (bn.rolling_var()[oc] + dronet_nn::BatchNorm::EPS).sqrt();
+                let g = bn.scales()[oc] * inv_std;
+                for i in 0..fan {
+                    folded_w[oc * fan + i] = w[oc * fan + i] * g;
+                }
+                folded_b[oc] -= bn.scales()[oc] * bn.rolling_mean()[oc] * inv_std;
+            }
+        } else {
+            folded_w.copy_from_slice(w);
+        }
+
+        // Per-channel symmetric quantization.
+        let mut qweights = vec![0i8; w.len()];
+        let mut wscales = vec![1.0f32; out_c];
+        for oc in 0..out_c {
+            let row = &folded_w[oc * fan..(oc + 1) * fan];
+            let max_abs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+            wscales[oc] = scale;
+            for (i, &v) in row.iter().enumerate() {
+                qweights[oc * fan + i] = (v / scale).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+
+        QuantizedConv2d {
+            in_channels: conv.in_channels(),
+            out_channels: out_c,
+            kernel: conv.kernel(),
+            stride: conv.stride(),
+            pad: conv.pad(),
+            activation: conv.activation(),
+            qweights,
+            wscales,
+            bias: folded_b,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Weight storage size in bytes (1 per weight instead of 4).
+    pub fn weight_bytes(&self) -> usize {
+        self.qweights.len() + 4 * (self.wscales.len() + self.bias.len())
+    }
+
+    /// Worst-case weight quantization error per channel:
+    /// `max |w - dequant(quant(w))| <= scale / 2`.
+    pub fn max_weight_error(&self) -> f32 {
+        self.wscales.iter().fold(0.0f32, |m, &s| m.max(s / 2.0))
+    }
+
+    /// Integer-arithmetic forward pass over an NCHW batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] on channel mismatch.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        let s = x.shape();
+        if s.rank() != 4 || s.channels() != self.in_channels {
+            return Err(NnError::BadInput {
+                expected: vec![0, self.in_channels, 0, 0],
+                actual: s.dims().to_vec(),
+            });
+        }
+        let (n, h, w) = (s.batch(), s.height(), s.width());
+        let geom = ConvGeometry {
+            channels: self.in_channels,
+            height: h,
+            width: w,
+            kernel: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        };
+        geom.validate().map_err(NnError::from)?;
+        let (oh, ow) = (geom.out_height(), geom.out_width());
+        let plane = oh * ow;
+        let fan = geom.col_rows();
+        let mut out = Tensor::zeros(Shape::nchw(n, self.out_channels, oh, ow));
+
+        for b in 0..n {
+            let item = x.batch_item(b)?;
+            // Dynamic per-tensor activation quantization.
+            let max_abs = item
+                .as_slice()
+                .iter()
+                .fold(0.0f32, |m, &v| m.max(v.abs()));
+            let xscale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+            let cols = im2col(&item, &geom)?;
+            let qcols: Vec<i8> = cols
+                .as_slice()
+                .iter()
+                .map(|&v| (v / xscale).round().clamp(-127.0, 127.0) as i8)
+                .collect();
+
+            let dst = out.as_mut_slice();
+            let base = b * self.out_channels * plane;
+            for oc in 0..self.out_channels {
+                let wrow = &self.qweights[oc * fan..(oc + 1) * fan];
+                let deq = self.wscales[oc] * xscale;
+                let bias = self.bias[oc];
+                for col in 0..plane {
+                    // i32 accumulation over the receptive field.
+                    let mut acc = 0i32;
+                    for (k, &wv) in wrow.iter().enumerate() {
+                        acc += wv as i32 * qcols[k * plane + col] as i32;
+                    }
+                    let v = acc as f32 * deq + bias;
+                    dst[base + oc * plane + col] = self.activation.apply(v);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// An inference-only network with quantized convolutions.
+#[derive(Debug, Clone)]
+pub struct QuantizedNetwork {
+    input_chw: (usize, usize, usize),
+    layers: Vec<QuantLayer>,
+}
+
+#[derive(Debug, Clone)]
+enum QuantLayer {
+    Conv(QuantizedConv2d),
+    MaxPool(MaxPool2d),
+    Region(RegionLayer),
+}
+
+impl QuantizedNetwork {
+    /// Quantizes every convolution of a trained fp32 network.
+    pub fn from_network(net: &Network) -> Self {
+        let layers = net
+            .layers()
+            .iter()
+            .map(|layer| match layer {
+                Layer::Conv(c) => QuantLayer::Conv(QuantizedConv2d::from_conv(c)),
+                Layer::MaxPool(p) => QuantLayer::MaxPool(p.clone()),
+                Layer::Region(r) => QuantLayer::Region(r.clone()),
+            })
+            .collect();
+        QuantizedNetwork {
+            input_chw: net.input_chw(),
+            layers,
+        }
+    }
+
+    /// Nominal input `(channels, height, width)`.
+    pub fn input_chw(&self) -> (usize, usize, usize) {
+        self.input_chw
+    }
+
+    /// Inference forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors; see [`QuantizedConv2d::forward`].
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = match layer {
+                QuantLayer::Conv(c) => c.forward(&cur)?,
+                QuantLayer::MaxPool(p) => p.forward(&cur)?,
+                QuantLayer::Region(r) => r.forward(&cur)?,
+            };
+        }
+        Ok(cur)
+    }
+
+    /// Total weight bytes of the quantized model.
+    pub fn weight_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                QuantLayer::Conv(c) => c.weight_bytes(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Compression ratio relative to the fp32 original.
+    pub fn compression_vs(&self, fp32: &Network) -> f64 {
+        let fp32_bytes = dronet_nn::cost::network_cost(fp32).weight_bytes();
+        if fp32_bytes > 0.0 {
+            fp32_bytes / self.weight_bytes() as f64
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Mean absolute difference between fp32 and quantized network outputs on
+/// an input batch — the headline accuracy-degradation figure of the
+/// quantization ablation.
+///
+/// # Errors
+///
+/// Propagates forward errors from either network.
+pub fn output_divergence(
+    fp32: &mut Network,
+    quantized: &mut QuantizedNetwork,
+    x: &Tensor,
+) -> Result<f32> {
+    let a = fp32.forward(x)?;
+    let b = quantized.forward(x)?;
+    let diff = a.sub(&b).map_err(NnError::from)?;
+    Ok(diff.as_slice().iter().map(|v| v.abs()).sum::<f32>() / diff.len().max(1) as f32)
+}
+
+/// Relative L2 error between fp32 and quantized outputs.
+///
+/// # Errors
+///
+/// Propagates forward errors from either network.
+pub fn relative_output_error(
+    fp32: &mut Network,
+    quantized: &mut QuantizedNetwork,
+    x: &Tensor,
+) -> Result<f32> {
+    let a = fp32.forward(x)?;
+    let b = quantized.forward(x)?;
+    let diff = a.sub(&b).map_err(NnError::from)?;
+    let denom = a.norm().max(1e-9);
+    Ok(diff.norm() / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dronet_nn::RegionConfig;
+    use dronet_tensor::init;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn small_net(bn: bool) -> Network {
+        let mut net = Network::new(3, 32, 32);
+        net.push(Layer::conv(
+            Conv2d::new(3, 8, 3, 1, 1, Activation::Leaky, bn).unwrap(),
+        ));
+        net.push(Layer::max_pool(MaxPool2d::new(2, 2).unwrap()));
+        net.push(Layer::conv(
+            Conv2d::new(8, 12, 1, 1, 0, Activation::Linear, false).unwrap(),
+        ));
+        net.push(Layer::region(
+            RegionLayer::new(RegionConfig {
+                anchors: vec![(1.0, 1.0), (2.0, 2.0)],
+                classes: 1,
+            })
+            .unwrap(),
+        ));
+        let mut r = rng(3);
+        net.init_weights(&mut r);
+        net
+    }
+
+    #[test]
+    fn quantized_output_tracks_fp32() {
+        for bn in [false, true] {
+            let mut net = small_net(bn);
+            // Put realistic values in biases/BN so folding is exercised.
+            if let Some(conv) = net.layers_mut()[0].as_conv_mut() {
+                for (i, b) in conv.bias_mut().iter_mut().enumerate() {
+                    *b = 0.05 * i as f32;
+                }
+                if let Some(bn) = conv.batch_norm_mut() {
+                    for (i, s) in bn.scales_mut().iter_mut().enumerate() {
+                        *s = 0.8 + 0.1 * i as f32;
+                    }
+                    for m in bn.rolling_mean_mut() {
+                        *m = 0.1;
+                    }
+                    for v in bn.rolling_var_mut() {
+                        *v = 0.5;
+                    }
+                }
+            }
+            let mut q = QuantizedNetwork::from_network(&net);
+            let mut r = rng(9);
+            let x = init::uniform(Shape::nchw(2, 3, 32, 32), 0.0, 1.0, &mut r);
+            let rel = relative_output_error(&mut net, &mut q, &x).unwrap();
+            assert!(rel < 0.08, "bn={bn}: relative error {rel}");
+        }
+    }
+
+    #[test]
+    fn compression_is_near_4x() {
+        let net = small_net(true);
+        let q = QuantizedNetwork::from_network(&net);
+        // Tiny layers carry proportionally more fp32 side data (scales,
+        // biases), so the ratio sits below the asymptotic 4x.
+        let ratio = q.compression_vs(&net);
+        assert!(
+            (2.5..=4.5).contains(&ratio),
+            "compression ratio {ratio} out of expected band"
+        );
+    }
+
+    #[test]
+    fn weight_error_bounded_by_half_scale() {
+        let conv = Conv2d::new(3, 4, 3, 1, 1, Activation::Leaky, false).unwrap();
+        let q = QuantizedConv2d::from_conv(&conv);
+        let fan = 27;
+        for oc in 0..4 {
+            for i in 0..fan {
+                let orig = conv.weights().as_slice()[oc * fan + i];
+                let deq = q.qweights[oc * fan + i] as f32 * q.wscales[oc];
+                assert!(
+                    (orig - deq).abs() <= q.wscales[oc] / 2.0 + 1e-6,
+                    "oc={oc} i={i}: {orig} vs {deq}"
+                );
+            }
+        }
+        assert!(q.max_weight_error() > 0.0);
+    }
+
+    #[test]
+    fn zero_weights_quantize_cleanly() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, Activation::Linear, false).unwrap();
+        conv.weights_mut().fill(0.0);
+        let q = QuantizedConv2d::from_conv(&conv);
+        let x = Tensor::ones(Shape::nchw(1, 1, 2, 2));
+        let y = q.forward(&x).unwrap();
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn wrong_input_is_rejected() {
+        let conv = Conv2d::new(3, 4, 3, 1, 1, Activation::Leaky, false).unwrap();
+        let q = QuantizedConv2d::from_conv(&conv);
+        assert!(q.forward(&Tensor::zeros(Shape::nchw(1, 2, 8, 8))).is_err());
+    }
+
+    #[test]
+    fn quantized_detection_grid_matches() {
+        let mut net = small_net(true);
+        let mut q = QuantizedNetwork::from_network(&net);
+        let x = Tensor::zeros(Shape::nchw(1, 3, 32, 32));
+        let a = net.forward(&x).unwrap();
+        let b = q.forward(&x).unwrap();
+        assert_eq!(a.shape(), b.shape());
+        assert_eq!(q.input_chw(), net.input_chw());
+    }
+}

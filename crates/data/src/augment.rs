@@ -1,0 +1,295 @@
+//! Training-time data augmentation.
+//!
+//! Darknet applies random crops, flips and HSV jitter during training; we
+//! provide the equivalents that make sense for top-view imagery (where
+//! vertical flips are as valid as horizontal ones): flips, photometric
+//! jitter and translation, each remapping the ground-truth boxes.
+
+use crate::Image;
+use dronet_metrics::BBox;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Augmentation configuration: probabilities and jitter amplitudes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AugmentConfig {
+    /// Probability of a horizontal flip.
+    pub hflip_prob: f32,
+    /// Probability of a vertical flip (valid for nadir imagery).
+    pub vflip_prob: f32,
+    /// Max brightness gain deviation (gain drawn from `1 ± x`).
+    pub brightness_jitter: f32,
+    /// Max per-channel colour-balance deviation.
+    pub color_jitter: f32,
+    /// Max translation as a fraction of image size.
+    pub max_translate: f32,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig {
+            hflip_prob: 0.5,
+            vflip_prob: 0.5,
+            brightness_jitter: 0.25,
+            color_jitter: 0.08,
+            max_translate: 0.10,
+        }
+    }
+}
+
+/// A seeded augmenter.
+#[derive(Debug, Clone)]
+pub struct Augmenter {
+    config: AugmentConfig,
+    rng: StdRng,
+}
+
+impl Augmenter {
+    /// Creates an augmenter with the given configuration and seed.
+    pub fn new(config: AugmentConfig, seed: u64) -> Self {
+        Augmenter {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Applies a random augmentation pipeline to an image and its boxes.
+    ///
+    /// Boxes that leave the frame (less than half visible after
+    /// translation) are dropped, matching the annotation rule.
+    pub fn apply(&mut self, image: &Image, boxes: &[BBox]) -> (Image, Vec<BBox>) {
+        let annotated: Vec<(BBox, usize)> = boxes.iter().map(|&b| (b, 0)).collect();
+        let (img, out) = self.apply_with_classes(image, &annotated);
+        (img, out.into_iter().map(|(b, _)| b).collect())
+    }
+
+    /// Class-aware variant of [`Augmenter::apply`] for multi-class
+    /// training (the paper's §V future work): each box carries its class
+    /// index through the augmentation.
+    pub fn apply_with_classes(
+        &mut self,
+        image: &Image,
+        annotated: &[(BBox, usize)],
+    ) -> (Image, Vec<(BBox, usize)>) {
+        let mut img = image.clone();
+        let mut boxes = annotated.to_vec();
+
+        if self.rng.gen::<f32>() < self.config.hflip_prob {
+            img = hflip(&img);
+            for (b, _) in &mut boxes {
+                b.cx = 1.0 - b.cx;
+            }
+        }
+        if self.rng.gen::<f32>() < self.config.vflip_prob {
+            img = vflip(&img);
+            for (b, _) in &mut boxes {
+                b.cy = 1.0 - b.cy;
+            }
+        }
+        if self.config.max_translate > 0.0 {
+            let tx = self
+                .rng
+                .gen_range(-self.config.max_translate..self.config.max_translate);
+            let ty = self
+                .rng
+                .gen_range(-self.config.max_translate..self.config.max_translate);
+            img = translate(&img, tx, ty);
+            for (b, _) in &mut boxes {
+                b.cx += tx;
+                b.cy += ty;
+            }
+            boxes.retain(|(b, _)| b.visible_fraction() >= 0.5);
+            boxes = boxes
+                .iter()
+                .map(|&(b, c)| (b.clamp_unit(), c))
+                .collect();
+        }
+        if self.config.brightness_jitter > 0.0 {
+            let gain = 1.0
+                + self
+                    .rng
+                    .gen_range(-self.config.brightness_jitter..self.config.brightness_jitter);
+            img.scale_brightness(gain);
+        }
+        if self.config.color_jitter > 0.0 {
+            let jitter: [f32; 3] = [
+                self.rng.gen_range(-self.config.color_jitter..self.config.color_jitter),
+                self.rng.gen_range(-self.config.color_jitter..self.config.color_jitter),
+                self.rng.gen_range(-self.config.color_jitter..self.config.color_jitter),
+            ];
+            img = color_shift(&img, jitter);
+        }
+        (img, boxes)
+    }
+}
+
+/// Horizontal mirror.
+pub fn hflip(img: &Image) -> Image {
+    let (w, h) = (img.width(), img.height());
+    let mut out = Image::new(w, h, [0.0; 3]);
+    for y in 0..h {
+        for x in 0..w {
+            out.set_pixel((w - 1 - x) as isize, y as isize, img.pixel(x, y));
+        }
+    }
+    out
+}
+
+/// Vertical mirror.
+pub fn vflip(img: &Image) -> Image {
+    let (w, h) = (img.width(), img.height());
+    let mut out = Image::new(w, h, [0.0; 3]);
+    for y in 0..h {
+        for x in 0..w {
+            out.set_pixel(x as isize, (h - 1 - y) as isize, img.pixel(x, y));
+        }
+    }
+    out
+}
+
+/// Translates by `(tx, ty)` (fractions of the image size), filling exposed
+/// borders with the image's mean colour.
+pub fn translate(img: &Image, tx: f32, ty: f32) -> Image {
+    let (w, h) = (img.width(), img.height());
+    let dx = (tx * w as f32).round() as isize;
+    let dy = (ty * h as f32).round() as isize;
+    // Mean colour fill hides hard black borders from the network.
+    let mut mean = [0.0f32; 3];
+    for v in img.as_slice().chunks_exact(3) {
+        for c in 0..3 {
+            mean[c] += v[c];
+        }
+    }
+    let n = (w * h) as f32;
+    for c in &mut mean {
+        *c /= n;
+    }
+    let mut out = Image::new(w, h, mean);
+    for y in 0..h {
+        for x in 0..w {
+            out.set_pixel(x as isize + dx, y as isize + dy, img.pixel(x, y));
+        }
+    }
+    out
+}
+
+/// Adds a constant per-channel shift, clamped to `[0, 1]`.
+pub fn color_shift(img: &Image, shift: [f32; 3]) -> Image {
+    let (w, h) = (img.width(), img.height());
+    let mut out = Image::new(w, h, [0.0; 3]);
+    for y in 0..h {
+        for x in 0..w {
+            let p = img.pixel(x, y);
+            out.set_pixel(
+                x as isize,
+                y as isize,
+                [
+                    (p[0] + shift[0]).clamp(0.0, 1.0),
+                    (p[1] + shift[1]).clamp(0.0, 1.0),
+                    (p[2] + shift[2]).clamp(0.0, 1.0),
+                ],
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marker_image() -> Image {
+        let mut img = Image::new(8, 8, [0.0; 3]);
+        img.set_pixel(1, 2, [1.0, 0.0, 0.0]);
+        img
+    }
+
+    #[test]
+    fn hflip_moves_marker() {
+        let img = marker_image();
+        let f = hflip(&img);
+        assert_eq!(f.pixel(6, 2), [1.0, 0.0, 0.0]);
+        assert_eq!(f.pixel(1, 2), [0.0; 3]);
+        // Involution.
+        assert_eq!(hflip(&f), img);
+    }
+
+    #[test]
+    fn vflip_moves_marker() {
+        let img = marker_image();
+        let f = vflip(&img);
+        assert_eq!(f.pixel(1, 5), [1.0, 0.0, 0.0]);
+        assert_eq!(vflip(&f), img);
+    }
+
+    #[test]
+    fn translate_moves_marker() {
+        let img = marker_image();
+        let t = translate(&img, 0.25, 0.0); // 2 pixels right
+        assert_eq!(t.pixel(3, 2), [1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn flip_remaps_boxes() {
+        let img = marker_image();
+        let boxes = vec![BBox::new(0.25, 0.5, 0.2, 0.2)];
+        let mut aug = Augmenter::new(
+            AugmentConfig {
+                hflip_prob: 1.0,
+                vflip_prob: 0.0,
+                brightness_jitter: 0.0,
+                color_jitter: 0.0,
+                max_translate: 0.0,
+            },
+            0,
+        );
+        let (_, out) = aug.apply(&img, &boxes);
+        assert!((out[0].cx - 0.75).abs() < 1e-6);
+        assert!((out[0].cy - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn translation_drops_boxes_leaving_frame() {
+        let img = Image::new(16, 16, [0.3; 3]);
+        let boxes = vec![BBox::new(0.05, 0.5, 0.08, 0.08)];
+        let cfg = AugmentConfig {
+            hflip_prob: 0.0,
+            vflip_prob: 0.0,
+            brightness_jitter: 0.0,
+            color_jitter: 0.0,
+            max_translate: 0.3,
+        };
+        // Try several seeds; whenever the box is kept it must be >=50%
+        // visible, and at least one seed must drop it.
+        let mut dropped = false;
+        for seed in 0..30 {
+            let mut aug = Augmenter::new(cfg.clone(), seed);
+            let (_, out) = aug.apply(&img, &boxes);
+            if out.is_empty() {
+                dropped = true;
+            } else {
+                assert!(out[0].visible_fraction() >= 0.5 - 1e-3);
+            }
+        }
+        assert!(dropped, "no translation ever dropped the edge box");
+    }
+
+    #[test]
+    fn augmenter_is_deterministic() {
+        let img = marker_image();
+        let boxes = vec![BBox::new(0.5, 0.5, 0.2, 0.2)];
+        let mut a = Augmenter::new(AugmentConfig::default(), 5);
+        let mut b = Augmenter::new(AugmentConfig::default(), 5);
+        let (ia, ba) = a.apply(&img, &boxes);
+        let (ib, bb) = b.apply(&img, &boxes);
+        assert_eq!(ia, ib);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn color_shift_clamps() {
+        let img = Image::new(2, 2, [0.9; 3]);
+        let out = color_shift(&img, [0.5, -1.0, 0.0]);
+        assert_eq!(out.pixel(0, 0), [1.0, 0.0, 0.9]);
+    }
+}

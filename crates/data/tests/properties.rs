@@ -1,0 +1,106 @@
+//! Property-based tests for the synthetic data substrate.
+
+use dronet_data::augment::{color_shift, hflip, translate, vflip};
+use dronet_data::scene::{SceneConfig, SceneGenerator, SceneKind};
+use dronet_data::{Annotation, Image};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Flips are involutions on arbitrary images.
+    #[test]
+    fn flips_are_involutions(w in 1usize..12, h in 1usize..12, seed in any::<u32>()) {
+        let mut img = Image::new(w, h, [0.0; 3]);
+        // Pseudo-random but deterministic pattern.
+        for y in 0..h {
+            for x in 0..w {
+                let v = ((x * 31 + y * 17 + seed as usize) % 255) as f32 / 255.0;
+                img.set_pixel(x as isize, y as isize, [v, 1.0 - v, v * v]);
+            }
+        }
+        prop_assert_eq!(hflip(&hflip(&img)), img.clone());
+        prop_assert_eq!(vflip(&vflip(&img)), img);
+    }
+
+    /// Zero translation is identity; translation preserves pixel count of
+    /// any distinct marker that stays in frame.
+    #[test]
+    fn translation_properties(w in 4usize..16, h in 4usize..16) {
+        let mut img = Image::new(w, h, [0.1; 3]);
+        img.set_pixel((w / 2) as isize, (h / 2) as isize, [1.0, 0.0, 0.0]);
+        let same = translate(&img, 0.0, 0.0);
+        prop_assert_eq!(same, img.clone());
+        // Small shift keeps the marker somewhere.
+        let shifted = translate(&img, 1.0 / w as f32, 0.0);
+        let found = (0..h).any(|y| (0..w).any(|x| shifted.pixel(x, y)[0] > 0.99));
+        prop_assert!(found);
+    }
+
+    /// Colour shifts clamp to [0, 1] for any shift amount.
+    #[test]
+    fn color_shift_clamps(r in -2.0f32..2.0, g in -2.0f32..2.0, b in -2.0f32..2.0) {
+        let img = Image::new(3, 3, [0.5, 0.5, 0.5]);
+        let out = color_shift(&img, [r, g, b]);
+        for y in 0..3 {
+            for x in 0..3 {
+                for c in out.pixel(x, y) {
+                    prop_assert!((0.0..=1.0).contains(&c));
+                }
+            }
+        }
+    }
+
+    /// Every generated scene satisfies its structural invariants for any
+    /// seed: annotation visibility, box validity, pixel bounds.
+    #[test]
+    fn scene_invariants_hold_for_any_seed(seed in any::<u64>()) {
+        let config = SceneConfig {
+            width: 64,
+            height: 64,
+            ..SceneConfig::default()
+        };
+        let mut gen = SceneGenerator::new(config, seed);
+        let scene = gen.generate();
+        for ann in &scene.annotations {
+            prop_assert!(ann.visibility >= Annotation::MIN_VISIBILITY);
+            prop_assert!(ann.bbox.validate().is_ok());
+            prop_assert!(ann.bbox.w > 0.0 && ann.bbox.h > 0.0);
+            prop_assert!(ann.bbox.x1() <= 1.0 + 1e-4);
+            prop_assert!(ann.bbox.y1() <= 1.0 + 1e-4);
+        }
+        for v in scene.image.as_slice() {
+            prop_assert!((0.0..=1.0).contains(v), "pixel {v} out of range");
+        }
+        prop_assert!(scene.annotations.len() <= scene.all_objects.len());
+    }
+
+    /// Resizing preserves value bounds for any target size.
+    #[test]
+    fn resize_preserves_bounds(w in 1usize..20, h in 1usize..20, seed in any::<u64>()) {
+        let mut gen = SceneGenerator::new(
+            SceneConfig { width: 48, height: 48, ..SceneConfig::default() },
+            seed,
+        );
+        let scene = gen.generate_kind(SceneKind::Road);
+        let resized = scene.image.resize(w.max(1), h.max(1));
+        prop_assert_eq!(resized.width(), w.max(1));
+        prop_assert_eq!(resized.height(), h.max(1));
+        for v in resized.as_slice() {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+    }
+
+    /// Tensor round-trip is exact for in-range images.
+    #[test]
+    fn image_tensor_roundtrip(seed in any::<u64>()) {
+        let mut gen = SceneGenerator::new(
+            SceneConfig { width: 32, height: 32, ..SceneConfig::default() },
+            seed,
+        );
+        let scene = gen.generate();
+        let t = scene.image.to_tensor();
+        let back = Image::from_tensor(&t);
+        prop_assert_eq!(back, scene.image);
+    }
+}

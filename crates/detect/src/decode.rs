@@ -1,0 +1,227 @@
+//! Decoding region-layer output into candidate detections.
+//!
+//! The region layer emits, per grid cell and anchor, `(x, y, w_raw, h_raw,
+//! objectness, class probs...)` with `x`, `y`, `objectness` already through
+//! the logistic. Decoding follows YOLOv2:
+//!
+//! ```text
+//! bx = (col + x) / grid_w          bw = anchor_w * exp(w_raw) / grid_w
+//! by = (row + y) / grid_h          bh = anchor_h * exp(h_raw) / grid_h
+//! score = objectness * class_prob
+//! ```
+
+use crate::{DetectError, Result};
+use dronet_metrics::BBox;
+use dronet_nn::RegionConfig;
+use dronet_tensor::Tensor;
+
+/// A decoded detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// Bounding box in normalised image coordinates.
+    pub bbox: BBox,
+    /// Objectness (probability a vehicle is present).
+    pub objectness: f32,
+    /// Index of the most probable class.
+    pub class: usize,
+    /// Probability of that class (1.0 in the single-class configuration).
+    pub class_prob: f32,
+}
+
+impl Detection {
+    /// The ranking score: `objectness * class_prob`.
+    pub fn score(&self) -> f32 {
+        self.objectness * self.class_prob
+    }
+}
+
+/// Decodes one batch item's region output into detections above
+/// `confidence_threshold`.
+///
+/// `output` must be `[n, anchors*(5+classes), gh, gw]`; `batch` selects the
+/// item to decode.
+///
+/// # Errors
+///
+/// Returns [`DetectError::BadNetworkOutput`] when the tensor layout does
+/// not match `region`.
+pub fn decode(
+    output: &Tensor,
+    region: &RegionConfig,
+    batch: usize,
+    confidence_threshold: f32,
+) -> Result<Vec<Detection>> {
+    let s = output.shape();
+    let entries = 5 + region.classes;
+    let a = region.num_anchors();
+    if s.rank() != 4 || s.channels() != a * entries {
+        return Err(DetectError::BadNetworkOutput {
+            expected: format!("{} channels ({} anchors x {} entries)", a * entries, a, entries),
+            actual: format!("{s}"),
+        });
+    }
+    if batch >= s.batch() {
+        return Err(DetectError::BadNetworkOutput {
+            expected: format!("batch < {}", s.batch()),
+            actual: format!("batch {batch}"),
+        });
+    }
+    let (gh, gw) = (s.height(), s.width());
+    let plane = gh * gw;
+    let data = output.as_slice();
+    let mut detections = Vec::new();
+
+    for anchor in 0..a {
+        let (aw, ah) = region.anchors[anchor];
+        let base = ((batch * a + anchor) * entries) * plane;
+        for row in 0..gh {
+            for col in 0..gw {
+                let cell = row * gw + col;
+                let objectness = data[base + 4 * plane + cell];
+                if objectness < confidence_threshold {
+                    continue;
+                }
+                // Most probable class.
+                let (class, class_prob) = if region.classes <= 1 {
+                    (0usize, 1.0f32)
+                } else {
+                    let mut best = (0usize, f32::NEG_INFINITY);
+                    for c in 0..region.classes {
+                        let p = data[base + (5 + c) * plane + cell];
+                        if p > best.1 {
+                            best = (c, p);
+                        }
+                    }
+                    best
+                };
+                if objectness * class_prob < confidence_threshold {
+                    continue;
+                }
+                let x = data[base + cell];
+                let y = data[base + plane + cell];
+                let w_raw = data[base + 2 * plane + cell].clamp(-8.0, 8.0);
+                let h_raw = data[base + 3 * plane + cell].clamp(-8.0, 8.0);
+                let bbox = BBox::new(
+                    (col as f32 + x) / gw as f32,
+                    (row as f32 + y) / gh as f32,
+                    aw * w_raw.exp() / gw as f32,
+                    ah * h_raw.exp() / gh as f32,
+                );
+                detections.push(Detection {
+                    bbox,
+                    objectness,
+                    class,
+                    class_prob,
+                });
+            }
+        }
+    }
+    Ok(detections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dronet_tensor::Shape;
+
+    fn region() -> RegionConfig {
+        RegionConfig {
+            anchors: vec![(1.0, 2.0), (3.0, 3.0)],
+            classes: 1,
+        }
+    }
+
+    /// Plant a single confident prediction and check the decoded geometry.
+    #[test]
+    fn decodes_planted_box() {
+        let r = region();
+        let (gw, gh) = (4usize, 4usize);
+        let plane = gw * gh;
+        let mut t = Tensor::zeros(Shape::nchw(1, r.channels(), gh, gw));
+        let d = t.as_mut_slice();
+        // anchor 1, cell (row 2, col 1)
+        let anchor = 1;
+        let cell = 2 * gw + 1;
+        let base = anchor * 6 * plane;
+        d[base + cell] = 0.5; // x
+        d[base + plane + cell] = 0.25; // y
+        d[base + 2 * plane + cell] = 0.0; // w_raw -> bw = 3/4
+        d[base + 3 * plane + cell] = (2.0f32 / 3.0).ln(); // bh = 3*2/3/4 = 0.5
+        d[base + 4 * plane + cell] = 0.9; // objectness
+        d[base + 5 * plane + cell] = 1.0; // class prob
+
+        let dets = decode(&t, &r, 0, 0.5).unwrap();
+        assert_eq!(dets.len(), 1);
+        let det = &dets[0];
+        assert!((det.bbox.cx - (1.0 + 0.5) / 4.0).abs() < 1e-6);
+        assert!((det.bbox.cy - (2.0 + 0.25) / 4.0).abs() < 1e-6);
+        assert!((det.bbox.w - 0.75).abs() < 1e-6);
+        assert!((det.bbox.h - 0.5).abs() < 1e-5);
+        assert!((det.score() - 0.9).abs() < 1e-6);
+        assert_eq!(det.class, 0);
+    }
+
+    #[test]
+    fn threshold_filters_low_objectness() {
+        let r = region();
+        let mut t = Tensor::zeros(Shape::nchw(1, r.channels(), 2, 2));
+        t.as_mut_slice()[4 * 4] = 0.4; // anchor 0 obj of cell 0 = 0.4
+        assert!(decode(&t, &r, 0, 0.5).unwrap().is_empty());
+        assert_eq!(decode(&t, &r, 0, 0.3).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn batch_selection() {
+        let r = region();
+        let plane = 4;
+        let mut t = Tensor::zeros(Shape::nchw(2, r.channels(), 2, 2));
+        // batch 1, anchor 0, cell 3 lights up.
+        let base = (1 * 2 + 0) * 6 * plane;
+        t.as_mut_slice()[base + 4 * plane + 3] = 0.8;
+        assert!(decode(&t, &r, 0, 0.5).unwrap().is_empty());
+        assert_eq!(decode(&t, &r, 1, 0.5).unwrap().len(), 1);
+        assert!(decode(&t, &r, 2, 0.5).is_err());
+    }
+
+    #[test]
+    fn multiclass_takes_argmax_and_multiplies() {
+        let r = RegionConfig {
+            anchors: vec![(1.0, 1.0)],
+            classes: 3,
+        };
+        let plane = 1;
+        let mut t = Tensor::zeros(Shape::nchw(1, r.channels(), 1, 1));
+        let d = t.as_mut_slice();
+        d[4 * plane] = 0.9; // obj
+        d[5 * plane] = 0.1;
+        d[6 * plane] = 0.7;
+        d[7 * plane] = 0.2;
+        let dets = decode(&t, &r, 0, 0.5).unwrap();
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].class, 1);
+        assert!((dets[0].score() - 0.63).abs() < 1e-6);
+        // Raising the threshold above obj*prob removes it.
+        assert!(decode(&t, &r, 0, 0.65).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wrong_channels_is_error() {
+        let t = Tensor::zeros(Shape::nchw(1, 10, 2, 2));
+        assert!(matches!(
+            decode(&t, &region(), 0, 0.5),
+            Err(DetectError::BadNetworkOutput { .. })
+        ));
+    }
+
+    #[test]
+    fn extreme_w_raw_does_not_overflow() {
+        let r = region();
+        let plane = 4;
+        let mut t = Tensor::zeros(Shape::nchw(1, r.channels(), 2, 2));
+        let d = t.as_mut_slice();
+        d[2 * plane] = 1000.0; // absurd w_raw
+        d[4 * plane] = 0.9;
+        let dets = decode(&t, &r, 0, 0.5).unwrap();
+        assert!(dets[0].bbox.w.is_finite());
+    }
+}

@@ -1,0 +1,281 @@
+use crate::altitude::AltitudeFilter;
+use crate::decode::{decode, Detection};
+use crate::nms::non_max_suppression;
+use crate::{DetectError, Result};
+use dronet_metrics::FpsMeter;
+use dronet_nn::{Network, RegionConfig};
+use dronet_tensor::Tensor;
+
+/// Builder for [`Detector`] (thresholds, optional altitude gating).
+///
+/// # Example
+///
+/// ```
+/// use dronet_detect::DetectorBuilder;
+/// # fn main() -> Result<(), dronet_detect::DetectError> {
+/// let net = dronet_core::zoo::build(dronet_core::ModelId::DroNet, 96)?;
+/// let detector = DetectorBuilder::new(net)
+///     .confidence_threshold(0.6)
+///     .nms_threshold(0.4)
+///     .build()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DetectorBuilder {
+    network: Network,
+    confidence_threshold: f32,
+    nms_threshold: f32,
+    altitude_filter: Option<AltitudeFilter>,
+}
+
+impl DetectorBuilder {
+    /// Starts a builder around a trained network. Darknet-style defaults:
+    /// confidence 0.5 (the community default for region detectors), NMS
+    /// IoU 0.45.
+    pub fn new(network: Network) -> Self {
+        DetectorBuilder {
+            network,
+            confidence_threshold: 0.5,
+            nms_threshold: 0.45,
+            altitude_filter: None,
+        }
+    }
+
+    /// Sets the minimum `objectness * class_prob` to keep a candidate.
+    pub fn confidence_threshold(mut self, threshold: f32) -> Self {
+        self.confidence_threshold = threshold;
+        self
+    }
+
+    /// Sets the IoU above which overlapping detections are suppressed.
+    pub fn nms_threshold(mut self, threshold: f32) -> Self {
+        self.nms_threshold = threshold;
+        self
+    }
+
+    /// Enables altitude-based size gating (the paper's §III-D
+    /// application-level optimisation).
+    pub fn altitude_filter(mut self, filter: AltitudeFilter) -> Self {
+        self.altitude_filter = Some(filter);
+        self
+    }
+
+    /// Builds the detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::MissingRegionHead`] when the network does not
+    /// end in a region layer, and [`DetectError::BadConfig`] for thresholds
+    /// outside `[0, 1]`.
+    pub fn build(self) -> Result<Detector> {
+        let region = self
+            .network
+            .layers()
+            .last()
+            .and_then(|l| l.as_region())
+            .map(|r| r.config().clone())
+            .ok_or(DetectError::MissingRegionHead)?;
+        for (name, v) in [
+            ("confidence threshold", self.confidence_threshold),
+            ("nms threshold", self.nms_threshold),
+        ] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(DetectError::BadConfig {
+                    param: "threshold",
+                    msg: format!("{name} {v} outside [0, 1]"),
+                });
+            }
+        }
+        Ok(Detector {
+            network: self.network,
+            region,
+            confidence_threshold: self.confidence_threshold,
+            nms_threshold: self.nms_threshold,
+            altitude_filter: self.altitude_filter,
+            fps: FpsMeter::new(),
+        })
+    }
+}
+
+/// The end-to-end vehicle detector: network forward, decode, NMS, optional
+/// altitude gating, with built-in frame timing.
+#[derive(Debug)]
+pub struct Detector {
+    network: Network,
+    region: RegionConfig,
+    confidence_threshold: f32,
+    nms_threshold: f32,
+    altitude_filter: Option<AltitudeFilter>,
+    fps: FpsMeter,
+}
+
+impl Detector {
+    /// The wrapped network's nominal input `(c, h, w)`.
+    pub fn input_chw(&self) -> (usize, usize, usize) {
+        self.network.input_chw()
+    }
+
+    /// The region-head configuration.
+    pub fn region(&self) -> &RegionConfig {
+        &self.region
+    }
+
+    /// The confidence threshold in use.
+    pub fn confidence_threshold(&self) -> f32 {
+        self.confidence_threshold
+    }
+
+    /// Replaces the altitude filter (e.g. as the UAV climbs).
+    pub fn set_altitude_filter(&mut self, filter: Option<AltitudeFilter>) {
+        self.altitude_filter = filter;
+    }
+
+    /// Frame-rate statistics accumulated by [`Detector::detect`].
+    pub fn fps_meter(&self) -> &FpsMeter {
+        &self.fps
+    }
+
+    /// Resets timing statistics.
+    pub fn reset_fps(&mut self) {
+        self.fps.reset();
+    }
+
+    /// Mutable access to the wrapped network (weight loading).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Immutable access to the wrapped network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Runs detection on a `[1, c, h, w]` image tensor.
+    ///
+    /// Detections are returned in descending score order, after NMS and
+    /// (when configured) altitude gating.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network and decode errors.
+    pub fn detect(&mut self, image: &Tensor) -> Result<Vec<Detection>> {
+        self.fps.start();
+        let output = self.network.forward(image)?;
+        let candidates = decode(&output, &self.region, 0, self.confidence_threshold)?;
+        let mut kept = non_max_suppression(candidates, self.nms_threshold);
+        if let Some(filter) = &self.altitude_filter {
+            kept.retain(|d| filter.is_feasible(&d.bbox));
+        }
+        self.fps.stop();
+        Ok(kept)
+    }
+
+    /// Runs detection on a whole batch, returning per-image detections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network and decode errors.
+    pub fn detect_batch(&mut self, images: &Tensor) -> Result<Vec<Vec<Detection>>> {
+        self.fps.start();
+        let output = self.network.forward(images)?;
+        let n = output.shape().batch();
+        let mut all = Vec::with_capacity(n);
+        for b in 0..n {
+            let candidates = decode(&output, &self.region, b, self.confidence_threshold)?;
+            let mut kept = non_max_suppression(candidates, self.nms_threshold);
+            if let Some(filter) = &self.altitude_filter {
+                kept.retain(|d| filter.is_feasible(&d.bbox));
+            }
+            all.push(kept);
+        }
+        self.fps.stop();
+        Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::altitude::{AltitudeFilter, CameraModel};
+    use dronet_nn::{Activation, Conv2d, Layer, MaxPool2d, RegionLayer};
+    use dronet_tensor::Shape;
+
+    fn region_cfg() -> RegionConfig {
+        RegionConfig {
+            anchors: vec![(1.0, 1.0)],
+            classes: 1,
+        }
+    }
+
+    fn tiny_detector_net() -> Network {
+        let mut net = Network::new(3, 32, 32);
+        net.push(Layer::conv(
+            Conv2d::new(3, 6, 3, 1, 1, Activation::Leaky, true).unwrap(),
+        ));
+        net.push(Layer::max_pool(MaxPool2d::new(2, 2).unwrap()));
+        net.push(Layer::conv(
+            Conv2d::new(6, 6, 1, 1, 0, Activation::Linear, false).unwrap(),
+        ));
+        net.push(Layer::region(RegionLayer::new(region_cfg()).unwrap()));
+        net
+    }
+
+    #[test]
+    fn builder_validates() {
+        let no_region = Network::new(3, 8, 8);
+        assert!(matches!(
+            DetectorBuilder::new(no_region).build(),
+            Err(DetectError::MissingRegionHead)
+        ));
+        assert!(DetectorBuilder::new(tiny_detector_net())
+            .confidence_threshold(1.5)
+            .build()
+            .is_err());
+        assert!(DetectorBuilder::new(tiny_detector_net())
+            .nms_threshold(-0.1)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn detect_runs_and_times() {
+        let mut det = DetectorBuilder::new(tiny_detector_net()).build().unwrap();
+        assert_eq!(det.input_chw(), (3, 32, 32));
+        let x = Tensor::zeros(Shape::nchw(1, 3, 32, 32));
+        let _ = det.detect(&x).unwrap();
+        let _ = det.detect(&x).unwrap();
+        assert_eq!(det.fps_meter().frames(), 2);
+        assert!(det.fps_meter().fps().0 > 0.0);
+        det.reset_fps();
+        assert_eq!(det.fps_meter().frames(), 0);
+    }
+
+    #[test]
+    fn detect_batch_splits_per_image() {
+        let mut det = DetectorBuilder::new(tiny_detector_net()).build().unwrap();
+        let x = Tensor::zeros(Shape::nchw(3, 3, 32, 32));
+        let all = det.detect_batch(&x).unwrap();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn altitude_filter_is_applied() {
+        // Untrained nets emit arbitrary detections; instead verify wiring
+        // by toggling an impossible filter and checking output shrinks to
+        // infeasible-free.
+        let mut det = DetectorBuilder::new(tiny_detector_net())
+            .confidence_threshold(0.0)
+            .build()
+            .unwrap();
+        let x = Tensor::zeros(Shape::nchw(1, 3, 32, 32));
+        let unfiltered = det.detect(&x).unwrap();
+        // A filter that rejects everything (expected size range far away).
+        let camera = CameraModel::new(60f32.to_radians(), 32);
+        let filter = AltitudeFilter::new(camera, 1_000_000.0, (4.0, 5.0), 0.5).unwrap();
+        det.set_altitude_filter(Some(filter));
+        let filtered = det.detect(&x).unwrap();
+        assert!(filtered.len() <= unfiltered.len());
+        assert!(filtered.is_empty(), "million-metre altitude keeps nothing");
+    }
+}

@@ -1,0 +1,74 @@
+use dronet_nn::NnError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the detection pipeline.
+#[derive(Debug)]
+pub enum DetectError {
+    /// The underlying network failed.
+    Network(NnError),
+    /// The network's output does not match its region-head configuration.
+    BadNetworkOutput {
+        /// What the decoder expected, e.g. channel count.
+        expected: String,
+        /// What it found.
+        actual: String,
+    },
+    /// A configuration value was out of range.
+    BadConfig {
+        /// Name of the offending parameter.
+        param: &'static str,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// The network given to the detector has no region head.
+    MissingRegionHead,
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::Network(e) => write!(f, "network failure: {e}"),
+            DetectError::BadNetworkOutput { expected, actual } => {
+                write!(f, "network output mismatch: expected {expected}, got {actual}")
+            }
+            DetectError::BadConfig { param, msg } => write!(f, "bad {param}: {msg}"),
+            DetectError::MissingRegionHead => {
+                write!(f, "detector requires a network ending in a region layer")
+            }
+        }
+    }
+}
+
+impl Error for DetectError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DetectError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for DetectError {
+    fn from(e: NnError) -> Self {
+        DetectError::Network(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_bounds_and_display() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<DetectError>();
+        assert!(DetectError::MissingRegionHead.to_string().contains("region"));
+    }
+
+    #[test]
+    fn source_chains() {
+        let e = DetectError::from(NnError::MissingForwardCache { layer_index: 2 });
+        assert!(e.source().is_some());
+    }
+}

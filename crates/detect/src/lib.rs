@@ -1,0 +1,53 @@
+//! # dronet-detect
+//!
+//! The deployed detection pipeline of the DroNet paper (Fig. 5): taking a
+//! trained region-head network from camera frame to vehicle boxes.
+//!
+//! * [`decode`] — region-layer output → candidate boxes (anchor decoding,
+//!   confidence thresholding),
+//! * [`nms`] — greedy per-class non-maximum suppression,
+//! * [`Detector`] — the user-facing API wrapping a network with thresholds
+//!   and timing ([`DetectorBuilder`] configures it),
+//! * [`altitude`] — the paper's §III-D application-level optimisation:
+//!   discarding detections whose size is infeasible for the UAV's altitude,
+//! * [`pipeline`] — a frame-stream processing loop with latency/FPS
+//!   accounting, matching the paper's on-board deployment loop,
+//! * [`track`] — a lightweight IoU tracker for the road-traffic-monitoring
+//!   use case the paper motivates (vehicle counting).
+//!
+//! # Example
+//!
+//! ```
+//! use dronet_detect::{Detector, DetectorBuilder};
+//! use dronet_tensor::{Shape, Tensor};
+//!
+//! # fn main() -> Result<(), dronet_detect::DetectError> {
+//! let net = dronet_core::zoo::build(dronet_core::ModelId::DroNet, 96)?;
+//! let mut detector = DetectorBuilder::new(net)
+//!     .confidence_threshold(0.5)
+//!     .nms_threshold(0.45)
+//!     .build()?;
+//! let detections = detector.detect(&Tensor::zeros(Shape::nchw(1, 3, 96, 96)))?;
+//! assert!(detections.len() <= 96 * 96); // untrained net, arbitrary output
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detector;
+mod error;
+
+pub mod altitude;
+pub mod decode;
+pub mod nms;
+pub mod pipeline;
+pub mod track;
+
+pub use decode::Detection;
+pub use detector::{Detector, DetectorBuilder};
+pub use error::DetectError;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, DetectError>;

@@ -1,0 +1,89 @@
+//! Greedy non-maximum suppression.
+
+use crate::Detection;
+
+/// Suppresses overlapping detections per class: detections are visited in
+/// descending score order and any later detection of the same class with
+/// IoU above `iou_threshold` against a kept one is dropped.
+///
+/// Returns the surviving detections in descending score order.
+pub fn non_max_suppression(mut detections: Vec<Detection>, iou_threshold: f32) -> Vec<Detection> {
+    detections.sort_by(|a, b| b.score().total_cmp(&a.score()));
+    let mut kept: Vec<Detection> = Vec::with_capacity(detections.len());
+    for det in detections {
+        let suppressed = kept
+            .iter()
+            .any(|k| k.class == det.class && k.bbox.iou(&det.bbox) > iou_threshold);
+        if !suppressed {
+            kept.push(det);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dronet_metrics::BBox;
+
+    fn det(cx: f32, cy: f32, s: f32, score: f32, class: usize) -> Detection {
+        Detection {
+            bbox: BBox::new(cx, cy, s, s),
+            objectness: score,
+            class,
+            class_prob: 1.0,
+        }
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_keeping_best() {
+        let dets = vec![
+            det(0.5, 0.5, 0.2, 0.7, 0),
+            det(0.51, 0.5, 0.2, 0.9, 0),
+            det(0.5, 0.51, 0.2, 0.8, 0),
+        ];
+        let kept = non_max_suppression(dets, 0.45);
+        assert_eq!(kept.len(), 1);
+        assert!((kept[0].score() - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distant_detections_survive() {
+        let dets = vec![det(0.2, 0.2, 0.1, 0.9, 0), det(0.8, 0.8, 0.1, 0.8, 0)];
+        let kept = non_max_suppression(dets, 0.45);
+        assert_eq!(kept.len(), 2);
+        // Sorted by score descending.
+        assert!(kept[0].score() >= kept[1].score());
+    }
+
+    #[test]
+    fn different_classes_do_not_suppress_each_other() {
+        let dets = vec![det(0.5, 0.5, 0.2, 0.9, 0), det(0.5, 0.5, 0.2, 0.8, 1)];
+        let kept = non_max_suppression(dets, 0.45);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn nms_is_idempotent() {
+        let dets = vec![
+            det(0.5, 0.5, 0.2, 0.9, 0),
+            det(0.52, 0.5, 0.2, 0.7, 0),
+            det(0.8, 0.2, 0.1, 0.6, 0),
+        ];
+        let once = non_max_suppression(dets, 0.45);
+        let twice = non_max_suppression(once.clone(), 0.45);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(non_max_suppression(Vec::new(), 0.45).is_empty());
+    }
+
+    #[test]
+    fn threshold_one_keeps_everything() {
+        let dets = vec![det(0.5, 0.5, 0.2, 0.9, 0), det(0.5, 0.5, 0.2, 0.8, 0)];
+        // IoU can never exceed 1.0, so nothing is suppressed.
+        assert_eq!(non_max_suppression(dets, 1.0).len(), 2);
+    }
+}

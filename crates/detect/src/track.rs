@@ -1,0 +1,278 @@
+//! Lightweight IoU-based multi-object tracking.
+//!
+//! The paper motivates DroNet with Road Traffic Monitoring — "searching,
+//! collecting and sending, in real time, vehicle information [...] for
+//! traffic regulation purposes". Detection alone cannot count vehicles
+//! across frames; this tracker associates per-frame detections into tracks
+//! so the RTM example can report unique-vehicle counts.
+
+use crate::Detection;
+use dronet_metrics::BBox;
+
+/// A tracked object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Track {
+    /// Stable identifier, unique within the tracker's lifetime.
+    pub id: u64,
+    /// Most recent box.
+    pub bbox: BBox,
+    /// Frames since the track was created.
+    pub age: usize,
+    /// Total detections associated with this track.
+    pub hits: usize,
+    /// Consecutive frames without an associated detection.
+    pub missed: usize,
+}
+
+impl Track {
+    /// A track is *confirmed* once it has been seen `min_hits` times;
+    /// unconfirmed tracks are not reported (suppresses one-frame
+    /// flickers/false positives).
+    pub fn is_confirmed(&self, min_hits: usize) -> bool {
+        self.hits >= min_hits
+    }
+}
+
+/// Tracker configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackerConfig {
+    /// Minimum IoU to associate a detection with an existing track.
+    pub iou_threshold: f32,
+    /// Track is dropped after this many consecutive missed frames.
+    pub max_missed: usize,
+    /// Hits needed before a track is reported.
+    pub min_hits: usize,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig {
+            iou_threshold: 0.3,
+            max_missed: 3,
+            min_hits: 2,
+        }
+    }
+}
+
+/// Greedy IoU tracker.
+///
+/// # Example
+///
+/// ```
+/// use dronet_detect::track::{Tracker, TrackerConfig};
+/// use dronet_detect::Detection;
+/// use dronet_metrics::BBox;
+///
+/// let mut tracker = Tracker::new(TrackerConfig::default());
+/// let det = Detection {
+///     bbox: BBox::new(0.5, 0.5, 0.1, 0.1),
+///     objectness: 0.9,
+///     class: 0,
+///     class_prob: 1.0,
+/// };
+/// tracker.update(&[det.clone()]);
+/// tracker.update(&[det]);
+/// assert_eq!(tracker.confirmed_tracks().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tracker {
+    config: TrackerConfig,
+    tracks: Vec<Track>,
+    next_id: u64,
+    /// Unique confirmed tracks ever observed (the RTM vehicle count).
+    total_confirmed: u64,
+}
+
+impl Tracker {
+    /// Creates a tracker.
+    pub fn new(config: TrackerConfig) -> Self {
+        Tracker {
+            config,
+            tracks: Vec::new(),
+            next_id: 0,
+            total_confirmed: 0,
+        }
+    }
+
+    /// Processes one frame of detections, returning the confirmed active
+    /// tracks after the update.
+    pub fn update(&mut self, detections: &[Detection]) -> Vec<Track> {
+        // Greedy association, highest-score detection first.
+        let mut det_order: Vec<usize> = (0..detections.len()).collect();
+        det_order.sort_by(|&a, &b| detections[b].score().total_cmp(&detections[a].score()));
+        let mut track_taken = vec![false; self.tracks.len()];
+        let mut det_assigned = vec![false; detections.len()];
+
+        for &di in &det_order {
+            let dbox = &detections[di].bbox;
+            let mut best: Option<(usize, f32)> = None;
+            for (ti, track) in self.tracks.iter().enumerate() {
+                if track_taken[ti] {
+                    continue;
+                }
+                let iou = dbox.iou(&track.bbox);
+                if iou >= self.config.iou_threshold && best.map_or(true, |(_, b)| iou > b) {
+                    best = Some((ti, iou));
+                }
+            }
+            if let Some((ti, _)) = best {
+                track_taken[ti] = true;
+                det_assigned[di] = true;
+                let was_confirmed = self.tracks[ti].is_confirmed(self.config.min_hits);
+                let track = &mut self.tracks[ti];
+                track.bbox = *dbox;
+                track.hits += 1;
+                track.missed = 0;
+                if !was_confirmed && track.is_confirmed(self.config.min_hits) {
+                    self.total_confirmed += 1;
+                }
+            }
+        }
+
+        // Age all tracks; unassociated ones accrue a miss.
+        for (ti, track) in self.tracks.iter_mut().enumerate() {
+            track.age += 1;
+            if !track_taken[ti] {
+                track.missed += 1;
+            }
+        }
+        let max_missed = self.config.max_missed;
+        self.tracks.retain(|t| t.missed <= max_missed);
+
+        // Spawn new tracks for unmatched detections.
+        for (di, det) in detections.iter().enumerate() {
+            if !det_assigned[di] {
+                let confirmed_at_birth = self.config.min_hits <= 1;
+                self.tracks.push(Track {
+                    id: self.next_id,
+                    bbox: det.bbox,
+                    age: 1,
+                    hits: 1,
+                    missed: 0,
+                });
+                self.next_id += 1;
+                if confirmed_at_birth {
+                    self.total_confirmed += 1;
+                }
+            }
+        }
+
+        self.confirmed_tracks().cloned().collect()
+    }
+
+    /// Active tracks that have reached the confirmation threshold.
+    pub fn confirmed_tracks(&self) -> impl Iterator<Item = &Track> {
+        let min_hits = self.config.min_hits;
+        self.tracks.iter().filter(move |t| t.is_confirmed(min_hits))
+    }
+
+    /// All active tracks, confirmed or not.
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// Unique vehicles counted so far (confirmed tracks over the whole
+    /// run, including ones that have since left the frame).
+    pub fn total_count(&self) -> u64 {
+        self.total_confirmed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(cx: f32, cy: f32) -> Detection {
+        Detection {
+            bbox: BBox::new(cx, cy, 0.1, 0.1),
+            objectness: 0.9,
+            class: 0,
+            class_prob: 1.0,
+        }
+    }
+
+    #[test]
+    fn stable_object_keeps_one_id() {
+        let mut tracker = Tracker::new(TrackerConfig::default());
+        for i in 0..5 {
+            let confirmed = tracker.update(&[det(0.5 + 0.005 * i as f32, 0.5)]);
+            if i >= 1 {
+                assert_eq!(confirmed.len(), 1);
+                assert_eq!(confirmed[0].id, 0);
+            }
+        }
+        assert_eq!(tracker.total_count(), 1);
+    }
+
+    #[test]
+    fn distinct_objects_get_distinct_ids() {
+        let mut tracker = Tracker::new(TrackerConfig::default());
+        let frame = vec![det(0.2, 0.2), det(0.8, 0.8)];
+        tracker.update(&frame);
+        let confirmed = tracker.update(&frame);
+        assert_eq!(confirmed.len(), 2);
+        assert_ne!(confirmed[0].id, confirmed[1].id);
+        assert_eq!(tracker.total_count(), 2);
+    }
+
+    #[test]
+    fn track_survives_brief_occlusion() {
+        let mut tracker = Tracker::new(TrackerConfig {
+            max_missed: 2,
+            ..TrackerConfig::default()
+        });
+        tracker.update(&[det(0.5, 0.5)]);
+        tracker.update(&[det(0.5, 0.5)]);
+        // two empty frames: still alive
+        tracker.update(&[]);
+        tracker.update(&[]);
+        let confirmed = tracker.update(&[det(0.52, 0.5)]);
+        assert_eq!(confirmed.len(), 1);
+        assert_eq!(confirmed[0].id, 0);
+        assert_eq!(tracker.total_count(), 1);
+    }
+
+    #[test]
+    fn track_dies_after_max_missed() {
+        let mut tracker = Tracker::new(TrackerConfig {
+            max_missed: 1,
+            ..TrackerConfig::default()
+        });
+        tracker.update(&[det(0.5, 0.5)]);
+        tracker.update(&[det(0.5, 0.5)]);
+        tracker.update(&[]);
+        tracker.update(&[]);
+        // Re-appearing now is a NEW track.
+        tracker.update(&[det(0.5, 0.5)]);
+        let confirmed = tracker.update(&[det(0.5, 0.5)]);
+        assert_eq!(confirmed.len(), 1);
+        assert_ne!(confirmed[0].id, 0);
+        assert_eq!(tracker.total_count(), 2);
+    }
+
+    #[test]
+    fn one_frame_flicker_is_not_confirmed() {
+        let mut tracker = Tracker::new(TrackerConfig::default());
+        let confirmed = tracker.update(&[det(0.3, 0.3)]);
+        assert!(confirmed.is_empty());
+        // Flicker never returns; after expiry nothing was counted.
+        for _ in 0..5 {
+            tracker.update(&[]);
+        }
+        assert_eq!(tracker.total_count(), 0);
+        assert!(tracker.tracks().is_empty());
+    }
+
+    #[test]
+    fn moving_object_is_followed() {
+        let mut tracker = Tracker::new(TrackerConfig::default());
+        // Moves 0.02 per frame; boxes overlap heavily between frames.
+        for i in 0..10 {
+            tracker.update(&[det(0.2 + 0.02 * i as f32, 0.5)]);
+        }
+        assert_eq!(tracker.total_count(), 1);
+        let track = tracker.confirmed_tracks().next().unwrap();
+        assert!(track.bbox.cx > 0.35);
+        assert_eq!(track.hits, 10);
+    }
+}

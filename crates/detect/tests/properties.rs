@@ -1,0 +1,103 @@
+//! Property-based tests for the detection pipeline's invariants.
+
+use dronet_detect::nms::non_max_suppression;
+use dronet_detect::track::{Tracker, TrackerConfig};
+use dronet_detect::Detection;
+use dronet_metrics::BBox;
+use proptest::prelude::*;
+
+fn arb_detection() -> impl Strategy<Value = Detection> {
+    (
+        0.0f32..1.0,
+        0.0f32..1.0,
+        0.02f32..0.4,
+        0.02f32..0.4,
+        0.0f32..1.0,
+        0usize..3,
+    )
+        .prop_map(|(cx, cy, w, h, score, class)| Detection {
+            bbox: BBox::new(cx, cy, w, h),
+            objectness: score,
+            class,
+            class_prob: 1.0,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// NMS output is sorted by score, is a subset of the input, keeps the
+    /// global best detection, and is idempotent.
+    #[test]
+    fn nms_axioms(dets in prop::collection::vec(arb_detection(), 0..30), thr in 0.1f32..0.9) {
+        let kept = non_max_suppression(dets.clone(), thr);
+        prop_assert!(kept.len() <= dets.len());
+        for pair in kept.windows(2) {
+            prop_assert!(pair[0].score() >= pair[1].score());
+        }
+        // Every survivor came from the input.
+        for k in &kept {
+            prop_assert!(dets.iter().any(|d| d == k));
+        }
+        // The single best detection always survives.
+        if let Some(best) = dets.iter().max_by(|a, b| a.score().total_cmp(&b.score())) {
+            prop_assert!(kept.iter().any(|k| (k.score() - best.score()).abs() < 1e-9));
+        }
+        // Idempotence.
+        let twice = non_max_suppression(kept.clone(), thr);
+        prop_assert_eq!(kept.len(), twice.len());
+    }
+
+    /// After NMS, no two same-class survivors overlap above the threshold.
+    #[test]
+    fn nms_no_residual_overlap(dets in prop::collection::vec(arb_detection(), 0..20), thr in 0.2f32..0.8) {
+        let kept = non_max_suppression(dets, thr);
+        for i in 0..kept.len() {
+            for j in (i + 1)..kept.len() {
+                if kept[i].class == kept[j].class {
+                    prop_assert!(
+                        kept[i].bbox.iou(&kept[j].bbox) <= thr + 1e-5,
+                        "residual overlap {}",
+                        kept[i].bbox.iou(&kept[j].bbox)
+                    );
+                }
+            }
+        }
+    }
+
+    /// A raised NMS threshold never keeps fewer detections.
+    #[test]
+    fn nms_threshold_monotone(dets in prop::collection::vec(arb_detection(), 0..20)) {
+        let strict = non_max_suppression(dets.clone(), 0.2);
+        let loose = non_max_suppression(dets, 0.8);
+        prop_assert!(loose.len() >= strict.len());
+    }
+
+    /// Tracker invariants under arbitrary detection streams: ids are
+    /// unique among active tracks, the total count never decreases, and
+    /// active tracks never exceed all detections ever seen.
+    #[test]
+    fn tracker_invariants(
+        frames in prop::collection::vec(
+            prop::collection::vec(arb_detection(), 0..6),
+            1..12
+        )
+    ) {
+        let mut tracker = Tracker::new(TrackerConfig::default());
+        let mut last_count = 0u64;
+        let mut total_dets = 0usize;
+        for frame in &frames {
+            total_dets += frame.len();
+            tracker.update(frame);
+            // ids unique among active tracks
+            let mut ids: Vec<u64> = tracker.tracks().iter().map(|t| t.id).collect();
+            let before = ids.len();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), before);
+            // monotone vehicle count
+            prop_assert!(tracker.total_count() >= last_count);
+            last_count = tracker.total_count();
+        }
+        prop_assert!(tracker.total_count() as usize <= total_dets);
+    }
+}

@@ -1,0 +1,158 @@
+//! The top-level experiment runner: regenerates every table, figure and
+//! claim of the paper's evaluation section in one call and renders them as
+//! terminal text or Markdown (the source of `EXPERIMENTS.md`).
+
+use crate::claims::{check_all, Claim};
+use crate::figures;
+use crate::sweep::{cpu_sweep, SweepConfig, SweepResult};
+use dronet_metrics::report::Table;
+use std::fmt::Write as _;
+
+/// Everything the harness reproduces, bundled.
+#[derive(Debug)]
+pub struct ExperimentSuite {
+    /// Fig. 1 / Fig. 2 architecture summaries (rendered).
+    pub architectures: Vec<String>,
+    /// The full Section IV-A sweep (paper FPS response).
+    pub sweep: Vec<SweepResult>,
+    /// Fig. 3 table.
+    pub fig3: Table,
+    /// Fig. 4 table.
+    pub fig4: Table,
+    /// Fig. 5 / §IV-B deployment table.
+    pub fig5: Table,
+    /// Every checked claim.
+    pub claims: Vec<Claim>,
+}
+
+/// Runs the full reproduction suite (pure computation, a few seconds).
+pub fn run_all() -> ExperimentSuite {
+    let sweep = cpu_sweep(&SweepConfig::paper());
+    let mut architectures: Vec<String> =
+        figures::fig1_architectures().iter().map(|s| s.to_string()).collect();
+    architectures.push(figures::fig2_dronet().to_string());
+    ExperimentSuite {
+        fig3: figures::fig3_table(&sweep),
+        fig4: figures::fig4_table(&sweep),
+        fig5: figures::fig5_table(),
+        architectures,
+        sweep,
+        claims: check_all(),
+    }
+}
+
+impl ExperimentSuite {
+    /// Renders the whole suite as plain text (what the
+    /// `reproduce_paper` example prints).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== Fig. 1 / Fig. 2: architectures ===\n");
+        for a in &self.architectures {
+            let _ = writeln!(out, "{a}");
+        }
+        let _ = writeln!(out, "{}", self.fig3.to_text());
+        let _ = writeln!(out, "{}", self.fig4.to_text());
+        let _ = writeln!(out, "{}", self.fig5.to_text());
+        let _ = writeln!(out, "=== Paper claims ===\n");
+        for c in &self.claims {
+            let _ = writeln!(out, "{c}");
+        }
+        out
+    }
+
+    /// Writes the regenerated tables as CSV files into `dir` (created if
+    /// missing): `fig3.csv`, `fig4.csv`, `fig5.csv`, `claims.csv` — the
+    /// machine-readable companions to `EXPERIMENTS.md`, ready for external
+    /// plotting tools.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error.
+    pub fn write_csv_dir(&self, dir: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("fig3.csv"), self.fig3.to_csv())?;
+        std::fs::write(dir.join("fig4.csv"), self.fig4.to_csv())?;
+        std::fs::write(dir.join("fig5.csv"), self.fig5.to_csv())?;
+        let mut claims = String::from("id,description,paper,measured,status\n");
+        for c in &self.claims {
+            use std::fmt::Write as _;
+            let esc = |s: &str| {
+                if s.contains([',', '"', '\n']) {
+                    format!("\"{}\"", s.replace('"', "\"\""))
+                } else {
+                    s.to_string()
+                }
+            };
+            let _ = writeln!(
+                claims,
+                "{},{},{},{},{}",
+                c.id,
+                esc(c.description),
+                esc(&c.paper),
+                esc(&c.measured),
+                c.status
+            );
+        }
+        std::fs::write(dir.join("claims.csv"), claims)?;
+        Ok(())
+    }
+
+    /// Renders a Markdown summary (claims + tables as fenced blocks).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## Reproduced tables and figures\n");
+        for (title, table) in [
+            ("Fig. 3", &self.fig3),
+            ("Fig. 4", &self.fig4),
+            ("Fig. 5 / IV-B", &self.fig5),
+        ] {
+            let _ = writeln!(out, "### {title}\n\n```text\n{}```\n", table.to_text());
+        }
+        let _ = writeln!(out, "## Claim verification\n");
+        let _ = writeln!(out, "| id | claim | paper | measured | status |");
+        let _ = writeln!(out, "|----|-------|-------|----------|--------|");
+        for c in &self.claims {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} |",
+                c.id, c.description, c.paper, c.measured, c.status
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runs_and_renders() {
+        let suite = run_all();
+        assert_eq!(suite.architectures.len(), 5);
+        assert_eq!(suite.sweep.len(), 36);
+        assert!(!suite.claims.is_empty());
+        let text = suite.to_text();
+        assert!(text.contains("Fig. 3"));
+        assert!(text.contains("Paper claims"));
+        let md = suite.to_markdown();
+        assert!(md.contains("| IVB-1 |"));
+        assert!(md.contains("```text"));
+    }
+
+    #[test]
+    fn csv_export_writes_all_files() {
+        let suite = run_all();
+        let dir = std::env::temp_dir().join("dronet-csv-test");
+        suite.write_csv_dir(&dir).unwrap();
+        for name in ["fig3.csv", "fig4.csv", "fig5.csv", "claims.csv"] {
+            let content = std::fs::read_to_string(dir.join(name)).unwrap();
+            assert!(content.lines().count() > 1, "{name} is empty");
+            std::fs::remove_file(dir.join(name)).ok();
+        }
+        // Claims CSV carries the one documented divergence.
+        // (File already removed; re-generate cheaply from the suite.)
+        assert!(suite.claims.iter().any(|c| c.id == "IVA-9"));
+    }
+}

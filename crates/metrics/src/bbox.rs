@@ -1,0 +1,241 @@
+use crate::{MetricsError, Result};
+use std::fmt;
+
+/// An axis-aligned bounding box in normalised centre format.
+///
+/// All coordinates are fractions of the image size: `(cx, cy)` is the box
+/// centre and `(w, h)` its width/height, so a full-image box is
+/// `BBox::new(0.5, 0.5, 1.0, 1.0)`. This is the coordinate system the YOLO
+/// family (and thus the paper's networks) predicts in.
+///
+/// # Example
+///
+/// ```
+/// use dronet_metrics::BBox;
+///
+/// let gt = BBox::new(0.50, 0.50, 0.20, 0.10);
+/// let det = BBox::new(0.52, 0.50, 0.20, 0.10);
+/// assert!(gt.iou(&det) > 0.7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct BBox {
+    /// Centre x, as a fraction of the image width.
+    pub cx: f32,
+    /// Centre y, as a fraction of the image height.
+    pub cy: f32,
+    /// Width, as a fraction of the image width.
+    pub w: f32,
+    /// Height, as a fraction of the image height.
+    pub h: f32,
+}
+
+impl BBox {
+    /// Creates a box from centre coordinates and size.
+    pub fn new(cx: f32, cy: f32, w: f32, h: f32) -> Self {
+        BBox { cx, cy, w, h }
+    }
+
+    /// Creates a box from corner coordinates `(x0, y0)`–`(x1, y1)`.
+    pub fn from_corners(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
+        BBox {
+            cx: (x0 + x1) / 2.0,
+            cy: (y0 + y1) / 2.0,
+            w: (x1 - x0).abs(),
+            h: (y1 - y0).abs(),
+        }
+    }
+
+    /// Validates that all coordinates are finite and the size non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::InvalidBox`] otherwise.
+    pub fn validate(&self) -> Result<()> {
+        let finite = self.cx.is_finite()
+            && self.cy.is_finite()
+            && self.w.is_finite()
+            && self.h.is_finite();
+        if finite && self.w >= 0.0 && self.h >= 0.0 {
+            Ok(())
+        } else {
+            Err(MetricsError::InvalidBox {
+                values: (self.cx, self.cy, self.w, self.h),
+            })
+        }
+    }
+
+    /// Left edge.
+    pub fn x0(&self) -> f32 {
+        self.cx - self.w / 2.0
+    }
+
+    /// Top edge.
+    pub fn y0(&self) -> f32 {
+        self.cy - self.h / 2.0
+    }
+
+    /// Right edge.
+    pub fn x1(&self) -> f32 {
+        self.cx + self.w / 2.0
+    }
+
+    /// Bottom edge.
+    pub fn y1(&self) -> f32 {
+        self.cy + self.h / 2.0
+    }
+
+    /// Box area.
+    pub fn area(&self) -> f32 {
+        self.w * self.h
+    }
+
+    /// Intersection area with `other` (zero when disjoint).
+    pub fn intersection(&self, other: &BBox) -> f32 {
+        let iw = (self.x1().min(other.x1()) - self.x0().max(other.x0())).max(0.0);
+        let ih = (self.y1().min(other.y1()) - self.y0().max(other.y0())).max(0.0);
+        iw * ih
+    }
+
+    /// Intersection over union with `other`, in `[0, 1]`.
+    ///
+    /// Two zero-area boxes have IoU 0.
+    pub fn iou(&self, other: &BBox) -> f32 {
+        let inter = self.intersection(other);
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            // Clamp: rounding in the corner arithmetic can push the ratio
+            // a few ulps above 1 for identical boxes.
+            (inter / union).min(1.0)
+        }
+    }
+
+    /// Clamps the box to the unit square, preserving centre format.
+    pub fn clamp_unit(&self) -> BBox {
+        let x0 = self.x0().clamp(0.0, 1.0);
+        let y0 = self.y0().clamp(0.0, 1.0);
+        let x1 = self.x1().clamp(0.0, 1.0);
+        let y1 = self.y1().clamp(0.0, 1.0);
+        BBox::from_corners(x0, y0, x1, y1)
+    }
+
+    /// Scales normalised coordinates to pixel coordinates, returning
+    /// `(x0, y0, x1, y1)` in pixels.
+    pub fn to_pixels(&self, img_w: usize, img_h: usize) -> (f32, f32, f32, f32) {
+        (
+            self.x0() * img_w as f32,
+            self.y0() * img_h as f32,
+            self.x1() * img_w as f32,
+            self.y1() * img_h as f32,
+        )
+    }
+
+    /// Fraction of this box's area that lies inside the unit square.
+    ///
+    /// The paper annotates only vehicles with at least 50% of their body
+    /// visible; the data generator uses this to apply the same rule.
+    pub fn visible_fraction(&self) -> f32 {
+        let unit = BBox::new(0.5, 0.5, 1.0, 1.0);
+        let area = self.area();
+        if area <= 0.0 {
+            0.0
+        } else {
+            self.intersection(&unit) / area
+        }
+    }
+}
+
+impl fmt::Display for BBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({:.3}, {:.3}) {:.3}x{:.3}",
+            self.cx, self.cy, self.w, self.h
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_roundtrip() {
+        let b = BBox::from_corners(0.1, 0.2, 0.5, 0.6);
+        assert!((b.cx - 0.3).abs() < 1e-6);
+        assert!((b.cy - 0.4).abs() < 1e-6);
+        assert!((b.w - 0.4).abs() < 1e-6);
+        assert!((b.h - 0.4).abs() < 1e-6);
+        assert!((b.x0() - 0.1).abs() < 1e-6);
+        assert!((b.y1() - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_identical_is_one() {
+        let b = BBox::new(0.5, 0.5, 0.2, 0.3);
+        assert!((b.iou(&b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        let a = BBox::new(0.2, 0.2, 0.1, 0.1);
+        let b = BBox::new(0.8, 0.8, 0.1, 0.1);
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        // Two unit-height boxes, second shifted by half a width:
+        // intersection 0.5*A, union 1.5*A -> IoU = 1/3.
+        let a = BBox::from_corners(0.0, 0.0, 0.2, 0.2);
+        let b = BBox::from_corners(0.1, 0.0, 0.3, 0.2);
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_is_symmetric() {
+        let a = BBox::new(0.4, 0.4, 0.3, 0.2);
+        let b = BBox::new(0.5, 0.45, 0.25, 0.3);
+        assert!((a.iou(&b) - b.iou(&a)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_area_boxes() {
+        let z = BBox::new(0.5, 0.5, 0.0, 0.0);
+        assert_eq!(z.iou(&z), 0.0);
+        assert_eq!(z.visible_fraction(), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(BBox::new(0.5, 0.5, 0.1, 0.1).validate().is_ok());
+        assert!(BBox::new(f32::NAN, 0.5, 0.1, 0.1).validate().is_err());
+        assert!(BBox::new(0.5, 0.5, -0.1, 0.1).validate().is_err());
+    }
+
+    #[test]
+    fn clamp_unit_truncates() {
+        let b = BBox::new(0.0, 0.5, 0.4, 0.2); // extends to x = -0.2
+        let c = b.clamp_unit();
+        assert!(c.x0() >= 0.0);
+        assert!((c.x1() - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn visible_fraction_at_edge() {
+        // Box half outside the left edge: 50% visible.
+        let b = BBox::new(0.0, 0.5, 0.2, 0.2);
+        assert!((b.visible_fraction() - 0.5).abs() < 1e-6);
+        // Fully inside: 100%.
+        let inside = BBox::new(0.5, 0.5, 0.2, 0.2);
+        assert!((inside.visible_fraction() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn to_pixels_scales() {
+        let b = BBox::new(0.5, 0.5, 0.5, 0.25);
+        let (x0, y0, x1, y1) = b.to_pixels(400, 200);
+        assert_eq!((x0, y0, x1, y1), (100.0, 75.0, 300.0, 125.0));
+    }
+}

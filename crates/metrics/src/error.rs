@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by metric construction and aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricsError {
+    /// A bounding box had a non-finite or negative-size coordinate.
+    InvalidBox {
+        /// Offending values `(cx, cy, w, h)`.
+        values: (f32, f32, f32, f32),
+    },
+    /// Score weights were invalid (negative, non-finite, or not summing to
+    /// one).
+    InvalidWeights {
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A metric aggregation received inconsistent input lengths.
+    LengthMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Expected number of entries.
+        expected: usize,
+        /// Provided number of entries.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::InvalidBox { values } => {
+                write!(f, "invalid bounding box (cx={}, cy={}, w={}, h={})", values.0, values.1, values.2, values.3)
+            }
+            MetricsError::InvalidWeights { msg } => write!(f, "invalid score weights: {msg}"),
+            MetricsError::LengthMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected {expected} entries, got {actual}"),
+        }
+    }
+}
+
+impl Error for MetricsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<MetricsError>();
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = MetricsError::InvalidWeights {
+            msg: "weights sum to 0.9".into(),
+        };
+        assert!(e.to_string().contains("0.9"));
+    }
+}

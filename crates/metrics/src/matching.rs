@@ -1,0 +1,214 @@
+//! Greedy IoU matching of detections against ground truth.
+//!
+//! Detections are matched to ground-truth boxes in descending confidence
+//! order; a detection is a true positive when its best unmatched ground
+//! truth overlaps with IoU at or above the threshold (the community
+//! standard 0.5 by default, which is also what the paper's evaluation
+//! implies). Each ground truth can be matched at most once — duplicate
+//! detections of the same vehicle count as false positives.
+
+use crate::{BBox, DetectionStats};
+
+/// Default IoU threshold for counting a detection as a true positive.
+pub const DEFAULT_IOU_THRESHOLD: f32 = 0.5;
+
+/// Outcome of matching one frame's detections to its ground truth.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MatchResult {
+    /// Number of true positives.
+    pub true_positives: usize,
+    /// Number of false positives (unmatched or duplicate detections).
+    pub false_positives: usize,
+    /// Number of false negatives (unmatched ground truths).
+    pub false_negatives: usize,
+    /// IoU of every true-positive match.
+    pub matched_ious: Vec<f32>,
+    /// For each detection (in the given order), the matched ground-truth
+    /// index, or `None` for false positives.
+    pub assignments: Vec<Option<usize>>,
+}
+
+impl MatchResult {
+    /// Mean IoU over the true positives (0 when there are none).
+    pub fn mean_iou(&self) -> f32 {
+        if self.matched_ious.is_empty() {
+            0.0
+        } else {
+            self.matched_ious.iter().sum::<f32>() / self.matched_ious.len() as f32
+        }
+    }
+
+    /// Merges the counts of another frame into this one.
+    pub fn merge(&mut self, other: &MatchResult) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+        self.matched_ious.extend_from_slice(&other.matched_ious);
+        // Assignments are per-frame and meaningless after a merge.
+        self.assignments.clear();
+    }
+
+    /// Converts the accumulated counts into summary statistics.
+    pub fn stats(&self) -> DetectionStats {
+        DetectionStats::from_counts(
+            self.true_positives,
+            self.false_positives,
+            self.false_negatives,
+            self.mean_iou(),
+        )
+    }
+}
+
+/// Matches `detections` (boxes with confidence scores) against
+/// `ground_truth` at the given IoU threshold.
+///
+/// Detections are sorted internally by descending confidence; ties keep the
+/// input order. Pass [`DEFAULT_IOU_THRESHOLD`] unless the experiment says
+/// otherwise.
+pub fn match_detections(
+    detections: &[(BBox, f32)],
+    ground_truth: &[BBox],
+    iou_threshold: f32,
+) -> MatchResult {
+    let mut order: Vec<usize> = (0..detections.len()).collect();
+    order.sort_by(|&a, &b| detections[b].1.total_cmp(&detections[a].1));
+
+    let mut gt_taken = vec![false; ground_truth.len()];
+    let mut assignments = vec![None; detections.len()];
+    let mut matched_ious = Vec::new();
+
+    for &det_idx in &order {
+        let (ref dbox, _) = detections[det_idx];
+        let mut best: Option<(usize, f32)> = None;
+        for (gt_idx, gt) in ground_truth.iter().enumerate() {
+            if gt_taken[gt_idx] {
+                continue;
+            }
+            let iou = dbox.iou(gt);
+            if iou >= iou_threshold && best.map_or(true, |(_, b)| iou > b) {
+                best = Some((gt_idx, iou));
+            }
+        }
+        if let Some((gt_idx, iou)) = best {
+            gt_taken[gt_idx] = true;
+            assignments[det_idx] = Some(gt_idx);
+            matched_ious.push(iou);
+        }
+    }
+
+    let true_positives = matched_ious.len();
+    MatchResult {
+        true_positives,
+        false_positives: detections.len() - true_positives,
+        false_negatives: ground_truth.len() - true_positives,
+        matched_ious,
+        assignments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(cx: f32, cy: f32, s: f32) -> BBox {
+        BBox::new(cx, cy, s, s)
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let gt = vec![b(0.3, 0.3, 0.1), b(0.7, 0.7, 0.1)];
+        let dets = vec![(b(0.3, 0.3, 0.1), 0.9), (b(0.7, 0.7, 0.1), 0.8)];
+        let r = match_detections(&dets, &gt, 0.5);
+        assert_eq!(r.true_positives, 2);
+        assert_eq!(r.false_positives, 0);
+        assert_eq!(r.false_negatives, 0);
+        assert!((r.mean_iou() - 1.0).abs() < 1e-6);
+        assert_eq!(r.assignments, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn missed_vehicle_is_false_negative() {
+        let gt = vec![b(0.3, 0.3, 0.1), b(0.7, 0.7, 0.1)];
+        let dets = vec![(b(0.3, 0.3, 0.1), 0.9)];
+        let r = match_detections(&dets, &gt, 0.5);
+        assert_eq!(r.true_positives, 1);
+        assert_eq!(r.false_negatives, 1);
+        assert_eq!(r.false_positives, 0);
+    }
+
+    #[test]
+    fn spurious_detection_is_false_positive() {
+        let gt = vec![b(0.3, 0.3, 0.1)];
+        let dets = vec![(b(0.3, 0.3, 0.1), 0.9), (b(0.9, 0.9, 0.05), 0.7)];
+        let r = match_detections(&dets, &gt, 0.5);
+        assert_eq!(r.true_positives, 1);
+        assert_eq!(r.false_positives, 1);
+    }
+
+    #[test]
+    fn duplicate_detection_counts_once() {
+        let gt = vec![b(0.5, 0.5, 0.2)];
+        let dets = vec![
+            (b(0.5, 0.5, 0.2), 0.95),
+            (b(0.51, 0.5, 0.2), 0.90), // duplicate of the same vehicle
+        ];
+        let r = match_detections(&dets, &gt, 0.5);
+        assert_eq!(r.true_positives, 1);
+        assert_eq!(r.false_positives, 1);
+        assert_eq!(r.assignments[0], Some(0));
+        assert_eq!(r.assignments[1], None);
+    }
+
+    #[test]
+    fn higher_confidence_matches_first() {
+        // Lower-confidence detection overlaps better, but the higher one
+        // claims the ground truth first (greedy by confidence).
+        let gt = vec![b(0.5, 0.5, 0.2)];
+        let dets = vec![
+            (b(0.52, 0.5, 0.2), 0.6),
+            (b(0.5, 0.5, 0.2), 0.9),
+        ];
+        let r = match_detections(&dets, &gt, 0.5);
+        assert_eq!(r.assignments[1], Some(0));
+        assert_eq!(r.assignments[0], None);
+    }
+
+    #[test]
+    fn below_threshold_does_not_match() {
+        let gt = vec![b(0.5, 0.5, 0.1)];
+        let dets = vec![(b(0.58, 0.5, 0.1), 0.9)]; // IoU well below 0.5
+        let r = match_detections(&dets, &gt, 0.5);
+        assert_eq!(r.true_positives, 0);
+        assert_eq!(r.false_positives, 1);
+        assert_eq!(r.false_negatives, 1);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let r = match_detections(&[], &[], 0.5);
+        assert_eq!(r.true_positives, 0);
+        assert_eq!(r.mean_iou(), 0.0);
+
+        let gt = vec![b(0.5, 0.5, 0.1)];
+        let r = match_detections(&[], &gt, 0.5);
+        assert_eq!(r.false_negatives, 1);
+
+        let dets = vec![(b(0.5, 0.5, 0.1), 0.9)];
+        let r = match_detections(&dets, &[], 0.5);
+        assert_eq!(r.false_positives, 1);
+    }
+
+    #[test]
+    fn merge_accumulates_frames() {
+        let gt = vec![b(0.5, 0.5, 0.2)];
+        let dets = vec![(b(0.5, 0.5, 0.2), 0.9)];
+        let mut total = match_detections(&dets, &gt, 0.5);
+        let frame2 = match_detections(&[], &gt, 0.5);
+        total.merge(&frame2);
+        assert_eq!(total.true_positives, 1);
+        assert_eq!(total.false_negatives, 1);
+        let stats = total.stats();
+        assert!((stats.sensitivity - 0.5).abs() < 1e-6);
+        assert!((stats.precision - 1.0).abs() < 1e-6);
+    }
+}

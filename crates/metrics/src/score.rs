@@ -1,0 +1,257 @@
+//! The paper's composite Score metric (eq. 3).
+//!
+//! `Score(w) = w1*FPS + w2*IoU + w3*Sensitivity + w4*Precision`, subject to
+//! `w ∈ [0,1]^4` and `Σw = 1`. The FPS term is first normalised across the
+//! candidate set (divided by the maximum, the scheme Fig. 3 describes) so
+//! all four terms live in `[0, 1]`.
+
+use crate::{Fps, MetricsError, Result};
+
+/// The weight vector of eq. 3, constrained to the probability simplex.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScoreWeights {
+    /// Weight on normalised FPS (`w1`).
+    pub fps: f32,
+    /// Weight on IoU (`w2`).
+    pub iou: f32,
+    /// Weight on sensitivity (`w3`).
+    pub sensitivity: f32,
+    /// Weight on precision (`w4`).
+    pub precision: f32,
+}
+
+impl ScoreWeights {
+    /// The paper's choice: FPS weighted 0.4, the three accuracy metrics 0.2
+    /// each ("we prioritized FPS with a weight of 0.4 over the other three
+    /// accuracy-related metrics, which were equally weighted with 0.2").
+    pub fn paper() -> Self {
+        ScoreWeights {
+            fps: 0.4,
+            iou: 0.2,
+            sensitivity: 0.2,
+            precision: 0.2,
+        }
+    }
+
+    /// Creates a validated weight vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::InvalidWeights`] when any weight is outside
+    /// `[0, 1]` or the weights do not sum to 1 (within 1e-4).
+    pub fn new(fps: f32, iou: f32, sensitivity: f32, precision: f32) -> Result<Self> {
+        let w = ScoreWeights {
+            fps,
+            iou,
+            sensitivity,
+            precision,
+        };
+        w.validate()?;
+        Ok(w)
+    }
+
+    /// Validates the simplex constraints of eq. 3.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::InvalidWeights`] on violation.
+    pub fn validate(&self) -> Result<()> {
+        let all = [self.fps, self.iou, self.sensitivity, self.precision];
+        for w in all {
+            if !w.is_finite() || !(0.0..=1.0).contains(&w) {
+                return Err(MetricsError::InvalidWeights {
+                    msg: format!("weight {w} outside [0, 1]"),
+                });
+            }
+        }
+        let sum: f32 = all.iter().sum();
+        if (sum - 1.0).abs() > 1e-4 {
+            return Err(MetricsError::InvalidWeights {
+                msg: format!("weights sum to {sum}, expected 1"),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for ScoreWeights {
+    fn default() -> Self {
+        ScoreWeights::paper()
+    }
+}
+
+/// The four per-model metrics that enter the Score.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct MetricVector {
+    /// Frame rate (raw, un-normalised).
+    pub fps: f64,
+    /// Mean IoU of true positives, in `[0, 1]`.
+    pub iou: f32,
+    /// Sensitivity, in `[0, 1]`.
+    pub sensitivity: f32,
+    /// Precision, in `[0, 1]`.
+    pub precision: f32,
+}
+
+impl MetricVector {
+    /// Bundles metrics from parts.
+    pub fn new(fps: Fps, iou: f32, sensitivity: f32, precision: f32) -> Self {
+        MetricVector {
+            fps: fps.0,
+            iou,
+            sensitivity,
+            precision,
+        }
+    }
+
+    /// Computes the composite Score for a **normalised** metric vector
+    /// (every component already in `[0, 1]`).
+    pub fn score(&self, w: &ScoreWeights) -> f64 {
+        f64::from(w.fps) * self.fps
+            + f64::from(w.iou) * f64::from(self.iou)
+            + f64::from(w.sensitivity) * f64::from(self.sensitivity)
+            + f64::from(w.precision) * f64::from(self.precision)
+    }
+}
+
+/// Normalises a set of metric vectors the way the paper's Fig. 3 does:
+/// every metric is divided by its maximum across the set, so all values lie
+/// in `[0, 1]` and the best model per metric scores 1.
+///
+/// Returns an empty vector for empty input. Metrics whose maximum is zero
+/// are left at zero.
+pub fn normalize_metrics(metrics: &[MetricVector]) -> Vec<MetricVector> {
+    if metrics.is_empty() {
+        return Vec::new();
+    }
+    let max_fps = metrics.iter().map(|m| m.fps).fold(0.0, f64::max);
+    let max_iou = metrics.iter().map(|m| m.iou).fold(0.0, f32::max);
+    let max_sens = metrics.iter().map(|m| m.sensitivity).fold(0.0, f32::max);
+    let max_prec = metrics.iter().map(|m| m.precision).fold(0.0, f32::max);
+    let div64 = |v: f64, m: f64| if m > 0.0 { v / m } else { 0.0 };
+    let div32 = |v: f32, m: f32| if m > 0.0 { v / m } else { 0.0 };
+    metrics
+        .iter()
+        .map(|m| MetricVector {
+            fps: div64(m.fps, max_fps),
+            iou: div32(m.iou, max_iou),
+            sensitivity: div32(m.sensitivity, max_sens),
+            precision: div32(m.precision, max_prec),
+        })
+        .collect()
+}
+
+/// Normalises and scores a set of candidates in one call, returning the
+/// per-candidate scores in input order.
+pub fn score_candidates(metrics: &[MetricVector], w: &ScoreWeights) -> Vec<f64> {
+    normalize_metrics(metrics)
+        .iter()
+        .map(|m| m.score(w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_weights_are_valid_and_prioritise_fps() {
+        let w = ScoreWeights::paper();
+        w.validate().unwrap();
+        assert!(w.fps > w.iou);
+        assert_eq!(w.iou, w.sensitivity);
+        assert_eq!(w.sensitivity, w.precision);
+        assert_eq!(ScoreWeights::default(), w);
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected() {
+        assert!(ScoreWeights::new(0.5, 0.5, 0.5, 0.5).is_err()); // sums to 2
+        assert!(ScoreWeights::new(-0.1, 0.5, 0.3, 0.3).is_err());
+        assert!(ScoreWeights::new(1.2, -0.2, 0.0, 0.0).is_err());
+        assert!(ScoreWeights::new(f32::NAN, 0.4, 0.3, 0.3).is_err());
+        assert!(ScoreWeights::new(0.25, 0.25, 0.25, 0.25).is_ok());
+    }
+
+    #[test]
+    fn normalisation_maps_best_to_one() {
+        let metrics = vec![
+            MetricVector {
+                fps: 20.0,
+                iou: 0.5,
+                sensitivity: 0.9,
+                precision: 0.8,
+            },
+            MetricVector {
+                fps: 5.0,
+                iou: 0.75,
+                sensitivity: 0.95,
+                precision: 0.9,
+            },
+        ];
+        let n = normalize_metrics(&metrics);
+        assert!((n[0].fps - 1.0).abs() < 1e-9);
+        assert!((n[1].fps - 0.25).abs() < 1e-9);
+        assert!((n[1].iou - 1.0).abs() < 1e-6);
+        assert!((n[0].iou - 0.5 / 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_metrics_stay_zero() {
+        let metrics = vec![MetricVector::default(), MetricVector::default()];
+        let n = normalize_metrics(&metrics);
+        assert_eq!(n[0], MetricVector::default());
+        assert!(normalize_metrics(&[]).is_empty());
+    }
+
+    #[test]
+    fn score_is_convex_combination() {
+        // A fully-normalised perfect model scores exactly 1.
+        let perfect = MetricVector {
+            fps: 1.0,
+            iou: 1.0,
+            sensitivity: 1.0,
+            precision: 1.0,
+        };
+        assert!((perfect.score(&ScoreWeights::paper()) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fast_model_wins_with_paper_weights() {
+        // Mirrors the paper's conclusion: a 30x faster model with slightly
+        // worse accuracy outranks the accurate-but-slow baseline.
+        let fast = MetricVector {
+            fps: 18.0,
+            iou: 0.62,
+            sensitivity: 0.93,
+            precision: 0.89,
+        };
+        let slow = MetricVector {
+            fps: 0.6,
+            iou: 0.70,
+            sensitivity: 0.95,
+            precision: 0.95,
+        };
+        let scores = score_candidates(&[fast, slow], &ScoreWeights::paper());
+        assert!(scores[0] > scores[1], "fast {} vs slow {}", scores[0], scores[1]);
+    }
+
+    #[test]
+    fn accuracy_weights_flip_the_ranking() {
+        let fast = MetricVector {
+            fps: 18.0,
+            iou: 0.45,
+            sensitivity: 0.5,
+            precision: 0.6,
+        };
+        let slow = MetricVector {
+            fps: 0.6,
+            iou: 0.70,
+            sensitivity: 0.95,
+            precision: 0.95,
+        };
+        let w = ScoreWeights::new(0.0, 0.34, 0.33, 0.33).unwrap();
+        let scores = score_candidates(&[fast, slow], &w);
+        assert!(scores[1] > scores[0]);
+    }
+}

@@ -1,0 +1,128 @@
+use std::fmt;
+
+/// Aggregate detection quality statistics — the accuracy side of the
+/// paper's metric set.
+///
+/// * Sensitivity (eq. 1): `TP / (TP + FN)` — how many real vehicles were
+///   found.
+/// * Precision (eq. 2): `TP / (TP + FP)` — how many reported detections
+///   were real.
+/// * `mean_iou`: average IoU of the true positives (localisation quality).
+/// * `f1` / `accuracy`: the harmonic mean of sensitivity and precision; the
+///   paper's informal "~95% accuracy" statements correspond to this
+///   combined detection accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct DetectionStats {
+    /// True-positive count.
+    pub true_positives: usize,
+    /// False-positive count.
+    pub false_positives: usize,
+    /// False-negative count.
+    pub false_negatives: usize,
+    /// Sensitivity / recall in `[0, 1]`.
+    pub sensitivity: f32,
+    /// Precision in `[0, 1]`.
+    pub precision: f32,
+    /// Mean IoU of true positives in `[0, 1]`.
+    pub mean_iou: f32,
+}
+
+impl DetectionStats {
+    /// Builds statistics from raw counts.
+    ///
+    /// Degenerate denominators yield 0 (no ground truth and no detections
+    /// scores 0 sensitivity/precision rather than NaN).
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize, mean_iou: f32) -> Self {
+        let sens_den = tp + fn_;
+        let prec_den = tp + fp;
+        DetectionStats {
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fn_,
+            sensitivity: if sens_den == 0 {
+                0.0
+            } else {
+                tp as f32 / sens_den as f32
+            },
+            precision: if prec_den == 0 {
+                0.0
+            } else {
+                tp as f32 / prec_den as f32
+            },
+            mean_iou,
+        }
+    }
+
+    /// Harmonic mean of sensitivity and precision (F1); the combined
+    /// "detection accuracy" figure the paper quotes as ~95%.
+    pub fn f1(&self) -> f32 {
+        let s = self.sensitivity;
+        let p = self.precision;
+        if s + p <= 0.0 {
+            0.0
+        } else {
+            2.0 * s * p / (s + p)
+        }
+    }
+
+    /// Alias for [`DetectionStats::f1`] using the paper's vocabulary.
+    pub fn accuracy(&self) -> f32 {
+        self.f1()
+    }
+}
+
+impl fmt::Display for DetectionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sens {:.3} prec {:.3} iou {:.3} (tp {} fp {} fn {})",
+            self.sensitivity,
+            self.precision,
+            self.mean_iou,
+            self.true_positives,
+            self.false_positives,
+            self.false_negatives
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitivity_and_precision_formulas() {
+        let s = DetectionStats::from_counts(8, 2, 2, 0.7);
+        assert!((s.sensitivity - 0.8).abs() < 1e-6);
+        assert!((s.precision - 0.8).abs() < 1e-6);
+        assert!((s.f1() - 0.8).abs() < 1e-6);
+        assert_eq!(s.accuracy(), s.f1());
+    }
+
+    #[test]
+    fn degenerate_counts_do_not_nan() {
+        let s = DetectionStats::from_counts(0, 0, 0, 0.0);
+        assert_eq!(s.sensitivity, 0.0);
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.f1(), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_counts() {
+        // 9 found of 10 vehicles, 3 spurious.
+        let s = DetectionStats::from_counts(9, 3, 1, 0.65);
+        assert!((s.sensitivity - 0.9).abs() < 1e-6);
+        assert!((s.precision - 0.75).abs() < 1e-6);
+        let f1 = 2.0 * 0.9 * 0.75 / (0.9 + 0.75);
+        assert!((s.f1() - f1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let s = DetectionStats::from_counts(1, 2, 3, 0.5);
+        let text = s.to_string();
+        assert!(text.contains("tp 1"));
+        assert!(text.contains("fp 2"));
+        assert!(text.contains("fn 3"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for detection geometry and scoring invariants.
+
+use dronet_metrics::matching::match_detections;
+use dronet_metrics::score::{normalize_metrics, score_candidates};
+use dronet_metrics::{BBox, DetectionStats, MetricVector, ScoreWeights};
+use proptest::prelude::*;
+
+fn arb_box() -> impl Strategy<Value = BBox> {
+    (0.0f32..1.0, 0.0f32..1.0, 0.01f32..0.5, 0.01f32..0.5)
+        .prop_map(|(cx, cy, w, h)| BBox::new(cx, cy, w, h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// IoU is symmetric, bounded in [0,1], and 1 exactly for self-overlap.
+    #[test]
+    fn iou_axioms(a in arb_box(), b in arb_box()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-5);
+    }
+
+    /// Intersection is never larger than either area.
+    #[test]
+    fn intersection_bounded_by_areas(a in arb_box(), b in arb_box()) {
+        let inter = a.intersection(&b);
+        prop_assert!(inter <= a.area() + 1e-5);
+        prop_assert!(inter <= b.area() + 1e-5);
+        prop_assert!(inter >= 0.0);
+    }
+
+    /// Corner round-trips preserve the box.
+    #[test]
+    fn corner_roundtrip(a in arb_box()) {
+        let b = BBox::from_corners(a.x0(), a.y0(), a.x1(), a.y1());
+        prop_assert!((a.cx - b.cx).abs() < 1e-5);
+        prop_assert!((a.cy - b.cy).abs() < 1e-5);
+        prop_assert!((a.w - b.w).abs() < 1e-5);
+        prop_assert!((a.h - b.h).abs() < 1e-5);
+    }
+
+    /// Clamping to the unit square never grows the box and always lands
+    /// inside the unit square.
+    #[test]
+    fn clamp_unit_shrinks(a in arb_box()) {
+        let c = a.clamp_unit();
+        prop_assert!(c.area() <= a.area() + 1e-5);
+        prop_assert!(c.x0() >= -1e-5 && c.x1() <= 1.0 + 1e-5);
+        prop_assert!(c.y0() >= -1e-5 && c.y1() <= 1.0 + 1e-5);
+    }
+
+    /// Matching conserves counts: TP+FP = detections, TP+FN = truths.
+    #[test]
+    fn matching_conserves_counts(
+        dets in prop::collection::vec((arb_box(), 0.0f32..1.0), 0..12),
+        gt in prop::collection::vec(arb_box(), 0..8),
+    ) {
+        let m = match_detections(&dets, &gt, 0.5);
+        prop_assert_eq!(m.true_positives + m.false_positives, dets.len());
+        prop_assert_eq!(m.true_positives + m.false_negatives, gt.len());
+        prop_assert_eq!(m.matched_ious.len(), m.true_positives);
+        for iou in &m.matched_ious {
+            prop_assert!(*iou >= 0.5);
+        }
+    }
+
+    /// Lowering the IoU threshold never reduces true positives.
+    #[test]
+    fn threshold_monotonicity(
+        dets in prop::collection::vec((arb_box(), 0.0f32..1.0), 0..10),
+        gt in prop::collection::vec(arb_box(), 0..6),
+    ) {
+        let strict = match_detections(&dets, &gt, 0.7);
+        let loose = match_detections(&dets, &gt, 0.3);
+        prop_assert!(loose.true_positives >= strict.true_positives);
+    }
+
+    /// Stats formulas stay within [0,1] and F1 is between min and max of
+    /// sensitivity/precision.
+    #[test]
+    fn stats_bounds(tp in 0usize..100, fp in 0usize..100, fn_ in 0usize..100) {
+        let s = DetectionStats::from_counts(tp, fp, fn_, 0.5);
+        prop_assert!((0.0..=1.0).contains(&s.sensitivity));
+        prop_assert!((0.0..=1.0).contains(&s.precision));
+        let f1 = s.f1();
+        prop_assert!(f1 <= s.sensitivity.max(s.precision) + 1e-6);
+        prop_assert!(f1 + 1e-6 >= 0.0);
+    }
+
+    /// Normalisation is idempotent and keeps ordering within each metric.
+    #[test]
+    fn normalisation_idempotent(
+        ms in prop::collection::vec(
+            (0.1f64..100.0, 0.0f32..1.0, 0.0f32..1.0, 0.0f32..1.0),
+            1..10
+        )
+    ) {
+        let metrics: Vec<MetricVector> = ms
+            .iter()
+            .map(|&(fps, iou, s, p)| MetricVector { fps, iou, sensitivity: s, precision: p })
+            .collect();
+        let once = normalize_metrics(&metrics);
+        let twice = normalize_metrics(&once);
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert!((a.fps - b.fps).abs() < 1e-9);
+            prop_assert!((a.iou - b.iou).abs() < 1e-6);
+        }
+        // Ordering preserved.
+        for i in 0..metrics.len() {
+            for j in 0..metrics.len() {
+                if metrics[i].fps < metrics[j].fps {
+                    prop_assert!(once[i].fps <= once[j].fps + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Scores are monotone: improving any metric never lowers the score.
+    #[test]
+    fn score_monotone(
+        fps in 1.0f64..50.0,
+        iou in 0.1f32..0.9,
+        sens in 0.1f32..0.9,
+        prec in 0.1f32..0.9,
+    ) {
+        let w = ScoreWeights::paper();
+        let base = MetricVector { fps, iou, sensitivity: sens, precision: prec };
+        let better = MetricVector { fps: fps * 1.1, iou: (iou + 0.05).min(1.0),
+            sensitivity: sens, precision: prec };
+        let other = MetricVector { fps: fps * 0.5, iou, sensitivity: sens, precision: prec };
+        let scores = score_candidates(&[base, better, other], &w);
+        prop_assert!(scores[1] >= scores[0] - 1e-9);
+        prop_assert!(scores[2] <= scores[0] + 1e-9);
+    }
+}

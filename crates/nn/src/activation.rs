@@ -1,0 +1,158 @@
+use dronet_tensor::ops;
+use std::fmt;
+use std::str::FromStr;
+
+/// Activation function applied after a convolution.
+///
+/// Only the activations Darknet's Tiny-YOLO family uses are provided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Identity — used by the final 1×1 prediction convolution.
+    #[default]
+    Linear,
+    /// Leaky ReLU with slope 0.1 (Darknet's `leaky`).
+    Leaky,
+    /// Standard ReLU.
+    Relu,
+    /// Logistic sigmoid.
+    Logistic,
+}
+
+impl Activation {
+    /// Applies the activation to a single value.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => x,
+            Activation::Leaky => ops::leaky_relu(x),
+            Activation::Relu => x.max(0.0),
+            Activation::Logistic => ops::sigmoid(x),
+        }
+    }
+
+    /// Derivative with respect to the pre-activation input `x`.
+    #[inline]
+    pub fn grad(self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Leaky => ops::leaky_relu_grad(x),
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Logistic => {
+                let y = ops::sigmoid(x);
+                ops::sigmoid_grad_from_output(y)
+            }
+        }
+    }
+
+    /// Applies the activation to a whole buffer in place.
+    pub fn apply_in_place(self, data: &mut [f32]) {
+        if self == Activation::Linear {
+            return;
+        }
+        for x in data {
+            *x = self.apply(*x);
+        }
+    }
+
+    /// Darknet cfg name of the activation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Activation::Linear => "linear",
+            Activation::Leaky => "leaky",
+            Activation::Relu => "relu",
+            Activation::Logistic => "logistic",
+        }
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when parsing an unknown activation name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseActivationError {
+    name: String,
+}
+
+impl fmt::Display for ParseActivationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown activation {:?}", self.name)
+    }
+}
+
+impl std::error::Error for ParseActivationError {}
+
+impl FromStr for Activation {
+    type Err = ParseActivationError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "linear" => Ok(Activation::Linear),
+            "leaky" => Ok(Activation::Leaky),
+            "relu" => Ok(Activation::Relu),
+            "logistic" => Ok(Activation::Logistic),
+            other => Err(ParseActivationError {
+                name: other.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_and_grad_agree_with_finite_differences() {
+        let eps = 1e-3f32;
+        for act in [
+            Activation::Linear,
+            Activation::Leaky,
+            Activation::Relu,
+            Activation::Logistic,
+        ] {
+            for &x in &[-2.0f32, -0.5, 0.3, 1.7] {
+                let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.grad(x);
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "{act} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for act in [
+            Activation::Linear,
+            Activation::Leaky,
+            Activation::Relu,
+            Activation::Logistic,
+        ] {
+            assert_eq!(act.as_str().parse::<Activation>().unwrap(), act);
+        }
+        assert!("swish".parse::<Activation>().is_err());
+    }
+
+    #[test]
+    fn apply_in_place_matches_apply() {
+        let mut buf = [-1.0f32, 0.0, 2.0];
+        Activation::Leaky.apply_in_place(&mut buf);
+        assert_eq!(buf, [-0.1, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn default_is_linear() {
+        assert_eq!(Activation::default(), Activation::Linear);
+    }
+}

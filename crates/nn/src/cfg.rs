@@ -1,0 +1,445 @@
+//! Darknet-style `.cfg` model descriptions.
+//!
+//! The paper distributes its models in Darknet's INI-like cfg format; this
+//! module parses that format into a [`Network`] and can emit it back, so
+//! model definitions stay data (auditable, diffable) rather than code.
+//!
+//! Supported sections: `[net]` (`channels`, `height`, `width`),
+//! `[convolutional]` (`batch_normalize`, `filters`, `size`, `stride`,
+//! `pad`/`padding`, `activation`), `[maxpool]` (`size`, `stride`,
+//! `padding`), `[region]` (`anchors`, `num`, `classes`).
+//!
+//! # Example
+//!
+//! ```
+//! const CFG: &str = "
+//! [net]
+//! channels=3
+//! height=32
+//! width=32
+//!
+//! [convolutional]
+//! batch_normalize=1
+//! filters=4
+//! size=3
+//! stride=1
+//! pad=1
+//! activation=leaky
+//!
+//! [maxpool]
+//! size=2
+//! stride=2
+//! ";
+//! let net = dronet_nn::cfg::parse(CFG)?;
+//! assert_eq!(net.output_chw(), (4, 16, 16));
+//! # Ok::<(), dronet_nn::NnError>(())
+//! ```
+
+use crate::{
+    Activation, Conv2d, Layer, MaxPool2d, Network, NnError, RegionConfig, RegionLayer, Result,
+};
+
+/// A parsed cfg section before network construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Section {
+    name: String,
+    line: usize,
+    options: Vec<(String, String)>,
+}
+
+impl Section {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.trim().parse().map_err(|_| NnError::CfgParse {
+                line: self.line,
+                msg: format!("option {key}={v} in [{}] is not an integer", self.name),
+            }),
+        }
+    }
+
+    fn require_usize(&self, key: &str) -> Result<usize> {
+        self.get(key)
+            .ok_or_else(|| NnError::CfgParse {
+                line: self.line,
+                msg: format!("section [{}] is missing required option {key}", self.name),
+            })?
+            .trim()
+            .parse()
+            .map_err(|_| NnError::CfgParse {
+                line: self.line,
+                msg: format!("option {key} in [{}] is not an integer", self.name),
+            })
+    }
+}
+
+/// Parses a cfg document into sections (name, starting line, key=value
+/// options). Comments start with `#` or `;`.
+fn tokenize(text: &str) -> Result<Vec<Section>> {
+    let mut sections: Vec<Section> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = match raw.find(['#', ';']) {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[') {
+            let name = name.strip_suffix(']').ok_or(NnError::CfgParse {
+                line: line_no,
+                msg: format!("malformed section header {line:?}"),
+            })?;
+            sections.push(Section {
+                name: name.trim().to_string(),
+                line: line_no,
+                options: Vec::new(),
+            });
+        } else if let Some(eq) = line.find('=') {
+            let (k, v) = line.split_at(eq);
+            let section = sections.last_mut().ok_or(NnError::CfgParse {
+                line: line_no,
+                msg: "option before any section header".to_string(),
+            })?;
+            section
+                .options
+                .push((k.trim().to_string(), v[1..].trim().to_string()));
+        } else {
+            return Err(NnError::CfgParse {
+                line: line_no,
+                msg: format!("expected `key=value` or `[section]`, found {line:?}"),
+            });
+        }
+    }
+    Ok(sections)
+}
+
+/// Parses a cfg document into a ready-to-run [`Network`].
+///
+/// # Errors
+///
+/// Returns [`NnError::CfgParse`] for syntax or semantic problems (missing
+/// `[net]`, unknown sections, malformed numbers) and layer construction
+/// errors for invalid configurations.
+pub fn parse(text: &str) -> Result<Network> {
+    let sections = tokenize(text)?;
+    let mut iter = sections.into_iter();
+    let net_section = iter.next().ok_or(NnError::CfgParse {
+        line: 0,
+        msg: "empty cfg document".to_string(),
+    })?;
+    if net_section.name != "net" && net_section.name != "network" {
+        return Err(NnError::CfgParse {
+            line: net_section.line,
+            msg: format!("first section must be [net], found [{}]", net_section.name),
+        });
+    }
+    let channels = net_section.get_usize("channels", 3)?;
+    let height = net_section.require_usize("height")?;
+    let width = net_section.require_usize("width")?;
+    let mut net = Network::new(channels, height, width);
+    let mut in_c = channels;
+
+    for section in iter {
+        match section.name.as_str() {
+            "convolutional" | "conv" => {
+                let filters = section.require_usize("filters")?;
+                let size = section.get_usize("size", 1)?;
+                let stride = section.get_usize("stride", 1)?;
+                // Darknet: `pad=1` means "pad by size/2"; `padding=n` is explicit.
+                let padding = match section.get("padding") {
+                    Some(_) => section.require_usize("padding")?,
+                    None => {
+                        if section.get_usize("pad", 0)? != 0 {
+                            size / 2
+                        } else {
+                            0
+                        }
+                    }
+                };
+                let bn = section.get_usize("batch_normalize", 0)? != 0;
+                let activation = section
+                    .get("activation")
+                    .unwrap_or("logistic")
+                    .parse::<Activation>()
+                    .map_err(|e| NnError::CfgParse {
+                        line: section.line,
+                        msg: e.to_string(),
+                    })?;
+                net.push(Layer::conv(Conv2d::new(
+                    in_c, filters, size, stride, padding, activation, bn,
+                )?));
+                in_c = filters;
+            }
+            "maxpool" => {
+                let size = section.get_usize("size", 2)?;
+                let stride = section.get_usize("stride", size)?;
+                let pool = match section.get("padding") {
+                    Some(_) => MaxPool2d::with_padding(
+                        size,
+                        stride,
+                        section.require_usize("padding")?,
+                    )?,
+                    None => MaxPool2d::new(size, stride)?,
+                };
+                net.push(Layer::max_pool(pool));
+            }
+            "region" => {
+                let classes = section.get_usize("classes", 1)?;
+                let num = section.get_usize("num", 5)?;
+                let anchors = match section.get("anchors") {
+                    Some(list) => parse_anchors(list, section.line)?,
+                    None => (0..num).map(|i| (1.0 + i as f32, 1.0 + i as f32)).collect(),
+                };
+                if anchors.len() != num {
+                    return Err(NnError::CfgParse {
+                        line: section.line,
+                        msg: format!(
+                            "region declares num={num} but provides {} anchors",
+                            anchors.len()
+                        ),
+                    });
+                }
+                net.push(Layer::region(RegionLayer::new(RegionConfig {
+                    anchors,
+                    classes,
+                })?));
+            }
+            other => {
+                return Err(NnError::CfgParse {
+                    line: section.line,
+                    msg: format!("unsupported section [{other}]"),
+                });
+            }
+        }
+    }
+    Ok(net)
+}
+
+fn parse_anchors(list: &str, line: usize) -> Result<Vec<(f32, f32)>> {
+    let values: Vec<f32> = list
+        .split(',')
+        .map(|v| v.trim().parse::<f32>())
+        .collect::<std::result::Result<_, _>>()
+        .map_err(|_| NnError::CfgParse {
+            line,
+            msg: format!("anchors list {list:?} contains a non-numeric value"),
+        })?;
+    if values.len() % 2 != 0 || values.is_empty() {
+        return Err(NnError::CfgParse {
+            line,
+            msg: format!("anchors list must hold an even, positive number of values, got {}", values.len()),
+        });
+    }
+    Ok(values.chunks(2).map(|p| (p[0], p[1])).collect())
+}
+
+/// Emits a [`Network`] back to cfg text. `parse(&emit(net))` reconstructs
+/// an architecturally identical network (weights are not part of cfg).
+pub fn emit(net: &Network) -> String {
+    use std::fmt::Write as _;
+    let (c, h, w) = net.input_chw();
+    let mut out = String::new();
+    let _ = writeln!(out, "[net]\nchannels={c}\nheight={h}\nwidth={w}");
+    for layer in net.layers() {
+        match layer {
+            Layer::Conv(conv) => {
+                let _ = writeln!(
+                    out,
+                    "\n[convolutional]\nbatch_normalize={}\nfilters={}\nsize={}\nstride={}\npadding={}\nactivation={}",
+                    u8::from(conv.has_batch_norm()),
+                    conv.out_channels(),
+                    conv.kernel(),
+                    conv.stride(),
+                    conv.pad(),
+                    conv.activation()
+                );
+            }
+            Layer::MaxPool(p) => {
+                let _ = writeln!(
+                    out,
+                    "\n[maxpool]\nsize={}\nstride={}\npadding={}",
+                    p.size(),
+                    p.stride(),
+                    p.padding()
+                );
+            }
+            Layer::Region(r) => {
+                let cfg = r.config();
+                let anchors = cfg
+                    .anchors
+                    .iter()
+                    .map(|(w, h)| format!("{w},{h}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(
+                    out,
+                    "\n[region]\nanchors={anchors}\nnum={}\nclasses={}",
+                    cfg.num_anchors(),
+                    cfg.classes
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerKind;
+
+    const TINY_CFG: &str = "
+# a tiny detector
+[net]
+channels=3
+height=64
+width=64
+
+[convolutional]
+batch_normalize=1
+filters=8
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+filters=12
+size=1
+stride=1
+activation=linear
+
+[region]
+anchors=1.0,1.5, 2.0,2.5
+num=2
+classes=1
+";
+
+    #[test]
+    fn parses_a_full_model() {
+        let net = parse(TINY_CFG).unwrap();
+        assert_eq!(net.input_chw(), (3, 64, 64));
+        assert_eq!(net.len(), 4);
+        assert_eq!(net.layers()[0].kind(), LayerKind::Convolutional);
+        let conv = net.layers()[0].as_conv().unwrap();
+        assert!(conv.has_batch_norm());
+        assert_eq!(conv.pad(), 1);
+        assert_eq!(conv.activation(), Activation::Leaky);
+        let region = net.layers()[3].as_region().unwrap();
+        assert_eq!(region.config().anchors, vec![(1.0, 1.5), (2.0, 2.5)]);
+    }
+
+    #[test]
+    fn channel_threading_is_automatic() {
+        let net = parse(TINY_CFG).unwrap();
+        let conv2 = net.layers()[2].as_conv().unwrap();
+        assert_eq!(conv2.in_channels(), 8);
+        assert_eq!(conv2.out_channels(), 12);
+    }
+
+    #[test]
+    fn emit_parse_roundtrip_preserves_architecture() {
+        let net = parse(TINY_CFG).unwrap();
+        let text = emit(&net);
+        let net2 = parse(&text).unwrap();
+        assert_eq!(net.input_chw(), net2.input_chw());
+        assert_eq!(net.len(), net2.len());
+        assert_eq!(net.param_count(), net2.param_count());
+        assert_eq!(net.output_chw(), net2.output_chw());
+        for (a, b) in net.layers().iter().zip(net2.layers()) {
+            assert_eq!(a.kind(), b.kind());
+        }
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let net = parse("[net] # inline\nheight=8 ; trailing\nwidth=8\nchannels=1\n").unwrap();
+        assert_eq!(net.input_chw(), (1, 8, 8));
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let err = parse("[net]\nheight=8\nwidth=banana\nchannels=1\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+
+        let err = parse("height=8\n").unwrap_err();
+        assert!(err.to_string().contains("before any section"), "{err}");
+
+        let err = parse("[net]\nheight=8\nwidth=8\n\n[flurble]\n").unwrap_err();
+        assert!(err.to_string().contains("unsupported section"), "{err}");
+
+        let err = parse("[net\nheight=8\n").unwrap_err();
+        assert!(err.to_string().contains("malformed section header"), "{err}");
+    }
+
+    #[test]
+    fn missing_required_options_fail() {
+        assert!(parse("[net]\nwidth=8\nchannels=1\n").is_err());
+        assert!(parse("[net]\nheight=8\nwidth=8\n\n[convolutional]\nsize=3\n").is_err());
+    }
+
+    #[test]
+    fn anchors_validation() {
+        let bad_count = "
+[net]
+height=8
+width=8
+
+[region]
+anchors=1.0,2.0
+num=2
+classes=1
+";
+        assert!(parse(bad_count).is_err());
+        let odd = "
+[net]
+height=8
+width=8
+
+[region]
+anchors=1.0,2.0,3.0
+num=2
+classes=1
+";
+        assert!(parse(odd).is_err());
+    }
+
+    #[test]
+    fn first_section_must_be_net() {
+        assert!(parse("[maxpool]\nsize=2\n").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn pad_one_means_half_kernel() {
+        let cfg = "
+[net]
+height=16
+width=16
+channels=1
+
+[convolutional]
+filters=2
+size=5
+stride=1
+pad=1
+activation=leaky
+";
+        let net = parse(cfg).unwrap();
+        assert_eq!(net.layers()[0].as_conv().unwrap().pad(), 2);
+    }
+}

@@ -1,0 +1,620 @@
+use crate::{Activation, BatchNorm, NnError, Result};
+use dronet_tensor::im2col::{col2im, im2col, ConvGeometry};
+use dronet_tensor::{gemm, ops, Shape, Tensor};
+
+/// A 2-D convolution layer with optional batch normalisation, bias and
+/// activation — the Darknet `[convolutional]` section.
+///
+/// Weights are stored as a `[out_c, in_c*k*k]` matrix so the forward pass is
+/// a single GEMM against the im2col column matrix per image, exactly like
+/// Darknet's CPU path.
+///
+/// # Example
+///
+/// ```
+/// use dronet_nn::{Activation, Conv2d};
+/// use dronet_tensor::{Shape, Tensor};
+///
+/// # fn main() -> Result<(), dronet_nn::NnError> {
+/// let mut conv = Conv2d::new(3, 16, 3, 1, 1, Activation::Leaky, true)?;
+/// let y = conv.forward(&Tensor::zeros(Shape::nchw(1, 3, 8, 8)))?;
+/// assert_eq!(y.shape().dims(), &[1, 16, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    activation: Activation,
+    weights: Tensor,
+    bias: Vec<f32>,
+    batch_norm: Option<BatchNorm>,
+    weight_grad: Tensor,
+    bias_grad: Vec<f32>,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug, Clone)]
+struct ConvCache {
+    /// im2col column matrices, one per batch item.
+    cols: Vec<Tensor>,
+    /// Pre-activation output (after BN and bias), needed for activation grad.
+    pre_activation: Tensor,
+    /// Input spatial geometry used in the forward pass.
+    geom: ConvGeometry,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-initialised weights.
+    ///
+    /// `pad` is the zero padding applied to every border. Darknet's `pad=1`
+    /// cfg key means "pad by `size/2`"; the [`crate::cfg`] parser performs
+    /// that translation before calling this constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadLayerConfig`] for zero channels, kernel or
+    /// stride.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        activation: Activation,
+        batch_normalize: bool,
+    ) -> Result<Self> {
+        if in_channels == 0 || out_channels == 0 {
+            return Err(NnError::BadLayerConfig {
+                layer: "convolutional",
+                msg: format!("channels must be positive (in={in_channels}, out={out_channels})"),
+            });
+        }
+        if kernel == 0 || stride == 0 {
+            return Err(NnError::BadLayerConfig {
+                layer: "convolutional",
+                msg: format!("kernel ({kernel}) and stride ({stride}) must be positive"),
+            });
+        }
+        let fan = in_channels * kernel * kernel;
+        // Deterministic construction: weights start at a fixed seed; model
+        // builders re-randomise via `init_weights` when a seed is supplied.
+        let mut rng = rand_seed_for(out_channels, in_channels, kernel);
+        let weights = dronet_tensor::init::kaiming(
+            Shape::new(&[out_channels, in_channels, kernel, kernel]),
+            &mut rng,
+        )
+        .reshape(Shape::matrix(out_channels, fan))?;
+        let batch_norm = if batch_normalize {
+            Some(BatchNorm::new(out_channels)?)
+        } else {
+            None
+        };
+        Ok(Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            activation,
+            weight_grad: Tensor::zeros(Shape::matrix(out_channels, fan)),
+            weights,
+            bias: vec![0.0; out_channels],
+            batch_norm,
+            bias_grad: vec![0.0; out_channels],
+            cache: None,
+        })
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count (number of filters).
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Square kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride in both spatial dimensions.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding on each border.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    /// Activation applied to the layer output.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Whether the layer uses batch normalisation.
+    pub fn has_batch_norm(&self) -> bool {
+        self.batch_norm.is_some()
+    }
+
+    /// The batch-norm block, when present.
+    pub fn batch_norm(&self) -> Option<&BatchNorm> {
+        self.batch_norm.as_ref()
+    }
+
+    /// Mutable access to the batch-norm block, used by weight loading.
+    pub fn batch_norm_mut(&mut self) -> Option<&mut BatchNorm> {
+        self.batch_norm.as_mut()
+    }
+
+    /// Weight matrix `[out_c, in_c*k*k]`.
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// Mutable weight matrix, used by weight loading and optimizers.
+    pub fn weights_mut(&mut self) -> &mut Tensor {
+        &mut self.weights
+    }
+
+    /// Bias (or BN beta) vector, one entry per filter.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable bias vector, used by weight loading.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// Accumulated weight gradient.
+    pub fn weight_grad(&self) -> &Tensor {
+        &self.weight_grad
+    }
+
+    /// Accumulated bias gradient.
+    pub fn bias_grad(&self) -> &[f32] {
+        &self.bias_grad
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        let bn = if self.batch_norm.is_some() {
+            self.out_channels
+        } else {
+            0
+        };
+        self.weights.len() + self.bias.len() + bn
+    }
+
+    /// Re-initialises weights from the given RNG (Kaiming) and zeroes bias.
+    pub fn init_weights(&mut self, rng: &mut impl rand::Rng) {
+        let fan = self.in_channels * self.kernel * self.kernel;
+        self.weights = dronet_tensor::init::kaiming(
+            Shape::new(&[self.out_channels, self.in_channels, self.kernel, self.kernel]),
+            rng,
+        )
+        .reshape(Shape::matrix(self.out_channels, fan))
+        .expect("kaiming tensor has exactly out_c*fan elements");
+        self.bias.iter_mut().for_each(|b| *b = 0.0);
+    }
+
+    /// Output spatial size for a given input size.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let geom = self.geometry(h, w);
+        (geom.out_height(), geom.out_width())
+    }
+
+    fn geometry(&self, h: usize, w: usize) -> ConvGeometry {
+        ConvGeometry {
+            channels: self.in_channels,
+            height: h,
+            width: w,
+            kernel: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+
+    /// Inference forward pass over an NCHW batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] when the channel count disagrees and
+    /// propagates tensor kernel errors.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        self.forward_impl(x, false)
+    }
+
+    /// Training forward pass: uses batch statistics for BN and records the
+    /// caches needed by [`Conv2d::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Conv2d::forward`].
+    pub fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
+        self.forward_impl(x, true)
+    }
+
+    fn forward_impl(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let s = x.shape();
+        if s.rank() != 4 || s.channels() != self.in_channels {
+            return Err(NnError::BadInput {
+                expected: vec![0, self.in_channels, 0, 0],
+                actual: s.dims().to_vec(),
+            });
+        }
+        let (n, h, w) = (s.batch(), s.height(), s.width());
+        let geom = self.geometry(h, w);
+        geom.validate().map_err(NnError::from)?;
+        let (oh, ow) = (geom.out_height(), geom.out_width());
+
+        let mut cols_cache: Vec<Tensor> = Vec::new();
+        let mut out = Tensor::zeros(Shape::nchw(n, self.out_channels, oh, ow));
+        let plane = oh * ow;
+        for b in 0..n {
+            let item = x.batch_item(b)?;
+            let cols = im2col(&item, &geom)?;
+            let mut out_mat = Tensor::zeros(Shape::matrix(self.out_channels, plane));
+            gemm::sgemm(false, false, 1.0, &self.weights, &cols, 0.0, &mut out_mat)?;
+            let base = b * self.out_channels * plane;
+            out.as_mut_slice()[base..base + self.out_channels * plane]
+                .copy_from_slice(out_mat.as_slice());
+            if train {
+                cols_cache.push(cols);
+            }
+        }
+
+        // Darknet order: batch-norm, then bias, then activation.
+        if let Some(bn) = self.batch_norm.as_mut() {
+            if train {
+                bn.forward_train(&mut out)?;
+            } else {
+                bn.forward_infer(&mut out)?;
+            }
+        }
+        ops::add_channel_bias(&mut out, &self.bias)?;
+
+        if train {
+            self.cache = Some(ConvCache {
+                cols: cols_cache,
+                pre_activation: out.clone(),
+                geom,
+            });
+        } else {
+            self.cache = None;
+        }
+        self.activation.apply_in_place(out.as_mut_slice());
+        Ok(out)
+    }
+
+    /// Backward pass: accumulates weight/bias/BN gradients and returns the
+    /// gradient with respect to the layer input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForwardCache`] when no training forward
+    /// preceded this call, [`NnError::BadInput`] on shape disagreement.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .take()
+            .ok_or(NnError::MissingForwardCache { layer_index: 0 })?;
+        if grad_out.shape() != cache.pre_activation.shape() {
+            return Err(NnError::BadInput {
+                expected: cache.pre_activation.shape().dims().to_vec(),
+                actual: grad_out.shape().dims().to_vec(),
+            });
+        }
+
+        // Through the activation: dL/dpre = dL/dy * act'(pre).
+        let mut delta = grad_out.clone();
+        {
+            let pre = cache.pre_activation.as_slice();
+            let d = delta.as_mut_slice();
+            for (g, &p) in d.iter_mut().zip(pre) {
+                *g *= self.activation.grad(p);
+            }
+        }
+
+        // Bias gradient (after BN in forward order, so taken before BN here).
+        let bias_sums = ops::sum_over_channels(&delta)?;
+        for (bg, s) in self.bias_grad.iter_mut().zip(bias_sums) {
+            *bg += s;
+        }
+
+        // Through batch norm.
+        if let Some(bn) = self.batch_norm.as_mut() {
+            delta = bn.backward(&delta)?;
+        }
+
+        // Through the convolution itself, per batch item.
+        let s = delta.shape().clone();
+        let n = s.batch();
+        let plane = s.height() * s.width();
+        let mut dx = Tensor::zeros(Shape::nchw(
+            n,
+            self.in_channels,
+            cache.geom.height,
+            cache.geom.width,
+        ));
+        let in_plane = cache.geom.height * cache.geom.width;
+        for b in 0..n {
+            let base = b * self.out_channels * plane;
+            let dy_mat = Tensor::from_vec(
+                delta.as_slice()[base..base + self.out_channels * plane].to_vec(),
+                Shape::matrix(self.out_channels, plane),
+            )?;
+            // dW += dY x colsᵀ
+            gemm::sgemm(
+                false,
+                true,
+                1.0,
+                &dy_mat,
+                &cache.cols[b],
+                1.0,
+                &mut self.weight_grad,
+            )?;
+            // dCols = Wᵀ x dY, then scatter back to image space.
+            let mut dcols = Tensor::zeros(Shape::matrix(cache.geom.col_rows(), plane));
+            gemm::sgemm(true, false, 1.0, &self.weights, &dy_mat, 0.0, &mut dcols)?;
+            let dimg = col2im(&dcols, &cache.geom)?;
+            let dst = &mut dx.as_mut_slice()
+                [b * self.in_channels * in_plane..(b + 1) * self.in_channels * in_plane];
+            dst.copy_from_slice(dimg.as_slice());
+        }
+        Ok(dx)
+    }
+
+    /// Clears accumulated gradients (weights, bias, BN scales).
+    pub fn zero_grads(&mut self) {
+        self.weight_grad.fill(0.0);
+        self.bias_grad.iter_mut().for_each(|g| *g = 0.0);
+        if let Some(bn) = self.batch_norm.as_mut() {
+            bn.zero_grads();
+        }
+    }
+
+    /// Visits every (parameter slice, gradient slice) pair of this layer.
+    pub fn visit_params_mut(&mut self, mut f: impl FnMut(&mut [f32], &mut [f32])) {
+        f(self.weights.as_mut_slice(), self.weight_grad.as_mut_slice());
+        f(&mut self.bias, &mut self.bias_grad);
+        if let Some(bn) = self.batch_norm.as_mut() {
+            let (p, g) = bn.params_and_grads_mut();
+            f(p, g);
+        }
+    }
+}
+
+/// Deterministic default-seed RNG so freshly constructed layers are
+/// reproducible; callers that want different weights use `init_weights`.
+fn rand_seed_for(a: usize, b: usize, c: usize) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    let seed = 0x5eed_0000u64 ^ ((a as u64) << 24) ^ ((b as u64) << 8) ^ c as u64;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dronet_tensor::init;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    /// Direct (nested-loop) convolution used as the ground truth.
+    fn reference_conv(x: &Tensor, conv: &Conv2d) -> Tensor {
+        let s = x.shape();
+        let (n, h, w) = (s.batch(), s.height(), s.width());
+        let (oh, ow) = conv.output_hw(h, w);
+        let mut out = Tensor::zeros(Shape::nchw(n, conv.out_channels, oh, ow));
+        let wts = conv.weights.as_slice();
+        let k = conv.kernel;
+        let fan = conv.in_channels * k * k;
+        for b in 0..n {
+            for oc in 0..conv.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = conv.bias[oc];
+                        for ic in 0..conv.in_channels {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy = (oy * conv.stride + ky) as isize - conv.pad as isize;
+                                    let ix = (ox * conv.stride + kx) as isize - conv.pad as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let xv = x
+                                        .get(&[b, ic, iy as usize, ix as usize])
+                                        .unwrap();
+                                    let wv = wts[oc * fan + (ic * k + ky) * k + kx];
+                                    acc += xv * wv;
+                                }
+                            }
+                        }
+                        out.set(&[b, oc, oy, ox], conv.activation.apply(acc)).unwrap();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_reference_conv() {
+        for &(cin, cout, k, s, p, hw) in &[
+            (1usize, 2usize, 3usize, 1usize, 1usize, 6usize),
+            (3, 4, 3, 2, 1, 8),
+            (2, 3, 1, 1, 0, 5),
+            (2, 2, 2, 2, 0, 6),
+        ] {
+            let mut conv = Conv2d::new(cin, cout, k, s, p, Activation::Leaky, false).unwrap();
+            let mut r = rng(100 + k as u64);
+            conv.init_weights(&mut r);
+            for (i, b) in conv.bias_mut().iter_mut().enumerate() {
+                *b = i as f32 * 0.1;
+            }
+            let x = init::uniform(Shape::nchw(2, cin, hw, hw), -1.0, 1.0, &mut r);
+            let got = conv.forward(&x).unwrap();
+            let want = reference_conv(&x, &conv);
+            assert!(
+                got.max_abs_diff(&want).unwrap() < 1e-4,
+                "conv mismatch cin={cin} cout={cout} k={k} s={s} p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_padding_preserves_spatial_size() {
+        let conv = Conv2d::new(3, 8, 3, 1, 1, Activation::Leaky, true).unwrap();
+        assert_eq!(conv.output_hw(416, 416), (416, 416));
+        let conv2 = Conv2d::new(3, 8, 1, 1, 0, Activation::Linear, false).unwrap();
+        assert_eq!(conv2.output_hw(13, 13), (13, 13));
+    }
+
+    #[test]
+    fn rejects_bad_config_and_input() {
+        assert!(Conv2d::new(0, 8, 3, 1, 1, Activation::Leaky, false).is_err());
+        assert!(Conv2d::new(3, 0, 3, 1, 1, Activation::Leaky, false).is_err());
+        assert!(Conv2d::new(3, 8, 0, 1, 1, Activation::Leaky, false).is_err());
+        assert!(Conv2d::new(3, 8, 3, 0, 1, Activation::Leaky, false).is_err());
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, Activation::Leaky, false).unwrap();
+        let bad = Tensor::zeros(Shape::nchw(1, 2, 8, 8));
+        assert!(matches!(conv.forward(&bad), Err(NnError::BadInput { .. })));
+    }
+
+    #[test]
+    fn param_count_accounts_for_bn() {
+        let plain = Conv2d::new(3, 8, 3, 1, 1, Activation::Leaky, false).unwrap();
+        assert_eq!(plain.param_count(), 3 * 8 * 9 + 8);
+        let bn = Conv2d::new(3, 8, 3, 1, 1, Activation::Leaky, true).unwrap();
+        assert_eq!(bn.param_count(), 3 * 8 * 9 + 8 + 8);
+    }
+
+    #[test]
+    fn backward_requires_training_forward() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, Activation::Linear, false).unwrap();
+        let x = Tensor::zeros(Shape::nchw(1, 1, 4, 4));
+        conv.forward(&x).unwrap(); // inference does not cache
+        let g = Tensor::zeros(Shape::nchw(1, 1, 4, 4));
+        assert!(matches!(
+            conv.backward(&g),
+            Err(NnError::MissingForwardCache { .. })
+        ));
+    }
+
+    /// Full finite-difference check of input, weight and bias gradients.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut r = rng(77);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, Activation::Leaky, false).unwrap();
+        conv.init_weights(&mut r);
+        for b in conv.bias_mut() {
+            *b = 0.05;
+        }
+        let x0 = init::uniform(Shape::nchw(2, 2, 5, 5), -1.0, 1.0, &mut r);
+        let target = init::uniform(Shape::nchw(2, 3, 5, 5), -1.0, 1.0, &mut r);
+
+        // L = sum(y * target)
+        let y = conv.forward_train(&x0).unwrap();
+        assert_eq!(y.shape(), target.shape());
+        conv.zero_grads();
+        // Need a fresh cache: forward_train again (zero_grads doesn't drop it).
+        conv.forward_train(&x0).unwrap();
+        let dx = conv.backward(&target).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |c: &mut Conv2d, x: &Tensor| -> f32 {
+            c.forward(x).unwrap().dot(&target).unwrap()
+        };
+
+        // dL/dx probes
+        for probe in [0usize, 13, 49, 99] {
+            let mut xp = x0.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let mut xm = x0.clone();
+            xm.as_mut_slice()[probe] -= eps;
+            let numeric = (loss(&mut conv.clone(), &xp) - loss(&mut conv.clone(), &xm)) / (2.0 * eps);
+            let analytic = dx.as_slice()[probe];
+            assert!(
+                (numeric - analytic).abs() < 3e-2 * numeric.abs().max(1.0),
+                "dx probe {probe}: numeric {numeric} analytic {analytic}"
+            );
+        }
+
+        // dL/dW probes
+        for probe in [0usize, 7, 33] {
+            let mut cp = conv.clone();
+            cp.weights_mut().as_mut_slice()[probe] += eps;
+            let mut cm = conv.clone();
+            cm.weights_mut().as_mut_slice()[probe] -= eps;
+            let numeric = (loss(&mut cp, &x0) - loss(&mut cm, &x0)) / (2.0 * eps);
+            let analytic = conv.weight_grad.as_slice()[probe];
+            assert!(
+                (numeric - analytic).abs() < 3e-2 * numeric.abs().max(1.0),
+                "dW probe {probe}: numeric {numeric} analytic {analytic}"
+            );
+        }
+
+        // dL/db probes
+        for probe in 0..3usize {
+            let mut cp = conv.clone();
+            cp.bias_mut()[probe] += eps;
+            let mut cm = conv.clone();
+            cm.bias_mut()[probe] -= eps;
+            let numeric = (loss(&mut cp, &x0) - loss(&mut cm, &x0)) / (2.0 * eps);
+            let analytic = conv.bias_grad[probe];
+            assert!(
+                (numeric - analytic).abs() < 3e-2 * numeric.abs().max(1.0),
+                "db probe {probe}: numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_with_batchnorm_flow() {
+        // Smoke check that BN-enabled layers produce finite gradients of the
+        // right shapes; exact values are covered by the BN unit tests.
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, Activation::Leaky, true).unwrap();
+        let mut r = rng(5);
+        let x = init::uniform(Shape::nchw(4, 2, 6, 6), -1.0, 1.0, &mut r);
+        let y = conv.forward_train(&x).unwrap();
+        let g = Tensor::ones(y.shape().clone());
+        let dx = conv.backward(&g).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+        assert!(dx.as_slice().iter().all(|v| v.is_finite()));
+        assert!(conv.weight_grad().as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn zero_grads_clears_everything() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, Activation::Leaky, true).unwrap();
+        let x = Tensor::ones(Shape::nchw(1, 1, 4, 4));
+        let y = conv.forward_train(&x).unwrap();
+        conv.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        conv.zero_grads();
+        assert!(conv.weight_grad().as_slice().iter().all(|&v| v == 0.0));
+        assert!(conv.bias_grad().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn visit_params_covers_all_parameters() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, Activation::Leaky, true).unwrap();
+        let mut total = 0usize;
+        conv.visit_params_mut(|p, g| {
+            assert_eq!(p.len(), g.len());
+            total += p.len();
+        });
+        assert_eq!(total, conv.param_count());
+    }
+}

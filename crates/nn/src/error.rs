@@ -1,0 +1,124 @@
+use dronet_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by network construction, execution and serialisation.
+#[derive(Debug)]
+pub enum NnError {
+    /// An underlying tensor kernel failed.
+    Tensor(TensorError),
+    /// A layer was configured with invalid parameters.
+    BadLayerConfig {
+        /// Layer kind, e.g. `"convolutional"`.
+        layer: &'static str,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// An input tensor does not match what the network/layer expects.
+    BadInput {
+        /// Expected dimensions.
+        expected: Vec<usize>,
+        /// Received dimensions.
+        actual: Vec<usize>,
+    },
+    /// `backward` was called without a preceding training-mode `forward`.
+    MissingForwardCache {
+        /// Index of the offending layer within the network.
+        layer_index: usize,
+    },
+    /// A `.cfg` model description could not be parsed.
+    CfgParse {
+        /// 1-based line number of the offending input line, 0 when unknown.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A weights file was malformed or does not match the network.
+    WeightsFormat(String),
+    /// An I/O error occurred while reading or writing weights.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor kernel failed: {e}"),
+            NnError::BadLayerConfig { layer, msg } => {
+                write!(f, "invalid {layer} layer configuration: {msg}")
+            }
+            NnError::BadInput { expected, actual } => {
+                write!(f, "input shape {actual:?} does not match expected {expected:?}")
+            }
+            NnError::MissingForwardCache { layer_index } => write!(
+                f,
+                "backward called on layer {layer_index} without a training-mode forward"
+            ),
+            NnError::CfgParse { line, msg } => {
+                if *line == 0 {
+                    write!(f, "cfg parse error: {msg}")
+                } else {
+                    write!(f, "cfg parse error at line {line}: {msg}")
+                }
+            }
+            NnError::WeightsFormat(msg) => write!(f, "weights format error: {msg}"),
+            NnError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            NnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+impl From<std::io::Error> for NnError {
+    fn from(e: std::io::Error) -> Self {
+        NnError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<NnError>();
+    }
+
+    #[test]
+    fn source_chains_tensor_errors() {
+        let e = NnError::from(TensorError::LengthMismatch {
+            expected: 1,
+            actual: 2,
+        });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("tensor kernel"));
+    }
+
+    #[test]
+    fn cfg_parse_display_with_and_without_line() {
+        let with = NnError::CfgParse {
+            line: 7,
+            msg: "bad key".into(),
+        };
+        assert!(with.to_string().contains("line 7"));
+        let without = NnError::CfgParse {
+            line: 0,
+            msg: "empty file".into(),
+        };
+        assert!(!without.to_string().contains("line"));
+    }
+}

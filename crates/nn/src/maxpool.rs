@@ -1,0 +1,309 @@
+use crate::{NnError, Result};
+use dronet_tensor::{Shape, Tensor};
+
+/// Max-pooling layer with Darknet's geometry semantics.
+///
+/// Darknet computes the output size as `(in + padding - size)/stride + 1`
+/// with a default `padding = size - 1`, and offsets the window start by
+/// `-padding/2`; out-of-bounds taps contribute `-inf`. These semantics make
+/// the classic Tiny-YOLO "same" pool (`size=2, stride=1`) keep a 13×13 grid
+/// at 13×13 input, which the paper's baseline models rely on.
+///
+/// # Example
+///
+/// ```
+/// use dronet_nn::MaxPool2d;
+/// # fn main() -> Result<(), dronet_nn::NnError> {
+/// let pool = MaxPool2d::new(2, 2)?;
+/// assert_eq!(pool.output_hw(416, 416), (208, 208));
+/// let same = MaxPool2d::new(2, 1)?;
+/// assert_eq!(same.output_hw(13, 13), (13, 13));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    size: usize,
+    stride: usize,
+    padding: usize,
+    cache: Option<PoolCache>,
+}
+
+#[derive(Debug, Clone)]
+struct PoolCache {
+    /// For every output element, the flat index of the winning input
+    /// element (usize::MAX when the whole window was padding).
+    argmax: Vec<usize>,
+    input_shape: Shape,
+}
+
+impl MaxPool2d {
+    /// Creates a pool with Darknet's default padding of `size - 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadLayerConfig`] for zero size or stride.
+    pub fn new(size: usize, stride: usize) -> Result<Self> {
+        Self::with_padding(size, stride, size.saturating_sub(1))
+    }
+
+    /// Creates a pool with explicit total padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadLayerConfig`] for zero size or stride.
+    pub fn with_padding(size: usize, stride: usize, padding: usize) -> Result<Self> {
+        if size == 0 || stride == 0 {
+            return Err(NnError::BadLayerConfig {
+                layer: "maxpool",
+                msg: format!("size ({size}) and stride ({stride}) must be positive"),
+            });
+        }
+        Ok(MaxPool2d {
+            size,
+            stride,
+            padding,
+            cache: None,
+        })
+    }
+
+    /// Window side length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Stride in both dimensions.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Total padding (Darknet semantics; window offset is `-padding/2`).
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Output spatial size for an input of `h x w`.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + self.padding).saturating_sub(self.size) / self.stride + 1;
+        let ow = (w + self.padding).saturating_sub(self.size) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Forward pass (inference): no cache is recorded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] for non-NCHW input.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        let (out, _) = self.pool(x)?;
+        self.cache = None;
+        Ok(out)
+    }
+
+    /// Forward pass (training): records argmax indices for
+    /// [`MaxPool2d::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] for non-NCHW input.
+    pub fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
+        let (out, argmax) = self.pool(x)?;
+        self.cache = Some(PoolCache {
+            argmax,
+            input_shape: x.shape().clone(),
+        });
+        Ok(out)
+    }
+
+    fn pool(&self, x: &Tensor) -> Result<(Tensor, Vec<usize>)> {
+        let s = x.shape();
+        if s.rank() != 4 {
+            return Err(NnError::BadInput {
+                expected: vec![0, 0, 0, 0],
+                actual: s.dims().to_vec(),
+            });
+        }
+        let (n, c, h, w) = (s.batch(), s.channels(), s.height(), s.width());
+        let (oh, ow) = self.output_hw(h, w);
+        let offset = -(self.padding as isize / 2);
+        let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
+        let mut argmax = vec![usize::MAX; n * c * oh * ow];
+        let src = x.as_slice();
+        let dst = out.as_mut_slice();
+        let in_plane = h * w;
+        let out_plane = oh * ow;
+        for b in 0..n {
+            for ch in 0..c {
+                let in_base = (b * c + ch) * in_plane;
+                let out_base = (b * c + ch) * out_plane;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = usize::MAX;
+                        for ky in 0..self.size {
+                            let iy = oy as isize * self.stride as isize + ky as isize + offset;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..self.size {
+                                let ix =
+                                    ox as isize * self.stride as isize + kx as isize + offset;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let idx = in_base + iy as usize * w + ix as usize;
+                                if src[idx] > best {
+                                    best = src[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let out_idx = out_base + oy * ow + ox;
+                        // A window entirely inside padding yields 0 (cannot
+                        // happen with Darknet's own geometries, but keep the
+                        // kernel total).
+                        dst[out_idx] = if best_idx == usize::MAX { 0.0 } else { best };
+                        argmax[out_idx] = best_idx;
+                    }
+                }
+            }
+        }
+        Ok((out, argmax))
+    }
+
+    /// Backward pass: routes each output gradient to the input element that
+    /// won the max, accumulating on ties created by overlapping windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForwardCache`] when no training forward
+    /// preceded this call and [`NnError::BadInput`] on gradient shape
+    /// disagreement.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .take()
+            .ok_or(NnError::MissingForwardCache { layer_index: 0 })?;
+        if grad_out.len() != cache.argmax.len() {
+            return Err(NnError::BadInput {
+                expected: vec![cache.argmax.len()],
+                actual: vec![grad_out.len()],
+            });
+        }
+        let mut dx = Tensor::zeros(cache.input_shape.clone());
+        let d = dx.as_mut_slice();
+        for (g, &idx) in grad_out.as_slice().iter().zip(&cache.argmax) {
+            if idx != usize::MAX {
+                d[idx] += g;
+            }
+        }
+        Ok(dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn darknet_output_sizes() {
+        let p22 = MaxPool2d::new(2, 2).unwrap();
+        assert_eq!(p22.output_hw(416, 416), (208, 208));
+        assert_eq!(p22.output_hw(13, 13), (7, 7)); // (13+1-2)/2+1
+        let p21 = MaxPool2d::new(2, 1).unwrap();
+        assert_eq!(p21.output_hw(13, 13), (13, 13));
+    }
+
+    #[test]
+    fn forward_values_2x2_stride2() {
+        // 4x4 single channel; 2x2/2 pooling picks the max of each quadrant.
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+            Shape::nchw(1, 1, 4, 4),
+        )
+        .unwrap();
+        let mut pool = MaxPool2d::new(2, 2).unwrap();
+        let y = pool.forward(&x).unwrap();
+        // Darknet pad=1, offset=0: windows start at 0,2 -> plain 2x2 pooling.
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn same_pool_keeps_grid_and_takes_right_max() {
+        // size=2 stride=1 on 3x3 keeps 3x3; last column/row pads right/bottom.
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            Shape::nchw(1, 1, 3, 3),
+        )
+        .unwrap();
+        let mut pool = MaxPool2d::new(2, 1).unwrap();
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 3, 3]);
+        assert_eq!(
+            y.as_slice(),
+            &[5.0, 6.0, 6.0, 8.0, 9.0, 9.0, 8.0, 9.0, 9.0]
+        );
+    }
+
+    #[test]
+    fn negative_inputs_survive_padding() {
+        // All-negative input: padding must NOT leak zeros into the max.
+        let x = Tensor::full(Shape::nchw(1, 1, 4, 4), -3.0);
+        let mut pool = MaxPool2d::new(2, 2).unwrap();
+        let y = pool.forward(&x).unwrap();
+        assert!(y.as_slice().iter().all(|&v| v == -3.0));
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0],
+            Shape::nchw(1, 1, 2, 2),
+        )
+        .unwrap();
+        let mut pool = MaxPool2d::new(2, 2).unwrap();
+        let y = pool.forward_train(&x).unwrap();
+        assert_eq!(y.as_slice(), &[4.0]);
+        let dx = pool.backward(&Tensor::full(Shape::nchw(1, 1, 1, 1), 2.5)).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn overlapping_windows_accumulate_gradient() {
+        // size=2 stride=1 on 2x2: the max element (index 3) wins all windows.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 9.0], Shape::nchw(1, 1, 2, 2)).unwrap();
+        let mut pool = MaxPool2d::new(2, 1).unwrap();
+        let y = pool.forward_train(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        let dx = pool.backward(&Tensor::ones(Shape::nchw(1, 1, 2, 2))).unwrap();
+        assert_eq!(dx.as_slice()[3], 4.0);
+        assert_eq!(dx.sum(), 4.0);
+    }
+
+    #[test]
+    fn backward_without_forward_is_error() {
+        let mut pool = MaxPool2d::new(2, 2).unwrap();
+        assert!(matches!(
+            pool.backward(&Tensor::zeros(Shape::nchw(1, 1, 1, 1))),
+            Err(NnError::MissingForwardCache { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(MaxPool2d::new(0, 1).is_err());
+        assert!(MaxPool2d::new(2, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_non_nchw_input() {
+        let mut pool = MaxPool2d::new(2, 2).unwrap();
+        assert!(pool.forward(&Tensor::zeros(Shape::matrix(4, 4))).is_err());
+    }
+}

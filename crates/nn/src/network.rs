@@ -1,0 +1,333 @@
+use crate::{Layer, NnError, Result};
+use dronet_tensor::{Shape, Tensor};
+
+/// A sequential CNN: the Darknet network model.
+///
+/// Layers execute in order; the network records its nominal input
+/// dimensions (channels, height, width) and validates inputs against them.
+///
+/// # Example
+///
+/// ```
+/// use dronet_nn::{Activation, Conv2d, Layer, MaxPool2d, Network};
+/// use dronet_tensor::{Shape, Tensor};
+///
+/// # fn main() -> Result<(), dronet_nn::NnError> {
+/// let mut net = Network::new(3, 16, 16);
+/// net.push(Layer::conv(Conv2d::new(3, 4, 3, 1, 1, Activation::Leaky, true)?));
+/// net.push(Layer::max_pool(MaxPool2d::new(2, 2)?));
+/// let y = net.forward(&Tensor::zeros(Shape::nchw(2, 3, 16, 16)))?;
+/// assert_eq!(y.shape().dims(), &[2, 4, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    input_c: usize,
+    input_h: usize,
+    input_w: usize,
+    layers: Vec<Layer>,
+    /// Number of training samples seen, mirrored into weight files.
+    seen: u64,
+}
+
+impl Network {
+    /// Creates an empty network expecting `c x h x w` inputs.
+    pub fn new(c: usize, h: usize, w: usize) -> Self {
+        Network {
+            input_c: c,
+            input_h: h,
+            input_w: w,
+            layers: Vec::new(),
+            seen: 0,
+        }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Layer) {
+        self.layers.push(layer);
+    }
+
+    /// The layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (weight loading, quantisation).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Nominal input `(channels, height, width)`.
+    pub fn input_chw(&self) -> (usize, usize, usize) {
+        (self.input_c, self.input_h, self.input_w)
+    }
+
+    /// Changes the nominal input resolution (the paper's input-size sweep
+    /// re-uses one architecture at several resolutions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadLayerConfig`] when either dimension is zero.
+    pub fn set_input_size(&mut self, h: usize, w: usize) -> Result<()> {
+        if h == 0 || w == 0 {
+            return Err(NnError::BadLayerConfig {
+                layer: "net",
+                msg: format!("input size {h}x{w} must be positive"),
+            });
+        }
+        self.input_h = h;
+        self.input_w = w;
+        Ok(())
+    }
+
+    /// Training samples seen so far (persisted in weight files).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Updates the seen-samples counter.
+    pub fn set_seen(&mut self, seen: u64) {
+        self.seen = seen;
+    }
+
+    /// Output `(channels, height, width)` of the final layer.
+    pub fn output_chw(&self) -> (usize, usize, usize) {
+        let mut chw = self.input_chw();
+        for layer in &self.layers {
+            chw = layer.output_chw(chw.0, chw.1, chw.2);
+        }
+        chw
+    }
+
+    /// Output shape for a batch of `n` images.
+    pub fn output_shape(&self, n: usize) -> Shape {
+        let (c, h, w) = self.output_chw();
+        Shape::nchw(n, c, h, w)
+    }
+
+    fn check_input(&self, x: &Tensor) -> Result<()> {
+        let s = x.shape();
+        let ok = s.rank() == 4
+            && s.channels() == self.input_c
+            && s.height() == self.input_h
+            && s.width() == self.input_w;
+        if ok {
+            Ok(())
+        } else {
+            Err(NnError::BadInput {
+                expected: vec![0, self.input_c, self.input_h, self.input_w],
+                actual: s.dims().to_vec(),
+            })
+        }
+    }
+
+    /// Inference forward pass over a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] when `x` does not match the nominal
+    /// input dimensions; propagates layer errors.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
+        self.check_input(x)?;
+        let mut cur = x.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            cur = layer.forward(&cur).map_err(|e| at_layer(e, i))?;
+        }
+        Ok(cur)
+    }
+
+    /// Training forward pass: every layer records the caches backward needs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::forward`].
+    pub fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
+        self.check_input(x)?;
+        self.seen += x.shape().batch() as u64;
+        let mut cur = x.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            cur = layer.forward_train(&cur).map_err(|e| at_layer(e, i))?;
+        }
+        Ok(cur)
+    }
+
+    /// Backward pass from the gradient at the network output; accumulates
+    /// parameter gradients and returns the gradient at the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForwardCache`] (with the layer index) when
+    /// a layer has no forward cache; propagates layer errors.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut grad = grad_out.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            grad = layer.backward(&grad).map_err(|e| at_layer(e, i))?;
+        }
+        Ok(grad)
+    }
+
+    /// Clears all accumulated parameter gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Visits every (parameter slice, gradient slice) pair in the network,
+    /// in a stable order. Optimizers use this to update weights.
+    pub fn visit_params_mut(&mut self, mut f: impl FnMut(&mut [f32], &mut [f32])) {
+        for layer in &mut self.layers {
+            if let Layer::Conv(conv) = layer {
+                conv.visit_params_mut(&mut f);
+            }
+        }
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Re-initialises every convolution from `rng` (Kaiming weights, zero
+    /// biases). Use for reproducible training starts.
+    pub fn init_weights(&mut self, rng: &mut impl rand::Rng) {
+        for layer in &mut self.layers {
+            if let Layer::Conv(conv) = layer {
+                conv.init_weights(rng);
+            }
+        }
+    }
+}
+
+fn at_layer(e: NnError, index: usize) -> NnError {
+    match e {
+        NnError::MissingForwardCache { .. } => NnError::MissingForwardCache { layer_index: index },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Conv2d, MaxPool2d, RegionConfig, RegionLayer};
+    use dronet_tensor::init;
+    use rand::SeedableRng;
+
+    fn tiny_net() -> Network {
+        let mut net = Network::new(3, 16, 16);
+        net.push(Layer::conv(
+            Conv2d::new(3, 8, 3, 1, 1, Activation::Leaky, true).unwrap(),
+        ));
+        net.push(Layer::max_pool(MaxPool2d::new(2, 2).unwrap()));
+        net.push(Layer::conv(
+            Conv2d::new(8, 12, 3, 1, 1, Activation::Leaky, true).unwrap(),
+        ));
+        net.push(Layer::max_pool(MaxPool2d::new(2, 2).unwrap()));
+        net.push(Layer::conv(
+            Conv2d::new(12, 6, 1, 1, 0, Activation::Linear, false).unwrap(),
+        ));
+        net.push(Layer::region(
+            RegionLayer::new(RegionConfig {
+                anchors: vec![(1.0, 1.5)],
+                classes: 1,
+            })
+            .unwrap(),
+        ));
+        net
+    }
+
+    #[test]
+    fn forward_shapes_propagate() {
+        let mut net = tiny_net();
+        assert_eq!(net.output_chw(), (6, 4, 4));
+        let y = net
+            .forward(&Tensor::zeros(Shape::nchw(2, 3, 16, 16)))
+            .unwrap();
+        assert_eq!(y.shape(), &net.output_shape(2));
+    }
+
+    #[test]
+    fn rejects_wrong_input_size() {
+        let mut net = tiny_net();
+        let bad = Tensor::zeros(Shape::nchw(1, 3, 8, 8));
+        assert!(matches!(net.forward(&bad), Err(NnError::BadInput { .. })));
+    }
+
+    #[test]
+    fn input_resize_changes_output_grid() {
+        let mut net = tiny_net();
+        net.set_input_size(32, 32).unwrap();
+        assert_eq!(net.output_chw(), (6, 8, 8));
+        assert!(net.set_input_size(0, 32).is_err());
+        let y = net
+            .forward(&Tensor::zeros(Shape::nchw(1, 3, 32, 32)))
+            .unwrap();
+        assert_eq!(y.shape().dims(), &[1, 6, 8, 8]);
+    }
+
+    #[test]
+    fn train_forward_then_backward_produces_input_grad() {
+        let mut net = tiny_net();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        net.init_weights(&mut rng);
+        let x = init::uniform(Shape::nchw(2, 3, 16, 16), 0.0, 1.0, &mut rng);
+        let y = net.forward_train(&x).unwrap();
+        let g = Tensor::ones(y.shape().clone());
+        let dx = net.backward(&g).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+        assert!(dx.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(net.seen(), 2);
+    }
+
+    #[test]
+    fn backward_without_forward_names_the_layer() {
+        let mut net = tiny_net();
+        let g = Tensor::zeros(net.output_shape(1));
+        match net.backward(&g) {
+            Err(NnError::MissingForwardCache { layer_index }) => assert_eq!(layer_index, 5),
+            other => panic!("expected missing-cache error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn visit_params_matches_param_count() {
+        let mut net = tiny_net();
+        let mut seen = 0usize;
+        net.visit_params_mut(|p, g| {
+            assert_eq!(p.len(), g.len());
+            seen += p.len();
+        });
+        assert_eq!(seen, net.param_count());
+        assert!(net.param_count() > 0);
+    }
+
+    #[test]
+    fn zero_grads_after_backward() {
+        let mut net = tiny_net();
+        let x = Tensor::ones(Shape::nchw(1, 3, 16, 16));
+        let y = net.forward_train(&x).unwrap();
+        net.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        net.zero_grads();
+        net.visit_params_mut(|_, g| assert!(g.iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn empty_network_is_identity() {
+        let mut net = Network::new(2, 4, 4);
+        assert!(net.is_empty());
+        let x = Tensor::ones(Shape::nchw(1, 2, 4, 4));
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y, x);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the CNN engine: linearity of convolution,
+//! pooling invariances, cfg round-trips and weight-file integrity.
+
+use dronet_nn::{cfg, weights, Activation, Conv2d, Layer, MaxPool2d, Network};
+use dronet_tensor::{init, Shape, Tensor};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Convolution without activation is linear: f(ax + by) = a f(x) + b f(y)
+    /// up to the shared bias term. We test with zero bias.
+    #[test]
+    fn conv_is_linear(
+        cin in 1usize..4,
+        cout in 1usize..4,
+        k in 1usize..4,
+        hw in 4usize..9,
+        seed in any::<u64>(),
+        alpha in -2.0f32..2.0,
+    ) {
+        let mut conv = Conv2d::new(cin, cout, k, 1, k / 2, Activation::Linear, false).unwrap();
+        let mut r = rng(seed);
+        conv.init_weights(&mut r);
+        let x = init::uniform(Shape::nchw(1, cin, hw, hw), -1.0, 1.0, &mut r);
+        let y = init::uniform(Shape::nchw(1, cin, hw, hw), -1.0, 1.0, &mut r);
+
+        let fx = conv.forward(&x).unwrap();
+        let fy = conv.forward(&y).unwrap();
+        let mut combo = x.clone();
+        combo.scale(alpha);
+        combo.axpy(1.0, &y).unwrap();
+        let f_combo = conv.forward(&combo).unwrap();
+
+        let mut expected = fx.clone();
+        expected.scale(alpha);
+        expected.axpy(1.0, &fy).unwrap();
+        prop_assert!(f_combo.max_abs_diff(&expected).unwrap() < 1e-3);
+    }
+
+    /// Max pooling commutes with monotone scaling by a positive constant.
+    #[test]
+    fn maxpool_commutes_with_positive_scaling(
+        c in 1usize..4,
+        hw in 4usize..10,
+        scale in 0.1f32..5.0,
+        seed in any::<u64>(),
+    ) {
+        let mut pool = MaxPool2d::new(2, 2).unwrap();
+        let x = init::uniform(Shape::nchw(1, c, hw, hw), -1.0, 1.0, &mut rng(seed));
+        let a = pool.forward(&x).unwrap().map(|v| v * scale);
+        let mut scaled = x.clone();
+        scaled.scale(scale);
+        let b = pool.forward(&scaled).unwrap();
+        prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+    }
+
+    /// Pooling never invents values: every output equals some input.
+    #[test]
+    fn maxpool_outputs_are_inputs(
+        hw in 3usize..9,
+        size in 2usize..4,
+        stride in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut pool = MaxPool2d::new(size, stride).unwrap();
+        let x = init::uniform(Shape::nchw(1, 2, hw, hw), -5.0, 5.0, &mut rng(seed));
+        let y = pool.forward(&x).unwrap();
+        for &v in y.as_slice() {
+            prop_assert!(
+                x.as_slice().iter().any(|&xv| (xv - v).abs() < 1e-6),
+                "pooled value {v} not present in input"
+            );
+        }
+    }
+
+    /// Random small networks survive a cfg emit/parse round-trip with
+    /// identical architecture.
+    #[test]
+    fn cfg_roundtrip_random_networks(
+        layers in prop::collection::vec((4usize..17, 1usize..4, any::<bool>()), 1..5),
+        input in 2usize..5,
+    ) {
+        let input = input * 16;
+        let mut net = Network::new(3, input, input);
+        let mut c = 3usize;
+        for &(filters, ksize, bn) in &layers {
+            let k = if ksize == 2 { 3 } else { ksize }; // avoid even kernels
+            net.push(Layer::conv(
+                Conv2d::new(c, filters, k, 1, k / 2, Activation::Leaky, bn).unwrap(),
+            ));
+            c = filters;
+        }
+        net.push(Layer::max_pool(MaxPool2d::new(2, 2).unwrap()));
+        let text = cfg::emit(&net);
+        let back = cfg::parse(&text).unwrap();
+        prop_assert_eq!(net.len(), back.len());
+        prop_assert_eq!(net.param_count(), back.param_count());
+        prop_assert_eq!(net.output_chw(), back.output_chw());
+    }
+
+    /// Weight files round-trip bit-exactly for any weight values,
+    /// including extremes.
+    #[test]
+    fn weights_roundtrip_extreme_values(v in prop::num::f32::NORMAL) {
+        let mut net = Network::new(1, 8, 8);
+        net.push(Layer::conv(
+            Conv2d::new(1, 2, 3, 1, 1, Activation::Leaky, true).unwrap(),
+        ));
+        net.visit_params_mut(|p, _| p.iter_mut().for_each(|x| *x = v));
+        let mut buf = Vec::new();
+        weights::save(&net, &mut buf).unwrap();
+        let mut loaded = Network::new(1, 8, 8);
+        loaded.push(Layer::conv(
+            Conv2d::new(1, 2, 3, 1, 1, Activation::Leaky, true).unwrap(),
+        ));
+        weights::load(&mut loaded, buf.as_slice()).unwrap();
+        loaded.visit_params_mut(|p, _| {
+            for &x in p.iter() {
+                assert_eq!(x.to_bits(), v.to_bits());
+            }
+        });
+    }
+
+    /// Forward output shape always matches `output_shape` prediction.
+    #[test]
+    fn forward_shape_matches_prediction(
+        n in 1usize..3,
+        hw in 2usize..5,
+        filters in 1usize..8,
+    ) {
+        let input = hw * 8;
+        let mut net = Network::new(3, input, input);
+        net.push(Layer::conv(
+            Conv2d::new(3, filters, 3, 1, 1, Activation::Leaky, true).unwrap(),
+        ));
+        net.push(Layer::max_pool(MaxPool2d::new(2, 2).unwrap()));
+        let y = net.forward(&Tensor::zeros(Shape::nchw(n, 3, input, input))).unwrap();
+        prop_assert_eq!(y.shape(), &net.output_shape(n));
+    }
+
+    /// Batch processing equals per-item processing (no cross-batch leaks)
+    /// for BN-free networks in inference mode.
+    #[test]
+    fn batch_equals_per_item(seed in any::<u64>()) {
+        let mut net = Network::new(2, 16, 16);
+        net.push(Layer::conv(
+            Conv2d::new(2, 4, 3, 1, 1, Activation::Leaky, false).unwrap(),
+        ));
+        net.push(Layer::max_pool(MaxPool2d::new(2, 2).unwrap()));
+        let mut r = rng(seed);
+        net.init_weights(&mut r);
+        let batch = init::uniform(Shape::nchw(3, 2, 16, 16), -1.0, 1.0, &mut r);
+        let full = net.forward(&batch).unwrap();
+        for b in 0..3 {
+            let single = net.forward(&batch.batch_item(b).unwrap()).unwrap();
+            let from_batch = full.batch_item(b).unwrap();
+            prop_assert!(single.max_abs_diff(&from_batch).unwrap() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+use crate::Platform;
+use dronet_metrics::Fps;
+use dronet_nn::cost::{network_cost, CostReport, LayerCost};
+use dronet_nn::Network;
+use std::time::Duration;
+
+/// Projected execution time of one layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerTime {
+    /// Time spent on arithmetic (after cache-spill derating).
+    pub compute_s: f64,
+    /// Time the memory system needs for the layer's traffic.
+    pub memory_s: f64,
+    /// Whether the layer's weights overflow the last-level cache.
+    pub cache_spill: bool,
+}
+
+impl LayerTime {
+    /// The layer's projected duration: roofline max of compute and memory,
+    /// plus nothing (per-layer overhead is added at network level).
+    pub fn seconds(&self) -> f64 {
+        self.compute_s.max(self.memory_s)
+    }
+
+    /// Whether the layer is memory-bound under the model.
+    pub fn memory_bound(&self) -> bool {
+        self.memory_s > self.compute_s
+    }
+}
+
+/// Projected performance of a network on a platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Projection {
+    /// Per-layer timing, in execution order.
+    pub layers: Vec<LayerTime>,
+    /// Total per-frame latency including per-layer overheads.
+    pub latency: Duration,
+    /// Projected frame rate.
+    pub fps: Fps,
+}
+
+impl Projection {
+    /// Fraction of the total latency spent in cache-spilling layers.
+    pub fn spill_fraction(&self) -> f64 {
+        let total: f64 = self.layers.iter().map(LayerTime::seconds).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let spill: f64 = self
+            .layers
+            .iter()
+            .filter(|l| l.cache_spill)
+            .map(LayerTime::seconds)
+            .sum();
+        spill / total
+    }
+}
+
+impl Platform {
+    /// Projects one layer's execution time from its cost.
+    pub fn layer_time(&self, cost: &LayerCost) -> LayerTime {
+        let cache_spill = cost.weight_bytes > self.cache_bytes;
+        let gflops = if cache_spill {
+            self.effective_gflops * self.cache_spill_factor
+        } else {
+            self.effective_gflops
+        };
+        LayerTime {
+            compute_s: cost.flops / (gflops * 1e9),
+            memory_s: cost.total_bytes() / (self.mem_bw_gbs * 1e9),
+            cache_spill,
+        }
+    }
+
+    /// Projects a whole cost report.
+    pub fn project_cost(&self, cost: &CostReport) -> Projection {
+        let layers: Vec<LayerTime> = cost.layers.iter().map(|c| self.layer_time(c)).collect();
+        let total: f64 = layers.iter().map(LayerTime::seconds).sum::<f64>()
+            + self.per_layer_overhead_s * layers.len() as f64;
+        Projection {
+            layers,
+            latency: Duration::from_secs_f64(total),
+            fps: Fps(if total > 0.0 { 1.0 / total } else { f64::INFINITY }),
+        }
+    }
+
+    /// Projects a network at its configured input size.
+    pub fn project(&self, net: &Network) -> Projection {
+        self.project_cost(&network_cost(net))
+    }
+
+    /// Effective GFLOP/s implied by a measured execution (`cost` work done
+    /// in `elapsed`). Useful for calibrating a host measurement against
+    /// the model.
+    pub fn implied_gflops(cost: &CostReport, elapsed: Duration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs > 0.0 {
+            cost.total_flops() / secs / 1e9
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Rescales a host-measured latency to this platform by the ratio of
+    /// effective compute rates — the standard cross-platform projection
+    /// when only one machine is physically available.
+    pub fn scale_from_measurement(
+        &self,
+        cost: &CostReport,
+        host_elapsed: Duration,
+        host_effective_gflops: f64,
+    ) -> Duration {
+        let measured = host_elapsed.as_secs_f64();
+        // Split host time into per-layer shares by FLOPs, re-derate each
+        // share for this platform's cache behaviour, add overheads.
+        let total_flops = cost.total_flops().max(1.0);
+        let mut projected = 0.0f64;
+        for layer in &cost.layers {
+            let share = measured * (layer.flops / total_flops);
+            let spill = layer.weight_bytes > self.cache_bytes;
+            let gflops = if spill {
+                self.effective_gflops * self.cache_spill_factor
+            } else {
+                self.effective_gflops
+            };
+            projected += share * (host_effective_gflops / gflops);
+        }
+        projected += self.per_layer_overhead_s * cost.layers.len() as f64;
+        Duration::from_secs_f64(projected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlatformId;
+    use dronet_core::{zoo, ModelId};
+
+    fn project(id: PlatformId, model: ModelId, input: usize) -> Projection {
+        let net = zoo::build(model, input).unwrap();
+        Platform::preset(id).project(&net)
+    }
+
+    /// The headline UAV deployment anchors from paper Section IV-B.
+    #[test]
+    fn odroid_anchors_match_paper() {
+        let dronet = project(PlatformId::OdroidXu4, ModelId::DroNet, 512);
+        assert!(
+            dronet.fps.0 > 6.0 && dronet.fps.0 < 12.0,
+            "DroNet-512 on Odroid projected {} (paper: 8-10 FPS)",
+            dronet.fps
+        );
+        let voc = project(PlatformId::OdroidXu4, ModelId::TinyYoloVoc, 512);
+        assert!(
+            voc.fps.0 > 0.05 && voc.fps.0 < 0.25,
+            "TinyYoloVoc on Odroid projected {} (paper: ~0.1 FPS)",
+            voc.fps
+        );
+        // "DroNet was 40x faster than TinyYoloVoc on Odroid" — the paper's
+        // own numbers (8-10 vs 0.1) imply 40-100x; assert that envelope.
+        let ratio = dronet.fps.0 / voc.fps.0;
+        assert!((35.0..=110.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn rpi_anchor_matches_paper() {
+        let dronet = project(PlatformId::RaspberryPi3, ModelId::DroNet, 512);
+        assert!(
+            dronet.fps.0 > 4.0 && dronet.fps.0 < 8.0,
+            "DroNet-512 on RPi3 projected {} (paper: 5-6 FPS)",
+            dronet.fps
+        );
+    }
+
+    #[test]
+    fn i5_anchors_match_paper() {
+        // SmallYoloV3 was the fastest model at ~23 FPS around 384-416.
+        let small = project(PlatformId::IntelI5_2520M, ModelId::SmallYoloV3, 384);
+        assert!(
+            small.fps.0 > 17.0 && small.fps.0 < 29.0,
+            "SmallYoloV3-384 on i5 projected {} (paper: 23 FPS)",
+            small.fps
+        );
+        // DroNet ~30x over TinyYoloVoc at the same input size.
+        let dronet = project(PlatformId::IntelI5_2520M, ModelId::DroNet, 384);
+        let voc = project(PlatformId::IntelI5_2520M, ModelId::TinyYoloVoc, 384);
+        let r = dronet.fps.0 / voc.fps.0;
+        assert!((20.0..=45.0).contains(&r), "DroNet/TinyYoloVoc on i5 = {r}");
+        // TinyYoloNet ~10x over TinyYoloVoc.
+        let tnet = project(PlatformId::IntelI5_2520M, ModelId::TinyYoloNet, 384);
+        let r = tnet.fps.0 / voc.fps.0;
+        assert!((6.0..=15.0).contains(&r), "TinyYoloNet/TinyYoloVoc on i5 = {r}");
+        // Paper: DroNet peaks at ~18 FPS (the fast end of its 5-18 range).
+        assert!(
+            dronet.fps.0 > 13.0 && dronet.fps.0 < 24.0,
+            "DroNet-384 on i5 projected {}",
+            dronet.fps
+        );
+    }
+
+    #[test]
+    fn fps_ordering_matches_paper_everywhere() {
+        for id in PlatformId::EVALUATION {
+            let small = project(id, ModelId::SmallYoloV3, 416).fps.0;
+            let dronet = project(id, ModelId::DroNet, 416).fps.0;
+            let tnet = project(id, ModelId::TinyYoloNet, 416).fps.0;
+            let voc = project(id, ModelId::TinyYoloVoc, 416).fps.0;
+            assert!(
+                small > dronet && dronet > tnet && tnet > voc,
+                "{id}: {small} {dronet} {tnet} {voc}"
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_input_is_slower() {
+        for &size in &[352usize, 416, 512, 608] {
+            let _ = size; // sweep sanity below
+        }
+        let f352 = project(PlatformId::OdroidXu4, ModelId::DroNet, 352).fps.0;
+        let f608 = project(PlatformId::OdroidXu4, ModelId::DroNet, 608).fps.0;
+        assert!(f352 > f608);
+    }
+
+    #[test]
+    fn tiny_yolo_voc_spills_cache_dronet_does_not() {
+        let voc = project(PlatformId::OdroidXu4, ModelId::TinyYoloVoc, 416);
+        assert!(voc.spill_fraction() > 0.5, "spill {}", voc.spill_fraction());
+        let dronet = project(PlatformId::OdroidXu4, ModelId::DroNet, 416);
+        assert_eq!(dronet.spill_fraction(), 0.0);
+    }
+
+    #[test]
+    fn gpu_is_orders_of_magnitude_faster() {
+        let gpu = project(PlatformId::TitanXp, ModelId::TinyYoloVoc, 416);
+        let cpu = project(PlatformId::IntelI5_2520M, ModelId::TinyYoloVoc, 416);
+        assert!(gpu.fps.0 > 50.0 * cpu.fps.0);
+    }
+
+    #[test]
+    fn maxpool_layers_are_memory_bound() {
+        let net = zoo::build(ModelId::DroNet, 512).unwrap();
+        let platform = Platform::preset(PlatformId::OdroidXu4);
+        let projection = platform.project(&net);
+        // Layer 1 is the first maxpool in the DroNet cfg.
+        let pool_time = &projection.layers[1];
+        assert!(pool_time.memory_bound());
+        // Layer 0 (the first conv) is compute-bound.
+        assert!(!projection.layers[0].memory_bound());
+    }
+
+    #[test]
+    fn implied_gflops_and_scaling_roundtrip() {
+        let net = zoo::build(ModelId::DroNet, 416).unwrap();
+        let cost = network_cost(&net);
+        let platform = Platform::preset(PlatformId::OdroidXu4);
+        // Pretend a host ran the model at exactly 10 GFLOP/s.
+        let host_time = Duration::from_secs_f64(cost.total_flops() / 10e9);
+        assert!((Platform::implied_gflops(&cost, host_time) - 10.0).abs() < 1e-6);
+        // Scaling that measurement to the Odroid should land near the
+        // analytic projection (same model, no spills for DroNet).
+        let scaled = platform.scale_from_measurement(&cost, host_time, 10.0);
+        let analytic = platform.project_cost(&cost).latency;
+        let ratio = scaled.as_secs_f64() / analytic.as_secs_f64();
+        assert!((0.8..=1.25).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,165 @@
+use std::fmt;
+
+/// Identifier of a modelled platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlatformId {
+    /// Intel i5-2520M, 2C/4T Sandy Bridge @ 2.5-3.2 GHz — the paper's
+    /// "CPU platform" for the Section IV-A design-space exploration.
+    IntelI5_2520M,
+    /// Odroid-XU4: Samsung Exynos 5422, 4x Cortex-A15 @ 2.0 GHz +
+    /// 4x Cortex-A7, 2 GB LPDDR3 — the on-UAV board of Fig. 5.
+    OdroidXu4,
+    /// Raspberry Pi 3 Model B: 4x Cortex-A53 @ 1.2 GHz, 1 GB LPDDR2.
+    RaspberryPi3,
+    /// NVIDIA Titan Xp — the paper's training GPU (context only).
+    TitanXp,
+}
+
+impl PlatformId {
+    /// The three deployment platforms the paper evaluates inference on.
+    pub const EVALUATION: [PlatformId; 3] = [
+        PlatformId::IntelI5_2520M,
+        PlatformId::OdroidXu4,
+        PlatformId::RaspberryPi3,
+    ];
+
+    /// Human-readable platform name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlatformId::IntelI5_2520M => "Intel i5-2520M",
+            PlatformId::OdroidXu4 => "Odroid-XU4",
+            PlatformId::RaspberryPi3 => "Raspberry Pi 3",
+            PlatformId::TitanXp => "NVIDIA Titan Xp",
+        }
+    }
+}
+
+impl fmt::Display for PlatformId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An analytic platform performance model.
+///
+/// See the crate docs for the model structure. `effective_gflops` is the
+/// sustained single-precision throughput of a Darknet-style im2col+GEMM
+/// CPU implementation (NOT the hardware peak — Darknet's portable C loops
+/// reach only a few percent of peak, which is exactly why the paper's
+/// absolute FPS numbers are single digits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Which platform this models.
+    pub id: PlatformId,
+    /// Sustained compute throughput for cache-resident GEMMs, in GFLOP/s.
+    pub effective_gflops: f64,
+    /// Multiplier on `effective_gflops` for layers whose weights overflow
+    /// the last-level cache.
+    pub cache_spill_factor: f64,
+    /// Last-level cache capacity in bytes.
+    pub cache_bytes: f64,
+    /// Sustained memory bandwidth in GB/s.
+    pub mem_bw_gbs: f64,
+    /// Fixed dispatch/synchronisation overhead per layer, in seconds.
+    pub per_layer_overhead_s: f64,
+    /// Hardware peak single-precision throughput in GFLOP/s (for
+    /// reporting efficiency, not used by the projection).
+    pub peak_gflops: f64,
+}
+
+impl Platform {
+    /// The calibrated preset for a platform.
+    ///
+    /// Calibration anchors (paper Section IV):
+    /// * i5-2520M: SmallYoloV3 ≈ 23 FPS @ 384–416, DroNet ≈ 30× and
+    ///   TinyYoloNet ≈ 10× faster than TinyYoloVoc,
+    /// * Odroid-XU4: DroNet-512 ≈ 8–10 FPS, TinyYoloVoc ≈ 0.1 FPS,
+    /// * Raspberry Pi 3: DroNet-512 ≈ 5–6 FPS.
+    pub fn preset(id: PlatformId) -> Self {
+        match id {
+            PlatformId::IntelI5_2520M => Platform {
+                id,
+                // 2 cores x 3.0 GHz x 16 SP FLOPs/cycle = 96 GFLOP/s peak;
+                // Darknet's portable GEMM sustains ~6%.
+                effective_gflops: 6.0,
+                cache_spill_factor: 0.5,
+                cache_bytes: 3.0 * 1024.0 * 1024.0,
+                mem_bw_gbs: 8.0,
+                per_layer_overhead_s: 1.5e-3,
+                peak_gflops: 96.0,
+            },
+            PlatformId::OdroidXu4 => Platform {
+                id,
+                // 4x A15 @ 2 GHz x 8 SP FLOPs/cycle = 64 GFLOP/s peak; the
+                // paper reports only ~50% core utilisation under Darknet.
+                effective_gflops: 4.3,
+                cache_spill_factor: 0.25,
+                cache_bytes: 2.0 * 1024.0 * 1024.0,
+                mem_bw_gbs: 2.5,
+                per_layer_overhead_s: 1.5e-3,
+                peak_gflops: 64.0,
+            },
+            PlatformId::RaspberryPi3 => Platform {
+                id,
+                // 4x A53 @ 1.2 GHz x 8 SP FLOPs/cycle = 38.4 GFLOP/s peak.
+                effective_gflops: 2.9,
+                cache_spill_factor: 0.25,
+                cache_bytes: 512.0 * 1024.0,
+                mem_bw_gbs: 1.8,
+                per_layer_overhead_s: 3.0e-3,
+                peak_gflops: 38.4,
+            },
+            PlatformId::TitanXp => Platform {
+                id,
+                // 12.15 TFLOP/s peak; cuDNN-era stacks sustain ~30% on
+                // these layer shapes.
+                effective_gflops: 3600.0,
+                cache_spill_factor: 1.0,
+                cache_bytes: 3.0 * 1024.0 * 1024.0,
+                mem_bw_gbs: 400.0,
+                per_layer_overhead_s: 5.0e-5,
+                peak_gflops: 12_150.0,
+            },
+        }
+    }
+
+    /// Fraction of hardware peak the model assumes Darknet sustains.
+    pub fn efficiency(&self) -> f64 {
+        self.effective_gflops / self.peak_gflops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_internally_consistent() {
+        for id in PlatformId::EVALUATION {
+            let p = Platform::preset(id);
+            assert_eq!(p.id, id);
+            assert!(p.effective_gflops > 0.0);
+            assert!(p.effective_gflops < p.peak_gflops, "{id}");
+            assert!(p.cache_spill_factor > 0.0 && p.cache_spill_factor <= 1.0);
+            assert!(p.mem_bw_gbs > 0.0);
+            assert!(p.efficiency() < 0.2, "{id} efficiency unrealistically high");
+        }
+    }
+
+    #[test]
+    fn platform_ordering_matches_hardware_class() {
+        let i5 = Platform::preset(PlatformId::IntelI5_2520M);
+        let odroid = Platform::preset(PlatformId::OdroidXu4);
+        let rpi = Platform::preset(PlatformId::RaspberryPi3);
+        let gpu = Platform::preset(PlatformId::TitanXp);
+        assert!(i5.effective_gflops > odroid.effective_gflops);
+        assert!(odroid.effective_gflops > rpi.effective_gflops);
+        assert!(gpu.effective_gflops > 100.0 * i5.effective_gflops);
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(PlatformId::OdroidXu4.to_string(), "Odroid-XU4");
+        assert_eq!(PlatformId::EVALUATION.len(), 3);
+    }
+}

@@ -1,0 +1,109 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and kernel invocation.
+///
+/// All fallible operations in this crate return [`crate::Result`] with this
+/// error type; shape information is carried so callers can produce precise
+/// diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the number of elements the
+    /// shape describes.
+    LengthMismatch {
+        /// Number of elements the shape requires.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must agree in shape do not.
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: Vec<usize>,
+        /// Shape of the right/second operand.
+        rhs: Vec<usize>,
+    },
+    /// A tensor had the wrong rank (number of dimensions) for an operation.
+    RankMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the supplied tensor.
+        actual: usize,
+    },
+    /// The inner dimensions of a matrix product do not agree.
+    GemmDimMismatch {
+        /// Columns of the left operand.
+        lhs_cols: usize,
+        /// Rows of the right operand.
+        rhs_rows: usize,
+    },
+    /// An index was outside the bounds of the tensor.
+    IndexOutOfBounds {
+        /// The offending index, one entry per dimension.
+        index: Vec<usize>,
+        /// The tensor's dimensions.
+        dims: Vec<usize>,
+    },
+    /// An operation parameter was invalid (zero stride, empty shape, ...).
+    InvalidArgument {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Description of what was wrong.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: shape mismatch between {lhs:?} and {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected rank {expected}, got rank {actual}"),
+            TensorError::GemmDimMismatch { lhs_cols, rhs_rows } => write!(
+                f,
+                "gemm: inner dimensions disagree (lhs has {lhs_cols} columns, rhs has {rhs_rows} rows)"
+            ),
+            TensorError::IndexOutOfBounds { index, dims } => {
+                write!(f, "index {index:?} out of bounds for dimensions {dims:?}")
+            }
+            TensorError::InvalidArgument { op, msg } => write!(f, "{op}: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = TensorError::GemmDimMismatch {
+            lhs_cols: 3,
+            rhs_rows: 4,
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("gemm"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,142 @@
+//! Reproducible random tensor initialisers.
+//!
+//! All initialisers take an explicit `&mut impl Rng` so experiments are
+//! seedable end to end — a hard requirement for a reproduction repository.
+
+use crate::{Shape, Tensor};
+use rand::Rng;
+
+/// Tensor with elements drawn uniformly from `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or either bound is non-finite.
+pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    assert!(
+        lo <= hi && lo.is_finite() && hi.is_finite(),
+        "uniform: invalid range [{lo}, {hi})"
+    );
+    let shape = shape.into();
+    let data = (0..shape.len())
+        .map(|_| {
+            if lo == hi {
+                lo
+            } else {
+                rng.gen_range(lo..hi)
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, shape).expect("generated data matches shape by construction")
+}
+
+/// Tensor with elements drawn from a normal distribution via Box–Muller.
+///
+/// # Panics
+///
+/// Panics if `std` is negative or either parameter is non-finite.
+pub fn normal(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+    assert!(
+        std >= 0.0 && mean.is_finite() && std.is_finite(),
+        "normal: invalid parameters mean={mean} std={std}"
+    );
+    let shape = shape.into();
+    let data = (0..shape.len())
+        .map(|_| mean + std * standard_normal(rng))
+        .collect();
+    Tensor::from_vec(data, shape).expect("generated data matches shape by construction")
+}
+
+/// Kaiming/He initialisation for convolution weights shaped
+/// `[out_c, in_c, k, k]`: normal with `std = sqrt(2 / fan_in)`.
+///
+/// This is the scheme Darknet uses (`scale = sqrt(2./(size*size*c))`) for
+/// layers followed by (leaky) ReLU.
+///
+/// # Panics
+///
+/// Panics if the shape has fewer than 2 dimensions.
+pub fn kaiming(shape: impl Into<Shape>, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    assert!(
+        shape.rank() >= 2,
+        "kaiming requires weight tensors of rank >= 2, got {shape}"
+    );
+    let fan_in: usize = shape.dims()[1..].iter().product();
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    normal(shape, 0.0, std, rng)
+}
+
+/// One sample from the standard normal distribution (Box–Muller transform).
+fn standard_normal(rng: &mut impl Rng) -> f32 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_within_bounds_and_seeded() {
+        let a = uniform(Shape::vector(1000), -2.0, 3.0, &mut rng(1));
+        assert!(a.as_slice().iter().all(|&x| (-2.0..3.0).contains(&x)));
+        let b = uniform(Shape::vector(1000), -2.0, 3.0, &mut rng(1));
+        assert_eq!(a, b, "same seed must give identical tensors");
+        let c = uniform(Shape::vector(1000), -2.0, 3.0, &mut rng(2));
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let t = uniform(Shape::vector(10), 1.5, 1.5, &mut rng(0));
+        assert!(t.as_slice().iter().all(|&x| x == 1.5));
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let t = normal(Shape::vector(50_000), 1.0, 2.0, &mut rng(7));
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+            / t.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let w = kaiming(Shape::new(&[16, 3, 3, 3]), &mut rng(3));
+        let expected_std = (2.0 / 27.0f32).sqrt();
+        let mean = w.mean();
+        let std = (w.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+            / w.len() as f32)
+            .sqrt();
+        assert!((std - expected_std).abs() < 0.2 * expected_std, "std {std}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn uniform_panics_on_reversed_range() {
+        uniform(Shape::vector(2), 1.0, 0.0, &mut rng(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank >= 2")]
+    fn kaiming_panics_on_vector() {
+        kaiming(Shape::vector(10), &mut rng(0));
+    }
+
+    #[test]
+    fn standard_normal_is_finite() {
+        let mut r = rng(11);
+        for _ in 0..10_000 {
+            assert!(standard_normal(&mut r).is_finite());
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # dronet-tensor
+//!
+//! Dense `f32` tensor substrate for the DroNet reproduction.
+//!
+//! This crate provides the numerical kernels that the CNN engine
+//! (`dronet-nn`) is built on:
+//!
+//! * [`Tensor`] — an owned, contiguous, row-major N-dimensional array of
+//!   `f32` with NCHW-oriented helpers,
+//! * [`Shape`] — dimension/stride algebra,
+//! * [`gemm`] — a blocked, multi-threaded single-precision matrix multiply,
+//! * [`im2col`] — image-to-column lowering (and its adjoint
+//!   [`im2col::col2im`]) used to express convolution as GEMM,
+//! * [`ops`] — element-wise and reduction kernels (activations, softmax,
+//!   batch statistics),
+//! * [`init`] — reproducible random initialisers (uniform, normal, Kaiming).
+//!
+//! The design mirrors what the Darknet framework (the paper's substrate)
+//! provides in C: no autograd graph, just fast explicit kernels that the
+//! layer implementations compose.
+//!
+//! # Example
+//!
+//! ```
+//! use dronet_tensor::{Tensor, Shape};
+//!
+//! # fn main() -> Result<(), dronet_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::new(&[2, 2]))?;
+//! let b = Tensor::ones(Shape::new(&[2, 2]));
+//! let c = dronet_tensor::gemm::matmul(&a, &b)?;
+//! assert_eq!(c.as_slice(), &[3.0, 3.0, 7.0, 7.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod gemm;
+pub mod im2col;
+pub mod init;
+pub mod ops;
+pub mod parallel;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,149 @@
+//! Minimal data-parallel helpers built on `crossbeam` scoped threads.
+//!
+//! The GEMM and im2col kernels split their outermost loop across worker
+//! threads. We deliberately avoid a persistent thread pool: kernel
+//! invocations in this workspace are coarse (whole convolution layers), so
+//! scoped-thread spawn cost is negligible, and scoped threads keep the API
+//! free of `'static` bounds and shared mutable state.
+
+/// Returns the number of worker threads to use for data-parallel kernels.
+///
+/// Respects the `DRONET_THREADS` environment variable when set to a positive
+/// integer; otherwise uses the machine's available parallelism, capped at 8
+/// (the kernels here stop scaling beyond that for the layer sizes DroNet
+/// uses).
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("DRONET_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Splits `0..len` into at most `workers` contiguous ranges of nearly equal
+/// size. Returns no range for an empty input.
+pub fn split_ranges(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 || workers == 0 {
+        return Vec::new();
+    }
+    let workers = workers.min(len);
+    let base = len / workers;
+    let extra = len % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    for i in 0..workers {
+        let sz = base + usize::from(i < extra);
+        ranges.push(start..start + sz);
+        start += sz;
+    }
+    ranges
+}
+
+/// Runs `f` over disjoint mutable chunks of `out`, where chunk `i` covers
+/// `rows[i]` rows of `row_len` elements each; chunks are processed on
+/// separate threads when profitable.
+///
+/// `f(range, chunk)` receives the row range the chunk covers and the mutable
+/// slice backing those rows.
+///
+/// # Panics
+///
+/// Panics if `out.len() != total_rows * row_len`.
+pub fn par_chunks_mut<F>(out: &mut [f32], total_rows: usize, row_len: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
+{
+    assert_eq!(
+        out.len(),
+        total_rows * row_len,
+        "par_chunks_mut: buffer size {} does not cover {total_rows} rows x {row_len}",
+        out.len()
+    );
+    let workers = worker_count();
+    // Below this many elements the spawn overhead dominates; run inline.
+    const PAR_THRESHOLD: usize = 16 * 1024;
+    if workers <= 1 || out.len() < PAR_THRESHOLD || total_rows < 2 {
+        f(0..total_rows, out);
+        return;
+    }
+    let ranges = split_ranges(total_rows, workers);
+    crossbeam::thread::scope(|s| {
+        let mut rest = out;
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut((range.end - range.start) * row_len);
+            rest = tail;
+            let f = &f;
+            s.spawn(move |_| f(range, chunk));
+        }
+    })
+    .expect("dronet-tensor worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_covers_everything_exactly_once() {
+        for len in [0usize, 1, 5, 16, 17, 1000] {
+            for workers in [1usize, 2, 3, 8, 64] {
+                let ranges = split_ranges(len, workers);
+                let mut covered = vec![false; len];
+                for r in &ranges {
+                    for i in r.clone() {
+                        assert!(!covered[i], "index {i} covered twice");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "len={len} workers={workers}");
+                // Balanced: sizes differ by at most one.
+                if !ranges.is_empty() {
+                    let sizes: Vec<_> = ranges.iter().map(|r| r.len()).collect();
+                    let mx = *sizes.iter().max().unwrap();
+                    let mn = *sizes.iter().min().unwrap();
+                    assert!(mx - mn <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_rows() {
+        let rows = 100;
+        let row_len = 257;
+        let mut buf = vec![0.0f32; rows * row_len];
+        par_chunks_mut(&mut buf, rows, row_len, |range, chunk| {
+            for (local, row) in range.clone().enumerate() {
+                for x in &mut chunk[local * row_len..(local + 1) * row_len] {
+                    *x = row as f32;
+                }
+            }
+        });
+        for row in 0..rows {
+            for col in 0..row_len {
+                assert_eq!(buf[row * row_len + col], row as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_small_input_runs_inline() {
+        let mut buf = vec![0.0f32; 4];
+        par_chunks_mut(&mut buf, 2, 2, |range, chunk| {
+            assert_eq!(range, 0..2);
+            chunk.fill(1.0);
+        });
+        assert_eq!(buf, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+}

@@ -1,0 +1,274 @@
+use std::fmt;
+
+/// Dimensions of a [`crate::Tensor`], stored outermost-first.
+///
+/// A `Shape` is an inexpensive value type describing row-major (C-order)
+/// layout. For CNN feature maps the convention throughout this workspace is
+/// **NCHW**: `[batch, channels, height, width]`.
+///
+/// # Example
+///
+/// ```
+/// use dronet_tensor::Shape;
+///
+/// let s = Shape::nchw(1, 3, 416, 416);
+/// assert_eq!(s.len(), 519_168);
+/// assert_eq!(s.dims(), &[1, 3, 416, 416]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimensions.
+    ///
+    /// A zero-dimensional shape (`&[]`) describes a scalar with one element.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Creates the canonical 4-D feature-map shape `[n, c, h, w]`.
+    pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape {
+            dims: vec![n, c, h, w],
+        }
+    }
+
+    /// Creates a 2-D matrix shape `[rows, cols]`.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Shape {
+            dims: vec![rows, cols],
+        }
+    }
+
+    /// Creates a 1-D vector shape.
+    pub fn vector(len: usize) -> Self {
+        Shape { dims: vec![len] }
+    }
+
+    /// The dimensions, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements described by this shape.
+    ///
+    /// An empty dimension list (scalar) has one element; any zero-sized
+    /// dimension makes the whole shape empty.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimension at `axis`, or `None` when out of range.
+    pub fn dim(&self, axis: usize) -> Option<usize> {
+        self.dims.get(axis).copied()
+    }
+
+    /// Row-major strides, in elements, one per dimension.
+    ///
+    /// ```
+    /// use dronet_tensor::Shape;
+    /// assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// Returns `None` when the index rank differs from the shape rank or any
+    /// coordinate is out of bounds.
+    pub fn offset(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.dims.len() {
+            return None;
+        }
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for axis in (0..self.dims.len()).rev() {
+            if index[axis] >= self.dims[axis] {
+                return None;
+            }
+            off += index[axis] * stride;
+            stride *= self.dims[axis];
+        }
+        Some(off)
+    }
+
+    /// Converts a flat row-major offset back to a multi-dimensional index.
+    ///
+    /// Returns `None` when `offset >= self.len()`.
+    pub fn unravel(&self, offset: usize) -> Option<Vec<usize>> {
+        if offset >= self.len() {
+            return None;
+        }
+        let mut rem = offset;
+        let mut idx = vec![0usize; self.dims.len()];
+        for axis in (0..self.dims.len()).rev() {
+            idx[axis] = rem % self.dims[axis];
+            rem /= self.dims[axis];
+        }
+        Some(idx)
+    }
+
+    /// Batch dimension of an NCHW shape (`dims[0]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not 4-dimensional.
+    pub fn batch(&self) -> usize {
+        self.expect_nchw();
+        self.dims[0]
+    }
+
+    /// Channel dimension of an NCHW shape (`dims[1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not 4-dimensional.
+    pub fn channels(&self) -> usize {
+        self.expect_nchw();
+        self.dims[1]
+    }
+
+    /// Height dimension of an NCHW shape (`dims[2]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not 4-dimensional.
+    pub fn height(&self) -> usize {
+        self.expect_nchw();
+        self.dims[2]
+    }
+
+    /// Width dimension of an NCHW shape (`dims[3]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not 4-dimensional.
+    pub fn width(&self) -> usize {
+        self.expect_nchw();
+        self.dims[3]
+    }
+
+    fn expect_nchw(&self) {
+        assert_eq!(
+            self.dims.len(),
+            4,
+            "NCHW accessor used on rank-{} shape {:?}",
+            self.dims.len(),
+            self.dims
+        );
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn zero_dim_is_empty() {
+        assert!(Shape::new(&[3, 0, 2]).is_empty());
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::nchw(2, 3, 4, 5).strides(), vec![60, 20, 5, 1]);
+        assert_eq!(Shape::vector(7).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_and_unravel_roundtrip() {
+        let s = Shape::new(&[3, 4, 5]);
+        for off in 0..s.len() {
+            let idx = s.unravel(off).unwrap();
+            assert_eq!(s.offset(&idx), Some(off));
+        }
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 2]);
+        assert_eq!(s.offset(&[2, 0]), None);
+        assert_eq!(s.offset(&[0]), None);
+        assert_eq!(s.unravel(4), None);
+    }
+
+    #[test]
+    fn nchw_accessors() {
+        let s = Shape::nchw(2, 16, 13, 13);
+        assert_eq!(s.batch(), 2);
+        assert_eq!(s.channels(), 16);
+        assert_eq!(s.height(), 13);
+        assert_eq!(s.width(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "NCHW accessor")]
+    fn nchw_accessor_panics_on_wrong_rank() {
+        Shape::matrix(2, 3).channels();
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::nchw(1, 3, 416, 416).to_string(), "[1x3x416x416]");
+        assert_eq!(Shape::new(&[]).to_string(), "[]");
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the tensor substrate.
+
+use dronet_tensor::im2col::{col2im, im2col, ConvGeometry};
+use dronet_tensor::{gemm, init, ops, Shape, Tensor};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..6, 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// offset/unravel are mutual inverses for every valid flat offset.
+    #[test]
+    fn shape_offset_unravel_inverse(dims in arb_dims(), seed in any::<u64>()) {
+        let shape = Shape::new(&dims);
+        let off = (seed as usize) % shape.len();
+        let idx = shape.unravel(off).unwrap();
+        prop_assert_eq!(shape.offset(&idx), Some(off));
+    }
+
+    /// Reshape preserves the flat data exactly, in both directions.
+    #[test]
+    fn reshape_roundtrip(dims in arb_dims(), seed in any::<u64>()) {
+        let shape = Shape::new(&dims);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = init::uniform(shape.clone(), -10.0, 10.0, &mut rng);
+        let flat = t.clone().reshape(Shape::vector(shape.len())).unwrap();
+        prop_assert_eq!(flat.as_slice(), t.as_slice());
+        let back = flat.reshape(shape).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// (Aᵀ)ᵀ = A for arbitrary matrices.
+    #[test]
+    fn transpose_involution(r in 1usize..20, c in 1usize..20, seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = init::uniform(Shape::matrix(r, c), -5.0, 5.0, &mut rng);
+        prop_assert_eq!(a.transpose2d().unwrap().transpose2d().unwrap(), a);
+    }
+
+    /// GEMM distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn gemm_distributes(m in 1usize..10, n in 1usize..10, k in 1usize..10, seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = init::uniform(Shape::matrix(m, k), -2.0, 2.0, &mut rng);
+        let b = init::uniform(Shape::matrix(k, n), -2.0, 2.0, &mut rng);
+        let c = init::uniform(Shape::matrix(k, n), -2.0, 2.0, &mut rng);
+        let lhs = gemm::matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = gemm::matmul(&a, &b).unwrap().add(&gemm::matmul(&a, &c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+    }
+
+    /// (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn gemm_transpose_identity(m in 1usize..8, n in 1usize..8, k in 1usize..8, seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = init::uniform(Shape::matrix(m, k), -2.0, 2.0, &mut rng);
+        let b = init::uniform(Shape::matrix(k, n), -2.0, 2.0, &mut rng);
+        let ab_t = gemm::matmul(&a, &b).unwrap().transpose2d().unwrap();
+        let bt_at = gemm::matmul(&b.transpose2d().unwrap(), &a.transpose2d().unwrap()).unwrap();
+        prop_assert!(ab_t.max_abs_diff(&bt_at).unwrap() < 1e-3);
+    }
+
+    /// im2col/col2im satisfy the adjoint identity <im2col(x), y> = <x, col2im(y)>.
+    #[test]
+    fn im2col_adjoint(
+        c in 1usize..4,
+        h in 3usize..9,
+        w in 3usize..9,
+        k in 1usize..4,
+        s in 1usize..3,
+        p in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let geom = ConvGeometry { channels: c, height: h, width: w, kernel: k, stride: s, pad: p };
+        prop_assume!(geom.validate().is_ok());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = init::uniform(Shape::nchw(1, c, h, w), -1.0, 1.0, &mut rng);
+        let y = init::uniform(Shape::matrix(geom.col_rows(), geom.col_cols()), -1.0, 1.0, &mut rng);
+        let lhs = im2col(&x, &geom).unwrap().dot(&y).unwrap();
+        let rhs = x.dot(&col2im(&y, &geom).unwrap()).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0));
+    }
+
+    /// Softmax output is a probability distribution and is shift-invariant.
+    #[test]
+    fn softmax_distribution(v in prop::collection::vec(-30.0f32..30.0, 1..16), shift in -10.0f32..10.0) {
+        let p = ops::softmax(&v);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let shifted: Vec<f32> = v.iter().map(|&x| x + shift).collect();
+        let q = ops::softmax(&shifted);
+        for (a, b) in p.iter().zip(&q) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Per-channel bias then per-channel sum sees exactly n*h*w contributions.
+    #[test]
+    fn channel_bias_sum_consistency(n in 1usize..3, c in 1usize..5, hw in 1usize..6, bias in -3.0f32..3.0) {
+        let mut t = Tensor::zeros(Shape::nchw(n, c, hw, hw));
+        let biases = vec![bias; c];
+        ops::add_channel_bias(&mut t, &biases).unwrap();
+        let sums = ops::sum_over_channels(&t).unwrap();
+        for s in sums {
+            prop_assert!((s - bias * (n * hw * hw) as f32).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Finite-difference gradient checking utilities.
+//!
+//! Used by this workspace's test suites to validate analytic gradients of
+//! layers and losses; exposed publicly so integration tests and downstream
+//! experiments can reuse them.
+
+use dronet_tensor::Tensor;
+
+/// Result of comparing an analytic gradient against finite differences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Maximum relative error over the probed coordinates.
+    pub max_rel_error: f32,
+    /// Index of the worst coordinate.
+    pub worst_index: usize,
+    /// Number of coordinates probed.
+    pub probed: usize,
+}
+
+impl GradCheckReport {
+    /// Whether every probe matched within `tol` relative error.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_error <= tol
+    }
+}
+
+/// Numerically differentiates `f` at `x` along coordinate `index` with a
+/// central difference.
+pub fn numeric_partial(f: &mut impl FnMut(&Tensor) -> f32, x: &Tensor, index: usize, eps: f32) -> f32 {
+    let mut xp = x.clone();
+    xp.as_mut_slice()[index] += eps;
+    let mut xm = x.clone();
+    xm.as_mut_slice()[index] -= eps;
+    (f(&xp) - f(&xm)) / (2.0 * eps)
+}
+
+/// Compares `analytic` (dL/dx) against central finite differences of `f`
+/// at `x`, probing every `stride`-th coordinate.
+///
+/// # Panics
+///
+/// Panics when shapes disagree or `stride` is zero.
+pub fn check_gradient(
+    mut f: impl FnMut(&Tensor) -> f32,
+    x: &Tensor,
+    analytic: &Tensor,
+    eps: f32,
+    stride: usize,
+) -> GradCheckReport {
+    assert_eq!(
+        x.len(),
+        analytic.len(),
+        "gradient length {} does not match input length {}",
+        analytic.len(),
+        x.len()
+    );
+    assert!(stride > 0, "stride must be positive");
+    let mut max_rel_error = 0.0f32;
+    let mut worst_index = 0usize;
+    let mut probed = 0usize;
+    for index in (0..x.len()).step_by(stride) {
+        let numeric = numeric_partial(&mut f, x, index, eps);
+        let a = analytic.as_slice()[index];
+        let scale = numeric.abs().max(a.abs()).max(1.0);
+        let rel = (numeric - a).abs() / scale;
+        if rel > max_rel_error {
+            max_rel_error = rel;
+            worst_index = index;
+        }
+        probed += 1;
+    }
+    GradCheckReport {
+        max_rel_error,
+        worst_index,
+        probed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dronet_tensor::Shape;
+
+    #[test]
+    fn quadratic_gradient_checks_out() {
+        // L(x) = sum(x^2), dL/dx = 2x.
+        let x = Tensor::from_slice(&[1.0, -2.0, 3.0, 0.5]);
+        let analytic = x.map(|v| 2.0 * v);
+        let report = check_gradient(|t| t.dot(t).unwrap(), &x, &analytic, 1e-3, 1);
+        assert!(report.passes(1e-2), "{report:?}");
+        assert_eq!(report.probed, 4);
+    }
+
+    #[test]
+    fn wrong_gradient_is_caught() {
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        let wrong = Tensor::from_slice(&[0.0, 0.0]);
+        let report = check_gradient(|t| t.dot(t).unwrap(), &x, &wrong, 1e-3, 1);
+        assert!(!report.passes(1e-2));
+        assert!(report.max_rel_error > 0.5);
+    }
+
+    #[test]
+    fn stride_skips_coordinates() {
+        let x = Tensor::zeros(Shape::vector(10));
+        let g = Tensor::zeros(Shape::vector(10));
+        let report = check_gradient(|_| 0.0, &x, &g, 1e-3, 3);
+        assert_eq!(report.probed, 4); // indices 0, 3, 6, 9
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_panics() {
+        let x = Tensor::zeros(Shape::vector(2));
+        check_gradient(|_| 0.0, &x.clone(), &x, 1e-3, 0);
+    }
+}

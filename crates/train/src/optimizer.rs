@@ -1,0 +1,223 @@
+use dronet_nn::Network;
+
+/// Stochastic gradient descent with momentum and weight decay — Darknet's
+/// optimizer, with its default hyper-parameters (`momentum=0.9`,
+/// `decay=0.0005`).
+///
+/// Momentum buffers are allocated lazily on the first step and keyed by the
+/// network's stable parameter visitation order; using one `Sgd` instance
+/// across networks with different architectures is rejected.
+///
+/// # Example
+///
+/// ```
+/// use dronet_train::Sgd;
+/// let mut opt = Sgd::new(1e-3);
+/// assert_eq!(opt.learning_rate(), 1e-3);
+/// opt.set_learning_rate(1e-4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    learning_rate: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates SGD with Darknet's default momentum (0.9) and decay (5e-4).
+    pub fn new(learning_rate: f32) -> Self {
+        Sgd::with_hyperparams(learning_rate, 0.9, 5e-4)
+    }
+
+    /// Creates SGD with explicit hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the learning rate is non-positive or momentum is outside
+    /// `[0, 1)`.
+    pub fn with_hyperparams(learning_rate: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum {momentum} outside [0, 1)"
+        );
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        Sgd {
+            learning_rate,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// Updates the learning rate (called by schedules between batches).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.learning_rate = lr;
+    }
+
+    /// Applies one update step using the gradients accumulated in `net`,
+    /// normalised by `batch_size`, then leaves the gradients untouched
+    /// (call [`Network::zero_grads`] before the next accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size` is zero or the network's parameter layout
+    /// changed since the first step.
+    pub fn step(&mut self, net: &mut Network, batch_size: usize) {
+        assert!(batch_size > 0, "batch size must be positive");
+        let scale = 1.0 / batch_size as f32;
+        let lr = self.learning_rate;
+        let momentum = self.momentum;
+        let decay = self.weight_decay;
+        let velocity = &mut self.velocity;
+        let mut slot = 0usize;
+        let first_run = velocity.is_empty();
+        net.visit_params_mut(|params, grads| {
+            if first_run {
+                velocity.push(vec![0.0f32; params.len()]);
+            }
+            let v = velocity
+                .get_mut(slot)
+                .unwrap_or_else(|| panic!("optimizer saw a new parameter group {slot}"));
+            assert_eq!(
+                v.len(),
+                params.len(),
+                "parameter group {slot} changed size since the first step"
+            );
+            for i in 0..params.len() {
+                let g = grads[i] * scale + decay * params[i];
+                v[i] = momentum * v[i] - lr * g;
+                params[i] += v[i];
+            }
+            slot += 1;
+        });
+        if !first_run {
+            assert_eq!(
+                slot,
+                velocity.len(),
+                "network has {slot} parameter groups but optimizer tracked {}",
+                velocity.len()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dronet_nn::{Activation, Conv2d, Layer};
+    use dronet_tensor::{Shape, Tensor};
+
+    fn one_conv_net() -> Network {
+        let mut net = Network::new(1, 4, 4);
+        net.push(Layer::conv(
+            Conv2d::new(1, 1, 1, 1, 0, Activation::Linear, false).unwrap(),
+        ));
+        net
+    }
+
+    /// Quadratic toy problem: minimise sum((w*x - t)^2) over one 1x1 conv.
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        let mut net = one_conv_net();
+        // start from a known weight
+        net.visit_params_mut(|p, _| {
+            for v in p.iter_mut() {
+                *v = 0.0;
+            }
+        });
+        let x = Tensor::ones(Shape::nchw(1, 1, 4, 4));
+        let target = Tensor::full(Shape::nchw(1, 1, 4, 4), 3.0);
+        let mut opt = Sgd::with_hyperparams(0.01, 0.0, 0.0);
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..200 {
+            let y = net.forward_train(&x).unwrap();
+            let diff = y.sub(&target).unwrap();
+            let loss = diff.dot(&diff).unwrap();
+            let mut grad = diff.clone();
+            grad.scale(2.0);
+            net.zero_grads();
+            // re-run forward to restore the cache consumed by backward
+            net.forward_train(&x).unwrap();
+            net.backward(&grad).unwrap();
+            opt.step(&mut net, 1);
+            assert!(loss <= last_loss + 1e-3, "loss went up: {last_loss} -> {loss}");
+            last_loss = loss;
+        }
+        assert!(last_loss < 1e-2, "did not converge: {last_loss}");
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let run = |momentum: f32| -> f32 {
+            let mut net = one_conv_net();
+            net.visit_params_mut(|p, _| p.iter_mut().for_each(|v| *v = 0.0));
+            let x = Tensor::ones(Shape::nchw(1, 1, 4, 4));
+            let target = Tensor::full(Shape::nchw(1, 1, 4, 4), 3.0);
+            let mut opt = Sgd::with_hyperparams(0.001, momentum, 0.0);
+            let mut best = f32::INFINITY;
+            for _ in 0..60 {
+                let y = net.forward_train(&x).unwrap();
+                let diff = y.sub(&target).unwrap();
+                best = best.min(diff.dot(&diff).unwrap());
+                let mut grad = diff;
+                grad.scale(2.0);
+                net.zero_grads();
+                net.forward_train(&x).unwrap();
+                net.backward(&grad).unwrap();
+                opt.step(&mut net, 1);
+            }
+            best
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut net = one_conv_net();
+        net.visit_params_mut(|p, _| p.iter_mut().for_each(|v| *v = 1.0));
+        let mut opt = Sgd::with_hyperparams(0.1, 0.0, 0.01);
+        // no forward/backward: gradients are zero, only decay acts
+        opt.step(&mut net, 1);
+        let mut w = 0.0;
+        net.visit_params_mut(|p, _| w = p[0]);
+        assert!(w < 1.0 && w > 0.99 - 0.01, "w = {w}");
+    }
+
+    #[test]
+    fn batch_size_scales_gradient() {
+        let make = |batch: usize| -> f32 {
+            let mut net = one_conv_net();
+            net.visit_params_mut(|p, _| p.iter_mut().for_each(|v| *v = 0.0));
+            // manually set gradient to 1.0
+            net.visit_params_mut(|_, g| g.iter_mut().for_each(|v| *v = 1.0));
+            let mut opt = Sgd::with_hyperparams(1.0, 0.0, 0.0);
+            opt.step(&mut net, batch);
+            let mut w = 0.0;
+            net.visit_params_mut(|p, _| w = p[0]);
+            w
+        };
+        assert!((make(1) - -1.0).abs() < 1e-6);
+        assert!((make(4) - -0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn zero_lr_rejected() {
+        Sgd::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_rejected() {
+        let mut net = one_conv_net();
+        Sgd::new(0.1).step(&mut net, 0);
+    }
+}

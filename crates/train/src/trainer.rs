@@ -1,0 +1,331 @@
+use crate::{LrSchedule, Sgd, YoloLoss, YoloLossConfig};
+use dronet_data::augment::{AugmentConfig, Augmenter};
+use dronet_data::dataset::VehicleDataset;
+use dronet_metrics::BBox;
+use dronet_nn::{Network, NnError};
+use dronet_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training-run configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training split.
+    pub epochs: usize,
+    /// Images per optimizer step.
+    pub batch_size: usize,
+    /// Learning-rate schedule (per batch).
+    pub schedule: LrSchedule,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// SGD weight decay.
+    pub weight_decay: f32,
+    /// Loss scales/thresholds.
+    pub loss: YoloLossConfig,
+    /// Whether to apply training-time augmentation.
+    pub augment: bool,
+    /// RNG seed for shuffling, augmentation and weight init.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 8,
+            schedule: LrSchedule::Burnin {
+                lr: 1e-3,
+                burnin: 20,
+                power: 4.0,
+            },
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            loss: YoloLossConfig::default(),
+            augment: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainReport {
+    /// Mean total loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Total optimizer steps taken.
+    pub batches: usize,
+    /// Images consumed (including augmented repeats).
+    pub images_seen: usize,
+}
+
+impl TrainReport {
+    /// Whether the loss decreased from the first to the last epoch.
+    pub fn improved(&self) -> bool {
+        match (self.epoch_losses.first(), self.epoch_losses.last()) {
+            (Some(first), Some(last)) => last < first,
+            _ => false,
+        }
+    }
+}
+
+/// Batch training loop for region-head detection networks.
+///
+/// Mirrors the paper's training stage: Darknet-style SGD over the vehicle
+/// dataset with the YOLO loss.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when epochs or batch size are zero.
+    pub fn new(config: TrainConfig) -> Self {
+        assert!(config.epochs > 0, "epochs must be positive");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        Trainer { config }
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `net` on the dataset's training split.
+    ///
+    /// The network must end in a region layer (its configuration defines
+    /// the loss); weights are (re-)initialised from the configured seed so
+    /// runs are reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadLayerConfig`] when the network has no region
+    /// head, and propagates forward/backward errors.
+    pub fn train(&self, net: &mut Network, dataset: &VehicleDataset) -> Result<TrainReport, NnError> {
+        self.train_with(net, dataset, |_, _| {})
+    }
+
+    /// Like [`Trainer::train`] but invokes `on_epoch(epoch_index,
+    /// mean_loss)` after every epoch (for logging/metrics hooks).
+    ///
+    /// # Errors
+    ///
+    /// See [`Trainer::train`].
+    pub fn train_with(
+        &self,
+        net: &mut Network,
+        dataset: &VehicleDataset,
+        mut on_epoch: impl FnMut(usize, f32),
+    ) -> Result<TrainReport, NnError> {
+        let region_cfg = net
+            .layers()
+            .last()
+            .and_then(|l| l.as_region())
+            .map(|r| r.config().clone())
+            .ok_or_else(|| NnError::BadLayerConfig {
+                layer: "region",
+                msg: "training requires a network ending in a region layer".to_string(),
+            })?;
+        let loss = YoloLoss::new(region_cfg, self.config.loss);
+        let (_, in_h, in_w) = net.input_chw();
+        if in_h != in_w {
+            return Err(NnError::BadLayerConfig {
+                layer: "net",
+                msg: format!("trainer expects square inputs, got {in_h}x{in_w}"),
+            });
+        }
+        let input = in_h;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+        net.init_weights(&mut rng);
+        let mut augmenter = Augmenter::new(AugmentConfig::default(), self.config.seed ^ 0xA0A0);
+        let mut opt =
+            Sgd::with_hyperparams(self.config.schedule.lr_at(0).max(1e-9), self.config.momentum, self.config.weight_decay);
+
+        let train_scenes = dataset.train();
+        if train_scenes.is_empty() {
+            return Err(NnError::BadLayerConfig {
+                layer: "net",
+                msg: "training split is empty".to_string(),
+            });
+        }
+
+        let mut report = TrainReport::default();
+        let mut batch_index = 0usize;
+        for epoch in 0..self.config.epochs {
+            let mut order: Vec<usize> = (0..train_scenes.len()).collect();
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f32;
+            let mut epoch_batches = 0usize;
+
+            for chunk in order.chunks(self.config.batch_size) {
+                let mut images: Vec<Tensor> = Vec::with_capacity(chunk.len());
+                let mut truths: Vec<Vec<(BBox, usize)>> = Vec::with_capacity(chunk.len());
+                for &idx in chunk {
+                    let scene = &train_scenes[idx];
+                    let annotated: Vec<(BBox, usize)> = scene
+                        .annotations
+                        .iter()
+                        .map(|a| (a.bbox, a.class))
+                        .collect();
+                    if self.config.augment {
+                        let (img, annotated) =
+                            augmenter.apply_with_classes(&scene.image, &annotated);
+                        images.push(img.resize(input, input).to_tensor());
+                        truths.push(annotated);
+                    } else {
+                        images.push(scene.image.resize(input, input).to_tensor());
+                        truths.push(annotated);
+                    }
+                }
+                let batch = Tensor::stack_batch(&images)?;
+                let output = net.forward_train(&batch)?;
+                let (breakdown, grad) = loss.evaluate_with_classes(&output, &truths)?;
+                net.backward(&grad)?;
+                opt.set_learning_rate(self.config.schedule.lr_at(batch_index).max(1e-9));
+                opt.step(net, chunk.len());
+                net.zero_grads();
+
+                epoch_loss += breakdown.total() / chunk.len() as f32;
+                epoch_batches += 1;
+                batch_index += 1;
+                report.images_seen += chunk.len();
+            }
+            let mean = epoch_loss / epoch_batches.max(1) as f32;
+            report.epoch_losses.push(mean);
+            report.batches = batch_index;
+            on_epoch(epoch, mean);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dronet_data::scene::SceneConfig;
+    use dronet_nn::{Activation, Conv2d, Layer, MaxPool2d, RegionConfig, RegionLayer};
+
+    /// A deliberately tiny detector so the test trains in seconds.
+    fn micro_net(input: usize) -> Network {
+        let mut net = Network::new(3, input, input);
+        net.push(Layer::conv(
+            Conv2d::new(3, 8, 3, 1, 1, Activation::Leaky, true).unwrap(),
+        ));
+        net.push(Layer::max_pool(MaxPool2d::new(2, 2).unwrap()));
+        net.push(Layer::conv(
+            Conv2d::new(8, 16, 3, 1, 1, Activation::Leaky, true).unwrap(),
+        ));
+        net.push(Layer::max_pool(MaxPool2d::new(2, 2).unwrap()));
+        net.push(Layer::conv(
+            Conv2d::new(16, 16, 3, 1, 1, Activation::Leaky, true).unwrap(),
+        ));
+        net.push(Layer::max_pool(MaxPool2d::new(2, 2).unwrap()));
+        net.push(Layer::conv(
+            Conv2d::new(16, 12, 1, 1, 0, Activation::Linear, false).unwrap(),
+        ));
+        net.push(Layer::region(
+            RegionLayer::new(RegionConfig {
+                anchors: vec![(0.8, 0.8), (2.0, 2.0)],
+                classes: 1,
+            })
+            .unwrap(),
+        ));
+        net
+    }
+
+    fn tiny_dataset() -> VehicleDataset {
+        VehicleDataset::generate(
+            SceneConfig {
+                width: 48,
+                height: 48,
+                min_vehicles: 2,
+                max_vehicles: 5,
+                ..SceneConfig::default()
+            },
+            12,
+            0.75,
+            7,
+        )
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut net = micro_net(48);
+        let dataset = tiny_dataset();
+        let config = TrainConfig {
+            epochs: 6,
+            batch_size: 3,
+            augment: false,
+            schedule: LrSchedule::Constant { lr: 2e-3 },
+            ..TrainConfig::default()
+        };
+        let report = Trainer::new(config).train(&mut net, &dataset).unwrap();
+        assert_eq!(report.epoch_losses.len(), 6);
+        assert!(
+            report.improved(),
+            "loss did not improve: {:?}",
+            report.epoch_losses
+        );
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+        assert_eq!(report.images_seen, 6 * 9);
+    }
+
+    #[test]
+    fn epoch_callback_fires() {
+        let mut net = micro_net(48);
+        let dataset = tiny_dataset();
+        let config = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            augment: true,
+            ..TrainConfig::default()
+        };
+        let mut calls = Vec::new();
+        Trainer::new(config)
+            .train_with(&mut net, &dataset, |e, l| calls.push((e, l)))
+            .unwrap();
+        assert_eq!(calls.len(), 2);
+        assert_eq!(calls[0].0, 0);
+        assert_eq!(calls[1].0, 1);
+    }
+
+    #[test]
+    fn training_is_reproducible() {
+        let dataset = tiny_dataset();
+        let config = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            ..TrainConfig::default()
+        };
+        let mut a = micro_net(48);
+        let mut b = micro_net(48);
+        let ra = Trainer::new(config.clone()).train(&mut a, &dataset).unwrap();
+        let rb = Trainer::new(config).train(&mut b, &dataset).unwrap();
+        assert_eq!(ra.epoch_losses, rb.epoch_losses);
+    }
+
+    #[test]
+    fn network_without_region_head_is_rejected() {
+        let mut net = Network::new(3, 48, 48);
+        net.push(Layer::conv(
+            Conv2d::new(3, 8, 3, 1, 1, Activation::Leaky, true).unwrap(),
+        ));
+        let err = Trainer::new(TrainConfig::default())
+            .train(&mut net, &tiny_dataset())
+            .unwrap_err();
+        assert!(err.to_string().contains("region"));
+    }
+
+    #[test]
+    #[should_panic(expected = "epochs must be positive")]
+    fn zero_epochs_panics() {
+        Trainer::new(TrainConfig {
+            epochs: 0,
+            ..TrainConfig::default()
+        });
+    }
+}

@@ -1,0 +1,44 @@
+//! Reproduces Fig. 1 (baseline network structures) and Fig. 2 (the DroNet
+//! architecture) as layer tables, together with the cost comparison that
+//! motivates the paper's design choices.
+//!
+//! ```text
+//! cargo run --release --example architectures
+//! ```
+
+use dronet::core::{zoo, ModelId};
+use dronet::eval::figures;
+use dronet::nn::cost::network_cost;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Fig. 1: baseline network structures (input 416) ===\n");
+    for summary in figures::fig1_architectures() {
+        println!("{summary}");
+    }
+
+    println!("=== Fig. 2: the proposed DroNet detector (input 512) ===\n");
+    println!("{}", figures::fig2_dronet());
+
+    println!("=== Cost comparison @416 (the design-space rationale) ===\n");
+    println!(
+        "{:<14} {:>10} {:>12} {:>14} {:>12}",
+        "model", "GFLOPs", "params", "weights (MB)", "vs DroNet"
+    );
+    let dronet_flops = {
+        let net = zoo::build(ModelId::DroNet, 416)?;
+        network_cost(&net).total_flops()
+    };
+    for id in ModelId::ALL {
+        let net = zoo::build(id, 416)?;
+        let cost = network_cost(&net);
+        println!(
+            "{:<14} {:>10.3} {:>12} {:>14.2} {:>11.1}x",
+            id.name(),
+            cost.total_gflops(),
+            cost.total_params(),
+            cost.weight_bytes() / (1024.0 * 1024.0),
+            cost.total_flops() / dronet_flops
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Regenerates every table and figure of the paper's evaluation section
+//! and verifies every quantitative claim. Pass `--markdown <path>` to also
+//! write the Markdown report that backs `EXPERIMENTS.md`.
+//!
+//! Pass `--csv <dir>` to also export the tables as CSV files.
+//!
+//! ```text
+//! cargo run --release --example reproduce_paper
+//! cargo run --release --example reproduce_paper -- --markdown report.md
+//! cargo run --release --example reproduce_paper -- --csv out/
+//! ```
+
+use dronet::eval::experiments;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suite = experiments::run_all();
+    print!("{}", suite.to_text());
+
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--markdown") {
+        let path = args.get(pos + 1).map(String::as_str).unwrap_or("report.md");
+        std::fs::write(path, suite.to_markdown())?;
+        println!("\nmarkdown report written to {path}");
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        let dir = args.get(pos + 1).map(String::as_str).unwrap_or("out");
+        suite.write_csv_dir(dir)?;
+        println!("\ncsv tables written to {dir}/");
+    }
+    Ok(())
+}
