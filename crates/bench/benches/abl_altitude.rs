@@ -20,13 +20,24 @@ fn config() -> Criterion {
 
 /// Detections = ground truth + clutter of infeasible sizes (buildings,
 /// specks), mimicking a detector with size-agnostic false positives.
-fn synthetic_stream(altitude: f32, px: usize) -> Vec<(Vec<(BBox, f32)>, Vec<BBox>)> {
+/// Per frame: scored detections plus the ground-truth boxes.
+type Frame = (Vec<(BBox, f32)>, Vec<BBox>);
+
+fn synthetic_stream(altitude: f32, px: usize) -> Vec<Frame> {
     let world = World::generate(WorldConfig::default(), 3);
     let flight = FlightSimulator::new(
         world,
         vec![
-            Waypoint { x: 40.0, y: 200.0, altitude_m: altitude },
-            Waypoint { x: 360.0, y: 200.0, altitude_m: altitude },
+            Waypoint {
+                x: 40.0,
+                y: 200.0,
+                altitude_m: altitude,
+            },
+            Waypoint {
+                x: 360.0,
+                y: 200.0,
+                altitude_m: altitude,
+            },
         ],
         16.0,
         2.0,
@@ -36,8 +47,7 @@ fn synthetic_stream(altitude: f32, px: usize) -> Vec<(Vec<(BBox, f32)>, Vec<BBox
     flight
         .map(|frame| {
             let gt: Vec<BBox> = frame.annotations.iter().map(|a| a.bbox).collect();
-            let mut dets: Vec<(BBox, f32)> =
-                gt.iter().map(|b| (*b, 0.9f32)).collect();
+            let mut dets: Vec<(BBox, f32)> = gt.iter().map(|b| (*b, 0.9f32)).collect();
             // Clutter: 3 infeasible false positives per frame.
             for _ in 0..3 {
                 let fp = if rng.gen() {

@@ -52,19 +52,17 @@ fn bench_im2col(c: &mut Criterion) {
             pad: 1,
         };
         let x = init::uniform(Shape::nchw(1, ch, hw, hw), -1.0, 1.0, &mut rng(2));
-        group.bench_function(BenchmarkId::from_parameter(format!("{ch}x{hw}x{hw}")), |b| {
-            b.iter(|| std::hint::black_box(im2col(&x, &geom).unwrap().len()))
-        });
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{ch}x{hw}x{hw}")),
+            |b| b.iter(|| std::hint::black_box(im2col(&x, &geom).unwrap().len())),
+        );
     }
     group.finish();
 }
 
 fn bench_conv_layer(c: &mut Criterion) {
     let mut group = c.benchmark_group("conv_forward");
-    for &(cin, cout, hw, label) in &[
-        (3usize, 8usize, 256usize, "stem"),
-        (64, 128, 16, "deep"),
-    ] {
+    for &(cin, cout, hw, label) in &[(3usize, 8usize, 256usize, "stem"), (64, 128, 16, "deep")] {
         let mut conv = Conv2d::new(cin, cout, 3, 1, 1, Activation::Leaky, true).unwrap();
         conv.init_weights(&mut rng(3));
         let x = init::uniform(Shape::nchw(1, cin, hw, hw), -1.0, 1.0, &mut rng(4));

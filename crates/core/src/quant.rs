@@ -133,10 +133,7 @@ impl QuantizedConv2d {
         for b in 0..n {
             let item = x.batch_item(b)?;
             // Dynamic per-tensor activation quantization.
-            let max_abs = item
-                .as_slice()
-                .iter()
-                .fold(0.0f32, |m, &v| m.max(v.abs()));
+            let max_abs = item.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
             let xscale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
             let cols = im2col(&item, &geom)?;
             let qcols: Vec<i8> = cols

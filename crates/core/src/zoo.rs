@@ -77,7 +77,11 @@ pub struct ParseModelIdError {
 
 impl fmt::Display for ParseModelIdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown model {:?} (expected one of DroNet, TinyYoloVoc, TinyYoloNet, SmallYoloV3)", self.name)
+        write!(
+            f,
+            "unknown model {:?} (expected one of DroNet, TinyYoloVoc, TinyYoloNet, SmallYoloV3)",
+            self.name
+        )
     }
 }
 
@@ -193,17 +197,76 @@ pub fn micro_detector(
     let head = anchors.len() * (5 + classes);
     let w = |c: usize| c * width;
     let mut net = Network::new(3, input, input);
-    net.push(Layer::conv(Conv2d::new(3, w(8), 3, 1, 1, Activation::Leaky, true)?));
+    net.push(Layer::conv(Conv2d::new(
+        3,
+        w(8),
+        3,
+        1,
+        1,
+        Activation::Leaky,
+        true,
+    )?));
     net.push(Layer::max_pool(MaxPool2d::new(2, 2)?));
-    net.push(Layer::conv(Conv2d::new(w(8), w(16), 3, 1, 1, Activation::Leaky, true)?));
+    net.push(Layer::conv(Conv2d::new(
+        w(8),
+        w(16),
+        3,
+        1,
+        1,
+        Activation::Leaky,
+        true,
+    )?));
     net.push(Layer::max_pool(MaxPool2d::new(2, 2)?));
-    net.push(Layer::conv(Conv2d::new(w(16), w(32), 3, 1, 1, Activation::Leaky, true)?));
+    net.push(Layer::conv(Conv2d::new(
+        w(16),
+        w(32),
+        3,
+        1,
+        1,
+        Activation::Leaky,
+        true,
+    )?));
     net.push(Layer::max_pool(MaxPool2d::new(2, 2)?));
-    net.push(Layer::conv(Conv2d::new(w(32), w(32), 3, 1, 1, Activation::Leaky, true)?));
-    net.push(Layer::conv(Conv2d::new(w(32), w(16), 1, 1, 0, Activation::Leaky, true)?));
-    net.push(Layer::conv(Conv2d::new(w(16), w(32), 3, 1, 1, Activation::Leaky, true)?));
-    net.push(Layer::conv(Conv2d::new(w(32), head, 1, 1, 0, Activation::Linear, false)?));
-    net.push(Layer::region(RegionLayer::new(RegionConfig { anchors, classes })?));
+    net.push(Layer::conv(Conv2d::new(
+        w(32),
+        w(32),
+        3,
+        1,
+        1,
+        Activation::Leaky,
+        true,
+    )?));
+    net.push(Layer::conv(Conv2d::new(
+        w(32),
+        w(16),
+        1,
+        1,
+        0,
+        Activation::Leaky,
+        true,
+    )?));
+    net.push(Layer::conv(Conv2d::new(
+        w(16),
+        w(32),
+        3,
+        1,
+        1,
+        Activation::Leaky,
+        true,
+    )?));
+    net.push(Layer::conv(Conv2d::new(
+        w(32),
+        head,
+        1,
+        1,
+        0,
+        Activation::Linear,
+        false,
+    )?));
+    net.push(Layer::region(RegionLayer::new(RegionConfig {
+        anchors,
+        classes,
+    })?));
     Ok(net)
 }
 
@@ -279,13 +342,16 @@ mod tests {
 
     #[test]
     fn input_size_sweep_changes_cost_quadratically() {
-        let g352 = dronet_nn::cost::network_cost(&build(ModelId::DroNet, 352).unwrap())
-            .total_gflops();
-        let g608 = dronet_nn::cost::network_cost(&build(ModelId::DroNet, 608).unwrap())
-            .total_gflops();
+        let g352 =
+            dronet_nn::cost::network_cost(&build(ModelId::DroNet, 352).unwrap()).total_gflops();
+        let g608 =
+            dronet_nn::cost::network_cost(&build(ModelId::DroNet, 608).unwrap()).total_gflops();
         let ratio = g608 / g352;
         let expected = (608.0f64 / 352.0).powi(2);
-        assert!((ratio / expected - 1.0).abs() < 0.1, "ratio {ratio} vs {expected}");
+        assert!(
+            (ratio / expected - 1.0).abs() < 0.1,
+            "ratio {ratio} vs {expected}"
+        );
     }
 
     #[test]
@@ -294,7 +360,10 @@ mod tests {
             assert_eq!(id.name().parse::<ModelId>().unwrap(), id);
         }
         assert!("yolo9000".parse::<ModelId>().is_err());
-        assert_eq!("tiny-yolo-voc".parse::<ModelId>().unwrap(), ModelId::TinyYoloVoc);
+        assert_eq!(
+            "tiny-yolo-voc".parse::<ModelId>().unwrap(),
+            ModelId::TinyYoloVoc
+        );
     }
 
     #[test]

@@ -99,10 +99,7 @@ impl Augmenter {
                 b.cy += ty;
             }
             boxes.retain(|(b, _)| b.visible_fraction() >= 0.5);
-            boxes = boxes
-                .iter()
-                .map(|&(b, c)| (b.clamp_unit(), c))
-                .collect();
+            boxes = boxes.iter().map(|&(b, c)| (b.clamp_unit(), c)).collect();
         }
         if self.config.brightness_jitter > 0.0 {
             let gain = 1.0
@@ -113,9 +110,12 @@ impl Augmenter {
         }
         if self.config.color_jitter > 0.0 {
             let jitter: [f32; 3] = [
-                self.rng.gen_range(-self.config.color_jitter..self.config.color_jitter),
-                self.rng.gen_range(-self.config.color_jitter..self.config.color_jitter),
-                self.rng.gen_range(-self.config.color_jitter..self.config.color_jitter),
+                self.rng
+                    .gen_range(-self.config.color_jitter..self.config.color_jitter),
+                self.rng
+                    .gen_range(-self.config.color_jitter..self.config.color_jitter),
+                self.rng
+                    .gen_range(-self.config.color_jitter..self.config.color_jitter),
             ];
             img = color_shift(&img, jitter);
         }

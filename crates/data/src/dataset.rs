@@ -161,7 +161,10 @@ mod tests {
         let ds = VehicleDataset::generate(config(), 6, 0.5, 3);
         assert_eq!(
             ds.total_vehicles(),
-            ds.scenes().iter().map(|s| s.annotations.len()).sum::<usize>()
+            ds.scenes()
+                .iter()
+                .map(|s| s.annotations.len())
+                .sum::<usize>()
         );
         assert!(ds.total_vehicles() > 0);
     }
@@ -203,8 +206,16 @@ mod tests {
         let flight = FlightSimulator::new(
             world,
             vec![
-                Waypoint { x: 50.0, y: 200.0, altitude_m: 25.0 },
-                Waypoint { x: 150.0, y: 200.0, altitude_m: 25.0 },
+                Waypoint {
+                    x: 50.0,
+                    y: 200.0,
+                    altitude_m: 25.0,
+                },
+                Waypoint {
+                    x: 150.0,
+                    y: 200.0,
+                    altitude_m: 25.0,
+                },
             ],
             10.0,
             1.0,

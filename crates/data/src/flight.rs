@@ -82,8 +82,12 @@ impl World {
             let (x, y, angle) = if on_road {
                 (
                     rng.gen_range(0.0..config.size_m),
-                    road_y + rng.gen_range(-config.road_half_width_m * 0.8..config.road_half_width_m * 0.8),
-                    rng.gen_range(-0.1..0.1f32) + if rng.gen() { 0.0 } else { std::f32::consts::PI },
+                    road_y
+                        + rng.gen_range(
+                            -config.road_half_width_m * 0.8..config.road_half_width_m * 0.8,
+                        ),
+                    rng.gen_range(-0.1..0.1f32)
+                        + if rng.gen() { 0.0 } else { std::f32::consts::PI },
                 )
             } else {
                 (
@@ -223,8 +227,14 @@ impl FlightSimulator {
         camera_fps: f32,
         frame_px: usize,
     ) -> Self {
-        assert!(waypoints.len() >= 2, "a flight needs at least two waypoints");
-        assert!(speed_mps > 0.0 && camera_fps > 0.0, "speed and fps must be positive");
+        assert!(
+            waypoints.len() >= 2,
+            "a flight needs at least two waypoints"
+        );
+        assert!(
+            speed_mps > 0.0 && camera_fps > 0.0,
+            "speed and fps must be positive"
+        );
         let mut cumdist = vec![0.0f32];
         for pair in waypoints.windows(2) {
             let d = ((pair[1].x - pair[0].x).powi(2) + (pair[1].y - pair[0].y).powi(2)).sqrt();
@@ -380,8 +390,16 @@ mod tests {
         FlightSimulator::new(
             world(),
             vec![
-                Waypoint { x: 50.0, y: 200.0, altitude_m: altitude },
-                Waypoint { x: 350.0, y: 200.0, altitude_m: altitude },
+                Waypoint {
+                    x: 50.0,
+                    y: 200.0,
+                    altitude_m: altitude,
+                },
+                Waypoint {
+                    x: 350.0,
+                    y: 200.0,
+                    altitude_m: altitude,
+                },
             ],
             10.0,
             2.0,
@@ -414,7 +432,10 @@ mod tests {
             fov_rad: 1.0,
             frame_px: 256,
         };
-        let high = Camera { altitude_m: 120.0, ..low };
+        let high = Camera {
+            altitude_m: 120.0,
+            ..low
+        };
         assert!(low.expected_pixel_size(4.5) > 3.9 * high.expected_pixel_size(4.5));
     }
 
@@ -458,8 +479,16 @@ mod tests {
         let sim = FlightSimulator::new(
             world(),
             vec![
-                Waypoint { x: 0.0, y: 200.0, altitude_m: 40.0 },
-                Waypoint { x: 100.0, y: 200.0, altitude_m: 120.0 },
+                Waypoint {
+                    x: 0.0,
+                    y: 200.0,
+                    altitude_m: 40.0,
+                },
+                Waypoint {
+                    x: 100.0,
+                    y: 200.0,
+                    altitude_m: 120.0,
+                },
             ],
             10.0,
             1.0,
@@ -488,6 +517,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "two waypoints")]
     fn single_waypoint_panics() {
-        FlightSimulator::new(world(), vec![Waypoint { x: 0.0, y: 0.0, altitude_m: 50.0 }], 10.0, 1.0, 64);
+        FlightSimulator::new(
+            world(),
+            vec![Waypoint {
+                x: 0.0,
+                y: 0.0,
+                altitude_m: 50.0,
+            }],
+            10.0,
+            1.0,
+            64,
+        );
     }
 }

@@ -61,7 +61,10 @@ impl Image {
     ///
     /// Panics when the coordinate is out of bounds.
     pub fn pixel(&self, x: usize, y: usize) -> Color {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         let i = (y * self.width + x) * 3;
         [self.data[i], self.data[i + 1], self.data[i + 2]]
     }
@@ -82,6 +85,7 @@ impl Image {
             return;
         }
         let i = (y as usize * self.width + x as usize) * 3;
+        #[allow(clippy::needless_range_loop)] // c indexes both sides of the blend
         for c in 0..3 {
             self.data[i + c] = self.data[i + c] * (1.0 - alpha) + color[c] * alpha;
         }
@@ -116,6 +120,7 @@ impl Image {
     }
 
     /// Like [`Image::fill_rotated_rect`] but alpha-blended.
+    #[allow(clippy::too_many_arguments)] // geometry + colour + alpha, all scalar
     pub fn blend_rotated_rect(
         &mut self,
         cx: f32,
@@ -423,8 +428,8 @@ mod tests {
         for y in 0..5 {
             for x in 0..3 {
                 let p = small.pixel(x, y);
-                for c in 0..3 {
-                    assert!((p[c] - img.pixel(0, 0)[c]).abs() < 1e-5);
+                for (c, &v) in p.iter().enumerate() {
+                    assert!((v - img.pixel(0, 0)[c]).abs() < 1e-5);
                 }
             }
         }

@@ -73,7 +73,10 @@ impl SceneConfig {
     /// Validates the configuration, panicking with a clear message on
     /// nonsense values. Used by constructors.
     fn assert_valid(&self) {
-        assert!(self.width >= 32 && self.height >= 32, "scene must be at least 32x32");
+        assert!(
+            self.width >= 32 && self.height >= 32,
+            "scene must be at least 32x32"
+        );
         assert!(
             self.min_vehicles <= self.max_vehicles,
             "min_vehicles {} exceeds max_vehicles {}",
@@ -285,7 +288,11 @@ impl SceneGenerator {
     /// Finds a placement for a vehicle, avoiding heavy overlap with the
     /// already placed ones. Returns `(cx, cy, len_px, angle)` in pixels, or
     /// `None` when no free spot was found.
-    fn place_vehicle(&mut self, kind: SceneKind, placed: &[(BBox, f32)]) -> Option<(f32, f32, f32, f32)> {
+    fn place_vehicle(
+        &mut self,
+        kind: SceneKind,
+        placed: &[(BBox, f32)],
+    ) -> Option<(f32, f32, f32, f32)> {
         let (w, h) = (self.config.width as f32, self.config.height as f32);
         let min_dim = w.min(h);
         for _attempt in 0..24 {
@@ -310,15 +317,18 @@ impl SceneGenerator {
                         self.rng.gen_range(0.0..w)
                     };
                     let angle = self.rng.gen_range(-0.12..0.12f32)
-                        + if self.rng.gen() { 0.0 } else { std::f32::consts::PI };
+                        + if self.rng.gen() {
+                            0.0
+                        } else {
+                            std::f32::consts::PI
+                        };
                     (cx, cy, angle)
                 }
                 SceneKind::Parking => {
                     // Grid slots, vertical orientation with jitter.
                     let cols = 6.max((w / (len * 1.6)) as usize);
                     let col = self.rng.gen_range(0..cols);
-                    let cx = (col as f32 + 0.5) * w / cols as f32
-                        + self.rng.gen_range(-2.0..2.0);
+                    let cx = (col as f32 + 0.5) * w / cols as f32 + self.rng.gen_range(-2.0..2.0);
                     let cy = if at_edge {
                         if self.rng.gen() {
                             self.rng.gen_range(-len * 0.4..len * 0.4)
@@ -354,6 +364,7 @@ impl SceneGenerator {
     /// Draws one structured vehicle sprite: shadow, body, cabin,
     /// windshield. The internal structure gives the CNN real sub-features
     /// to key on, like real top-view vehicles have.
+    #[allow(clippy::too_many_arguments)] // sprite pose + dimensions, all scalar
     fn draw_vehicle(
         &mut self,
         image: &mut Image,
@@ -422,7 +433,13 @@ impl SceneGenerator {
         let cols = 6;
         for c in 0..=cols {
             let x = c as f32 * w as f32 / cols as f32;
-            image.fill_rect(x - 0.7, h as f32 * 0.05, 1.4, h as f32 * 0.9, [0.8, 0.8, 0.75]);
+            image.fill_rect(
+                x - 0.7,
+                h as f32 * 0.05,
+                1.4,
+                h as f32 * 0.9,
+                [0.8, 0.8, 0.75],
+            );
         }
         image
     }
@@ -435,7 +452,12 @@ impl SceneGenerator {
             self.jitter_color([0.45, 0.38, 0.28], 0.06) // soil
         };
         let mut image = Image::new(w, h, base);
-        self.speckle(&mut image, 900, 2.0, [base[0] * 0.8, base[1] * 0.8, base[2] * 0.8]);
+        self.speckle(
+            &mut image,
+            900,
+            2.0,
+            [base[0] * 0.8, base[1] * 0.8, base[2] * 0.8],
+        );
         // A building or two.
         for _ in 0..self.rng.gen_range(0..3) {
             let bw = self.rng.gen_range(0.1..0.25) * w as f32;
@@ -576,11 +598,7 @@ mod tests {
             let inside = scene.image.pixel(cx.min(95), cy.min(95));
             // Some pixel inside differs from the top-left background corner.
             let bg = scene.image.pixel(0, 0);
-            let diff: f32 = inside
-                .iter()
-                .zip(&bg)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let diff: f32 = inside.iter().zip(&bg).map(|(a, b)| (a - b).abs()).sum();
             assert!(diff > 0.01, "vehicle blends into background: {diff}");
         }
     }

@@ -56,7 +56,12 @@ pub fn decode(
     let a = region.num_anchors();
     if s.rank() != 4 || s.channels() != a * entries {
         return Err(DetectError::BadNetworkOutput {
-            expected: format!("{} channels ({} anchors x {} entries)", a * entries, a, entries),
+            expected: format!(
+                "{} channels ({} anchors x {} entries)",
+                a * entries,
+                a,
+                entries
+            ),
             actual: format!("{s}"),
         });
     }
@@ -176,7 +181,8 @@ mod tests {
         let plane = 4;
         let mut t = Tensor::zeros(Shape::nchw(2, r.channels(), 2, 2));
         // batch 1, anchor 0, cell 3 lights up.
-        let base = (1 * 2 + 0) * 6 * plane;
+        let (batch, anchor) = (1, 0);
+        let base = (batch * 2 + anchor) * 6 * plane;
         t.as_mut_slice()[base + 4 * plane + 3] = 0.8;
         assert!(decode(&t, &r, 0, 0.5).unwrap().is_empty());
         assert_eq!(decode(&t, &r, 1, 0.5).unwrap().len(), 1);

@@ -4,6 +4,7 @@ use crate::nms::non_max_suppression;
 use crate::{DetectError, Result};
 use dronet_metrics::FpsMeter;
 use dronet_nn::{Network, RegionConfig};
+use dronet_obs::{Histogram, Registry};
 use dronet_tensor::Tensor;
 
 /// Builder for [`Detector`] (thresholds, optional altitude gating).
@@ -27,6 +28,7 @@ pub struct DetectorBuilder {
     confidence_threshold: f32,
     nms_threshold: f32,
     altitude_filter: Option<AltitudeFilter>,
+    obs: Registry,
 }
 
 impl DetectorBuilder {
@@ -39,7 +41,16 @@ impl DetectorBuilder {
             confidence_threshold: 0.5,
             nms_threshold: 0.45,
             altitude_filter: None,
+            obs: Registry::noop(),
         }
+    }
+
+    /// Attaches telemetry: every [`Detector::detect`] records per-stage
+    /// latency histograms (`detect.forward`, `detect.decode`, `detect.nms`)
+    /// into `obs`, and the wrapped network its per-layer timings.
+    pub fn observability(mut self, obs: &Registry) -> Self {
+        self.obs = obs.clone();
+        self
     }
 
     /// Sets the minimum `objectness * class_prob` to keep a candidate.
@@ -87,13 +98,22 @@ impl DetectorBuilder {
                 });
             }
         }
+        let mut network = self.network;
+        if self.obs.is_enabled() {
+            network.set_observability(&self.obs);
+        }
         Ok(Detector {
-            network: self.network,
+            network,
             region,
             confidence_threshold: self.confidence_threshold,
             nms_threshold: self.nms_threshold,
             altitude_filter: self.altitude_filter,
             fps: FpsMeter::new(),
+            // Stage handles are cached once here so the per-frame path
+            // never touches the registry's lock (inert when unobserved).
+            forward_hist: self.obs.histogram("detect.forward"),
+            decode_hist: self.obs.histogram("detect.decode"),
+            nms_hist: self.obs.histogram("detect.nms"),
         })
     }
 }
@@ -108,6 +128,9 @@ pub struct Detector {
     nms_threshold: f32,
     altitude_filter: Option<AltitudeFilter>,
     fps: FpsMeter,
+    forward_hist: Histogram,
+    decode_hist: Histogram,
+    nms_hist: Histogram,
 }
 
 impl Detector {
@@ -161,12 +184,18 @@ impl Detector {
     /// Propagates network and decode errors.
     pub fn detect(&mut self, image: &Tensor) -> Result<Vec<Detection>> {
         self.fps.start();
+        let span = self.forward_hist.start();
         let output = self.network.forward(image)?;
+        span.stop();
+        let span = self.decode_hist.start();
         let candidates = decode(&output, &self.region, 0, self.confidence_threshold)?;
+        span.stop();
+        let span = self.nms_hist.start();
         let mut kept = non_max_suppression(candidates, self.nms_threshold);
         if let Some(filter) = &self.altitude_filter {
             kept.retain(|d| filter.is_feasible(&d.bbox));
         }
+        span.stop();
         self.fps.stop();
         Ok(kept)
     }
@@ -178,15 +207,21 @@ impl Detector {
     /// Propagates network and decode errors.
     pub fn detect_batch(&mut self, images: &Tensor) -> Result<Vec<Vec<Detection>>> {
         self.fps.start();
+        let span = self.forward_hist.start();
         let output = self.network.forward(images)?;
+        span.stop();
         let n = output.shape().batch();
         let mut all = Vec::with_capacity(n);
         for b in 0..n {
+            let span = self.decode_hist.start();
             let candidates = decode(&output, &self.region, b, self.confidence_threshold)?;
+            span.stop();
+            let span = self.nms_hist.start();
             let mut kept = non_max_suppression(candidates, self.nms_threshold);
             if let Some(filter) = &self.altitude_filter {
                 kept.retain(|d| filter.is_feasible(&d.bbox));
             }
+            span.stop();
             all.push(kept);
         }
         self.fps.stop();
@@ -249,6 +284,31 @@ mod tests {
         assert!(det.fps_meter().fps().0 > 0.0);
         det.reset_fps();
         assert_eq!(det.fps_meter().frames(), 0);
+    }
+
+    #[test]
+    fn observed_detector_records_stage_timings() {
+        let obs = Registry::new();
+        let mut det = DetectorBuilder::new(tiny_detector_net())
+            .observability(&obs)
+            .build()
+            .unwrap();
+        let x = Tensor::zeros(Shape::nchw(1, 3, 32, 32));
+        det.detect(&x).unwrap();
+        det.detect(&x).unwrap();
+        let snap = obs.snapshot();
+        for stage in ["detect.forward", "detect.decode", "detect.nms"] {
+            assert_eq!(snap.histogram(stage).unwrap().count, 2, "stage {stage}");
+        }
+        // The wrapped network is observed too: one histogram per layer.
+        assert_eq!(snap.histogram("nn.forward.total").unwrap().count, 2);
+        assert_eq!(snap.histogram("nn.forward.L00.conv").unwrap().count, 2);
+        // Batch mode records decode/NMS once per image.
+        det.detect_batch(&Tensor::zeros(Shape::nchw(3, 3, 32, 32)))
+            .unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.histogram("detect.forward").unwrap().count, 3);
+        assert_eq!(snap.histogram("detect.decode").unwrap().count, 5);
     }
 
     #[test]

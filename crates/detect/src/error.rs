@@ -30,7 +30,10 @@ impl fmt::Display for DetectError {
         match self {
             DetectError::Network(e) => write!(f, "network failure: {e}"),
             DetectError::BadNetworkOutput { expected, actual } => {
-                write!(f, "network output mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "network output mismatch: expected {expected}, got {actual}"
+                )
             }
             DetectError::BadConfig { param, msg } => write!(f, "bad {param}: {msg}"),
             DetectError::MissingRegionHead => {
@@ -63,7 +66,9 @@ mod tests {
     fn error_bounds_and_display() {
         fn assert_bounds<T: Send + Sync + 'static>() {}
         assert_bounds::<DetectError>();
-        assert!(DetectError::MissingRegionHead.to_string().contains("region"));
+        assert!(DetectError::MissingRegionHead
+            .to_string()
+            .contains("region"));
     }
 
     #[test]

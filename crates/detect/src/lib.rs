@@ -48,6 +48,7 @@ pub mod track;
 pub use decode::Detection;
 pub use detector::{Detector, DetectorBuilder};
 pub use error::DetectError;
+pub use pipeline::{FrameResult, PipelineReport, VideoPipeline};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, DetectError>;

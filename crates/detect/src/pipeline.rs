@@ -12,11 +12,20 @@
 //!   single-slot queue (the camera's frame buffer) while the detector
 //!   drains it; frames arriving while the detector is busy are dropped,
 //!   exactly like a real-time deployment whose camera outpaces compute.
+//!
+//! Both modes have `_observed` variants taking a [`Registry`] that record
+//! per-stage latency histograms (`pipeline.preprocess`, `pipeline.frame`),
+//! a `pipeline.queue_depth` gauge and `pipeline.frames` / `pipeline.dropped`
+//! counters; the plain entry points delegate to them with a noop registry,
+//! so the unobserved hot path pays only inert-handle checks.
 
 use crate::{Detection, Detector, Result};
 use dronet_metrics::{Fps, FpsMeter};
+use dronet_obs::Registry;
 use dronet_tensor::Tensor;
-use std::time::Duration;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, TrySendError};
+use std::time::{Duration, Instant};
 
 /// Result of processing one frame.
 #[derive(Debug, Clone)]
@@ -70,7 +79,13 @@ impl PipelineReport {
     /// How many frames a camera producing at `camera_fps` would have
     /// dropped while each processed frame was being computed (synchronous
     /// mode's analytic equivalent of the threaded drop counter).
+    ///
+    /// Non-positive or non-finite `camera_fps` (a camera that never
+    /// produces a frame) and empty runs both estimate zero drops.
     pub fn estimated_drops_at(&self, camera_fps: f64) -> usize {
+        if !(camera_fps.is_finite() && camera_fps > 0.0) || self.frames.is_empty() {
+            return 0;
+        }
         let frame_interval = 1.0 / camera_fps;
         self.frames
             .iter()
@@ -96,10 +111,39 @@ impl VideoPipeline {
         detector: &mut Detector,
         frames: impl IntoIterator<Item = Tensor>,
     ) -> Result<PipelineReport> {
+        Self::run_observed(detector, frames, &Registry::noop())
+    }
+
+    /// Synchronous mode with telemetry: frame acquisition (the iterator's
+    /// `next()`, standing in for camera readout + preprocessing) is timed
+    /// into `pipeline.preprocess`, each detector pass into `pipeline.frame`,
+    /// and processed frames counted into `pipeline.frames`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first detector error.
+    pub fn run_observed(
+        detector: &mut Detector,
+        frames: impl IntoIterator<Item = Tensor>,
+        obs: &Registry,
+    ) -> Result<PipelineReport> {
+        let preprocess = obs.histogram("pipeline.preprocess");
+        let frame_hist = obs.histogram("pipeline.frame");
+        let frames_counter = obs.counter("pipeline.frames");
         let mut report = PipelineReport::default();
-        for (frame_index, frame) in frames.into_iter().enumerate() {
-            let t0 = std::time::Instant::now();
+        let mut iter = frames.into_iter();
+        for frame_index in 0.. {
+            let acquire = preprocess.start();
+            let Some(frame) = iter.next() else {
+                acquire.cancel();
+                break;
+            };
+            acquire.stop();
+            let t0 = Instant::now();
+            let span = frame_hist.start();
             let detections = detector.detect(&frame)?;
+            span.stop();
+            frames_counter.inc();
             report.frames.push(FrameResult {
                 frame_index,
                 detections,
@@ -122,43 +166,90 @@ impl VideoPipeline {
         detector: &mut Detector,
         frames: impl IntoIterator<Item = Tensor> + Send,
     ) -> Result<PipelineReport> {
+        Self::run_threaded_observed(detector, frames, &Registry::noop())
+    }
+
+    /// Threaded mode with telemetry: in addition to the synchronous-mode
+    /// metrics, the producer records frame acquisition into
+    /// `pipeline.preprocess`, dropped frames into `pipeline.dropped`, and
+    /// the consumer mirrors buffer occupancy in `pipeline.queue_depth`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first detector error; the producer thread is joined
+    /// either way.
+    pub fn run_threaded_observed(
+        detector: &mut Detector,
+        frames: impl IntoIterator<Item = Tensor> + Send,
+        obs: &Registry,
+    ) -> Result<PipelineReport> {
+        let preprocess = obs.histogram("pipeline.preprocess");
+        let frame_hist = obs.histogram("pipeline.frame");
+        let frames_counter = obs.counter("pipeline.frames");
+        let dropped_counter = obs.counter("pipeline.dropped");
+        let queue_depth = obs.gauge("pipeline.queue_depth");
+
         let mut report = PipelineReport::default();
         let mut first_error = None;
-        let dropped = parking_lot::Mutex::new(0usize);
-        crossbeam::thread::scope(|s| {
-            let (tx, rx) = crossbeam::channel::bounded::<(usize, Tensor)>(1);
+        let dropped = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            // Single-slot camera buffer, as in the paper's deployment: a
+            // frame arriving while the detector is still busy with the
+            // buffered one is lost.
+            let (tx, rx) = sync_channel::<(usize, Tensor)>(1);
             let dropped_ref = &dropped;
-            s.spawn(move |_| {
-                for (i, frame) in frames.into_iter().enumerate() {
-                    // Single-slot camera buffer: a frame arriving while the
-                    // detector is still busy with the buffered one is lost.
-                    match tx.try_send((i, frame)) {
-                        Ok(()) => {}
-                        Err(crossbeam::channel::TrySendError::Full(_)) => {
-                            *dropped_ref.lock() += 1;
+            let producer = s.spawn({
+                let preprocess = preprocess.clone();
+                let dropped_counter = dropped_counter.clone();
+                let queue_depth = queue_depth.clone();
+                move || {
+                    let mut iter = frames.into_iter();
+                    for i in 0.. {
+                        let acquire = preprocess.start();
+                        let Some(frame) = iter.next() else {
+                            acquire.cancel();
+                            break;
+                        };
+                        acquire.stop();
+                        match tx.try_send((i, frame)) {
+                            Ok(()) => queue_depth.add(1.0),
+                            Err(TrySendError::Full(_)) => {
+                                dropped_ref.fetch_add(1, Ordering::Relaxed);
+                                dropped_counter.inc();
+                            }
+                            Err(TrySendError::Disconnected(_)) => break,
                         }
-                        Err(crossbeam::channel::TrySendError::Disconnected(_)) => break,
                     }
+                    // tx drops here, closing the stream.
                 }
-                // tx drops here, closing the stream.
             });
             for (frame_index, frame) in rx.iter() {
-                let t0 = std::time::Instant::now();
+                queue_depth.sub(1.0);
+                let t0 = Instant::now();
+                let span = frame_hist.start();
                 match detector.detect(&frame) {
-                    Ok(detections) => report.frames.push(FrameResult {
-                        frame_index,
-                        detections,
-                        latency: t0.elapsed(),
-                    }),
+                    Ok(detections) => {
+                        span.stop();
+                        frames_counter.inc();
+                        report.frames.push(FrameResult {
+                            frame_index,
+                            detections,
+                            latency: t0.elapsed(),
+                        });
+                    }
                     Err(e) => {
                         first_error = Some(e);
                         break;
                     }
                 }
             }
-            report.dropped = *dropped.lock();
-        })
-        .expect("pipeline producer thread panicked");
+            // On error the loop exits with the channel still open: drop the
+            // receiver so the producer sees Disconnected and terminates,
+            // then join it before reading the drop count.
+            drop(rx);
+            producer.join().expect("pipeline producer thread panicked");
+            report.dropped = dropped.load(Ordering::Relaxed);
+        });
         match first_error {
             Some(e) => Err(e),
             None => Ok(report),
@@ -220,6 +311,17 @@ mod tests {
     }
 
     #[test]
+    fn drop_estimation_handles_degenerate_camera_rates() {
+        let mut det = tiny_detector();
+        let report = VideoPipeline::run(&mut det, frames(2)).unwrap();
+        assert_eq!(report.estimated_drops_at(0.0), 0);
+        assert_eq!(report.estimated_drops_at(-30.0), 0);
+        assert_eq!(report.estimated_drops_at(f64::NAN), 0);
+        assert_eq!(report.estimated_drops_at(f64::INFINITY), 0);
+        assert_eq!(PipelineReport::default().estimated_drops_at(30.0), 0);
+    }
+
+    #[test]
     fn threaded_mode_accounts_for_every_frame() {
         let mut det = tiny_detector();
         let n = 30;
@@ -247,5 +349,44 @@ mod tests {
         assert_eq!(report.total_detections(), 0);
         let report = VideoPipeline::run_threaded(&mut det, frames(0)).unwrap();
         assert_eq!(report.processed(), 0);
+    }
+
+    #[test]
+    fn observed_sync_run_records_stage_metrics() {
+        let mut det = tiny_detector();
+        let obs = Registry::new();
+        let report = VideoPipeline::run_observed(&mut det, frames(4), &obs).unwrap();
+        assert_eq!(report.processed(), 4);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("pipeline.frames"), Some(4));
+        let frame = snap.histogram("pipeline.frame").unwrap();
+        assert_eq!(frame.count, 4);
+        assert!(frame.p99_ns >= frame.p50_ns);
+        // One acquisition per yielded frame (the end-of-stream probe is
+        // cancelled, not recorded).
+        assert_eq!(snap.histogram("pipeline.preprocess").unwrap().count, 4);
+    }
+
+    #[test]
+    fn observed_threaded_run_accounts_for_drops() {
+        let mut det = tiny_detector();
+        let obs = Registry::new();
+        let n = 30;
+        let report = VideoPipeline::run_threaded_observed(&mut det, frames(n), &obs).unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.counter("pipeline.frames"),
+            Some(report.processed() as u64)
+        );
+        assert_eq!(
+            snap.counter("pipeline.dropped"),
+            Some(report.dropped as u64)
+        );
+        assert_eq!(
+            snap.histogram("pipeline.preprocess").unwrap().count,
+            n as u64
+        );
+        // Buffer fully drained at the end of the run.
+        assert_eq!(snap.gauge("pipeline.queue_depth"), Some(0.0));
     }
 }

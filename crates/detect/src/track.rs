@@ -111,7 +111,7 @@ impl Tracker {
                     continue;
                 }
                 let iou = dbox.iou(&track.bbox);
-                if iou >= self.config.iou_threshold && best.map_or(true, |(_, b)| iou > b) {
+                if iou >= self.config.iou_threshold && best.is_none_or(|(_, b)| iou > b) {
                     best = Some((ti, iou));
                 }
             }

@@ -101,7 +101,10 @@ pub fn check_all() -> Vec<Claim> {
             id: "IVA-2",
             description: "TinyYoloNet: -20% sens, -10% prec, -0.11 IoU vs TinyYoloVoc",
             paper: "-0.20 / -0.10 / -0.11".into(),
-            measured: format!("{:-.3} / {:-.3} / {:-.3}", -sens_drop, -prec_drop, -iou_drop),
+            measured: format!(
+                "{:-.3} / {:-.3} / {:-.3}",
+                -sens_drop, -prec_drop, -iou_drop
+            ),
             status: if (sens_drop - 0.20).abs() < 0.04
                 && (prec_drop - 0.10).abs() < 0.03
                 && (iou_drop - 0.11).abs() < 0.03
@@ -154,7 +157,10 @@ pub fn check_all() -> Vec<Claim> {
             id: "IVA-6",
             description: "DroNet: -0.08 IoU, -2% sens, -6% prec vs TinyYoloVoc",
             paper: "-0.08 / -0.02 / -0.06".into(),
-            measured: format!("{:-.3} / {:-.3} / {:-.3}", -iou_drop, -sens_drop, -prec_drop),
+            measured: format!(
+                "{:-.3} / {:-.3} / {:-.3}",
+                -iou_drop, -sens_drop, -prec_drop
+            ),
             status: if (iou_drop - 0.08).abs() < 0.025
                 && (sens_drop - 0.02).abs() < 0.015
                 && (prec_drop - 0.06).abs() < 0.02
@@ -179,8 +185,7 @@ pub fn check_all() -> Vec<Claim> {
     {
         let mut ratios = Vec::new();
         for m in ModelId::ALL {
-            ratios
-                .push(acc_at(m, 608).sensitivity as f64 / acc_at(m, 352).sensitivity as f64);
+            ratios.push(acc_at(m, 608).sensitivity as f64 / acc_at(m, 352).sensitivity as f64);
         }
         let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
         claims.push(Claim {
@@ -220,8 +225,11 @@ pub fn check_all() -> Vec<Claim> {
             id: "IVA-10",
             description: "Input 512 maximizes DroNet's weighted score",
             paper: "512".into(),
-            measured: format!("{} (512 within {:.2}% of best)", best.input,
-                100.0 * (1.0 - at_512.score / best.score)),
+            measured: format!(
+                "{} (512 within {:.2}% of best)",
+                best.input,
+                100.0 * (1.0 - at_512.score / best.score)
+            ),
             status: if best.input == 512 {
                 ClaimStatus::Held
             } else if at_512.score >= 0.999 * best.score {

@@ -28,8 +28,10 @@ pub struct ExperimentSuite {
 /// Runs the full reproduction suite (pure computation, a few seconds).
 pub fn run_all() -> ExperimentSuite {
     let sweep = cpu_sweep(&SweepConfig::paper());
-    let mut architectures: Vec<String> =
-        figures::fig1_architectures().iter().map(|s| s.to_string()).collect();
+    let mut architectures: Vec<String> = figures::fig1_architectures()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     architectures.push(figures::fig2_dronet().to_string());
     ExperimentSuite {
         fig3: figures::fig3_table(&sweep),

@@ -32,7 +32,13 @@ pub fn fig3_table(results: &[SweepResult]) -> Table {
     let mut table = Table::new(
         "Fig. 3 — normalized metrics per model and input size (i5-2520M)",
         &[
-            "model", "input", "FPS", "norm FPS", "norm IoU", "norm Sens", "norm Prec",
+            "model",
+            "input",
+            "FPS",
+            "norm FPS",
+            "norm IoU",
+            "norm Sens",
+            "norm Prec",
         ],
     );
     for r in results {
@@ -78,7 +84,13 @@ pub fn fig5_table() -> Table {
     let mut table = Table::new(
         "Fig. 5 / Section IV-B — UAV platform deployment (projected)",
         &[
-            "platform", "model", "input", "latency ms", "FPS", "sens", "accuracy",
+            "platform",
+            "model",
+            "input",
+            "latency ms",
+            "FPS",
+            "sens",
+            "accuracy",
         ],
     );
     for platform_id in PlatformId::EVALUATION {

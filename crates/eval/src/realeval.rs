@@ -46,10 +46,7 @@ pub fn evaluate_detector(
     for scene in scenes {
         let sample = VehicleDataset::sample(scene, in_h);
         let detections = detector.detect(&sample.image)?;
-        let dets: Vec<(BBox, f32)> = detections
-            .iter()
-            .map(|d| (d.bbox, d.score()))
-            .collect();
+        let dets: Vec<(BBox, f32)> = detections.iter().map(|d| (d.bbox, d.score())).collect();
         let frame = match_detections(&dets, &sample.boxes, DEFAULT_IOU_THRESHOLD);
         total.merge(&frame);
     }

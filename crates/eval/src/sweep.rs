@@ -141,8 +141,7 @@ pub fn cpu_sweep(config: &SweepConfig) -> Vec<SweepResult> {
                 FpsResponse::Roofline => projection.fps.0,
                 FpsResponse::PaperFlat => {
                     fps_at_416
-                        * (response::REFERENCE_INPUT as f64 / input as f64)
-                            .powf(PAPER_FPS_EXPONENT)
+                        * (response::REFERENCE_INPUT as f64 / input as f64).powf(PAPER_FPS_EXPONENT)
                 }
             };
             let mut metrics = response::predict(model, input);
@@ -163,15 +162,17 @@ pub fn cpu_sweep(config: &SweepConfig) -> Vec<SweepResult> {
         .into_iter()
         .zip(normalized)
         .zip(scores)
-        .map(|(((model, input, metrics, gflops, latency_ms), norm), score)| SweepResult {
-            model,
-            input,
-            metrics,
-            normalized: norm,
-            score,
-            gflops,
-            latency_ms,
-        })
+        .map(
+            |(((model, input, metrics, gflops, latency_ms), norm), score)| SweepResult {
+                model,
+                input,
+                metrics,
+                normalized: norm,
+                score,
+                gflops,
+                latency_ms,
+            },
+        )
         .collect()
 }
 
@@ -193,11 +194,7 @@ pub fn best_per_model(results: &[SweepResult]) -> Vec<&SweepResult> {
 }
 
 /// Finds the result for a specific (model, input) pair.
-pub fn find<'a>(
-    results: &'a [SweepResult],
-    model: ModelId,
-    input: usize,
-) -> Option<&'a SweepResult> {
+pub fn find(results: &[SweepResult], model: ModelId, input: usize) -> Option<&SweepResult> {
     results
         .iter()
         .find(|r| r.model == model && r.input == input)

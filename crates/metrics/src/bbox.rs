@@ -17,7 +17,7 @@ use std::fmt;
 /// let det = BBox::new(0.52, 0.50, 0.20, 0.10);
 /// assert!(gt.iou(&det) > 0.7);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct BBox {
     /// Centre x, as a fraction of the image width.
     pub cx: f32,
@@ -51,10 +51,8 @@ impl BBox {
     ///
     /// Returns [`MetricsError::InvalidBox`] otherwise.
     pub fn validate(&self) -> Result<()> {
-        let finite = self.cx.is_finite()
-            && self.cy.is_finite()
-            && self.w.is_finite()
-            && self.h.is_finite();
+        let finite =
+            self.cx.is_finite() && self.cy.is_finite() && self.w.is_finite() && self.h.is_finite();
         if finite && self.w >= 0.0 && self.h >= 0.0 {
             Ok(())
         } else {

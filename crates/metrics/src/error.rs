@@ -30,7 +30,11 @@ impl fmt::Display for MetricsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MetricsError::InvalidBox { values } => {
-                write!(f, "invalid bounding box (cx={}, cy={}, w={}, h={})", values.0, values.1, values.2, values.3)
+                write!(
+                    f,
+                    "invalid bounding box (cx={}, cy={}, w={}, h={})",
+                    values.0, values.1, values.2, values.3
+                )
             }
             MetricsError::InvalidWeights { msg } => write!(f, "invalid score weights: {msg}"),
             MetricsError::LengthMismatch {

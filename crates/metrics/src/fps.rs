@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 ///
 /// Newtype so FPS numbers cannot be confused with other `f64` metrics when
 /// they flow through the scoring code.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Fps(pub f64);
 
 impl Fps {
@@ -100,14 +100,13 @@ impl FpsMeter {
 
     /// Latency at the given percentile (e.g. `0.99`), zero when empty.
     ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `[0, 1]`.
+    /// `p` is clamped into `[0, 1]` (NaN clamps to 0), so callers feeding
+    /// computed fractions never panic or index out of bounds.
     pub fn percentile_latency(&self, p: f64) -> Duration {
-        assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0, 1]");
         if self.frame_times.is_empty() {
             return Duration::ZERO;
         }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
         let mut sorted = self.frame_times.clone();
         sorted.sort();
         let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
@@ -167,9 +166,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "percentile")]
-    fn bad_percentile_panics() {
-        FpsMeter::new().percentile_latency(1.5);
+    fn out_of_range_percentiles_clamp() {
+        assert_eq!(FpsMeter::new().percentile_latency(1.5), Duration::ZERO);
+        assert_eq!(FpsMeter::new().percentile_latency(0.5), Duration::ZERO);
+        let mut m = FpsMeter::new();
+        for ms in [10u64, 20, 30] {
+            m.record(Duration::from_millis(ms));
+        }
+        assert_eq!(m.percentile_latency(1.5), Duration::from_millis(30));
+        assert_eq!(m.percentile_latency(-0.3), Duration::from_millis(10));
+        assert_eq!(m.percentile_latency(f64::NAN), Duration::from_millis(10));
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub fn match_detections(
                 continue;
             }
             let iou = dbox.iou(gt);
-            if iou >= iou_threshold && best.map_or(true, |(_, b)| iou > b) {
+            if iou >= iou_threshold && best.is_none_or(|(_, b)| iou > b) {
                 best = Some((gt_idx, iou));
             }
         }
@@ -164,10 +164,7 @@ mod tests {
         // Lower-confidence detection overlaps better, but the higher one
         // claims the ground truth first (greedy by confidence).
         let gt = vec![b(0.5, 0.5, 0.2)];
-        let dets = vec![
-            (b(0.52, 0.5, 0.2), 0.6),
-            (b(0.5, 0.5, 0.2), 0.9),
-        ];
+        let dets = vec![(b(0.52, 0.5, 0.2), 0.6), (b(0.5, 0.5, 0.2), 0.9)];
         let r = match_detections(&dets, &gt, 0.5);
         assert_eq!(r.assignments[1], Some(0));
         assert_eq!(r.assignments[0], None);

@@ -8,7 +8,7 @@
 use crate::{Fps, MetricsError, Result};
 
 /// The weight vector of eq. 3, constrained to the probability simplex.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScoreWeights {
     /// Weight on normalised FPS (`w1`).
     pub fps: f32,
@@ -81,7 +81,7 @@ impl Default for ScoreWeights {
 }
 
 /// The four per-model metrics that enter the Score.
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct MetricVector {
     /// Frame rate (raw, un-normalised).
     pub fps: f64,
@@ -233,7 +233,12 @@ mod tests {
             precision: 0.95,
         };
         let scores = score_candidates(&[fast, slow], &ScoreWeights::paper());
-        assert!(scores[0] > scores[1], "fast {} vs slow {}", scores[0], scores[1]);
+        assert!(
+            scores[0] > scores[1],
+            "fast {} vs slow {}",
+            scores[0],
+            scores[1]
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::fmt;
 /// * `f1` / `accuracy`: the harmonic mean of sensitivity and precision; the
 ///   paper's informal "~95% accuracy" statements correspond to this
 ///   combined detection accuracy.
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DetectionStats {
     /// True-positive count.
     pub true_positives: usize,

@@ -234,8 +234,8 @@ impl BatchNorm {
                     // Standard fused BN backward:
                     // dx = gamma*inv_std/N * (N*dy - sum(dy) - x_hat*sum(dy*x_hat))
                     let xi_hat = (x[i] - mean) * inv_std;
-                    dxd[i] = gamma * inv_std / count
-                        * (count * g[i] - sum_dy - xi_hat * sum_dy_xhat);
+                    dxd[i] =
+                        gamma * inv_std / count * (count * g[i] - sum_dy - xi_hat * sum_dy_xhat);
                 }
             }
         }
@@ -333,7 +333,8 @@ mod tests {
             bn_p.scales_mut().copy_from_slice(&[1.3, 0.7]);
             let mut bn_m = BatchNorm::new(2).unwrap();
             bn_m.scales_mut().copy_from_slice(&[1.3, 0.7]);
-            let numeric = (forward_loss(&mut bn_p, &xp) - forward_loss(&mut bn_m, &xm)) / (2.0 * eps);
+            let numeric =
+                (forward_loss(&mut bn_p, &xp) - forward_loss(&mut bn_m, &xm)) / (2.0 * eps);
             let analytic = dx.as_slice()[probe];
             assert!(
                 (numeric - analytic).abs() < 2e-2 * numeric.abs().max(1.0),

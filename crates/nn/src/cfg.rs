@@ -184,11 +184,9 @@ pub fn parse(text: &str) -> Result<Network> {
                 let size = section.get_usize("size", 2)?;
                 let stride = section.get_usize("stride", size)?;
                 let pool = match section.get("padding") {
-                    Some(_) => MaxPool2d::with_padding(
-                        size,
-                        stride,
-                        section.require_usize("padding")?,
-                    )?,
+                    Some(_) => {
+                        MaxPool2d::with_padding(size, stride, section.require_usize("padding")?)?
+                    }
                     None => MaxPool2d::new(size, stride)?,
                 };
                 net.push(Layer::max_pool(pool));
@@ -234,10 +232,13 @@ fn parse_anchors(list: &str, line: usize) -> Result<Vec<(f32, f32)>> {
             line,
             msg: format!("anchors list {list:?} contains a non-numeric value"),
         })?;
-    if values.len() % 2 != 0 || values.is_empty() {
+    if !values.len().is_multiple_of(2) || values.is_empty() {
         return Err(NnError::CfgParse {
             line,
-            msg: format!("anchors list must hold an even, positive number of values, got {}", values.len()),
+            msg: format!(
+                "anchors list must hold an even, positive number of values, got {}",
+                values.len()
+            ),
         });
     }
     Ok(values.chunks(2).map(|p| (p[0], p[1])).collect())
@@ -383,7 +384,10 @@ classes=1
         assert!(err.to_string().contains("unsupported section"), "{err}");
 
         let err = parse("[net\nheight=8\n").unwrap_err();
-        assert!(err.to_string().contains("malformed section header"), "{err}");
+        assert!(
+            err.to_string().contains("malformed section header"),
+            "{err}"
+        );
     }
 
     #[test]

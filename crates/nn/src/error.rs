@@ -47,7 +47,10 @@ impl fmt::Display for NnError {
                 write!(f, "invalid {layer} layer configuration: {msg}")
             }
             NnError::BadInput { expected, actual } => {
-                write!(f, "input shape {actual:?} does not match expected {expected:?}")
+                write!(
+                    f,
+                    "input shape {actual:?} does not match expected {expected:?}"
+                )
             }
             NnError::MissingForwardCache { layer_index } => write!(
                 f,

@@ -35,6 +35,9 @@ impl std::fmt::Display for LayerKind {
 /// paper's models only ever use these three layer types, and the enum keeps
 /// cfg/weights serialisation and cost accounting exhaustive (adding a layer
 /// type forces every consumer to handle it).
+// A network holds a handful of layers, so the Conv-vs-MaxPool size gap
+// costs a few hundred bytes total; boxing would indirect every forward call.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Layer {
     /// Convolution layer.

@@ -49,6 +49,7 @@ mod region;
 
 pub mod cfg;
 pub mod cost;
+pub mod profile;
 pub mod summary;
 pub mod weights;
 

@@ -146,8 +146,7 @@ impl MaxPool2d {
                                 continue;
                             }
                             for kx in 0..self.size {
-                                let ix =
-                                    ox as isize * self.stride as isize + kx as isize + offset;
+                                let ix = ox as isize * self.stride as isize + kx as isize + offset;
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
@@ -245,10 +244,7 @@ mod tests {
         let mut pool = MaxPool2d::new(2, 1).unwrap();
         let y = pool.forward(&x).unwrap();
         assert_eq!(y.shape().dims(), &[1, 1, 3, 3]);
-        assert_eq!(
-            y.as_slice(),
-            &[5.0, 6.0, 6.0, 8.0, 9.0, 9.0, 8.0, 9.0, 9.0]
-        );
+        assert_eq!(y.as_slice(), &[5.0, 6.0, 6.0, 8.0, 9.0, 9.0, 8.0, 9.0, 9.0]);
     }
 
     #[test]
@@ -262,15 +258,13 @@ mod tests {
 
     #[test]
     fn backward_routes_gradient_to_argmax() {
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0],
-            Shape::nchw(1, 1, 2, 2),
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::nchw(1, 1, 2, 2)).unwrap();
         let mut pool = MaxPool2d::new(2, 2).unwrap();
         let y = pool.forward_train(&x).unwrap();
         assert_eq!(y.as_slice(), &[4.0]);
-        let dx = pool.backward(&Tensor::full(Shape::nchw(1, 1, 1, 1), 2.5)).unwrap();
+        let dx = pool
+            .backward(&Tensor::full(Shape::nchw(1, 1, 1, 1), 2.5))
+            .unwrap();
         assert_eq!(dx.as_slice(), &[0.0, 0.0, 0.0, 2.5]);
     }
 
@@ -281,7 +275,9 @@ mod tests {
         let mut pool = MaxPool2d::new(2, 1).unwrap();
         let y = pool.forward_train(&x).unwrap();
         assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
-        let dx = pool.backward(&Tensor::ones(Shape::nchw(1, 1, 2, 2))).unwrap();
+        let dx = pool
+            .backward(&Tensor::ones(Shape::nchw(1, 1, 2, 2)))
+            .unwrap();
         assert_eq!(dx.as_slice()[3], 4.0);
         assert_eq!(dx.sum(), 4.0);
     }

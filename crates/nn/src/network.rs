@@ -1,4 +1,6 @@
+use crate::profile::{backward_metric_name, forward_metric_name};
 use crate::{Layer, NnError, Result};
+use dronet_obs::{Histogram, Registry};
 use dronet_tensor::{Shape, Tensor};
 
 /// A sequential CNN: the Darknet network model.
@@ -29,6 +31,16 @@ pub struct Network {
     layers: Vec<Layer>,
     /// Number of training samples seen, mirrored into weight files.
     seen: u64,
+    /// Telemetry sink; inert unless [`Network::set_observability`] is
+    /// called with a live registry.
+    obs: Registry,
+    /// Per-layer forward-pass histograms (empty when unobserved, so the
+    /// hot loop pays only a bounds check).
+    forward_spans: Vec<Histogram>,
+    /// Per-layer backward-pass histograms.
+    backward_spans: Vec<Histogram>,
+    forward_total: Histogram,
+    backward_total: Histogram,
 }
 
 impl Network {
@@ -40,12 +52,64 @@ impl Network {
             input_w: w,
             layers: Vec::new(),
             seen: 0,
+            obs: Registry::noop(),
+            forward_spans: Vec::new(),
+            backward_spans: Vec::new(),
+            forward_total: Histogram::default(),
+            backward_total: Histogram::default(),
         }
     }
 
     /// Appends a layer.
     pub fn push(&mut self, layer: Layer) {
         self.layers.push(layer);
+        if self.obs.is_enabled() {
+            self.rebuild_spans();
+        }
+    }
+
+    /// Attaches (or, with a [`Registry::noop`], detaches) telemetry.
+    ///
+    /// With a live registry every forward/backward pass records per-layer
+    /// latency histograms named `nn.forward.L{index:02}.{kind}` /
+    /// `nn.backward.L{index:02}.{kind}` plus `nn.forward.total` and
+    /// `nn.backward.total`; join them with a
+    /// [`NetworkSummary`](crate::summary::NetworkSummary) via
+    /// [`NetworkProfile`](crate::profile::NetworkProfile) for per-layer
+    /// achieved-GFLOP/s breakdowns. Handles are cached per layer so the
+    /// hot path never touches the registry's lock.
+    pub fn set_observability(&mut self, obs: &Registry) {
+        self.obs = obs.clone();
+        self.rebuild_spans();
+    }
+
+    /// The registry metrics are recorded into (inert by default).
+    pub fn observability(&self) -> &Registry {
+        &self.obs
+    }
+
+    fn rebuild_spans(&mut self) {
+        if !self.obs.is_enabled() {
+            self.forward_spans.clear();
+            self.backward_spans.clear();
+            self.forward_total = Histogram::default();
+            self.backward_total = Histogram::default();
+            return;
+        }
+        self.forward_total = self.obs.histogram("nn.forward.total");
+        self.backward_total = self.obs.histogram("nn.backward.total");
+        self.forward_spans = self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| self.obs.histogram(&forward_metric_name(i, l.kind())))
+            .collect();
+        self.backward_spans = self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| self.obs.histogram(&backward_metric_name(i, l.kind())))
+            .collect();
     }
 
     /// The layers in execution order.
@@ -140,10 +204,14 @@ impl Network {
     /// input dimensions; propagates layer errors.
     pub fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
         self.check_input(x)?;
+        let total = self.forward_total.start();
         let mut cur = x.clone();
         for (i, layer) in self.layers.iter_mut().enumerate() {
+            let span = self.forward_spans.get(i).map(Histogram::start);
             cur = layer.forward(&cur).map_err(|e| at_layer(e, i))?;
+            drop(span);
         }
+        total.stop();
         Ok(cur)
     }
 
@@ -155,10 +223,14 @@ impl Network {
     pub fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
         self.check_input(x)?;
         self.seen += x.shape().batch() as u64;
+        let total = self.forward_total.start();
         let mut cur = x.clone();
         for (i, layer) in self.layers.iter_mut().enumerate() {
+            let span = self.forward_spans.get(i).map(Histogram::start);
             cur = layer.forward_train(&cur).map_err(|e| at_layer(e, i))?;
+            drop(span);
         }
+        total.stop();
         Ok(cur)
     }
 
@@ -170,10 +242,14 @@ impl Network {
     /// Returns [`NnError::MissingForwardCache`] (with the layer index) when
     /// a layer has no forward cache; propagates layer errors.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let total = self.backward_total.start();
         let mut grad = grad_out.clone();
         for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            let span = self.backward_spans.get(i).map(Histogram::start);
             grad = layer.backward(&grad).map_err(|e| at_layer(e, i))?;
+            drop(span);
         }
+        total.stop();
         Ok(grad)
     }
 
@@ -320,6 +396,51 @@ mod tests {
         net.backward(&Tensor::ones(y.shape().clone())).unwrap();
         net.zero_grads();
         net.visit_params_mut(|_, g| assert!(g.iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn observed_network_records_per_layer_timings() {
+        let mut net = tiny_net();
+        let obs = Registry::new();
+        net.set_observability(&obs);
+        assert!(net.observability().is_enabled());
+        let x = Tensor::zeros(Shape::nchw(1, 3, 16, 16));
+        net.forward(&x).unwrap();
+        let y = net.forward_train(&x).unwrap();
+        net.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.histogram("nn.forward.total").unwrap().count, 2);
+        assert_eq!(snap.histogram("nn.backward.total").unwrap().count, 1);
+        assert_eq!(snap.histogram("nn.forward.L00.conv").unwrap().count, 2);
+        assert_eq!(snap.histogram("nn.backward.L05.region").unwrap().count, 1);
+        // One histogram per layer per direction, plus the two totals.
+        assert_eq!(snap.histograms.len(), 2 * net.len() + 2);
+        // Detaching stops recording without touching accumulated data.
+        net.set_observability(&Registry::noop());
+        net.forward(&x).unwrap();
+        assert_eq!(
+            obs.snapshot().histogram("nn.forward.total").unwrap().count,
+            2
+        );
+    }
+
+    #[test]
+    fn layers_pushed_after_observability_are_timed() {
+        let obs = Registry::new();
+        let mut net = Network::new(3, 8, 8);
+        net.set_observability(&obs);
+        net.push(Layer::conv(
+            Conv2d::new(3, 4, 3, 1, 1, Activation::Leaky, false).unwrap(),
+        ));
+        net.forward(&Tensor::zeros(Shape::nchw(1, 3, 8, 8)))
+            .unwrap();
+        assert_eq!(
+            obs.snapshot()
+                .histogram("nn.forward.L00.conv")
+                .unwrap()
+                .count,
+            1
+        );
     }
 
     #[test]

@@ -15,7 +15,13 @@ impl RegionConfig {
     /// anchor priors.
     pub fn vehicle() -> Self {
         RegionConfig {
-            anchors: vec![(1.08, 1.19), (3.42, 4.41), (6.63, 11.38), (9.42, 5.11), (16.62, 10.52)],
+            anchors: vec![
+                (1.08, 1.19),
+                (3.42, 4.41),
+                (6.63, 11.38),
+                (9.42, 5.11),
+                (16.62, 10.52),
+            ],
             classes: 1,
         }
     }

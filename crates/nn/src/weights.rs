@@ -80,12 +80,10 @@ pub fn load<R: Read>(net: &mut Network, mut reader: R) -> Result<()> {
 
     for (i, layer) in net.layers_mut().iter_mut().enumerate() {
         if let Layer::Conv(conv) = layer {
-            read_f32s(&mut reader, conv.bias_mut())
-                .map_err(|e| at_conv(e, i, "bias"))?;
+            read_f32s(&mut reader, conv.bias_mut()).map_err(|e| at_conv(e, i, "bias"))?;
             if conv.has_batch_norm() {
                 let bn = conv.batch_norm_mut().expect("has_batch_norm checked");
-                read_f32s(&mut reader, bn.scales_mut())
-                    .map_err(|e| at_conv(e, i, "scales"))?;
+                read_f32s(&mut reader, bn.scales_mut()).map_err(|e| at_conv(e, i, "scales"))?;
                 read_f32s(&mut reader, bn.rolling_mean_mut())
                     .map_err(|e| at_conv(e, i, "rolling mean"))?;
                 read_f32s(&mut reader, bn.rolling_var_mut())

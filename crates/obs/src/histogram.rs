@@ -1,0 +1,295 @@
+//! Fixed-bucket latency histogram and the RAII span timer.
+
+use crate::{BucketCount, HistogramSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Number of buckets: powers of two from 64 ns up to ~68.7 s, plus one
+/// overflow bucket. Chosen so a single conv-layer forward (microseconds) and
+/// a whole training epoch (tens of seconds) land in distinct buckets.
+pub const BUCKET_COUNT: usize = 31;
+
+/// Smallest bucket upper bound, nanoseconds.
+const FIRST_BOUND_NS: u64 = 64;
+
+/// Inclusive upper bound of bucket `i` in nanoseconds.
+fn bucket_bound(i: usize) -> u64 {
+    if i + 1 >= BUCKET_COUNT {
+        u64::MAX
+    } else {
+        FIRST_BOUND_NS << i
+    }
+}
+
+/// Bucket index for a value in nanoseconds.
+fn bucket_index(ns: u64) -> usize {
+    if ns <= FIRST_BOUND_NS {
+        return 0;
+    }
+    // First i with 64 << i >= ns, i.e. ceil(log2(ns / 64)).
+    let i = (64 - (ns - 1).leading_zeros()) as usize - FIRST_BOUND_NS.trailing_zeros() as usize;
+    i.min(BUCKET_COUNT - 1)
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCell {
+    pub(crate) name: String,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; BUCKET_COUNT],
+}
+
+impl HistogramCell {
+    pub(crate) fn new(name: String) -> Self {
+        HistogramCell {
+            name,
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Estimated value at percentile `p` in `[0, 100]` (clamped), in ns.
+    ///
+    /// The estimate is the geometric midpoint of the bucket holding the
+    /// rank-`ceil(p/100 * count)` sample, clamped into the recorded
+    /// `[min, max]` range so estimates never leave the observed support.
+    fn percentile_ns(&self, p: f64) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+        let min = self.min_ns.load(Ordering::Relaxed);
+        let max = self.max_ns.load(Ordering::Relaxed);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                let hi = bucket_bound(i).min(max);
+                let lo = if i == 0 { 0 } else { bucket_bound(i - 1) }.max(min);
+                // Geometric midpoint of the bucket (buckets are log-spaced).
+                let mid = (((lo.max(1) as f64) * (hi.max(1) as f64)).sqrt()) as u64;
+                return mid.clamp(min, max);
+            }
+        }
+        max
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let count = b.load(Ordering::Relaxed);
+                (count > 0).then_some(BucketCount {
+                    le_ns: bucket_bound(i),
+                    count,
+                })
+            })
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            name: self.name.clone(),
+            count,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            min_ns: if count == 0 {
+                0
+            } else {
+                self.min_ns.load(Ordering::Relaxed)
+            },
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            p50_ns: self.percentile_ns(50.0),
+            p90_ns: self.percentile_ns(90.0),
+            p99_ns: self.percentile_ns(99.0),
+            buckets,
+        }
+    }
+}
+
+/// Handle to a named latency histogram.
+///
+/// Cheap to clone; a handle from a [`noop`](crate::Registry::noop) registry
+/// is inert — its record path is a single `None` check and no clock read.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    pub(crate) cell: Option<Arc<HistogramCell>>,
+}
+
+impl Histogram {
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        if let Some(cell) = &self.cell {
+            cell.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+
+    /// Records one duration given in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        if let Some(cell) = &self.cell {
+            cell.record_ns(ns);
+        }
+    }
+
+    /// Starts a span that records its lifetime on drop.
+    ///
+    /// On an inert handle no clock is read.
+    pub fn start(&self) -> ScopedTimer {
+        ScopedTimer {
+            span: self.cell.as_ref().map(|c| (Arc::clone(c), Instant::now())),
+        }
+    }
+
+    /// Number of recorded samples (0 for inert handles).
+    pub fn count(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Mean recorded duration (zero when empty).
+    pub fn mean(&self) -> Duration {
+        match &self.cell {
+            Some(c) => {
+                let n = c.count.load(Ordering::Relaxed);
+                c.sum_ns
+                    .load(Ordering::Relaxed)
+                    .checked_div(n)
+                    .map_or(Duration::ZERO, Duration::from_nanos)
+            }
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Estimated duration at percentile `p` in `[0, 100]` (clamped).
+    pub fn percentile(&self, p: f64) -> Duration {
+        self.cell
+            .as_ref()
+            .map_or(Duration::ZERO, |c| Duration::from_nanos(c.percentile_ns(p)))
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_active(&self) -> bool {
+        self.cell.is_some()
+    }
+}
+
+/// RAII span guard: records the time between creation and drop into its
+/// histogram. Obtained from [`Histogram::start`] or
+/// [`Registry::timer`](crate::Registry::timer).
+#[derive(Debug)]
+pub struct ScopedTimer {
+    span: Option<(Arc<HistogramCell>, Instant)>,
+}
+
+impl ScopedTimer {
+    /// An inert timer that records nothing (used by noop registries).
+    pub fn inactive() -> Self {
+        ScopedTimer { span: None }
+    }
+
+    /// Stops the span now, recording its duration.
+    pub fn stop(self) {
+        drop(self);
+    }
+
+    /// Stops the span without recording anything.
+    pub fn cancel(mut self) {
+        self.span = None;
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        if let Some((cell, t0)) = self.span.take() {
+            cell.record_ns(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_monotone_and_bounded() {
+        let mut prev = 0;
+        for ns in [0u64, 1, 63, 64, 65, 1_000, 1_000_000, u64::MAX] {
+            let idx = bucket_index(ns);
+            assert!(idx >= prev, "index not monotone at {ns}");
+            assert!(idx < BUCKET_COUNT);
+            assert!(ns <= bucket_bound(idx), "{ns} above bound of bucket {idx}");
+            if idx > 0 {
+                assert!(ns > bucket_bound(idx - 1), "{ns} fits an earlier bucket");
+            }
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn record_and_percentiles() {
+        let cell = HistogramCell::new("t".into());
+        for ms in 1..=100u64 {
+            cell.record_ns(ms * 1_000_000);
+        }
+        let snap = cell.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.min_ns, 1_000_000);
+        assert_eq!(snap.max_ns, 100_000_000);
+        assert!(snap.p50_ns >= snap.min_ns && snap.p50_ns <= snap.max_ns);
+        assert!(snap.p90_ns >= snap.p50_ns);
+        assert!(snap.p99_ns >= snap.p90_ns);
+    }
+
+    #[test]
+    fn inert_handle_records_nothing() {
+        let h = Histogram::default();
+        h.record(Duration::from_millis(5));
+        let _t = h.start();
+        drop(_t);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert!(!h.is_active());
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let cell = Arc::new(HistogramCell::new("t".into()));
+        let h = Histogram {
+            cell: Some(Arc::clone(&cell)),
+        };
+        {
+            let _span = h.start();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.mean() >= Duration::from_millis(1));
+        h.start().cancel();
+        assert_eq!(h.count(), 1, "cancelled span must not record");
+    }
+}

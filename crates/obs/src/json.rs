@@ -1,0 +1,387 @@
+//! Minimal JSON reader for the exporter's own output, enabling snapshot
+//! round-trips (persist a profile, reload it, compare runs) without serde.
+//!
+//! This is not a general JSON library: it parses the value grammar the
+//! [`JsonExporter`](crate::JsonExporter) emits (objects, arrays, strings
+//! with the escapes we write, and numbers) and maps it onto [`Snapshot`].
+
+use crate::{BucketCount, CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error from [`Snapshot::from_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset in the input where parsing stopped.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    /// Raw number text; kept unparsed so `u64` fields (counter values,
+    /// nanosecond sums) round-trip losslessly instead of through `f64`.
+    Number(String),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, JsonParseError> {
+        Err(JsonParseError {
+            msg: msg.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => self.err("expected a value"),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex =
+                                self.bytes.get(self.pos + 1..self.pos + 5).ok_or_else(|| {
+                                    JsonParseError {
+                                        msg: "truncated \\u escape".into(),
+                                        offset: self.pos,
+                                    }
+                                })?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| JsonParseError {
+                                msg: "non-ASCII \\u escape".into(),
+                                offset: self.pos,
+                            })?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| JsonParseError {
+                                    msg: "bad \\u escape".into(),
+                                    offset: self.pos,
+                                })?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is valid UTF-8: &str).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).map_err(|_| {
+                        JsonParseError {
+                            msg: "invalid UTF-8".into(),
+                            offset: start,
+                        }
+                    })?);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        match text.parse::<f64>() {
+            Ok(_) => Ok(Value::Number(text.to_string())),
+            Err(_) => self.err(format!("bad number '{text}'")),
+        }
+    }
+}
+
+fn get_u64(obj: &BTreeMap<String, Value>, key: &str) -> Result<u64, JsonParseError> {
+    match obj.get(key) {
+        // Exact integer parse first: values above 2^53 are not
+        // representable in f64 and would silently lose low bits.
+        Some(Value::Number(text)) => text
+            .parse::<u64>()
+            .or_else(|_| text.parse::<f64>().map(|v| v as u64))
+            .map_err(|_| JsonParseError {
+                msg: format!("bad numeric field '{key}'"),
+                offset: 0,
+            }),
+        _ => Err(JsonParseError {
+            msg: format!("missing numeric field '{key}'"),
+            offset: 0,
+        }),
+    }
+}
+
+fn get_f64(obj: &BTreeMap<String, Value>, key: &str) -> Result<f64, JsonParseError> {
+    match obj.get(key) {
+        Some(Value::Number(text)) => text.parse::<f64>().map_err(|_| JsonParseError {
+            msg: format!("bad numeric field '{key}'"),
+            offset: 0,
+        }),
+        _ => Err(JsonParseError {
+            msg: format!("missing numeric field '{key}'"),
+            offset: 0,
+        }),
+    }
+}
+
+fn get_str(obj: &BTreeMap<String, Value>, key: &str) -> Result<String, JsonParseError> {
+    match obj.get(key) {
+        Some(Value::String(s)) => Ok(s.clone()),
+        _ => Err(JsonParseError {
+            msg: format!("missing string field '{key}'"),
+            offset: 0,
+        }),
+    }
+}
+
+fn get_array<'v>(
+    obj: &'v BTreeMap<String, Value>,
+    key: &str,
+) -> Result<&'v [Value], JsonParseError> {
+    match obj.get(key) {
+        Some(Value::Array(items)) => Ok(items),
+        _ => Err(JsonParseError {
+            msg: format!("missing array field '{key}'"),
+            offset: 0,
+        }),
+    }
+}
+
+fn as_object(v: &Value) -> Result<&BTreeMap<String, Value>, JsonParseError> {
+    match v {
+        Value::Object(map) => Ok(map),
+        _ => Err(JsonParseError {
+            msg: "expected an object".into(),
+            offset: 0,
+        }),
+    }
+}
+
+impl Snapshot {
+    /// Parses a snapshot previously written by
+    /// [`JsonExporter`](crate::JsonExporter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonParseError`] on malformed input or a missing field.
+    pub fn from_json(input: &str) -> Result<Snapshot, JsonParseError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let root = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return parser.err("trailing data after document");
+        }
+        let root = as_object(&root)?;
+
+        let mut snapshot = Snapshot::default();
+        for item in get_array(root, "counters")? {
+            let obj = as_object(item)?;
+            snapshot.counters.push(CounterSnapshot {
+                name: get_str(obj, "name")?,
+                value: get_u64(obj, "value")?,
+            });
+        }
+        for item in get_array(root, "gauges")? {
+            let obj = as_object(item)?;
+            snapshot.gauges.push(GaugeSnapshot {
+                name: get_str(obj, "name")?,
+                value: get_f64(obj, "value")?,
+            });
+        }
+        for item in get_array(root, "histograms")? {
+            let obj = as_object(item)?;
+            let mut buckets = Vec::new();
+            for b in get_array(obj, "buckets")? {
+                let b = as_object(b)?;
+                buckets.push(BucketCount {
+                    le_ns: get_u64(b, "le_ns")?,
+                    count: get_u64(b, "count")?,
+                });
+            }
+            snapshot.histograms.push(HistogramSnapshot {
+                name: get_str(obj, "name")?,
+                count: get_u64(obj, "count")?,
+                sum_ns: get_u64(obj, "sum_ns")?,
+                min_ns: get_u64(obj, "min_ns")?,
+                max_ns: get_u64(obj, "max_ns")?,
+                p50_ns: get_u64(obj, "p50_ns")?,
+                p90_ns: get_u64(obj, "p90_ns")?,
+                p99_ns: get_u64(obj, "p99_ns")?,
+                buckets,
+            });
+        }
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JsonExporter, Registry};
+    use std::time::Duration;
+
+    #[test]
+    fn round_trip_preserves_snapshot() {
+        let r = Registry::new();
+        r.counter("frames").add(7);
+        r.counter("with \"quotes\" and, commas").inc();
+        r.gauge("depth").set(-2.25);
+        let h = r.histogram("stage");
+        h.record(Duration::from_nanos(50));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_millis(40));
+        let snap = r.snapshot();
+        let json = JsonExporter::to_string(&snap);
+        let back = Snapshot::from_json(&json).expect("parses own output");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let snap = Snapshot::default();
+        let back = Snapshot::from_json(&JsonExporter::to_string(&snap)).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Snapshot::from_json("not json").is_err());
+        assert!(Snapshot::from_json("{\"counters\": [").is_err());
+        assert!(
+            Snapshot::from_json("{}").is_err(),
+            "missing required arrays"
+        );
+        assert!(
+            Snapshot::from_json("{\"counters\":[],\"gauges\":[],\"histograms\":[]} x").is_err()
+        );
+    }
+
+    #[test]
+    fn escaped_names_survive() {
+        let r = Registry::new();
+        r.counter("tab\there\nnewline").inc();
+        let snap = r.snapshot();
+        let back = Snapshot::from_json(&JsonExporter::to_string(&snap)).unwrap();
+        assert_eq!(back.counters[0].name, "tab\there\nnewline");
+    }
+}

@@ -1,0 +1,144 @@
+//! # dronet-obs
+//!
+//! Zero-dependency telemetry for the DroNet reproduction. The paper's whole
+//! contribution is *measured* — FPS, per-platform latency and the weighted
+//! Score metric are its deliverables — so the stack needs visibility into
+//! where milliseconds go inside a forward pass, a pipeline stage or a
+//! training step, not just whole-frame timing.
+//!
+//! * [`Registry`] — a clonable handle to a set of named [`Counter`]s,
+//!   [`Gauge`]s and fixed-bucket latency [`Histogram`]s. `Registry::noop()`
+//!   yields inert handles whose record paths are a single branch, so
+//!   instrumented code can keep its instrumentation unconditionally.
+//! * [`ScopedTimer`] — RAII span guard recording its lifetime into a
+//!   histogram on drop; created via [`Registry::timer`] or
+//!   [`Histogram::start`].
+//! * [`Snapshot`] — a point-in-time copy of every metric, exported through
+//!   [`JsonExporter`] / [`CsvExporter`] (hand-rolled writers, no serde) and
+//!   re-imported with [`Snapshot::from_json`] for round-trip tests.
+//!
+//! # Example
+//!
+//! ```
+//! use dronet_obs::{JsonExporter, Registry};
+//! use std::time::Duration;
+//!
+//! let obs = Registry::new();
+//! obs.counter("frames").add(3);
+//! obs.gauge("queue_depth").set(1.0);
+//! {
+//!     let _span = obs.timer("stage.decode"); // records on drop
+//! }
+//! obs.histogram("stage.nms").record(Duration::from_micros(250));
+//! let snapshot = obs.snapshot();
+//! assert_eq!(snapshot.counters[0].value, 3);
+//! let json = JsonExporter::to_string(&snapshot);
+//! assert!(json.contains("stage.nms"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod histogram;
+mod json;
+mod registry;
+
+pub use export::{CsvExporter, JsonExporter};
+pub use histogram::{Histogram, ScopedTimer, BUCKET_COUNT};
+pub use json::JsonParseError;
+pub use registry::{Counter, Gauge, Registry};
+
+use std::time::Duration;
+
+/// Point-in-time copy of one counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// Point-in-time copy of one gauge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Last set value.
+    pub value: f64,
+}
+
+/// One occupied histogram bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket, in nanoseconds.
+    pub le_ns: u64,
+    /// Samples that fell into this bucket.
+    pub count: u64,
+}
+
+/// Point-in-time copy of one histogram, with pre-computed percentiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of all recorded values, nanoseconds.
+    pub sum_ns: u64,
+    /// Smallest recorded value, nanoseconds (0 when empty).
+    pub min_ns: u64,
+    /// Largest recorded value, nanoseconds (0 when empty).
+    pub max_ns: u64,
+    /// Estimated 50th-percentile value, nanoseconds.
+    pub p50_ns: u64,
+    /// Estimated 90th-percentile value, nanoseconds.
+    pub p90_ns: u64,
+    /// Estimated 99th-percentile value, nanoseconds.
+    pub p99_ns: u64,
+    /// Occupied buckets in ascending bound order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value (zero when empty).
+    pub fn mean(&self) -> Duration {
+        self.sum_ns
+            .checked_div(self.count)
+            .map_or(Duration::ZERO, Duration::from_nanos)
+    }
+}
+
+/// A point-in-time copy of every metric in a [`Registry`].
+///
+/// Metric vectors are sorted by name, so exports are deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}

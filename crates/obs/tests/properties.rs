@@ -1,0 +1,97 @@
+//! Property tests for the histogram estimator and the JSON exporter: the
+//! invariants the rest of the workspace leans on (percentile bounds, bucket
+//! accounting, lossless export) must hold for arbitrary inputs.
+
+use dronet_obs::{JsonExporter, Registry, Snapshot};
+use proptest::prelude::*;
+
+/// Names stressing the JSON escaper: quotes, backslashes, control bytes.
+fn metric_name() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..8, 1..12).prop_map(|picks| {
+        const ALPHABET: [char; 8] = ['a', 'Z', '.', '_', '"', '\\', '\n', '\t'];
+        picks.into_iter().map(|i| ALPHABET[i]).collect()
+    })
+}
+
+proptest! {
+    /// Recorded samples must be bounded by the exact min/max, percentiles
+    /// must be monotone and stay inside `[min, max]`, and the bucket counts
+    /// must account for every sample under strictly increasing bounds.
+    #[test]
+    fn histogram_invariants(ns in prop::collection::vec(1u64..5_000_000_000u64, 1..200)) {
+        let registry = Registry::new();
+        let hist = registry.histogram("h");
+        for &v in &ns {
+            hist.record_ns(v);
+        }
+
+        let min = *ns.iter().min().unwrap();
+        let max = *ns.iter().max().unwrap();
+        let snap = registry.snapshot();
+        let h = snap.histogram("h").unwrap();
+
+        prop_assert_eq!(h.count, ns.len() as u64);
+        prop_assert_eq!(h.sum_ns, ns.iter().copied().map(u128::from).sum::<u128>() as u64);
+        prop_assert_eq!(h.min_ns, min);
+        prop_assert_eq!(h.max_ns, max);
+
+        prop_assert!(h.p50_ns >= min && h.p50_ns <= max);
+        prop_assert!(h.p50_ns <= h.p90_ns && h.p90_ns <= h.p99_ns);
+        prop_assert!(h.p99_ns <= max);
+
+        let bucket_total: u64 = h.buckets.iter().map(|b| b.count).sum();
+        prop_assert_eq!(bucket_total, ns.len() as u64);
+        for pair in h.buckets.windows(2) {
+            prop_assert!(pair[0].le_ns < pair[1].le_ns, "bucket bounds must increase");
+        }
+    }
+
+    /// Clamping: any `p`, including NaN and out-of-range, yields a value
+    /// inside `[min, max]` of the recorded samples.
+    #[test]
+    fn percentile_is_always_in_range(
+        ns in prop::collection::vec(1u64..10_000_000u64, 1..50),
+        p in -50.0f64..150.0,
+    ) {
+        let registry = Registry::new();
+        let hist = registry.histogram("h");
+        for &v in &ns {
+            hist.record_ns(v);
+        }
+        let min = *ns.iter().min().unwrap();
+        let max = *ns.iter().max().unwrap();
+        for q in [p, f64::NAN] {
+            let v = hist.percentile(q).as_nanos() as u64;
+            prop_assert!(v >= min && v <= max, "p={} gave {} outside [{}, {}]", q, v, min, max);
+        }
+    }
+
+    /// The JSON export is lossless for arbitrary metric names (including
+    /// characters that need escaping) and values.
+    #[test]
+    fn json_export_round_trips(
+        counters in prop::collection::vec((metric_name(), 0u64..u64::MAX / 2), 0..6),
+        gauges in prop::collection::vec((metric_name(), -1.0e12f64..1.0e12), 0..6),
+        samples in prop::collection::vec((metric_name(), prop::collection::vec(1u64..1_000_000_000u64, 1..20)), 0..4),
+    ) {
+        let registry = Registry::new();
+        for (name, v) in &counters {
+            registry.counter(name).add(*v);
+        }
+        for (name, v) in &gauges {
+            registry.gauge(name).set(*v);
+        }
+        for (name, values) in &samples {
+            let hist = registry.histogram(name);
+            for &v in values {
+                hist.record_ns(v);
+            }
+        }
+
+        let snap = registry.snapshot();
+        let json = JsonExporter::to_string(&snap);
+        let parsed = Snapshot::from_json(&json)
+            .map_err(|e| TestCaseError::Fail(format!("parse failed: {e}\n{json}")))?;
+        prop_assert_eq!(parsed, snap);
+    }
+}

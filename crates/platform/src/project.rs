@@ -80,7 +80,11 @@ impl Platform {
         Projection {
             layers,
             latency: Duration::from_secs_f64(total),
-            fps: Fps(if total > 0.0 { 1.0 / total } else { f64::INFINITY }),
+            fps: Fps(if total > 0.0 {
+                1.0 / total
+            } else {
+                f64::INFINITY
+            }),
         }
     }
 
@@ -189,7 +193,10 @@ mod tests {
         // TinyYoloNet ~10x over TinyYoloVoc.
         let tnet = project(PlatformId::IntelI5_2520M, ModelId::TinyYoloNet, 384);
         let r = tnet.fps.0 / voc.fps.0;
-        assert!((6.0..=15.0).contains(&r), "TinyYoloNet/TinyYoloVoc on i5 = {r}");
+        assert!(
+            (6.0..=15.0).contains(&r),
+            "TinyYoloNet/TinyYoloVoc on i5 = {r}"
+        );
         // Paper: DroNet peaks at ~18 FPS (the fast end of its 5-18 range).
         assert!(
             dronet.fps.0 > 13.0 && dronet.fps.0 < 24.0,

@@ -126,6 +126,7 @@ fn matrix_dims(op: &'static str, t: &Tensor) -> Result<(usize, usize)> {
 
 /// Row-major `C[m x n] = alpha * A[m x k] * B[k x n] + beta * C`,
 /// parallelised over blocks of output rows.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS sgemm signature
 fn gemm_nn_kernel(
     m: usize,
     n: usize,

@@ -225,8 +225,8 @@ mod tests {
     #[test]
     fn identity_kernel_1x1() {
         let geom = geometry(2, 3, 3, 1, 1, 0);
-        let input = Tensor::from_vec((0..18).map(|x| x as f32).collect(), Shape::nchw(1, 2, 3, 3))
-            .unwrap();
+        let input =
+            Tensor::from_vec((0..18).map(|x| x as f32).collect(), Shape::nchw(1, 2, 3, 3)).unwrap();
         let col = im2col(&input, &geom).unwrap();
         // 1x1 stride-1 im2col is just a reshape to [c, h*w].
         assert_eq!(col.shape().dims(), &[2, 9]);
@@ -237,8 +237,8 @@ mod tests {
     fn known_3x3_window_values() {
         // 1 channel, 4x4 image, 3x3 kernel, stride 1, no pad -> 2x2 output.
         let geom = geometry(1, 4, 4, 3, 1, 0);
-        let input = Tensor::from_vec((0..16).map(|x| x as f32).collect(), Shape::nchw(1, 1, 4, 4))
-            .unwrap();
+        let input =
+            Tensor::from_vec((0..16).map(|x| x as f32).collect(), Shape::nchw(1, 1, 4, 4)).unwrap();
         let col = im2col(&input, &geom).unwrap();
         assert_eq!(col.shape().dims(), &[9, 4]);
         // First row of the column matrix: top-left element of each window.

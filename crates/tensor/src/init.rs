@@ -18,13 +18,7 @@ pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) ->
     );
     let shape = shape.into();
     let data = (0..shape.len())
-        .map(|_| {
-            if lo == hi {
-                lo
-            } else {
-                rng.gen_range(lo..hi)
-            }
-        })
+        .map(|_| if lo == hi { lo } else { rng.gen_range(lo..hi) })
         .collect();
     Tensor::from_vec(data, shape).expect("generated data matches shape by construction")
 }
@@ -103,7 +97,11 @@ mod tests {
     fn normal_moments_are_close() {
         let t = normal(Shape::vector(50_000), 1.0, 2.0, &mut rng(7));
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = t
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / t.len() as f32;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.15, "var {var}");
@@ -114,7 +112,11 @@ mod tests {
         let w = kaiming(Shape::new(&[16, 3, 3, 3]), &mut rng(3));
         let expected_std = (2.0 / 27.0f32).sqrt();
         let mean = w.mean();
-        let std = (w.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+        let std = (w
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / w.len() as f32)
             .sqrt();
         assert!((std - expected_std).abs() < 0.2 * expected_std, "std {std}");

@@ -74,6 +74,7 @@ pub fn softmax_in_place(data: &mut [f32]) {
 /// # Errors
 ///
 /// Returns [`TensorError::RankMismatch`] for non-4-D input.
+#[allow(clippy::needless_range_loop)] // channel-indexed kernel loop
 pub fn channel_mean(x: &Tensor) -> Result<Vec<f32>> {
     let s = x.shape();
     if s.rank() != 4 {
@@ -149,6 +150,7 @@ pub fn channel_variance(x: &Tensor, means: &[f32]) -> Result<Vec<f32>> {
 ///
 /// Returns [`TensorError::RankMismatch`] / [`TensorError::LengthMismatch`]
 /// on malformed input.
+#[allow(clippy::needless_range_loop)] // channel-indexed kernel loop
 pub fn add_channel_bias(x: &mut Tensor, bias: &[f32]) -> Result<()> {
     let s = x.shape().clone();
     if s.rank() != 4 {
@@ -186,6 +188,7 @@ pub fn add_channel_bias(x: &mut Tensor, bias: &[f32]) -> Result<()> {
 ///
 /// Returns [`TensorError::RankMismatch`] / [`TensorError::LengthMismatch`]
 /// on malformed input.
+#[allow(clippy::needless_range_loop)] // channel-indexed kernel loop
 pub fn scale_channels(x: &mut Tensor, scale: &[f32]) -> Result<()> {
     let s = x.shape().clone();
     if s.rank() != 4 {
@@ -222,6 +225,7 @@ pub fn scale_channels(x: &mut Tensor, scale: &[f32]) -> Result<()> {
 /// # Errors
 ///
 /// Returns [`TensorError::RankMismatch`] for non-4-D input.
+#[allow(clippy::needless_range_loop)] // channel-indexed kernel loop
 pub fn sum_over_channels(x: &Tensor) -> Result<Vec<f32>> {
     let s = x.shape();
     if s.rank() != 4 {
@@ -298,8 +302,8 @@ mod tests {
     #[test]
     fn channel_statistics_across_batch() {
         // 2 batches, 1 channel: values 0..4 and 4..8 -> mean 3.5
-        let t = Tensor::from_vec((0..8).map(|x| x as f32).collect(), Shape::nchw(2, 1, 2, 2))
-            .unwrap();
+        let t =
+            Tensor::from_vec((0..8).map(|x| x as f32).collect(), Shape::nchw(2, 1, 2, 2)).unwrap();
         let means = channel_mean(&t).unwrap();
         assert_eq!(means, vec![3.5]);
     }
@@ -317,8 +321,8 @@ mod tests {
 
     #[test]
     fn sum_over_channels_matches_manual() {
-        let t = Tensor::from_vec((0..8).map(|x| x as f32).collect(), Shape::nchw(1, 2, 2, 2))
-            .unwrap();
+        let t =
+            Tensor::from_vec((0..8).map(|x| x as f32).collect(), Shape::nchw(1, 2, 2, 2)).unwrap();
         let sums = sum_over_channels(&t).unwrap();
         assert_eq!(sums, vec![6.0, 22.0]);
     }

@@ -1,4 +1,4 @@
-//! Minimal data-parallel helpers built on `crossbeam` scoped threads.
+//! Minimal data-parallel helpers built on `std` scoped threads.
 //!
 //! The GEMM and im2col kernels split their outermost loop across worker
 //! threads. We deliberately avoid a persistent thread pool: kernel
@@ -73,16 +73,15 @@ where
         return;
     }
     let ranges = split_ranges(total_rows, workers);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut rest = out;
         for range in ranges {
             let (chunk, tail) = rest.split_at_mut((range.end - range.start) * row_len);
             rest = tail;
             let f = &f;
-            s.spawn(move |_| f(range, chunk));
+            s.spawn(move || f(range, chunk));
         }
-    })
-    .expect("dronet-tensor worker thread panicked");
+    });
 }
 
 #[cfg(test)]

@@ -561,8 +561,8 @@ mod tests {
 
     #[test]
     fn batch_item_and_stack_roundtrip() {
-        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), Shape::nchw(2, 3, 2, 2))
-            .unwrap();
+        let t =
+            Tensor::from_vec((0..24).map(|x| x as f32).collect(), Shape::nchw(2, 3, 2, 2)).unwrap();
         let b0 = t.batch_item(0).unwrap();
         let b1 = t.batch_item(1).unwrap();
         assert_eq!(b0.shape().dims(), &[1, 3, 2, 2]);

@@ -26,7 +26,12 @@ impl GradCheckReport {
 
 /// Numerically differentiates `f` at `x` along coordinate `index` with a
 /// central difference.
-pub fn numeric_partial(f: &mut impl FnMut(&Tensor) -> f32, x: &Tensor, index: usize, eps: f32) -> f32 {
+pub fn numeric_partial(
+    f: &mut impl FnMut(&Tensor) -> f32,
+    x: &Tensor,
+    index: usize,
+    eps: f32,
+) -> f32 {
     let mut xp = x.clone();
     xp.as_mut_slice()[index] += eps;
     let mut xm = x.clone();

@@ -143,6 +143,7 @@ impl YoloLoss {
             ((b * a + anchor) * entries + entry) * plane + cell
         };
 
+        #[allow(clippy::needless_range_loop)] // b also feeds the flat-index closure
         for b in 0..n {
             for truth in &truths[b] {
                 let (_bbox, class) = truth;
@@ -181,8 +182,10 @@ impl YoloLoss {
                 if bbox.w <= 0.0 || bbox.h <= 0.0 {
                     continue;
                 }
-                let col = ((bbox.cx * gw as f32).floor() as isize).clamp(0, gw as isize - 1) as usize;
-                let row = ((bbox.cy * gh as f32).floor() as isize).clamp(0, gh as isize - 1) as usize;
+                let col =
+                    ((bbox.cx * gw as f32).floor() as isize).clamp(0, gw as isize - 1) as usize;
+                let row =
+                    ((bbox.cy * gh as f32).floor() as isize).clamp(0, gh as isize - 1) as usize;
                 let cell = row * gw + col;
 
                 // Best anchor by shape IoU (both centred at the origin).
@@ -223,7 +226,8 @@ impl YoloLoss {
                 // Objectness: replace whatever the no-object pass wrote.
                 let obj = out[oi];
                 let noobj_exempt = {
-                    let pred = self.decode_box(out, &at, b, best_anchor, cell, col, row, gw, gh, aw, ah);
+                    let pred =
+                        self.decode_box(out, &at, b, best_anchor, cell, col, row, gw, gh, aw, ah);
                     let iou = pred.iou(bbox);
                     iou >= cfg.ignore_thresh
                 };
@@ -426,9 +430,7 @@ mod tests {
     fn out_of_range_class_is_rejected() {
         let out = Tensor::zeros(Shape::nchw(1, 12, 3, 3));
         let truths = vec![vec![(BBox::new(0.5, 0.5, 0.2, 0.2), 1usize)]];
-        assert!(loss_1class()
-            .evaluate_with_classes(&out, &truths)
-            .is_err());
+        assert!(loss_1class().evaluate_with_classes(&out, &truths).is_err());
     }
 
     #[test]
@@ -463,7 +465,12 @@ mod tests {
             (BBox::new(0.80, 0.20, 0.15, 0.12), 2usize),
         ]];
         let mut rng = rand::rngs::StdRng::seed_from_u64(21);
-        let raw = init::uniform(Shape::nchw(1, region_cfg.channels(), 5, 5), -1.5, 1.5, &mut rng);
+        let raw = init::uniform(
+            Shape::nchw(1, region_cfg.channels(), 5, 5),
+            -1.5,
+            1.5,
+            &mut rng,
+        );
 
         let forward_loss = |raw: &Tensor| -> f32 {
             let mut layer = RegionLayer::new(region_cfg.clone()).unwrap();

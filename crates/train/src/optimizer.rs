@@ -148,7 +148,10 @@ mod tests {
             net.forward_train(&x).unwrap();
             net.backward(&grad).unwrap();
             opt.step(&mut net, 1);
-            assert!(loss <= last_loss + 1e-3, "loss went up: {last_loss} -> {loss}");
+            assert!(
+                loss <= last_loss + 1e-3,
+                "loss went up: {last_loss} -> {loss}"
+            );
             last_loss = loss;
         }
         assert!(last_loss < 1e-2, "did not converge: {last_loss}");

@@ -33,10 +33,7 @@ impl LrSchedule {
     pub fn darknet_default(total_batches: usize) -> Self {
         LrSchedule::Steps {
             lr: 1e-3,
-            steps: vec![
-                (total_batches * 8 / 10, 0.1),
-                (total_batches * 9 / 10, 0.1),
-            ],
+            steps: vec![(total_batches * 8 / 10, 0.1), (total_batches * 9 / 10, 0.1)],
         }
     }
 

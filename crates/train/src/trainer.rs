@@ -3,6 +3,7 @@ use dronet_data::augment::{AugmentConfig, Augmenter};
 use dronet_data::dataset::VehicleDataset;
 use dronet_metrics::BBox;
 use dronet_nn::{Network, NnError};
+use dronet_obs::Registry;
 use dronet_tensor::Tensor;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -75,6 +76,7 @@ impl TrainReport {
 #[derive(Debug, Clone)]
 pub struct Trainer {
     config: TrainConfig,
+    obs: Registry,
 }
 
 impl Trainer {
@@ -86,7 +88,20 @@ impl Trainer {
     pub fn new(config: TrainConfig) -> Self {
         assert!(config.epochs > 0, "epochs must be positive");
         assert!(config.batch_size > 0, "batch size must be positive");
-        Trainer { config }
+        Trainer {
+            config,
+            obs: Registry::noop(),
+        }
+    }
+
+    /// Attaches telemetry: every run records step/epoch latency histograms
+    /// (`train.step`, `train.epoch`), last-value gauges (`train.loss`,
+    /// `train.lr`, `train.grad_norm`) and `train.steps` / `train.images`
+    /// counters into `obs`. The gradient norm is only computed when the
+    /// registry is live, so unobserved training pays nothing for it.
+    pub fn with_observability(mut self, obs: &Registry) -> Self {
+        self.obs = obs.clone();
+        self
     }
 
     /// The trainer's configuration.
@@ -104,7 +119,11 @@ impl Trainer {
     ///
     /// Returns [`NnError::BadLayerConfig`] when the network has no region
     /// head, and propagates forward/backward errors.
-    pub fn train(&self, net: &mut Network, dataset: &VehicleDataset) -> Result<TrainReport, NnError> {
+    pub fn train(
+        &self,
+        net: &mut Network,
+        dataset: &VehicleDataset,
+    ) -> Result<TrainReport, NnError> {
         self.train_with(net, dataset, |_, _| {})
     }
 
@@ -142,8 +161,11 @@ impl Trainer {
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
         net.init_weights(&mut rng);
         let mut augmenter = Augmenter::new(AugmentConfig::default(), self.config.seed ^ 0xA0A0);
-        let mut opt =
-            Sgd::with_hyperparams(self.config.schedule.lr_at(0).max(1e-9), self.config.momentum, self.config.weight_decay);
+        let mut opt = Sgd::with_hyperparams(
+            self.config.schedule.lr_at(0).max(1e-9),
+            self.config.momentum,
+            self.config.weight_decay,
+        );
 
         let train_scenes = dataset.train();
         if train_scenes.is_empty() {
@@ -153,15 +175,25 @@ impl Trainer {
             });
         }
 
+        let step_hist = self.obs.histogram("train.step");
+        let epoch_hist = self.obs.histogram("train.epoch");
+        let loss_gauge = self.obs.gauge("train.loss");
+        let lr_gauge = self.obs.gauge("train.lr");
+        let grad_gauge = self.obs.gauge("train.grad_norm");
+        let steps_counter = self.obs.counter("train.steps");
+        let images_counter = self.obs.counter("train.images");
+
         let mut report = TrainReport::default();
         let mut batch_index = 0usize;
         for epoch in 0..self.config.epochs {
+            let epoch_span = epoch_hist.start();
             let mut order: Vec<usize> = (0..train_scenes.len()).collect();
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f32;
             let mut epoch_batches = 0usize;
 
             for chunk in order.chunks(self.config.batch_size) {
+                let step_span = step_hist.start();
                 let mut images: Vec<Tensor> = Vec::with_capacity(chunk.len());
                 let mut truths: Vec<Vec<(BBox, usize)>> = Vec::with_capacity(chunk.len());
                 for &idx in chunk {
@@ -185,11 +217,27 @@ impl Trainer {
                 let output = net.forward_train(&batch)?;
                 let (breakdown, grad) = loss.evaluate_with_classes(&output, &truths)?;
                 net.backward(&grad)?;
-                opt.set_learning_rate(self.config.schedule.lr_at(batch_index).max(1e-9));
+                if self.obs.is_enabled() {
+                    // Post-backward, pre-step: the raw accumulated gradient.
+                    let mut sq = 0.0f64;
+                    net.visit_params_mut(|_, g| {
+                        sq += g.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>();
+                    });
+                    grad_gauge.set(sq.sqrt());
+                }
+                let lr = self.config.schedule.lr_at(batch_index).max(1e-9);
+                opt.set_learning_rate(lr);
                 opt.step(net, chunk.len());
                 net.zero_grads();
 
-                epoch_loss += breakdown.total() / chunk.len() as f32;
+                let step_loss = breakdown.total() / chunk.len() as f32;
+                step_span.stop();
+                loss_gauge.set(f64::from(step_loss));
+                lr_gauge.set(f64::from(lr));
+                steps_counter.inc();
+                images_counter.add(chunk.len() as u64);
+
+                epoch_loss += step_loss;
                 epoch_batches += 1;
                 batch_index += 1;
                 report.images_seen += chunk.len();
@@ -197,6 +245,7 @@ impl Trainer {
             let mean = epoch_loss / epoch_batches.max(1) as f32;
             report.epoch_losses.push(mean);
             report.batches = batch_index;
+            epoch_span.stop();
             on_epoch(epoch, mean);
         }
         Ok(report)
@@ -294,6 +343,58 @@ mod tests {
     }
 
     #[test]
+    fn observed_training_records_step_telemetry() {
+        let mut net = micro_net(48);
+        let dataset = tiny_dataset();
+        let config = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            augment: false,
+            ..TrainConfig::default()
+        };
+        let obs = Registry::new();
+        let report = Trainer::new(config)
+            .with_observability(&obs)
+            .train(&mut net, &dataset)
+            .unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("train.steps"), Some(report.batches as u64));
+        assert_eq!(
+            snap.counter("train.images"),
+            Some(report.images_seen as u64)
+        );
+        assert_eq!(
+            snap.histogram("train.step").unwrap().count,
+            report.batches as u64
+        );
+        assert_eq!(snap.histogram("train.epoch").unwrap().count, 2);
+        let loss = snap.gauge("train.loss").unwrap();
+        assert!(loss.is_finite() && loss > 0.0);
+        assert!(snap.gauge("train.lr").unwrap() > 0.0);
+        assert!(snap.gauge("train.grad_norm").unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn observability_does_not_change_training() {
+        let dataset = tiny_dataset();
+        let config = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            ..TrainConfig::default()
+        };
+        let mut a = micro_net(48);
+        let mut b = micro_net(48);
+        let ra = Trainer::new(config.clone())
+            .train(&mut a, &dataset)
+            .unwrap();
+        let rb = Trainer::new(config)
+            .with_observability(&Registry::new())
+            .train(&mut b, &dataset)
+            .unwrap();
+        assert_eq!(ra.epoch_losses, rb.epoch_losses);
+    }
+
+    #[test]
     fn training_is_reproducible() {
         let dataset = tiny_dataset();
         let config = TrainConfig {
@@ -303,7 +404,9 @@ mod tests {
         };
         let mut a = micro_net(48);
         let mut b = micro_net(48);
-        let ra = Trainer::new(config.clone()).train(&mut a, &dataset).unwrap();
+        let ra = Trainer::new(config.clone())
+            .train(&mut a, &dataset)
+            .unwrap();
         let rb = Trainer::new(config).train(&mut b, &dataset).unwrap();
         assert_eq!(ra.epoch_losses, rb.epoch_losses);
     }

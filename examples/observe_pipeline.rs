@@ -1,0 +1,114 @@
+//! Observability tour: run an instrumented DroNet detection pipeline and a
+//! short training run, print the per-layer achieved-GFLOP/s breakdown, and
+//! dump the whole telemetry snapshot as JSON (plus CSV next to it).
+//!
+//! ```text
+//! cargo run --release --example observe_pipeline [profile.json]
+//! ```
+
+use dronet::core::{zoo, ModelId};
+use dronet::data::dataset::VehicleDataset;
+use dronet::data::scene::{SceneConfig, SceneGenerator};
+use dronet::detect::{DetectorBuilder, VideoPipeline};
+use dronet::nn::profile::NetworkProfile;
+use dronet::nn::summary::NetworkSummary;
+use dronet::obs::{CsvExporter, JsonExporter, Registry};
+use dronet::train::{LrSchedule, TrainConfig, Trainer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let obs = Registry::new();
+    let input = 352;
+
+    // 1. An observed detector: per-layer network timings plus the
+    //    forward/decode/NMS stage histograms.
+    let net = zoo::build(ModelId::DroNet, input)?;
+    let summary = NetworkSummary::of("DroNet-352", &net);
+    let mut detector = DetectorBuilder::new(net).observability(&obs).build()?;
+
+    // 2. Stream synthetic camera frames through both pipeline modes.
+    let frames: Vec<_> = (0..6)
+        .map(|i| {
+            SceneGenerator::new(SceneConfig::default(), 100 + i)
+                .generate()
+                .image
+                .resize(input, input)
+                .to_tensor()
+        })
+        .collect();
+    let report = VideoPipeline::run_observed(&mut detector, frames.clone(), &obs)?;
+    println!(
+        "synchronous pipeline: {} frames at {} ({:.1} ms mean)",
+        report.processed(),
+        report.fps(),
+        report.mean_latency().as_secs_f64() * 1e3
+    );
+    let report = VideoPipeline::run_threaded_observed(&mut detector, frames, &obs)?;
+    println!(
+        "threaded pipeline:    {} processed, {} dropped (single-slot camera buffer)",
+        report.processed(),
+        report.dropped
+    );
+
+    // 3. Where do the milliseconds go? Join the recorded timings with the
+    //    static FLOP accounting into the per-layer breakdown.
+    let profile = NetworkProfile::new(&summary, &obs.snapshot());
+    println!("\n{profile}");
+    if let Some(&hottest) = profile.hotspots().first() {
+        let row = &profile.rows[hottest];
+        println!(
+            "hottest layer: #{} ({}) at {:.1}% of the mean forward pass\n",
+            row.index,
+            row.kind.as_str(),
+            row.forward_mean.as_secs_f64() / profile.forward_total.map_or(1.0, |t| t.as_secs_f64())
+                * 100.0
+        );
+    }
+
+    // 4. A short observed training run on a micro model (full DroNet
+    //    training is a multi-hour job; the telemetry shape is identical).
+    let mut micro = zoo::micro_dronet(48, vec![(0.8, 0.8), (2.0, 2.0)])?;
+    let dataset = VehicleDataset::generate(
+        SceneConfig {
+            width: 48,
+            height: 48,
+            ..SceneConfig::default()
+        },
+        12,
+        0.75,
+        7,
+    );
+    let train_report = Trainer::new(TrainConfig {
+        epochs: 2,
+        batch_size: 4,
+        augment: false,
+        schedule: LrSchedule::Constant { lr: 2e-3 },
+        ..TrainConfig::default()
+    })
+    .with_observability(&obs)
+    .train(&mut micro, &dataset)?;
+    println!(
+        "observed training: {} steps, losses {:?}",
+        train_report.batches, train_report.epoch_losses
+    );
+
+    // 5. Export everything.
+    let snapshot = obs.snapshot();
+    let json_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "observe_pipeline.profile.json".to_string());
+    let csv_path = match json_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.csv"),
+        None => format!("{json_path}.csv"),
+    };
+    std::fs::write(&json_path, JsonExporter::to_string(&snapshot))?;
+    std::fs::write(&csv_path, CsvExporter::to_string(&snapshot))?;
+    println!(
+        "\nwrote {} ({} counters, {} gauges, {} histograms) and {}",
+        json_path,
+        snapshot.counters.len(),
+        snapshot.gauges.len(),
+        snapshot.histograms.len(),
+        csv_path
+    );
+    Ok(())
+}

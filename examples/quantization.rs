@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fp32_bytes = network_cost(&net).weight_bytes();
     println!("\nmodel size:");
     println!("  fp32 weights {:>10.1} KiB", fp32_bytes / 1024.0);
-    println!("  int8 weights {:>10.1} KiB", quantized.weight_bytes() as f64 / 1024.0);
+    println!(
+        "  int8 weights {:>10.1} KiB",
+        quantized.weight_bytes() as f64 / 1024.0
+    );
     println!("  compression  {:>10.2}x", quantized.compression_vs(&net));
 
     let mut max_rel = 0.0f32;

@@ -46,8 +46,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let training_flight = FlightSimulator::new(
         training_world,
         vec![
-            Waypoint { x: 30.0, y: 190.0, altitude_m: 23.0 },
-            Waypoint { x: 370.0, y: 210.0, altitude_m: 28.0 },
+            Waypoint {
+                x: 30.0,
+                y: 190.0,
+                altitude_m: 23.0,
+            },
+            Waypoint {
+                x: 370.0,
+                y: 210.0,
+                altitude_m: 28.0,
+            },
         ],
         10.0,
         2.0,
@@ -62,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let anchors = estimate_anchors(dataset.train(), INPUT / 8, 3);
     let mut net = zoo::micro_dronet_with_width(INPUT, anchors, 2)?;
-    println!("training the on-board detector ({} params)...", net.param_count());
+    println!(
+        "training the on-board detector ({} params)...",
+        net.param_count()
+    );
     Trainer::new(TrainConfig {
         epochs: 70,
         batch_size: 8,
@@ -95,14 +106,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let flight = FlightSimulator::new(
         world,
         vec![
-            Waypoint { x: 30.0, y: 200.0, altitude_m: altitude },
-            Waypoint { x: 370.0, y: 200.0, altitude_m: altitude },
+            Waypoint {
+                x: 30.0,
+                y: 200.0,
+                altitude_m: altitude,
+            },
+            Waypoint {
+                x: 370.0,
+                y: 200.0,
+                altitude_m: altitude,
+            },
         ],
         12.0, // m/s ground speed
         3.0,  // camera FPS
         INPUT,
     );
-    println!("flight plan: {} frames along the road corridor", flight.total_frames());
+    println!(
+        "flight plan: {} frames along the road corridor",
+        flight.total_frames()
+    );
 
     // --- 3. Detector with altitude gating (paper section III-D). ---
     let camera = CameraModel::new(60f32.to_radians(), INPUT);
@@ -138,8 +160,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\npatrol results:");
     println!("  frames processed      {}", report.processed());
-    println!("  mean latency          {:.1} ms", report.mean_latency().as_secs_f64() * 1e3);
-    println!("  sustained rate        {:.1} FPS (host hardware)", report.fps().0);
+    println!(
+        "  mean latency          {:.1} ms",
+        report.mean_latency().as_secs_f64() * 1e3
+    );
+    println!(
+        "  sustained rate        {:.1} FPS (host hardware)",
+        report.fps().0
+    );
     println!(
         "  frames a 3-FPS camera would drop: {}",
         report.estimated_drops_at(3.0)
@@ -148,7 +176,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prec = tp as f32 / (tp + fp).max(1) as f32;
     println!("  in-flight sensitivity {sens:.3}");
     println!("  in-flight precision   {prec:.3}");
-    println!("  unique vehicles counted by the tracker: {}", tracker.total_count());
+    println!(
+        "  unique vehicles counted by the tracker: {}",
+        tracker.total_count()
+    );
 
     // --- 5. Project the same workload onto the paper's platforms. ---
     use dronet::platform::{Platform, PlatformId};

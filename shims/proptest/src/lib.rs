@@ -1,0 +1,224 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this in-tree shim
+//! provides the subset of proptest the workspace's property tests use:
+//!
+//! * [`Strategy`] with `prop_map`, implemented for numeric ranges, tuples,
+//!   [`any`], [`collection::vec`](prop::collection::vec) and [`Just`],
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`],
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports its
+//! seed and values and fails the test immediately. Cases are generated from
+//! a deterministic per-test seed sequence, so failures reproduce across
+//! runs.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::{any, Any, Arbitrary, Just, Map, Strategy, VecStrategy};
+
+/// Runner configuration (`cases` is the only knob this shim honours).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+}
+
+/// Result type the generated test bodies return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Just, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Namespace mirror of proptest's `prop` module (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+
+    /// Numeric strategies (`prop::num::f32::NORMAL`).
+    pub mod num {
+        /// `f32`-specific strategies.
+        pub mod f32 {
+            /// Every normal `f32`: finite, non-zero, non-subnormal.
+            pub const NORMAL: crate::strategy::NormalF32 = crate::strategy::NormalF32;
+        }
+
+        /// `f64`-specific strategies.
+        pub mod f64 {
+            /// Every normal `f64`: finite, non-zero, non-subnormal.
+            pub const NORMAL: crate::strategy::NormalF64 = crate::strategy::NormalF64;
+        }
+    }
+}
+
+#[doc(hidden)]
+pub fn __new_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[doc(hidden)]
+pub fn __seed(test_name: &str, attempt: u64) -> u64 {
+    // FNV-1a over the test name, mixed with the attempt counter.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Defines property tests: each function runs `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __accepted: u32 = 0;
+                let mut __attempt: u64 = 0;
+                let __max_attempts: u64 = (__cfg.cases as u64) * 16 + 64;
+                while __accepted < __cfg.cases {
+                    if __attempt >= __max_attempts {
+                        panic!(
+                            "proptest '{}': too many rejected cases ({} accepted of {} wanted)",
+                            stringify!($name), __accepted, __cfg.cases
+                        );
+                    }
+                    __attempt += 1;
+                    let __seed = $crate::__seed(stringify!($name), __attempt);
+                    let mut __rng = $crate::__new_rng(__seed);
+                    $(
+                        let $arg = $crate::Strategy::sample_value(&($strat), &mut __rng);
+                    )+
+                    let __dbg = format!(
+                        concat!($(concat!(stringify!($arg), " = {:?}, ")),+),
+                        $(&$arg),+
+                    );
+                    let __result: $crate::TestCaseResult =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => __accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => panic!(
+                            "proptest '{}' failed: {}\n  inputs: {}\n  seed: {:#x}",
+                            stringify!($name), msg, __dbg, __seed
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}` ({:?} != {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}` (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its sampled inputs are unsuitable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}

@@ -47,6 +47,9 @@ pub use dronet_eval as eval;
 pub use dronet_metrics as metrics;
 /// The CNN engine (`dronet-nn`).
 pub use dronet_nn as nn;
+/// Telemetry: counters, gauges, latency histograms, JSON/CSV exporters
+/// (`dronet-obs`).
+pub use dronet_obs as obs;
 /// Embedded platform performance models (`dronet-platform`).
 pub use dronet_platform as platform;
 /// Tensor kernels (`dronet-tensor`).

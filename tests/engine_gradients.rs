@@ -33,7 +33,13 @@ fn truths() -> Vec<Vec<BBox>> {
 fn full_pipeline_input_gradient_matches_finite_differences() {
     let mut net = build_net(3);
     let loss = YoloLoss::new(
-        net.layers().last().unwrap().as_region().unwrap().config().clone(),
+        net.layers()
+            .last()
+            .unwrap()
+            .as_region()
+            .unwrap()
+            .config()
+            .clone(),
         YoloLossConfig::default(),
     );
     let truths = truths();
@@ -74,7 +80,13 @@ fn weight_gradients_descend_the_loss() {
     // actually decreases — the integral property training depends on.
     let mut net = build_net(7);
     let loss = YoloLoss::new(
-        net.layers().last().unwrap().as_region().unwrap().config().clone(),
+        net.layers()
+            .last()
+            .unwrap()
+            .as_region()
+            .unwrap()
+            .config()
+            .clone(),
         YoloLossConfig::default(),
     );
     let truths = truths();

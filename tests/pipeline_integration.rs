@@ -8,7 +8,6 @@ use dronet::detect::altitude::{AltitudeFilter, CameraModel};
 use dronet::detect::pipeline::VideoPipeline;
 use dronet::detect::track::{Tracker, TrackerConfig};
 use dronet::detect::{Detection, DetectorBuilder};
-use dronet::metrics::matching::match_detections;
 use dronet::metrics::BBox;
 
 fn world() -> World {
@@ -19,8 +18,16 @@ fn flight(altitude: f32, px: usize) -> FlightSimulator {
     FlightSimulator::new(
         world(),
         vec![
-            Waypoint { x: 40.0, y: 200.0, altitude_m: altitude },
-            Waypoint { x: 360.0, y: 200.0, altitude_m: altitude },
+            Waypoint {
+                x: 40.0,
+                y: 200.0,
+                altitude_m: altitude,
+            },
+            Waypoint {
+                x: 360.0,
+                y: 200.0,
+                altitude_m: altitude,
+            },
         ],
         16.0,
         2.0,
@@ -33,11 +40,10 @@ fn flight_frames_flow_through_the_pipeline() {
     let frames: Vec<_> = flight(60.0, 64).collect();
     assert!(frames.len() > 20);
     let tensors: Vec<_> = frames.iter().map(|f| f.image.to_tensor()).collect();
-    let mut detector = DetectorBuilder::new(
-        zoo::micro_dronet(64, vec![(1.0, 1.0), (2.0, 2.0)]).unwrap(),
-    )
-    .build()
-    .unwrap();
+    let mut detector =
+        DetectorBuilder::new(zoo::micro_dronet(64, vec![(1.0, 1.0), (2.0, 2.0)]).unwrap())
+            .build()
+            .unwrap();
     let report = VideoPipeline::run(&mut detector, tensors).unwrap();
     assert_eq!(report.processed(), frames.len());
     assert!(report.fps().0 > 0.0);
@@ -81,10 +87,7 @@ fn altitude_gate_rejects_infeasible_sizes_only() {
 
     // And at 4x the altitude the same physical boxes become infeasible.
     let high = AltitudeFilter::new(camera, altitude * 6.0, (3.5, 5.5), 0.45).unwrap();
-    let sample = frames
-        .iter()
-        .flat_map(|f| f.annotations.iter())
-        .take(10);
+    let sample = frames.iter().flat_map(|f| f.annotations.iter()).take(10);
     let mut rejected = 0;
     let mut seen = 0;
     for ann in sample {
@@ -140,7 +143,10 @@ fn ground_sampling_scales_inversely_with_altitude() {
         fov_rad: 1.0,
         frame_px: 128,
     };
-    let double = Camera { altitude_m: 80.0, ..base };
+    let double = Camera {
+        altitude_m: 80.0,
+        ..base
+    };
     let ratio = base.expected_pixel_size(4.5) / double.expected_pixel_size(4.5);
     assert!((ratio - 2.0).abs() < 1e-4);
 }
@@ -152,11 +158,9 @@ fn threaded_pipeline_handles_flight_stream() {
         .map(|f| f.image.to_tensor())
         .collect();
     let n = tensors.len();
-    let mut detector = DetectorBuilder::new(
-        zoo::micro_dronet(64, vec![(1.0, 1.0)]).unwrap(),
-    )
-    .build()
-    .unwrap();
+    let mut detector = DetectorBuilder::new(zoo::micro_dronet(64, vec![(1.0, 1.0)]).unwrap())
+        .build()
+        .unwrap();
     let report = VideoPipeline::run_threaded(&mut detector, tensors).unwrap();
     assert_eq!(report.processed() + report.dropped, n);
     assert!(report.processed() >= 1);

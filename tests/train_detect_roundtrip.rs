@@ -99,7 +99,11 @@ fn train_detect_checkpoint_quantize() {
         before.stats.sensitivity,
         after.stats.sensitivity
     );
-    assert!(after.stats.mean_iou > 0.5, "mean IoU {}", after.stats.mean_iou);
+    assert!(
+        after.stats.mean_iou > 0.5,
+        "mean IoU {}",
+        after.stats.mean_iou
+    );
 
     // --- Checkpoint round-trip preserves behaviour exactly. ---
     let mut buf = Vec::new();
