@@ -282,6 +282,27 @@ pub fn input_sizes_sorted() -> Vec<usize> {
     sizes
 }
 
+/// The paper's Section IV resolution sweep as a runtime degradation
+/// ladder: ascending input sizes an overloaded deployment can walk down
+/// (608 → … → 352) trading accuracy for throughput, and back up once the
+/// load clears. This is the ladder `dronet-detect`'s degradation
+/// controller shifts along.
+pub fn resolution_ladder() -> Vec<usize> {
+    input_sizes_sorted()
+}
+
+/// The next rung *below* `input` on the paper ladder, or `None` when
+/// already at (or below) the 352-pixel floor.
+pub fn step_down(input: usize) -> Option<usize> {
+    resolution_ladder().into_iter().rev().find(|&s| s < input)
+}
+
+/// The next rung *above* `input` on the paper ladder, or `None` when
+/// already at (or above) the 608-pixel ceiling.
+pub fn step_up(input: usize) -> Option<usize> {
+    resolution_ladder().into_iter().find(|&s| s > input)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,6 +405,28 @@ mod tests {
         assert_eq!(sorted.first(), Some(&352));
         assert_eq!(sorted.last(), Some(&608));
         assert!(sorted.windows(2).all(|w| w[1] - w[0] == 32));
+    }
+
+    #[test]
+    fn ladder_steps_walk_the_sweep() {
+        assert_eq!(resolution_ladder(), input_sizes_sorted());
+        assert_eq!(step_down(608), Some(576));
+        assert_eq!(step_down(416), Some(384));
+        assert_eq!(step_down(352), None, "floor of the ladder");
+        assert_eq!(step_up(352), Some(384));
+        assert_eq!(step_up(608), None, "ceiling of the ladder");
+        // Off-ladder sizes snap to the nearest rung in the step direction.
+        assert_eq!(step_down(500), Some(480));
+        assert_eq!(step_up(500), Some(512));
+        // Walking down from the top visits every rung exactly once.
+        let mut s = 608;
+        let mut visited = vec![s];
+        while let Some(next) = step_down(s) {
+            visited.push(next);
+            s = next;
+        }
+        visited.reverse();
+        assert_eq!(visited, resolution_ladder());
     }
 
     #[test]

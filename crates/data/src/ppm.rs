@@ -91,8 +91,19 @@ pub fn read<R: Read>(mut reader: R) -> io::Result<Image> {
         ));
     }
     pos += 1; // single whitespace after maxval
-    let need = width * height * 3;
-    if content.len() < pos + need {
+              // Checked arithmetic: attacker-sized headers (e.g. 2^32 x 2^32) must
+              // produce InvalidData, not an overflow panic or a bogus tiny `need`
+              // that lets a huge allocation through.
+    let need = width
+        .checked_mul(height)
+        .and_then(|p| p.checked_mul(3))
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "ppm dimensions overflow usize")
+        })?;
+    let end = pos.checked_add(need).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "ppm dimensions overflow usize")
+    })?;
+    if content.len() < end {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "truncated ppm pixel data",
@@ -175,6 +186,18 @@ mod tests {
         assert!(read(&b"P6\nx y\n255\n"[..]).is_err());
         assert!(read(&b"P6\n1 1\n65535\n\x00\x00"[..]).is_err());
         assert!(read(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn overflowing_dimensions_are_rejected_not_panicked() {
+        // width * height * 3 would wrap around usize.
+        let huge = format!("P6\n{} {}\n255\n", usize::MAX, usize::MAX);
+        assert!(read(huge.as_bytes()).is_err());
+        let huge = format!("P6\n{} 3\n255\nxxx", usize::MAX / 2);
+        assert!(read(huge.as_bytes()).is_err());
+        // Large-but-representable dimensions fail the length check (the
+        // file obviously cannot contain the pixels) without allocating.
+        assert!(read(&b"P6\n1000000 1000000\n255\n\x00"[..]).is_err());
     }
 
     #[test]

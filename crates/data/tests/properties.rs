@@ -1,6 +1,7 @@
 //! Property-based tests for the synthetic data substrate.
 
 use dronet_data::augment::{color_shift, hflip, translate, vflip};
+use dronet_data::ppm;
 use dronet_data::scene::{SceneConfig, SceneGenerator, SceneKind};
 use dronet_data::{Annotation, Image};
 use proptest::prelude::*;
@@ -89,6 +90,35 @@ proptest! {
         for v in resized.as_slice() {
             prop_assert!((0.0..=1.0).contains(v));
         }
+    }
+
+    /// The PPM parser never panics on arbitrary garbage: any byte stream
+    /// produces `Ok` or a typed `InvalidData` error.
+    #[test]
+    fn ppm_reader_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = ppm::read(bytes.as_slice());
+    }
+
+    /// Nor on corrupted variants of a *valid* file: random byte flips and
+    /// truncations of a well-formed PPM (the header-mutation case garbage
+    /// bytes rarely reach).
+    #[test]
+    fn ppm_reader_survives_mutated_valid_files(
+        flips in prop::collection::vec((any::<u16>(), any::<u8>()), 0..8),
+        cut in any::<u16>(),
+    ) {
+        let img = Image::new(5, 4, [0.5; 3]);
+        let mut buf = Vec::new();
+        ppm::write(&img, &mut buf).unwrap();
+        let pristine = buf.clone();
+        for (pos, val) in flips {
+            let len = buf.len();
+            buf[pos as usize % len] = val;
+        }
+        buf.truncate(cut as usize % (buf.len() + 1));
+        let _ = ppm::read(buf.as_slice());
+        // The untouched original still parses.
+        prop_assert!(ppm::read(pristine.as_slice()).is_ok());
     }
 
     /// Tensor round-trip is exact for in-range images.

@@ -83,7 +83,10 @@ pub fn decode(
             for col in 0..gw {
                 let cell = row * gw + col;
                 let objectness = data[base + 4 * plane + cell];
-                if objectness < confidence_threshold {
+                // NaN compares false against the threshold, so an explicit
+                // finiteness guard is required: a NaN-poisoned activation
+                // must never become a detection.
+                if !objectness.is_finite() || objectness < confidence_threshold {
                     continue;
                 }
                 // Most probable class.
@@ -104,8 +107,17 @@ pub fn decode(
                 }
                 let x = data[base + cell];
                 let y = data[base + plane + cell];
-                let w_raw = data[base + 2 * plane + cell].clamp(-8.0, 8.0);
-                let h_raw = data[base + 3 * plane + cell].clamp(-8.0, 8.0);
+                let w_raw = data[base + 2 * plane + cell];
+                let h_raw = data[base + 3 * plane + cell];
+                // `clamp` propagates NaN, so geometry needs its own guard.
+                if ![x, y, w_raw, h_raw, class_prob]
+                    .iter()
+                    .all(|v| v.is_finite())
+                {
+                    continue;
+                }
+                let w_raw = w_raw.clamp(-8.0, 8.0);
+                let h_raw = h_raw.clamp(-8.0, 8.0);
                 let bbox = BBox::new(
                     (col as f32 + x) / gw as f32,
                     (row as f32 + y) / gh as f32,
@@ -217,6 +229,38 @@ mod tests {
             decode(&t, &region(), 0, 0.5),
             Err(DetectError::BadNetworkOutput { .. })
         ));
+    }
+
+    #[test]
+    fn non_finite_activations_never_become_detections() {
+        let r = region();
+        let plane = 4;
+        // NaN objectness: `NaN < threshold` is false, so without the
+        // explicit guard this cell would pass the confidence test.
+        let mut t = Tensor::zeros(Shape::nchw(1, r.channels(), 2, 2));
+        t.as_mut_slice()[4 * plane] = f32::NAN;
+        assert!(decode(&t, &r, 0, 0.5).unwrap().is_empty());
+
+        // Infinite objectness with NaN geometry: confident cell, poisoned
+        // coordinates — must be skipped, not emitted as a NaN box.
+        let mut t = Tensor::zeros(Shape::nchw(1, r.channels(), 2, 2));
+        let d = t.as_mut_slice();
+        d[4 * plane] = f32::INFINITY;
+        d[0] = f32::NAN; // x
+        assert!(decode(&t, &r, 0, 0.5).unwrap().is_empty());
+
+        // A clean confident cell next to a poisoned one still decodes, and
+        // everything emitted is finite.
+        let mut t = Tensor::zeros(Shape::nchw(1, r.channels(), 2, 2));
+        let d = t.as_mut_slice();
+        d[4 * plane] = f32::NAN; // cell 0 poisoned
+        d[4 * plane + 1] = 0.9; // cell 1 clean
+        let dets = decode(&t, &r, 0, 0.5).unwrap();
+        assert_eq!(dets.len(), 1);
+        let b = &dets[0].bbox;
+        assert!([b.cx, b.cy, b.w, b.h, dets[0].score()]
+            .iter()
+            .all(|v| v.is_finite()));
     }
 
     #[test]

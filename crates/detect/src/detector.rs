@@ -118,6 +118,47 @@ impl DetectorBuilder {
     }
 }
 
+/// Object-safe view of a detection stage: what the supervised pipeline
+/// needs from whatever processes a frame.
+///
+/// [`Detector`] is the real implementation;
+/// [`crate::fault::FaultyDetector`] wraps any stage with an injected fault
+/// schedule, and tests substitute hand-written stages. `Send` is required
+/// so the supervisor can run the stage on a watchdog-monitored worker
+/// thread and abandon it when it hangs.
+pub trait DetectStage: Send {
+    /// Runs detection on a `[1, c, h, w]` frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network and decode errors; see [`Detector::detect`].
+    fn detect_frame(&mut self, frame: &Tensor) -> Result<Vec<Detection>>;
+
+    /// The stage's nominal input `(c, h, w)`; frames are conformed to this
+    /// before dispatch.
+    fn input_chw(&self) -> (usize, usize, usize);
+}
+
+impl DetectStage for Detector {
+    fn detect_frame(&mut self, frame: &Tensor) -> Result<Vec<Detection>> {
+        self.detect(frame)
+    }
+
+    fn input_chw(&self) -> (usize, usize, usize) {
+        Detector::input_chw(self)
+    }
+}
+
+impl DetectStage for Box<dyn DetectStage> {
+    fn detect_frame(&mut self, frame: &Tensor) -> Result<Vec<Detection>> {
+        (**self).detect_frame(frame)
+    }
+
+    fn input_chw(&self) -> (usize, usize, usize) {
+        (**self).input_chw()
+    }
+}
+
 /// The end-to-end vehicle detector: network forward, decode, NMS, optional
 /// altitude gating, with built-in frame timing.
 #[derive(Debug)]

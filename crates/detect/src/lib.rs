@@ -13,7 +13,16 @@
 //! * [`pipeline`] — a frame-stream processing loop with latency/FPS
 //!   accounting, matching the paper's on-board deployment loop,
 //! * [`track`] — a lightweight IoU tracker for the road-traffic-monitoring
-//!   use case the paper motivates (vehicle counting).
+//!   use case the paper motivates (vehicle counting),
+//! * [`source`] — the [`FrameSource`] camera abstraction the pipeline and
+//!   supervisor consume frames through,
+//! * [`fault`] — a deterministic, seeded fault-injection harness (stalls,
+//!   corrupt/NaN frames, transient errors, latency spikes, panics),
+//! * [`supervisor`] — the self-healing runner: watchdog timeouts, panic
+//!   isolation with stage restarts, bounded retry with backoff, and a
+//!   `Healthy → Degraded → Halted` health-state machine,
+//! * [`degrade`] — graceful degradation along the paper's 352–608
+//!   resolution ladder under sustained overload.
 //!
 //! # Example
 //!
@@ -41,14 +50,24 @@ mod error;
 
 pub mod altitude;
 pub mod decode;
+pub mod degrade;
+pub mod fault;
 pub mod nms;
 pub mod pipeline;
+pub mod source;
+pub mod supervisor;
 pub mod track;
 
 pub use decode::Detection;
-pub use detector::{Detector, DetectorBuilder};
+pub use degrade::{DegradeAction, DegradeConfig, DegradeController};
+pub use detector::{DetectStage, Detector, DetectorBuilder};
 pub use error::DetectError;
+pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultyDetector, FaultyFrameSource};
 pub use pipeline::{FrameResult, PipelineReport, VideoPipeline};
+pub use source::{conform_frame, resize_frame, FrameSource, IterSource};
+pub use supervisor::{
+    FaultEvent, Health, StageFactory, Supervisor, SupervisorConfig, SupervisorReport,
+};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, DetectError>;

@@ -19,7 +19,9 @@
 //! counters; the plain entry points delegate to them with a noop registry,
 //! so the unobserved hot path pays only inert-handle checks.
 
-use crate::{Detection, Detector, Result};
+use crate::error::panic_payload_message;
+use crate::source::{FrameSource, IterSource};
+use crate::{DetectError, Detection, Detector, Result};
 use dronet_metrics::{Fps, FpsMeter};
 use dronet_obs::Registry;
 use dronet_tensor::Tensor;
@@ -127,18 +129,44 @@ impl VideoPipeline {
         frames: impl IntoIterator<Item = Tensor>,
         obs: &Registry,
     ) -> Result<PipelineReport> {
+        Self::run_source_observed(detector, IterSource::new(frames), obs)
+    }
+
+    /// Synchronous strict mode over any [`FrameSource`] (a camera, the
+    /// synthetic scene generator, a fault-injection wrapper, ...).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first acquisition or detector error. For fault
+    /// tolerance instead of fail-fast semantics, use
+    /// [`crate::Supervisor`].
+    pub fn run_source(detector: &mut Detector, source: impl FrameSource) -> Result<PipelineReport> {
+        Self::run_source_observed(detector, source, &Registry::noop())
+    }
+
+    /// [`VideoPipeline::run_source`] with telemetry, recording the same
+    /// metrics as [`VideoPipeline::run_observed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first acquisition or detector error.
+    pub fn run_source_observed(
+        detector: &mut Detector,
+        mut source: impl FrameSource,
+        obs: &Registry,
+    ) -> Result<PipelineReport> {
         let preprocess = obs.histogram("pipeline.preprocess");
         let frame_hist = obs.histogram("pipeline.frame");
         let frames_counter = obs.counter("pipeline.frames");
         let mut report = PipelineReport::default();
-        let mut iter = frames.into_iter();
         for frame_index in 0.. {
             let acquire = preprocess.start();
-            let Some(frame) = iter.next() else {
+            let Some(item) = source.next_frame() else {
                 acquire.cancel();
                 break;
             };
             acquire.stop();
+            let frame = item?;
             let t0 = Instant::now();
             let span = frame_hist.start();
             let detections = detector.detect(&frame)?;
@@ -183,6 +211,44 @@ impl VideoPipeline {
         frames: impl IntoIterator<Item = Tensor> + Send,
         obs: &Registry,
     ) -> Result<PipelineReport> {
+        // The source is built *inside* the producer thread: the
+        // IntoIterator is Send but its iterator need not be.
+        Self::run_source_threaded_impl(detector, move || IterSource::new(frames), obs)
+    }
+
+    /// Threaded latest-frame mode over any [`FrameSource`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first acquisition or detector error; a panicking
+    /// source surfaces as [`DetectError::StageFailed`] rather than
+    /// poisoning the join.
+    pub fn run_source_threaded(
+        detector: &mut Detector,
+        source: impl FrameSource + Send,
+    ) -> Result<PipelineReport> {
+        Self::run_source_threaded_observed(detector, source, &Registry::noop())
+    }
+
+    /// [`VideoPipeline::run_source_threaded`] with telemetry, recording the
+    /// same metrics as [`VideoPipeline::run_threaded_observed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first acquisition or detector error.
+    pub fn run_source_threaded_observed(
+        detector: &mut Detector,
+        source: impl FrameSource + Send,
+        obs: &Registry,
+    ) -> Result<PipelineReport> {
+        Self::run_source_threaded_impl(detector, move || source, obs)
+    }
+
+    fn run_source_threaded_impl<S: FrameSource>(
+        detector: &mut Detector,
+        make_source: impl FnOnce() -> S + Send,
+        obs: &Registry,
+    ) -> Result<PipelineReport> {
         let preprocess = obs.histogram("pipeline.preprocess");
         let frame_hist = obs.histogram("pipeline.frame");
         let frames_counter = obs.counter("pipeline.frames");
@@ -196,35 +262,52 @@ impl VideoPipeline {
             // Single-slot camera buffer, as in the paper's deployment: a
             // frame arriving while the detector is still busy with the
             // buffered one is lost.
-            let (tx, rx) = sync_channel::<(usize, Tensor)>(1);
+            let (tx, rx) = sync_channel::<(usize, Result<Tensor>)>(1);
             let dropped_ref = &dropped;
             let producer = s.spawn({
                 let preprocess = preprocess.clone();
                 let dropped_counter = dropped_counter.clone();
                 let queue_depth = queue_depth.clone();
                 move || {
-                    let mut iter = frames.into_iter();
+                    let mut source = make_source();
                     for i in 0.. {
                         let acquire = preprocess.start();
-                        let Some(frame) = iter.next() else {
+                        let Some(item) = source.next_frame() else {
                             acquire.cancel();
                             break;
                         };
                         acquire.stop();
-                        match tx.try_send((i, frame)) {
-                            Ok(()) => queue_depth.add(1.0),
-                            Err(TrySendError::Full(_)) => {
-                                dropped_ref.fetch_add(1, Ordering::Relaxed);
-                                dropped_counter.inc();
+                        match item {
+                            Ok(frame) => match tx.try_send((i, Ok(frame))) {
+                                Ok(()) => queue_depth.add(1.0),
+                                Err(TrySendError::Full(_)) => {
+                                    dropped_ref.fetch_add(1, Ordering::Relaxed);
+                                    dropped_counter.inc();
+                                }
+                                Err(TrySendError::Disconnected(_)) => break,
+                            },
+                            // Acquisition errors abort strict mode: block
+                            // until the consumer sees this one, never drop it.
+                            Err(e) => {
+                                if tx.send((i, Err(e))).is_err() {
+                                    break;
+                                }
+                                queue_depth.add(1.0);
                             }
-                            Err(TrySendError::Disconnected(_)) => break,
                         }
                     }
                     // tx drops here, closing the stream.
                 }
             });
-            for (frame_index, frame) in rx.iter() {
+            for (frame_index, item) in rx.iter() {
                 queue_depth.sub(1.0);
+                let frame = match item {
+                    Ok(frame) => frame,
+                    Err(e) => {
+                        first_error = Some(e);
+                        break;
+                    }
+                };
                 let t0 = Instant::now();
                 let span = frame_hist.start();
                 match detector.detect(&frame) {
@@ -245,9 +328,15 @@ impl VideoPipeline {
             }
             // On error the loop exits with the channel still open: drop the
             // receiver so the producer sees Disconnected and terminates,
-            // then join it before reading the drop count.
+            // then join it before reading the drop count. A panicking
+            // source becomes a typed error instead of a pipeline panic.
             drop(rx);
-            producer.join().expect("pipeline producer thread panicked");
+            if let Err(payload) = producer.join() {
+                first_error.get_or_insert(DetectError::StageFailed {
+                    stage: "source",
+                    msg: panic_payload_message(payload),
+                });
+            }
             report.dropped = dropped.load(Ordering::Relaxed);
         });
         match first_error {
@@ -365,6 +454,63 @@ mod tests {
         // One acquisition per yielded frame (the end-of-stream probe is
         // cancelled, not recorded).
         assert_eq!(snap.histogram("pipeline.preprocess").unwrap().count, 4);
+    }
+
+    /// Yields `ok` clean frames, then one faulty item, then ends.
+    struct FaultyTail {
+        ok: usize,
+        panic_instead: bool,
+    }
+    impl FrameSource for FaultyTail {
+        fn next_frame(&mut self) -> Option<Result<Tensor>> {
+            if self.ok > 0 {
+                self.ok -= 1;
+                return Some(Ok(Tensor::zeros(Shape::nchw(1, 3, 16, 16))));
+            }
+            if self.panic_instead {
+                panic!("camera readout wedged");
+            }
+            self.panic_instead = true; // only fault once
+            Some(Err(DetectError::CorruptFrame {
+                frame_index: 0,
+                msg: "truncated readout".into(),
+            }))
+        }
+    }
+
+    #[test]
+    fn strict_source_mode_propagates_acquisition_errors() {
+        let mut det = tiny_detector();
+        let src = FaultyTail {
+            ok: 2,
+            panic_instead: false,
+        };
+        let err = VideoPipeline::run_source(&mut det, src).unwrap_err();
+        assert!(matches!(err, DetectError::CorruptFrame { .. }));
+
+        let src = FaultyTail {
+            ok: 2,
+            panic_instead: false,
+        };
+        let err = VideoPipeline::run_source_threaded(&mut det, src).unwrap_err();
+        assert!(matches!(err, DetectError::CorruptFrame { .. }));
+    }
+
+    #[test]
+    fn threaded_source_panic_becomes_typed_error() {
+        let mut det = tiny_detector();
+        let src = FaultyTail {
+            ok: 1,
+            panic_instead: true,
+        };
+        let err = VideoPipeline::run_source_threaded(&mut det, src).unwrap_err();
+        match err {
+            DetectError::StageFailed { stage, msg } => {
+                assert_eq!(stage, "source");
+                assert!(msg.contains("wedged"));
+            }
+            other => panic!("expected StageFailed, got {other}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,1083 @@
+//! The self-healing pipeline: runs a detection stage under a watchdog,
+//! isolates crashes, retries transient failures, and degrades resolution
+//! instead of dying.
+//!
+//! The paper's deployment (Fig. 5) is an *unattended* loop on an
+//! Odroid-XU4/RPi3; the plain [`crate::VideoPipeline`] aborts on the first
+//! error, which is the right behaviour for benchmarking and the wrong one
+//! mid-flight. [`Supervisor`] wraps the same producer/consumer structure
+//! with:
+//!
+//! * **per-stage watchdogs** — the frame source and the detector each get
+//!   a deadline; a stalled camera is reported (and eventually halts the
+//!   run), a hung detector stage is abandoned and restarted,
+//! * **panic isolation** — the detector runs under `catch_unwind`; a
+//!   crash becomes a typed [`DetectError::StageFailed`] and the stage is
+//!   rebuilt from its factory instead of unwinding across the pipeline,
+//! * **bounded retry with exponential backoff** — recoverable frame
+//!   errors ([`DetectError::is_recoverable`]) are retried a configurable
+//!   number of times before the frame is skipped,
+//! * **a health-state machine** — `Healthy → Degraded → Halted`,
+//!   exported as the `supervisor.health` gauge (0/1/2) through the obs
+//!   registry, with recovery back to `Healthy` after a clean streak,
+//! * **graceful degradation** — an optional [`DegradeController`]
+//!   watches the queue-depth gauge and drop counter and walks the
+//!   detector down (and back up) the paper's 352–608 resolution ladder.
+
+use crate::degrade::{DegradeAction, DegradeController};
+use crate::detector::DetectStage;
+use crate::error::panic_payload_message as panic_message;
+use crate::pipeline::FrameResult;
+use crate::source::{conform_frame, FrameSource};
+use crate::{DetectError, Detection, Result};
+use dronet_obs::{Counter, Gauge, Histogram, Registry};
+use dronet_tensor::Tensor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Health of the supervised pipeline, exported as the `supervisor.health`
+/// gauge (`Healthy` = 0, `Degraded` = 1, `Halted` = 2).
+///
+/// Transitions: any fault, retry, restart or downshift moves `Healthy →
+/// Degraded`; a configurable streak of clean frames moves `Degraded →
+/// Healthy`; exhausting the restart budget or the camera-stall budget
+/// moves to the terminal `Halted`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Health {
+    /// Everything nominal.
+    #[default]
+    Healthy,
+    /// Running, but faults were observed recently or resolution is
+    /// downshifted; the pipeline is still producing detections.
+    Degraded,
+    /// The supervisor gave up: fault budgets exhausted. Terminal.
+    Halted,
+}
+
+impl Health {
+    /// The gauge encoding of this state.
+    pub fn as_metric(self) -> f64 {
+        match self {
+            Health::Healthy => 0.0,
+            Health::Degraded => 1.0,
+            Health::Halted => 2.0,
+        }
+    }
+}
+
+/// One fault the supervisor observed and survived (or halted on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Arrival index of the implicated frame, when attributable.
+    pub frame_index: Option<usize>,
+    /// Stage that faulted: `"source"`, `"detect"` or `"supervisor"`.
+    pub stage: &'static str,
+    /// Human-readable description (the typed error's display form).
+    pub description: String,
+}
+
+/// Tunables of the supervised pipeline.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Watchdog deadline for frame acquisition; exceeding it records a
+    /// camera stall.
+    pub source_timeout: Duration,
+    /// Watchdog deadline for one detector pass; exceeding it abandons and
+    /// restarts the stage (threaded mode) or flags the frame (sync mode).
+    pub stage_timeout: Duration,
+    /// Retries per frame for recoverable errors before skipping it.
+    pub max_retries: u32,
+    /// First retry backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Detector stage restarts (after panics/hangs) before halting.
+    pub max_restarts: u32,
+    /// Consecutive source watchdog expiries before halting (threaded mode).
+    pub max_consecutive_stalls: u32,
+    /// Clean frames required to recover from `Degraded` to `Healthy`.
+    pub recovery_frames: u32,
+    /// Detector input size used when no degradation controller is given.
+    pub initial_input: usize,
+    /// Synchronous mode only: nominal camera rate used to *estimate*
+    /// overload (drops) from per-frame latency, since a synchronous run
+    /// never physically drops frames.
+    pub camera_fps: Option<f64>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            source_timeout: Duration::from_millis(250),
+            stage_timeout: Duration::from_secs(1),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(2),
+            max_restarts: 5,
+            max_consecutive_stalls: 8,
+            recovery_frames: 8,
+            initial_input: 416,
+            camera_fps: None,
+        }
+    }
+}
+
+/// What a supervised run did: processed frames plus the complete fault and
+/// recovery ledger.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisorReport {
+    /// Per-frame results of successfully processed frames.
+    pub frames: Vec<FrameResult>,
+    /// Frames dropped at the camera buffer (threaded mode).
+    pub dropped: usize,
+    /// Frames consumed but abandoned after faults exhausted their retries.
+    pub skipped: usize,
+    /// Every fault observed, in occurrence order.
+    pub faults: Vec<FaultEvent>,
+    /// Detector stage restarts (panics, hangs, unexpected exits).
+    pub restarts: u32,
+    /// Frame-level retry attempts.
+    pub retries: u32,
+    /// Camera stall events (source watchdog expiries).
+    pub stalls: u32,
+    /// Resolution downshifts performed by the degradation controller.
+    pub downshifts: u32,
+    /// Resolution upshifts performed by the degradation controller.
+    pub upshifts: u32,
+    /// Input sizes used over the run, starting with the initial one.
+    pub resolution_history: Vec<usize>,
+    /// Health at the end of the run.
+    pub final_health: Health,
+}
+
+impl SupervisorReport {
+    /// Number of frames actually processed.
+    pub fn processed(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The fault ledger restricted to schedule-deterministic content
+    /// (stage + description + frame index), for reproducibility checks.
+    pub fn fault_signature(&self) -> Vec<(Option<usize>, &'static str, String)> {
+        self.faults
+            .iter()
+            .map(|f| (f.frame_index, f.stage, f.description.clone()))
+            .collect()
+    }
+}
+
+/// Factory rebuilding the detection stage, given an input resolution.
+/// Called once at startup and again after every crash, hang, or
+/// resolution shift.
+pub type StageFactory<'a> = dyn FnMut(usize) -> Result<Box<dyn DetectStage>> + 'a;
+
+/// The supervised pipeline runner. See the module docs for the full
+/// behaviour; construct with [`Supervisor::new`], attach telemetry with
+/// [`Supervisor::observability`], then call [`Supervisor::run`] (threaded,
+/// watchdog-enforced) or [`Supervisor::run_sync`] (single-threaded,
+/// deterministic).
+#[derive(Debug, Default)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+    obs: Registry,
+}
+
+enum SourceItem {
+    Frame(usize, Tensor),
+    Error(usize, DetectError),
+    Crashed(String),
+}
+
+enum WorkerReply {
+    Done {
+        result: Result<Vec<Detection>>,
+        elapsed: Duration,
+    },
+    Panicked {
+        msg: String,
+    },
+}
+
+struct Worker {
+    work_tx: SyncSender<(usize, Tensor)>,
+    reply_rx: Receiver<WorkerReply>,
+}
+
+/// Moves `stage` onto its own thread. The thread exits when the work
+/// channel closes (orderly shutdown or abandonment after a hang) or after
+/// reporting a panic, since a stage that unwound mid-frame cannot be
+/// trusted with another one.
+fn spawn_stage(mut stage: Box<dyn DetectStage>) -> Worker {
+    let (work_tx, work_rx) = sync_channel::<(usize, Tensor)>(1);
+    let (reply_tx, reply_rx) = channel();
+    std::thread::spawn(move || {
+        while let Ok((_index, frame)) = work_rx.recv() {
+            let t0 = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| stage.detect_frame(&frame)));
+            match outcome {
+                Ok(result) => {
+                    let reply = WorkerReply::Done {
+                        result,
+                        elapsed: t0.elapsed(),
+                    };
+                    if reply_tx.send(reply).is_err() {
+                        return; // supervisor abandoned this worker
+                    }
+                }
+                Err(payload) => {
+                    let _ = reply_tx.send(WorkerReply::Panicked {
+                        msg: panic_message(payload),
+                    });
+                    return;
+                }
+            }
+        }
+    });
+    Worker { work_tx, reply_rx }
+}
+
+/// Health/fault bookkeeping shared by the threaded and sync run modes.
+struct Monitor {
+    report: SupervisorReport,
+    health: Health,
+    clean_streak: u32,
+    recovery_frames: u32,
+    health_gauge: Gauge,
+    faults_counter: Counter,
+    retries_counter: Counter,
+    restarts_counter: Counter,
+    stalls_counter: Counter,
+    skipped_counter: Counter,
+}
+
+impl Monitor {
+    fn new(obs: &Registry, recovery_frames: u32, initial_input: usize) -> Self {
+        let health_gauge = obs.gauge("supervisor.health");
+        health_gauge.set(Health::Healthy.as_metric());
+        Monitor {
+            report: SupervisorReport {
+                resolution_history: vec![initial_input],
+                ..SupervisorReport::default()
+            },
+            health: Health::Healthy,
+            clean_streak: 0,
+            recovery_frames,
+            health_gauge,
+            faults_counter: obs.counter("supervisor.faults"),
+            retries_counter: obs.counter("supervisor.retries"),
+            restarts_counter: obs.counter("supervisor.restarts"),
+            stalls_counter: obs.counter("supervisor.stalls"),
+            skipped_counter: obs.counter("supervisor.skipped"),
+        }
+    }
+
+    fn mark_degraded(&mut self) {
+        self.clean_streak = 0;
+        if self.health == Health::Healthy {
+            self.health = Health::Degraded;
+            self.health_gauge.set(self.health.as_metric());
+        }
+    }
+
+    fn fault(&mut self, frame_index: Option<usize>, stage: &'static str, description: String) {
+        self.report.faults.push(FaultEvent {
+            frame_index,
+            stage,
+            description,
+        });
+        self.faults_counter.inc();
+        self.mark_degraded();
+    }
+
+    fn stall(&mut self, elapsed: Duration, limit: Duration) {
+        self.report.stalls += 1;
+        self.stalls_counter.inc();
+        self.fault(
+            None,
+            "source",
+            DetectError::Timeout {
+                stage: "source",
+                elapsed,
+                limit,
+            }
+            .to_string(),
+        );
+    }
+
+    fn retry(&mut self) {
+        self.report.retries += 1;
+        self.retries_counter.inc();
+        self.mark_degraded();
+    }
+
+    fn restart(&mut self) {
+        self.report.restarts += 1;
+        self.restarts_counter.inc();
+        self.mark_degraded();
+    }
+
+    fn skipped(&mut self) {
+        self.report.skipped += 1;
+        self.skipped_counter.inc();
+    }
+
+    fn clean_frame(&mut self) {
+        if self.health == Health::Degraded {
+            self.clean_streak += 1;
+            if self.clean_streak >= self.recovery_frames {
+                self.health = Health::Healthy;
+                self.health_gauge.set(self.health.as_metric());
+            }
+        }
+    }
+
+    fn halt(&mut self, reason: String) {
+        self.fault(None, "supervisor", reason);
+        self.health = Health::Halted;
+        self.health_gauge.set(self.health.as_metric());
+    }
+
+    fn finish(mut self) -> SupervisorReport {
+        self.report.final_health = self.health;
+        self.report
+    }
+}
+
+fn backoff(base: Duration, attempt: u32) -> Duration {
+    base.saturating_mul(1u32 << attempt.saturating_sub(1).min(10))
+}
+
+/// How one frame's dispatch ended.
+enum Disposition {
+    Done,
+    Halted,
+}
+
+/// Mutable state of a threaded run that the dispatch path needs together.
+struct RunState<'a> {
+    factory: &'a mut StageFactory<'a>,
+    worker: Worker,
+    stage_chw: (usize, usize, usize),
+    current_input: usize,
+    restarts_left: u32,
+    monitor: Monitor,
+    frames_counter: Counter,
+    frame_hist: Histogram,
+    input_gauge: Gauge,
+}
+
+impl RunState<'_> {
+    /// Rebuilds the detector stage (same resolution) after a crash or
+    /// hang; `false` means the restart budget or the factory failed and
+    /// the run is halted.
+    fn respawn(&mut self) -> bool {
+        self.monitor.restart();
+        if self.restarts_left == 0 {
+            self.monitor
+                .halt("detector stage restart budget exhausted".to_string());
+            return false;
+        }
+        self.restarts_left -= 1;
+        match (self.factory)(self.current_input) {
+            Ok(stage) => {
+                self.stage_chw = stage.input_chw();
+                self.worker = spawn_stage(stage);
+                true
+            }
+            Err(e) => {
+                self.monitor
+                    .halt(format!("detector stage rebuild failed: {e}"));
+                false
+            }
+        }
+    }
+
+    /// Rebuilds the detector stage at a new resolution after a controller
+    /// shift (does not consume the restart budget — this is policy, not
+    /// failure); `false` halts the run.
+    fn reshape(&mut self, input: usize) -> bool {
+        self.current_input = input;
+        self.input_gauge.set(input as f64);
+        self.monitor.report.resolution_history.push(input);
+        match (self.factory)(input) {
+            Ok(stage) => {
+                self.stage_chw = stage.input_chw();
+                self.worker = spawn_stage(stage);
+                true
+            }
+            Err(e) => {
+                self.monitor
+                    .halt(format!("resolution-shift rebuild failed: {e}"));
+                false
+            }
+        }
+    }
+
+    /// Sends one conformed frame to the worker, enforcing the stage
+    /// watchdog and the retry/restart policy.
+    fn dispatch(&mut self, index: usize, frame: &Tensor, cfg: &SupervisorConfig) -> Disposition {
+        let mut attempt = 0u32;
+        loop {
+            if self.worker.work_tx.send((index, frame.clone())).is_err() {
+                // Worker gone (panicked on an earlier frame whose reply we
+                // already consumed): restart and re-dispatch.
+                if !self.respawn() {
+                    return Disposition::Halted;
+                }
+                continue;
+            }
+            let failure = match self.worker.reply_rx.recv_timeout(cfg.stage_timeout) {
+                Ok(WorkerReply::Done {
+                    result: Ok(detections),
+                    elapsed,
+                }) => {
+                    self.frames_counter.inc();
+                    self.frame_hist.record(elapsed);
+                    self.monitor.report.frames.push(FrameResult {
+                        frame_index: index,
+                        detections,
+                        latency: elapsed,
+                    });
+                    self.monitor.clean_frame();
+                    return Disposition::Done;
+                }
+                Ok(WorkerReply::Done {
+                    result: Err(e),
+                    elapsed: _,
+                }) => {
+                    if e.is_recoverable() && attempt < cfg.max_retries {
+                        attempt += 1;
+                        self.monitor.retry();
+                        std::thread::sleep(backoff(cfg.backoff_base, attempt));
+                        continue;
+                    }
+                    self.monitor.fault(Some(index), "detect", e.to_string());
+                    self.monitor.skipped();
+                    return Disposition::Done;
+                }
+                Ok(WorkerReply::Panicked { msg }) => DetectError::StageFailed {
+                    stage: "detect",
+                    msg,
+                },
+                Err(RecvTimeoutError::Timeout) => DetectError::Timeout {
+                    stage: "detect",
+                    elapsed: cfg.stage_timeout,
+                    limit: cfg.stage_timeout,
+                },
+                Err(RecvTimeoutError::Disconnected) => DetectError::StageFailed {
+                    stage: "detect",
+                    msg: "detector stage terminated without replying".to_string(),
+                },
+            };
+            // Panic / hang / unexpected exit: isolate, restart, maybe retry.
+            self.monitor
+                .fault(Some(index), "detect", failure.to_string());
+            if !self.respawn() {
+                return Disposition::Halted;
+            }
+            if attempt < cfg.max_retries {
+                attempt += 1;
+                self.monitor.retry();
+            } else {
+                self.monitor.skipped();
+                return Disposition::Done;
+            }
+        }
+    }
+}
+
+impl Supervisor {
+    /// A supervisor with the given tunables and no telemetry.
+    pub fn new(config: SupervisorConfig) -> Self {
+        Supervisor {
+            config,
+            obs: Registry::noop(),
+        }
+    }
+
+    /// Attaches a telemetry registry: the supervisor exports
+    /// `supervisor.health` (gauge), `supervisor.{faults,retries,restarts,
+    /// stalls,skipped}` (counters), `detect.input_size` (gauge),
+    /// `degrade.{downshifts,upshifts}` (counters) and the pipeline's
+    /// `pipeline.*` metrics.
+    pub fn observability(mut self, obs: &Registry) -> Self {
+        self.obs = obs.clone();
+        self
+    }
+
+    /// Runs the supervised pipeline with the camera on a producer thread
+    /// and the detector stage on a watchdog-monitored worker thread.
+    ///
+    /// `factory` builds (and rebuilds, after crashes or resolution shifts)
+    /// the detection stage for a given input size. `controller`, when
+    /// given, drives resolution degradation; its current rung overrides
+    /// [`SupervisorConfig::initial_input`].
+    ///
+    /// The run survives every recoverable fault and returns a report; the
+    /// report's [`SupervisorReport::final_health`] is [`Health::Halted`]
+    /// when a fault budget was exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the *initial* stage construction fails;
+    /// everything after that is handled in-band.
+    pub fn run<S>(
+        &self,
+        source: S,
+        factory: &mut StageFactory<'_>,
+        controller: Option<DegradeController>,
+    ) -> Result<SupervisorReport>
+    where
+        S: FrameSource + Send + 'static,
+    {
+        let cfg = &self.config;
+        let obs = &self.obs;
+        let mut controller = controller;
+        let current_input = controller
+            .as_ref()
+            .map_or(cfg.initial_input, DegradeController::current);
+        let stage = factory(current_input)?;
+
+        let preprocess = obs.histogram("pipeline.preprocess");
+        let dropped_counter = obs.counter("pipeline.dropped");
+        let queue_depth = obs.gauge("pipeline.queue_depth");
+        let input_gauge = obs.gauge("detect.input_size");
+        let downshift_counter = obs.counter("degrade.downshifts");
+        let upshift_counter = obs.counter("degrade.upshifts");
+        input_gauge.set(current_input as f64);
+
+        let mut state = RunState {
+            stage_chw: stage.input_chw(),
+            worker: spawn_stage(stage),
+            factory,
+            current_input,
+            restarts_left: cfg.max_restarts,
+            monitor: Monitor::new(obs, cfg.recovery_frames, current_input),
+            frames_counter: obs.counter("pipeline.frames"),
+            frame_hist: obs.histogram("pipeline.frame"),
+            input_gauge,
+        };
+
+        let dropped = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = sync_channel::<SourceItem>(1);
+        let producer = {
+            let preprocess = preprocess.clone();
+            let dropped_counter = dropped_counter.clone();
+            let queue_depth = queue_depth.clone();
+            let dropped = Arc::clone(&dropped);
+            let mut source = source;
+            std::thread::spawn(move || {
+                let mut index = 0usize;
+                loop {
+                    let acquire = preprocess.start();
+                    let item = catch_unwind(AssertUnwindSafe(|| source.next_frame()));
+                    let item = match item {
+                        Ok(Some(item)) => {
+                            acquire.stop();
+                            item
+                        }
+                        Ok(None) => {
+                            acquire.cancel();
+                            break;
+                        }
+                        Err(payload) => {
+                            acquire.cancel();
+                            let _ = tx.send(SourceItem::Crashed(panic_message(payload)));
+                            break;
+                        }
+                    };
+                    match item {
+                        // The single-slot camera buffer of the paper's
+                        // deployment: a frame arriving while the consumer
+                        // is busy is lost.
+                        Ok(frame) => match tx.try_send(SourceItem::Frame(index, frame)) {
+                            Ok(()) => queue_depth.add(1.0),
+                            Err(TrySendError::Full(_)) => {
+                                dropped.fetch_add(1, Ordering::Relaxed);
+                                dropped_counter.inc();
+                            }
+                            Err(TrySendError::Disconnected(_)) => break,
+                        },
+                        // Acquisition failures are never silently dropped:
+                        // block so the fault ledger stays exact.
+                        Err(e) => {
+                            if tx.send(SourceItem::Error(index, e)).is_err() {
+                                break;
+                            }
+                            queue_depth.add(1.0);
+                        }
+                    }
+                    index += 1;
+                }
+            })
+        };
+
+        let mut consecutive_stalls = 0u32;
+        let mut last_drops = 0usize;
+        let mut clean_end = false;
+        loop {
+            let item = match rx.recv_timeout(cfg.source_timeout) {
+                Ok(item) => {
+                    consecutive_stalls = 0;
+                    item
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    consecutive_stalls += 1;
+                    state.monitor.stall(cfg.source_timeout, cfg.source_timeout);
+                    if consecutive_stalls > cfg.max_consecutive_stalls {
+                        state.monitor.halt(format!(
+                            "camera stalled for {consecutive_stalls} consecutive watchdog periods"
+                        ));
+                        break;
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    clean_end = true;
+                    break;
+                }
+            };
+            match item {
+                SourceItem::Crashed(msg) => {
+                    let e = DetectError::StageFailed {
+                        stage: "source",
+                        msg,
+                    };
+                    state.monitor.fault(None, "source", e.to_string());
+                    // The producer is gone; nothing more will arrive.
+                    clean_end = true;
+                    break;
+                }
+                SourceItem::Error(index, e) => {
+                    queue_depth.sub(1.0);
+                    state.monitor.fault(Some(index), "source", e.to_string());
+                    state.monitor.skipped();
+                }
+                SourceItem::Frame(index, frame) => {
+                    queue_depth.sub(1.0);
+                    match conform_frame(frame, state.stage_chw, index) {
+                        Err(e) => {
+                            state.monitor.fault(Some(index), "source", e.to_string());
+                            state.monitor.skipped();
+                        }
+                        Ok(frame) => {
+                            if let Disposition::Halted = state.dispatch(index, &frame, cfg) {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            // Feed the degradation controller one observation per consumed
+            // item, then apply any resolution shift it requests.
+            let drops_now = dropped.load(Ordering::Relaxed);
+            let delta = (drops_now - last_drops) as u64;
+            last_drops = drops_now;
+            if let Some(ctrl) = controller.as_mut() {
+                if let Some(action) = ctrl.observe_frame(queue_depth.get(), delta) {
+                    match action {
+                        DegradeAction::Downshift(_) => {
+                            state.monitor.report.downshifts += 1;
+                            downshift_counter.inc();
+                            state.monitor.mark_degraded();
+                        }
+                        DegradeAction::Upshift(_) => {
+                            state.monitor.report.upshifts += 1;
+                            upshift_counter.inc();
+                        }
+                    }
+                    if !state.reshape(action.target()) {
+                        break;
+                    }
+                }
+            }
+        }
+        if clean_end {
+            // The producer already ran to completion; reclaim it so the
+            // final drop count is exact. (On halt it is abandoned instead:
+            // it exits on its next send against the closed channel.)
+            let _ = producer.join();
+        }
+        drop(rx);
+        let mut report = state.monitor.finish();
+        report.dropped = dropped.load(Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// Single-threaded supervised run: same fault handling (panic
+    /// isolation, retries, restarts, degradation) without watchdog
+    /// preemption, so the fault ledger is fully deterministic for a given
+    /// fault schedule. Stalls and slow stages are *recorded* when their
+    /// measured latency exceeds the deadlines, but nothing is abandoned.
+    ///
+    /// Overload is estimated from per-frame latency against
+    /// [`SupervisorConfig::camera_fps`], mirroring
+    /// [`crate::PipelineReport::estimated_drops_at`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the initial stage construction fails.
+    pub fn run_sync(
+        &self,
+        mut source: impl FrameSource,
+        factory: &mut StageFactory<'_>,
+        mut controller: Option<DegradeController>,
+    ) -> Result<SupervisorReport> {
+        let cfg = &self.config;
+        let obs = &self.obs;
+        let mut current_input = controller
+            .as_ref()
+            .map_or(cfg.initial_input, DegradeController::current);
+        let mut stage = factory(current_input)?;
+        let mut stage_chw = stage.input_chw();
+
+        let preprocess = obs.histogram("pipeline.preprocess");
+        let frame_hist = obs.histogram("pipeline.frame");
+        let frames_counter = obs.counter("pipeline.frames");
+        let input_gauge = obs.gauge("detect.input_size");
+        let downshift_counter = obs.counter("degrade.downshifts");
+        let upshift_counter = obs.counter("degrade.upshifts");
+        input_gauge.set(current_input as f64);
+
+        let mut monitor = Monitor::new(obs, cfg.recovery_frames, current_input);
+        let mut restarts_left = cfg.max_restarts;
+        let mut index = 0usize;
+        'stream: loop {
+            let t0 = Instant::now();
+            let item = match catch_unwind(AssertUnwindSafe(|| source.next_frame())) {
+                Ok(item) => item,
+                Err(payload) => {
+                    let e = DetectError::StageFailed {
+                        stage: "source",
+                        msg: panic_message(payload),
+                    };
+                    monitor.fault(None, "source", e.to_string());
+                    break;
+                }
+            };
+            let acquisition = t0.elapsed();
+            let Some(item) = item else { break };
+            preprocess.record(acquisition);
+            if acquisition > cfg.source_timeout {
+                monitor.stall(acquisition, cfg.source_timeout);
+            }
+            let mut frame_latency = None;
+            match item.and_then(|frame| conform_frame(frame, stage_chw, index)) {
+                Err(e) => {
+                    monitor.fault(Some(index), "source", e.to_string());
+                    monitor.skipped();
+                }
+                Ok(frame) => {
+                    let mut attempt = 0u32;
+                    loop {
+                        let t0 = Instant::now();
+                        let outcome = catch_unwind(AssertUnwindSafe(|| stage.detect_frame(&frame)));
+                        let elapsed = t0.elapsed();
+                        match outcome {
+                            Ok(Ok(detections)) => {
+                                if elapsed > cfg.stage_timeout {
+                                    monitor.fault(
+                                        Some(index),
+                                        "detect",
+                                        DetectError::Timeout {
+                                            stage: "detect",
+                                            elapsed,
+                                            limit: cfg.stage_timeout,
+                                        }
+                                        .to_string(),
+                                    );
+                                }
+                                frames_counter.inc();
+                                frame_hist.record(elapsed);
+                                frame_latency = Some(elapsed);
+                                monitor.report.frames.push(FrameResult {
+                                    frame_index: index,
+                                    detections,
+                                    latency: elapsed,
+                                });
+                                monitor.clean_frame();
+                                break;
+                            }
+                            Ok(Err(e)) => {
+                                if e.is_recoverable() && attempt < cfg.max_retries {
+                                    attempt += 1;
+                                    monitor.retry();
+                                    std::thread::sleep(backoff(cfg.backoff_base, attempt));
+                                    continue;
+                                }
+                                monitor.fault(Some(index), "detect", e.to_string());
+                                monitor.skipped();
+                                break;
+                            }
+                            Err(payload) => {
+                                let e = DetectError::StageFailed {
+                                    stage: "detect",
+                                    msg: panic_message(payload),
+                                };
+                                monitor.fault(Some(index), "detect", e.to_string());
+                                monitor.restart();
+                                if restarts_left == 0 {
+                                    monitor.halt(
+                                        "detector stage restart budget exhausted".to_string(),
+                                    );
+                                    break 'stream;
+                                }
+                                restarts_left -= 1;
+                                match factory(current_input) {
+                                    Ok(s) => {
+                                        stage = s;
+                                        stage_chw = stage.input_chw();
+                                    }
+                                    Err(e) => {
+                                        monitor.halt(format!("detector stage rebuild failed: {e}"));
+                                        break 'stream;
+                                    }
+                                }
+                                if attempt < cfg.max_retries {
+                                    attempt += 1;
+                                    monitor.retry();
+                                } else {
+                                    monitor.skipped();
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Synchronous mode never drops frames; estimate the overload a
+            // camera at the nominal rate would have caused.
+            let estimated_drops = match (cfg.camera_fps, frame_latency) {
+                (Some(fps), Some(latency)) if fps.is_finite() && fps > 0.0 => {
+                    ((latency.as_secs_f64() * fps).ceil() as u64).saturating_sub(1)
+                }
+                _ => 0,
+            };
+            if let Some(ctrl) = controller.as_mut() {
+                if let Some(action) = ctrl.observe_frame(0.0, estimated_drops) {
+                    match action {
+                        DegradeAction::Downshift(_) => {
+                            monitor.report.downshifts += 1;
+                            downshift_counter.inc();
+                            monitor.mark_degraded();
+                        }
+                        DegradeAction::Upshift(_) => {
+                            monitor.report.upshifts += 1;
+                            upshift_counter.inc();
+                        }
+                    }
+                    current_input = action.target();
+                    input_gauge.set(current_input as f64);
+                    monitor.report.resolution_history.push(current_input);
+                    match factory(current_input) {
+                        Ok(s) => {
+                            stage = s;
+                            stage_chw = stage.input_chw();
+                        }
+                        Err(e) => {
+                            monitor.halt(format!("resolution-shift rebuild failed: {e}"));
+                            break;
+                        }
+                    }
+                }
+            }
+            index += 1;
+        }
+        Ok(monitor.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultPlan, FaultyDetector, FaultyFrameSource};
+    use crate::source::IterSource;
+    use dronet_tensor::Shape;
+
+    /// A trivial stage: constant latency, no detections.
+    struct NullStage;
+    impl DetectStage for NullStage {
+        fn detect_frame(&mut self, _: &Tensor) -> Result<Vec<Detection>> {
+            Ok(Vec::new())
+        }
+        fn input_chw(&self) -> (usize, usize, usize) {
+            (3, 8, 8)
+        }
+    }
+
+    fn frames(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|_| Tensor::zeros(Shape::nchw(1, 3, 8, 8)))
+            .collect()
+    }
+
+    fn quick_config() -> SupervisorConfig {
+        SupervisorConfig {
+            source_timeout: Duration::from_millis(200),
+            stage_timeout: Duration::from_millis(500),
+            backoff_base: Duration::from_micros(100),
+            recovery_frames: 2,
+            initial_input: 8,
+            ..SupervisorConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_processes_everything_and_stays_healthy() {
+        let sup = Supervisor::new(quick_config());
+        let mut factory: Box<dyn FnMut(usize) -> Result<Box<dyn DetectStage>>> =
+            Box::new(|_| Ok(Box::new(NullStage)));
+        let report = sup
+            .run(IterSource::new(frames(10)), &mut factory, None)
+            .unwrap();
+        assert_eq!(report.processed() + report.dropped, 10);
+        assert_eq!(report.final_health, Health::Healthy);
+        assert!(report.faults.is_empty());
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.resolution_history, vec![8]);
+    }
+
+    #[test]
+    fn sync_run_is_lossless() {
+        let sup = Supervisor::new(quick_config());
+        let mut factory: Box<dyn FnMut(usize) -> Result<Box<dyn DetectStage>>> =
+            Box::new(|_| Ok(Box::new(NullStage)));
+        let report = sup
+            .run_sync(IterSource::new(frames(10)), &mut factory, None)
+            .unwrap();
+        assert_eq!(report.processed(), 10);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.final_health, Health::Healthy);
+    }
+
+    #[test]
+    fn corrupt_frames_are_skipped_not_fatal() {
+        let plan = FaultPlan::from_schedule(vec![
+            None,
+            Some(FaultKind::CorruptFrame),
+            None,
+            Some(FaultKind::NanFrame),
+            None,
+        ]);
+        let sup = Supervisor::new(quick_config());
+        let mut factory: Box<dyn FnMut(usize) -> Result<Box<dyn DetectStage>>> =
+            Box::new(|_| Ok(Box::new(NullStage)));
+        let source = FaultyFrameSource::new(IterSource::new(frames(8)), plan);
+        let report = sup.run_sync(source, &mut factory, None).unwrap();
+        assert_eq!(report.skipped, 2, "corrupt + NaN frames skipped");
+        assert_eq!(report.processed(), 6);
+        assert_eq!(report.faults.len(), 2);
+        assert!(report.faults.iter().all(|f| f.stage == "source"));
+        assert_eq!(
+            report.final_health,
+            Health::Healthy,
+            "recovered after skips"
+        );
+    }
+
+    #[test]
+    fn transient_errors_are_retried_to_success() {
+        let plan = FaultPlan::from_schedule(vec![None, Some(FaultKind::TransientDetect)]);
+        let sup = Supervisor::new(quick_config());
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mut factory: Box<dyn FnMut(usize) -> Result<Box<dyn DetectStage>>> = Box::new(|_| {
+            Ok(Box::new(FaultyDetector::with_counter(
+                NullStage,
+                plan.clone(),
+                Arc::clone(&calls),
+            )))
+        });
+        let report = sup
+            .run_sync(IterSource::new(frames(4)), &mut factory, None)
+            .unwrap();
+        assert_eq!(report.processed(), 4, "retry recovered the faulted frame");
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.retries, 1);
+        assert!(report.faults.is_empty(), "recovered retries are not faults");
+    }
+
+    #[test]
+    fn detector_panic_is_isolated_and_stage_restarted() {
+        // Panic on the very first detect call: frame 0 always reaches the
+        // worker, whereas later frames can be dropped by the lossy camera
+        // channel when the host scheduler stalls the consumer.
+        let plan = FaultPlan::from_schedule(vec![Some(FaultKind::DetectorPanic)]);
+        let sup = Supervisor::new(quick_config());
+        let calls = Arc::new(AtomicUsize::new(0));
+        let builds = Arc::new(AtomicUsize::new(0));
+        let builds_in = Arc::clone(&builds);
+        let mut factory: Box<dyn FnMut(usize) -> Result<Box<dyn DetectStage>>> =
+            Box::new(move |_| {
+                builds_in.fetch_add(1, Ordering::Relaxed);
+                Ok(Box::new(FaultyDetector::with_counter(
+                    NullStage,
+                    plan.clone(),
+                    Arc::clone(&calls),
+                )))
+            });
+        let report = sup
+            .run(IterSource::new(frames(12)), &mut factory, None)
+            .unwrap();
+        // At least one restart from the injected panic; a slow host can add
+        // more via watchdog timeouts, so this is a lower bound.
+        assert!(report.restarts >= 1, "panic triggered a stage restart");
+        assert!(
+            builds.load(Ordering::Relaxed) >= 2,
+            "factory rebuilt the stage"
+        );
+        assert!(report
+            .faults
+            .iter()
+            .any(|f| f.description.contains("injected detector fault")));
+        // Recovery-to-Healthy timing depends on how many frames survive the
+        // restart window (the producer keeps dropping meanwhile); the
+        // deterministic sync tests pin the exact transition.
+        assert_ne!(report.final_health, Health::Halted, "survived the panic");
+        assert!(report.processed() >= 1);
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_halts() {
+        // Every call panics; the budget (2) runs out and the run halts
+        // instead of looping forever.
+        let plan = FaultPlan::from_schedule(vec![Some(FaultKind::DetectorPanic); 64]);
+        let sup = Supervisor::new(SupervisorConfig {
+            max_restarts: 2,
+            max_retries: 1,
+            ..quick_config()
+        });
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mut factory: Box<dyn FnMut(usize) -> Result<Box<dyn DetectStage>>> = Box::new(|_| {
+            Ok(Box::new(FaultyDetector::with_counter(
+                NullStage,
+                plan.clone(),
+                Arc::clone(&calls),
+            )))
+        });
+        let report = sup
+            .run_sync(IterSource::new(frames(32)), &mut factory, None)
+            .unwrap();
+        assert_eq!(report.final_health, Health::Halted);
+        assert_eq!(report.restarts, 3, "initial budget 2 + the halting attempt");
+        assert_eq!(report.processed(), 0);
+    }
+
+    #[test]
+    fn health_gauge_tracks_transitions() {
+        let obs = Registry::new();
+        let plan = FaultPlan::from_schedule(vec![Some(FaultKind::CorruptFrame)]);
+        let sup = Supervisor::new(quick_config()).observability(&obs);
+        let mut factory: Box<dyn FnMut(usize) -> Result<Box<dyn DetectStage>>> =
+            Box::new(|_| Ok(Box::new(NullStage)));
+        let source = FaultyFrameSource::new(IterSource::new(frames(6)), plan);
+        let report = sup.run_sync(source, &mut factory, None).unwrap();
+        assert_eq!(report.final_health, Health::Healthy);
+        let snap = obs.snapshot();
+        assert_eq!(snap.gauge("supervisor.health"), Some(0.0));
+        assert_eq!(snap.counter("supervisor.faults"), Some(1));
+        assert_eq!(snap.counter("supervisor.skipped"), Some(1));
+        assert_eq!(snap.counter("pipeline.frames"), Some(5));
+    }
+}

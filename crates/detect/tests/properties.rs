@@ -1,9 +1,12 @@
 //! Property-based tests for the detection pipeline's invariants.
 
+use dronet_detect::fault::{FaultConfig, FaultPlan};
 use dronet_detect::nms::non_max_suppression;
+use dronet_detect::source::resize_frame;
 use dronet_detect::track::{Tracker, TrackerConfig};
 use dronet_detect::Detection;
 use dronet_metrics::BBox;
+use dronet_tensor::{Shape, Tensor};
 use proptest::prelude::*;
 
 fn arb_detection() -> impl Strategy<Value = Detection> {
@@ -71,6 +74,43 @@ proptest! {
         let strict = non_max_suppression(dets.clone(), 0.2);
         let loose = non_max_suppression(dets, 0.8);
         prop_assert!(loose.len() >= strict.len());
+    }
+
+    /// Chaos schedules are reproducible: identical (seed, frames, config)
+    /// always yields an identical plan, so every chaos scenario can be
+    /// replayed from its seed.
+    #[test]
+    fn fault_plans_are_deterministic(seed in any::<u64>(), frames in 0usize..200) {
+        let config = FaultConfig::default();
+        let a = FaultPlan::generate(seed, frames, &config);
+        let b = FaultPlan::generate(seed, frames, &config);
+        prop_assert_eq!(a.slots(), b.slots());
+        prop_assert_eq!(a.injected(), b.injected());
+        prop_assert!(a.injected() <= frames);
+        // Different seeds disagree somewhere, given enough frames.
+        if frames >= 100 {
+            let c = FaultPlan::generate(seed.wrapping_add(1), frames, &config);
+            prop_assert!(a.slots() != c.slots());
+        }
+    }
+
+    /// Nearest-neighbour resize hits the requested geometry and only ever
+    /// emits values present in the source frame.
+    #[test]
+    fn resize_frame_geometry_and_values(
+        ih in 1usize..10, iw in 1usize..10,
+        oh in 1usize..10, ow in 1usize..10,
+    ) {
+        let mut frame = Tensor::zeros(Shape::nchw(1, 2, ih, iw));
+        for (i, v) in frame.as_mut_slice().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let out = resize_frame(&frame, oh, ow);
+        prop_assert_eq!(out.shape().dims(), &[1, 2, oh, ow]);
+        let src = frame.as_slice();
+        for v in out.as_slice() {
+            prop_assert!(src.contains(v), "resampled value {v} not in source");
+        }
     }
 
     /// Tracker invariants under arbitrary detection streams: ids are

@@ -35,6 +35,14 @@ pub enum NnError {
     },
     /// A weights file was malformed or does not match the network.
     WeightsFormat(String),
+    /// A weights payload decoded successfully but carries NaN or infinite
+    /// values; loading it would silently poison every forward pass.
+    NonFiniteWeights {
+        /// Index of the offending convolutional layer within the network.
+        layer_index: usize,
+        /// Which field was non-finite, e.g. `"bias"` or `"weights"`.
+        field: &'static str,
+    },
     /// An I/O error occurred while reading or writing weights.
     Io(std::io::Error),
 }
@@ -64,6 +72,10 @@ impl fmt::Display for NnError {
                 }
             }
             NnError::WeightsFormat(msg) => write!(f, "weights format error: {msg}"),
+            NnError::NonFiniteWeights { layer_index, field } => write!(
+                f,
+                "conv layer {layer_index} {field} contains non-finite values (NaN/Inf)"
+            ),
             NnError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

@@ -81,6 +81,7 @@ pub fn load<R: Read>(net: &mut Network, mut reader: R) -> Result<()> {
     for (i, layer) in net.layers_mut().iter_mut().enumerate() {
         if let Layer::Conv(conv) = layer {
             read_f32s(&mut reader, conv.bias_mut()).map_err(|e| at_conv(e, i, "bias"))?;
+            ensure_finite(conv.bias(), i, "bias")?;
             if conv.has_batch_norm() {
                 let bn = conv.batch_norm_mut().expect("has_batch_norm checked");
                 read_f32s(&mut reader, bn.scales_mut()).map_err(|e| at_conv(e, i, "scales"))?;
@@ -88,9 +89,13 @@ pub fn load<R: Read>(net: &mut Network, mut reader: R) -> Result<()> {
                     .map_err(|e| at_conv(e, i, "rolling mean"))?;
                 read_f32s(&mut reader, bn.rolling_var_mut())
                     .map_err(|e| at_conv(e, i, "rolling variance"))?;
+                ensure_finite(bn.scales(), i, "scales")?;
+                ensure_finite(bn.rolling_mean(), i, "rolling mean")?;
+                ensure_finite(bn.rolling_var(), i, "rolling variance")?;
             }
             read_f32s(&mut reader, conv.weights_mut().as_mut_slice())
                 .map_err(|e| at_conv(e, i, "weights"))?;
+            ensure_finite(conv.weights().as_slice(), i, "weights")?;
         }
     }
     // A well-formed file ends exactly here.
@@ -140,6 +145,17 @@ fn read_f32s<R: Read>(r: &mut R, out: &mut [f32]) -> Result<()> {
         out[i] = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
     }
     Ok(())
+}
+
+/// Rejects NaN/Inf in a freshly decoded field: corrupted or truncated
+/// payloads must fail loudly at load time, not as silent NaN detections
+/// frames later.
+fn ensure_finite(values: &[f32], layer_index: usize, field: &'static str) -> Result<()> {
+    if values.iter().all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(NnError::NonFiniteWeights { layer_index, field })
+    }
 }
 
 fn short_file(e: std::io::Error) -> NnError {
@@ -250,6 +266,36 @@ mod tests {
         let mut net = make_net(1);
         let err = load(&mut net, buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("ended early"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_payload_is_rejected() {
+        let mut buf = Vec::new();
+        save(&make_net(1), &mut buf).unwrap();
+        // First payload field is conv layer 0's bias, right after the
+        // 16-byte header: poison its first value.
+        buf[16..20].copy_from_slice(&f32::NAN.to_le_bytes());
+        let mut net = make_net(1);
+        let err = load(&mut net, buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NnError::NonFiniteWeights {
+                    layer_index: 0,
+                    field: "bias"
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("non-finite"));
+
+        // Infinity deeper in the file (the conv weights) is also caught.
+        let mut buf = Vec::new();
+        save(&make_net(1), &mut buf).unwrap();
+        let len = buf.len();
+        buf[len - 4..].copy_from_slice(&f32::INFINITY.to_le_bytes());
+        let err = load(&mut make_net(1), buf.as_slice()).unwrap_err();
+        assert!(matches!(err, NnError::NonFiniteWeights { .. }), "{err}");
     }
 
     #[test]
