@@ -1,0 +1,208 @@
+//! Bench-regression harness: times the zoo models across the paper's
+//! input-size ladder plus one traced pipeline run, and writes a
+//! schema-stable JSON report (`BENCH_PR3.json`) that CI archives and the
+//! in-tree JSON reader ([`dronet_obs::JsonValue`]) can parse back for
+//! regression diffing.
+//!
+//! ```text
+//! cargo run --release -p dronet-bench --bin bench_report [report.json [trace.json]]
+//! ```
+//!
+//! `DRONET_BENCH_ITERS` overrides the timed iterations per configuration
+//! (default 5); CI smoke runs set it to 1. The schema deliberately uses
+//! only objects, arrays, strings, and numbers — the subset the in-tree
+//! reader supports.
+
+use dronet_bench::{input_image, model};
+use dronet_core::ModelId;
+use dronet_detect::{DetectorBuilder, IterSource, VideoPipeline};
+use dronet_nn::cost::network_cost;
+use dronet_nn::profile::NetworkProfile;
+use dronet_nn::summary::NetworkSummary;
+use dronet_obs::{ChromeTrace, JsonValue, Registry, Tracer};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The schema version stamped into the report; bump when a field changes
+/// meaning so regression tooling can refuse to compare across versions.
+const SCHEMA_VERSION: u64 = 1;
+
+/// The models × input-size grid of the report (the paper's Fig. 3 ladder,
+/// proposed model + accuracy baseline).
+const MODELS: [ModelId; 2] = [ModelId::DroNet, ModelId::TinyYoloVoc];
+const SIZES: [usize; 4] = [352, 416, 512, 608];
+
+/// One timed configuration.
+struct ForwardRow {
+    model: &'static str,
+    input: usize,
+    iters: usize,
+    median_ms: f64,
+    p90_ms: f64,
+    mean_ms: f64,
+    static_gflops: f64,
+    achieved_gflops: f64,
+}
+
+/// Nearest-rank percentile of an already-sorted sample (exact, no
+/// interpolation surprises across harness versions).
+fn percentile_ms(sorted: &[f64], pct: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn median_ms(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Times `iters` forward passes of one model at one input size.
+fn time_forward(id: ModelId, input: usize, iters: usize) -> ForwardRow {
+    let mut net = model(id, input);
+    let obs = Registry::new();
+    net.set_observability(&obs);
+    let summary = NetworkSummary::of(id.name(), &net);
+    let x = input_image(input, 42);
+    net.forward(&x).expect("warmup forward"); // warm caches, JIT-free
+    let mut samples_ms = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(net.forward(&x).expect("timed forward").len());
+        samples_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    samples_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let profile = NetworkProfile::new(&summary, &obs.snapshot());
+    ForwardRow {
+        model: id.name(),
+        input,
+        iters,
+        median_ms: median_ms(&samples_ms),
+        p90_ms: percentile_ms(&samples_ms, 90.0),
+        mean_ms: samples_ms.iter().sum::<f64>() / samples_ms.len() as f64,
+        static_gflops: network_cost(&net).total_gflops(),
+        achieved_gflops: profile.achieved_gflops().unwrap_or(0.0),
+    }
+}
+
+/// A JSON number that the in-tree reader round-trips: finite, plain
+/// decimal (Rust's `f64` Display never emits scientific notation).
+fn num(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.4}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn main() {
+    let iters: usize = std::env::var("DRONET_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(5);
+    let mut args = std::env::args().skip(1);
+    let report_path = args.next().unwrap_or_else(|| "BENCH_PR3.json".to_string());
+    let trace_path = args
+        .next()
+        .unwrap_or_else(|| "bench_trace.json".to_string());
+
+    let mut rows = Vec::new();
+    for id in MODELS {
+        for input in SIZES {
+            eprintln!("timing {} @{input} ({iters} iters)...", id.name());
+            let row = time_forward(id, input, iters);
+            eprintln!(
+                "  median {:.2} ms, p90 {:.2} ms, {:.2} GFLOP/s achieved",
+                row.median_ms, row.p90_ms, row.achieved_gflops
+            );
+            rows.push(row);
+        }
+    }
+
+    // One traced pipeline run: camera → frame → stage → layer spans land
+    // in the Chrome trace, and the before/after registry diff yields the
+    // pipeline counters for the report.
+    let pipeline_input = 352;
+    let pipeline_frames = 4;
+    let obs = Registry::new();
+    let tracer = Tracer::new();
+    let mut detector = DetectorBuilder::new(model(ModelId::DroNet, pipeline_input))
+        .observability(&obs)
+        .tracing(&tracer)
+        .build()
+        .expect("detector builds");
+    let before = obs.snapshot();
+    let frames: Vec<_> = (0..pipeline_frames)
+        .map(|i| input_image(pipeline_input, 100 + i as u64))
+        .collect();
+    let report =
+        VideoPipeline::run_source_traced(&mut detector, IterSource::new(frames), &obs, &tracer)
+            .expect("pipeline run");
+    let frames_delta = obs
+        .snapshot()
+        .diff(&before)
+        .counter("pipeline.frames")
+        .unwrap_or(0);
+    let snapshot = tracer.snapshot();
+    std::fs::write(&trace_path, ChromeTrace::to_string(&snapshot)).expect("write trace");
+    eprintln!(
+        "pipeline: {} frames, {} trace events -> {trace_path}",
+        report.processed(),
+        snapshot.events.len()
+    );
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"dronet-bench-report\",");
+    let _ = writeln!(out, "  \"version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"pr\": \"PR3\",");
+    let _ = writeln!(out, "  \"iters\": {iters},");
+    out.push_str("  \"forward\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"model\": \"{}\", \"input\": {}, \"iters\": {}, \"median_ms\": {}, \
+             \"p90_ms\": {}, \"mean_ms\": {}, \"gflops\": {}, \"achieved_gflops\": {}}}",
+            row.model,
+            row.input,
+            row.iters,
+            num(row.median_ms),
+            num(row.p90_ms),
+            num(row.mean_ms),
+            num(row.static_gflops),
+            num(row.achieved_gflops),
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let mean_frame_ms = report.mean_latency().as_secs_f64() * 1e3;
+    let _ = writeln!(
+        out,
+        "  \"pipeline\": {{\"model\": \"DroNet\", \"input\": {pipeline_input}, \
+         \"frames\": {}, \"dropped\": {}, \"frames_delta\": {frames_delta}, \
+         \"mean_frame_ms\": {}, \"fps\": {}, \"trace_events\": {}}}",
+        report.processed(),
+        report.dropped,
+        num(mean_frame_ms),
+        num(report.fps().0),
+        snapshot.events.len(),
+    );
+    out.push_str("}\n");
+
+    // The report must stay parseable by the in-tree reader: fail loudly
+    // here rather than letting CI archive a malformed artifact.
+    let parsed = JsonValue::parse(&out).expect("report parses with the in-tree JSON reader");
+    let forward = parsed
+        .get("forward")
+        .and_then(JsonValue::as_array)
+        .expect("forward array");
+    assert_eq!(forward.len(), MODELS.len() * SIZES.len());
+
+    std::fs::write(&report_path, &out).expect("write report");
+    eprintln!("wrote {report_path} ({} forward rows)", rows.len());
+}

@@ -4,7 +4,7 @@ use crate::nms::non_max_suppression;
 use crate::{DetectError, Result};
 use dronet_metrics::FpsMeter;
 use dronet_nn::{Network, RegionConfig};
-use dronet_obs::{Histogram, Registry};
+use dronet_obs::{Histogram, Registry, Tracer};
 use dronet_tensor::Tensor;
 
 /// Builder for [`Detector`] (thresholds, optional altitude gating).
@@ -29,6 +29,7 @@ pub struct DetectorBuilder {
     nms_threshold: f32,
     altitude_filter: Option<AltitudeFilter>,
     obs: Registry,
+    tracer: Tracer,
 }
 
 impl DetectorBuilder {
@@ -42,6 +43,7 @@ impl DetectorBuilder {
             nms_threshold: 0.45,
             altitude_filter: None,
             obs: Registry::noop(),
+            tracer: Tracer::noop(),
         }
     }
 
@@ -50,6 +52,15 @@ impl DetectorBuilder {
     /// into `obs`, and the wrapped network its per-layer timings.
     pub fn observability(mut self, obs: &Registry) -> Self {
         self.obs = obs.clone();
+        self
+    }
+
+    /// Attaches the flight recorder: every [`Detector::detect`] writes
+    /// `detect.forward` / `detect.decode` / `detect.nms` spans (and the
+    /// wrapped network its per-layer spans) carrying the calling thread's
+    /// current `frame_id` trace context.
+    pub fn tracing(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
         self
     }
 
@@ -102,6 +113,9 @@ impl DetectorBuilder {
         if self.obs.is_enabled() {
             network.set_observability(&self.obs);
         }
+        if self.tracer.is_enabled() {
+            network.set_tracing(&self.tracer);
+        }
         Ok(Detector {
             network,
             region,
@@ -114,6 +128,7 @@ impl DetectorBuilder {
             forward_hist: self.obs.histogram("detect.forward"),
             decode_hist: self.obs.histogram("detect.decode"),
             nms_hist: self.obs.histogram("detect.nms"),
+            tracer: self.tracer,
         })
     }
 }
@@ -172,6 +187,7 @@ pub struct Detector {
     forward_hist: Histogram,
     decode_hist: Histogram,
     nms_hist: Histogram,
+    tracer: Tracer,
 }
 
 impl Detector {
@@ -226,16 +242,22 @@ impl Detector {
     pub fn detect(&mut self, image: &Tensor) -> Result<Vec<Detection>> {
         self.fps.start();
         let span = self.forward_hist.start();
+        let trace = self.tracer.span("detect.forward");
         let output = self.network.forward(image)?;
+        drop(trace);
         span.stop();
         let span = self.decode_hist.start();
+        let trace = self.tracer.span("detect.decode");
         let candidates = decode(&output, &self.region, 0, self.confidence_threshold)?;
+        drop(trace);
         span.stop();
         let span = self.nms_hist.start();
+        let trace = self.tracer.span("detect.nms");
         let mut kept = non_max_suppression(candidates, self.nms_threshold);
         if let Some(filter) = &self.altitude_filter {
             kept.retain(|d| filter.is_feasible(&d.bbox));
         }
+        drop(trace);
         span.stop();
         self.fps.stop();
         Ok(kept)
@@ -350,6 +372,32 @@ mod tests {
         let snap = obs.snapshot();
         assert_eq!(snap.histogram("detect.forward").unwrap().count, 3);
         assert_eq!(snap.histogram("detect.decode").unwrap().count, 5);
+    }
+
+    #[test]
+    fn traced_detector_emits_stage_spans() {
+        let tracer = Tracer::new();
+        let mut det = DetectorBuilder::new(tiny_detector_net())
+            .tracing(&tracer)
+            .build()
+            .unwrap();
+        tracer.set_frame(5);
+        det.detect(&Tensor::zeros(Shape::nchw(1, 3, 32, 32)))
+            .unwrap();
+        let snap = tracer.snapshot();
+        let ended: Vec<&str> = snap
+            .events
+            .iter()
+            .filter(|e| e.kind == dronet_obs::TraceKind::End)
+            .map(|e| e.name)
+            .collect();
+        for stage in ["detect.forward", "detect.decode", "detect.nms"] {
+            assert!(ended.contains(&stage), "missing span {stage}");
+        }
+        // The wrapped network traces its layers inside detect.forward.
+        assert!(ended.contains(&"nn.forward"));
+        assert!(ended.contains(&"conv"));
+        assert!(snap.events.iter().all(|e| e.frame_id == 5));
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultyDetector, FaultyFrameSo
 pub use pipeline::{FrameResult, PipelineReport, VideoPipeline};
 pub use source::{conform_frame, resize_frame, FrameSource, IterSource};
 pub use supervisor::{
-    FaultEvent, Health, StageFactory, Supervisor, SupervisorConfig, SupervisorReport,
+    BlackBoxDump, FaultEvent, Health, StageFactory, Supervisor, SupervisorConfig, SupervisorReport,
 };
 
 /// Convenience alias for results returned by this crate.

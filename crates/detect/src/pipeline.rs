@@ -17,16 +17,22 @@
 //! per-stage latency histograms (`pipeline.preprocess`, `pipeline.frame`),
 //! a `pipeline.queue_depth` gauge and `pipeline.frames` / `pipeline.dropped`
 //! counters; the plain entry points delegate to them with a noop registry,
-//! so the unobserved hot path pays only inert-handle checks.
+//! so the unobserved hot path pays only inert-handle checks. The `_traced`
+//! variants additionally take a [`Tracer`] and stamp every frame's journey
+//! (camera instant → `frame` span → detector stage spans → per-layer
+//! spans) with a monotonic `frame_id`, surfaced per row in
+//! [`FrameResult::frame_id`] and, for drops, in
+//! [`PipelineReport::dropped_ids`].
 
 use crate::error::panic_payload_message;
 use crate::source::{FrameSource, IterSource};
 use crate::{DetectError, Detection, Detector, Result};
 use dronet_metrics::{Fps, FpsMeter};
-use dronet_obs::Registry;
+use dronet_obs::{Registry, Tracer};
 use dronet_tensor::Tensor;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Result of processing one frame.
@@ -34,6 +40,11 @@ use std::time::{Duration, Instant};
 pub struct FrameResult {
     /// Index of the frame in arrival order.
     pub frame_index: usize,
+    /// The frame's trace context id: every flight-recorder event written
+    /// while this frame was processed carries it, so a `trace.json` can be
+    /// filtered to this row's causal history. Equal to `frame_index` as a
+    /// `u64` (arrival order is the id space).
+    pub frame_id: u64,
     /// Detections surviving NMS (and altitude gating when enabled).
     pub detections: Vec<Detection>,
     /// Wall-clock processing latency.
@@ -47,6 +58,10 @@ pub struct PipelineReport {
     pub frames: Vec<FrameResult>,
     /// Frames dropped before processing (threaded mode only).
     pub dropped: usize,
+    /// Trace ids of the dropped frames, in drop order (threaded mode;
+    /// collected on the cold drop path, so the exact list costs nothing
+    /// on the frame path). Always `dropped` entries long.
+    pub dropped_ids: Vec<u64>,
 }
 
 impl PipelineReport {
@@ -152,28 +167,53 @@ impl VideoPipeline {
     /// Propagates the first acquisition or detector error.
     pub fn run_source_observed(
         detector: &mut Detector,
+        source: impl FrameSource,
+        obs: &Registry,
+    ) -> Result<PipelineReport> {
+        Self::run_source_traced(detector, source, obs, &Tracer::noop())
+    }
+
+    /// [`VideoPipeline::run_source_observed`] plus the flight recorder:
+    /// each frame's trace context is set to its arrival index, a `frame`
+    /// span wraps the detector pass (the detector's own stage and
+    /// per-layer spans nest inside it), and a `camera.frame` instant marks
+    /// acquisition — so a [`dronet_obs::ChromeTrace`] export shows
+    /// camera → frame → stage → layer per frame id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first acquisition or detector error.
+    pub fn run_source_traced(
+        detector: &mut Detector,
         mut source: impl FrameSource,
         obs: &Registry,
+        tracer: &Tracer,
     ) -> Result<PipelineReport> {
         let preprocess = obs.histogram("pipeline.preprocess");
         let frame_hist = obs.histogram("pipeline.frame");
         let frames_counter = obs.counter("pipeline.frames");
         let mut report = PipelineReport::default();
         for frame_index in 0.. {
+            let frame_id = frame_index as u64;
+            tracer.set_frame(frame_id);
             let acquire = preprocess.start();
             let Some(item) = source.next_frame() else {
                 acquire.cancel();
                 break;
             };
             acquire.stop();
+            tracer.instant("camera.frame");
             let frame = item?;
             let t0 = Instant::now();
+            let frame_span = tracer.frame_span("frame", frame_id);
             let span = frame_hist.start();
             let detections = detector.detect(&frame)?;
             span.stop();
+            drop(frame_span);
             frames_counter.inc();
             report.frames.push(FrameResult {
                 frame_index,
+                frame_id,
                 detections,
                 latency: t0.elapsed(),
             });
@@ -213,7 +253,12 @@ impl VideoPipeline {
     ) -> Result<PipelineReport> {
         // The source is built *inside* the producer thread: the
         // IntoIterator is Send but its iterator need not be.
-        Self::run_source_threaded_impl(detector, move || IterSource::new(frames), obs)
+        Self::run_source_threaded_impl(
+            detector,
+            move || IterSource::new(frames),
+            obs,
+            &Tracer::noop(),
+        )
     }
 
     /// Threaded latest-frame mode over any [`FrameSource`].
@@ -241,13 +286,32 @@ impl VideoPipeline {
         source: impl FrameSource + Send,
         obs: &Registry,
     ) -> Result<PipelineReport> {
-        Self::run_source_threaded_impl(detector, move || source, obs)
+        Self::run_source_threaded_impl(detector, move || source, obs, &Tracer::noop())
+    }
+
+    /// [`VideoPipeline::run_source_threaded_observed`] plus the flight
+    /// recorder. The producer thread writes `camera.frame` / `camera.drop`
+    /// instants under each frame's id (on its own ring shard), the
+    /// consumer wraps each detector pass in a `frame` span, and the report
+    /// lists exactly which ids the single-slot buffer dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first acquisition or detector error.
+    pub fn run_source_threaded_traced(
+        detector: &mut Detector,
+        source: impl FrameSource + Send,
+        obs: &Registry,
+        tracer: &Tracer,
+    ) -> Result<PipelineReport> {
+        Self::run_source_threaded_impl(detector, move || source, obs, tracer)
     }
 
     fn run_source_threaded_impl<S: FrameSource>(
         detector: &mut Detector,
         make_source: impl FnOnce() -> S + Send,
         obs: &Registry,
+        tracer: &Tracer,
     ) -> Result<PipelineReport> {
         let preprocess = obs.histogram("pipeline.preprocess");
         let frame_hist = obs.histogram("pipeline.frame");
@@ -258,16 +322,20 @@ impl VideoPipeline {
         let mut report = PipelineReport::default();
         let mut first_error = None;
         let dropped = AtomicUsize::new(0);
+        // Exact drop list, filled only on the (cold) buffer-full path.
+        let dropped_ids = Mutex::new(Vec::new());
         std::thread::scope(|s| {
             // Single-slot camera buffer, as in the paper's deployment: a
             // frame arriving while the detector is still busy with the
             // buffered one is lost.
             let (tx, rx) = sync_channel::<(usize, Result<Tensor>)>(1);
             let dropped_ref = &dropped;
+            let dropped_ids_ref = &dropped_ids;
             let producer = s.spawn({
                 let preprocess = preprocess.clone();
                 let dropped_counter = dropped_counter.clone();
                 let queue_depth = queue_depth.clone();
+                let tracer = tracer.clone();
                 move || {
                     let mut source = make_source();
                     for i in 0.. {
@@ -277,12 +345,21 @@ impl VideoPipeline {
                             break;
                         };
                         acquire.stop();
+                        let frame_id = i as u64;
                         match item {
                             Ok(frame) => match tx.try_send((i, Ok(frame))) {
-                                Ok(()) => queue_depth.add(1.0),
+                                Ok(()) => {
+                                    queue_depth.add(1.0);
+                                    tracer.instant_frame("camera.frame", frame_id);
+                                }
                                 Err(TrySendError::Full(_)) => {
                                     dropped_ref.fetch_add(1, Ordering::Relaxed);
                                     dropped_counter.inc();
+                                    tracer.instant_frame("camera.drop", frame_id);
+                                    dropped_ids_ref
+                                        .lock()
+                                        .expect("drop list lock poisoned")
+                                        .push(frame_id);
                                 }
                                 Err(TrySendError::Disconnected(_)) => break,
                             },
@@ -308,14 +385,18 @@ impl VideoPipeline {
                         break;
                     }
                 };
+                let frame_id = frame_index as u64;
                 let t0 = Instant::now();
+                let frame_span = tracer.frame_span("frame", frame_id);
                 let span = frame_hist.start();
                 match detector.detect(&frame) {
                     Ok(detections) => {
                         span.stop();
+                        drop(frame_span);
                         frames_counter.inc();
                         report.frames.push(FrameResult {
                             frame_index,
+                            frame_id,
                             detections,
                             latency: t0.elapsed(),
                         });
@@ -339,6 +420,7 @@ impl VideoPipeline {
             }
             report.dropped = dropped.load(Ordering::Relaxed);
         });
+        report.dropped_ids = dropped_ids.into_inner().expect("drop list lock poisoned");
         match first_error {
             Some(e) => Err(e),
             None => Ok(report),
@@ -511,6 +593,112 @@ mod tests {
             }
             other => panic!("expected StageFailed, got {other}"),
         }
+    }
+
+    #[test]
+    fn frame_ids_mirror_arrival_order() {
+        let mut det = tiny_detector();
+        let report = VideoPipeline::run(&mut det, frames(4)).unwrap();
+        for f in &report.frames {
+            assert_eq!(f.frame_id, f.frame_index as u64);
+        }
+        assert!(report.dropped_ids.is_empty());
+    }
+
+    #[test]
+    fn threaded_dropped_ids_match_drop_count() {
+        let mut det = tiny_detector();
+        let n = 40;
+        let report = VideoPipeline::run_threaded(&mut det, frames(n)).unwrap();
+        assert_eq!(report.dropped_ids.len(), report.dropped);
+        // Dropped and processed ids partition the arrival order.
+        let mut all: Vec<u64> = report.frames.iter().map(|f| f.frame_id).collect();
+        all.extend(&report.dropped_ids);
+        all.sort_unstable();
+        assert_eq!(all, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    fn tiny_traced_detector(tracer: &Tracer) -> Detector {
+        let mut net = Network::new(3, 16, 16);
+        net.push(Layer::conv(
+            Conv2d::new(3, 6, 3, 1, 1, Activation::Leaky, false).unwrap(),
+        ));
+        net.push(Layer::region(
+            RegionLayer::new(RegionConfig {
+                anchors: vec![(1.0, 1.0)],
+                classes: 1,
+            })
+            .unwrap(),
+        ));
+        DetectorBuilder::new(net).tracing(tracer).build().unwrap()
+    }
+
+    #[test]
+    fn traced_sync_run_nests_frame_stage_layer() {
+        let tracer = Tracer::new();
+        let mut detector = tiny_traced_detector(&tracer);
+        let report = VideoPipeline::run_source_traced(
+            &mut detector,
+            IterSource::new(frames(3)),
+            &Registry::noop(),
+            &tracer,
+        )
+        .unwrap();
+        assert_eq!(report.processed(), 3);
+        let snap = tracer.snapshot();
+        for id in 0..3u64 {
+            let events = snap.for_frame(id);
+            let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+            for expected in [
+                "camera.frame",
+                "frame",
+                "detect.forward",
+                "nn.forward",
+                "conv",
+            ] {
+                assert!(names.contains(&expected), "frame {id} missing {expected}");
+            }
+            // The frame span brackets the stage spans.
+            let frame_begin = events
+                .iter()
+                .find(|e| e.name == "frame" && e.kind == dronet_obs::TraceKind::Begin)
+                .unwrap();
+            let frame_end = events
+                .iter()
+                .find(|e| e.name == "frame" && e.kind == dronet_obs::TraceKind::End)
+                .unwrap();
+            for stage in events.iter().filter(|e| e.name == "detect.forward") {
+                assert!(stage.ts_ns >= frame_begin.ts_ns && stage.ts_ns <= frame_end.ts_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_threaded_run_records_camera_instants() {
+        let tracer = Tracer::new();
+        let mut det = tiny_traced_detector(&tracer);
+        let n = 25;
+        let report = VideoPipeline::run_source_threaded_traced(
+            &mut det,
+            IterSource::new(frames(n)),
+            &Registry::noop(),
+            &tracer,
+        )
+        .unwrap();
+        let snap = tracer.snapshot();
+        let drops: Vec<u64> = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "camera.drop")
+            .map(|e| e.frame_id)
+            .collect();
+        assert_eq!(drops, report.dropped_ids, "trace and report agree on drops");
+        let camera_frames = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "camera.frame")
+            .count();
+        assert_eq!(camera_frames + drops.len(), n);
     }
 
     #[test]

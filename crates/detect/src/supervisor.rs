@@ -30,7 +30,7 @@ use crate::error::panic_payload_message as panic_message;
 use crate::pipeline::FrameResult;
 use crate::source::{conform_frame, FrameSource};
 use crate::{DetectError, Detection, Result};
-use dronet_obs::{Counter, Gauge, Histogram, Registry};
+use dronet_obs::{Counter, Gauge, Histogram, Registry, TraceEvent, Tracer};
 use dronet_tensor::Tensor;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -106,6 +106,10 @@ pub struct SupervisorConfig {
     /// overload (drops) from per-frame latency, since a synchronous run
     /// never physically drops frames.
     pub camera_fps: Option<f64>,
+    /// How many trailing flight-recorder events the black box dumps into
+    /// the report when a stage fails, a watchdog trips, or the run halts
+    /// (only with a live tracer attached via [`Supervisor::tracing`]).
+    pub black_box_events: usize,
 }
 
 impl Default for SupervisorConfig {
@@ -120,7 +124,49 @@ impl Default for SupervisorConfig {
             recovery_frames: 8,
             initial_input: 416,
             camera_fps: None,
+            black_box_events: 64,
         }
+    }
+}
+
+/// Flight-recorder excerpt captured automatically when the supervisor saw
+/// a failure: the crash black box.
+///
+/// Holds the most recent capture of a run (later failures overwrite
+/// earlier ones — the events leading up to the *final* failure are the
+/// ones a post-mortem needs). Empty `events` never happens for a live
+/// tracer: the capture sites all fire after at least one span was opened.
+#[derive(Debug, Clone, Default)]
+pub struct BlackBoxDump {
+    /// What tripped the capture (the failure's display form).
+    pub trigger: String,
+    /// The frame the failure is attributed to, when known.
+    pub frame_id: Option<u64>,
+    /// The last [`SupervisorConfig::black_box_events`] events at capture
+    /// time, sequence-ordered (oldest first).
+    pub events: Vec<TraceEvent>,
+}
+
+impl BlackBoxDump {
+    /// Renders the dump as a plain-text timeline for logs and reports.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "black box: {} (frame {:?}), {} events",
+            self.trigger,
+            self.frame_id,
+            self.events.len()
+        );
+        out.push_str(
+            &dronet_obs::TraceSnapshot {
+                events: self.events.clone(),
+                dropped: 0,
+            }
+            .to_text(),
+        );
+        out
     }
 }
 
@@ -134,6 +180,14 @@ pub struct SupervisorReport {
     pub dropped: usize,
     /// Frames consumed but abandoned after faults exhausted their retries.
     pub skipped: usize,
+    /// Frame ids of the skipped frames, in occurrence order. Exact in
+    /// [`Supervisor::run_sync`]; empty in threaded mode, where only the
+    /// count is tracked (the worker owns the indices mid-flight).
+    pub skipped_ids: Vec<u64>,
+    /// Crash black box: flight-recorder excerpt from the most recent stage
+    /// failure, watchdog trip, or halt. `None` when the run was clean or
+    /// no tracer was attached via [`Supervisor::tracing`].
+    pub black_box: Option<BlackBoxDump>,
     /// Every fault observed, in occurrence order.
     pub faults: Vec<FaultEvent>,
     /// Detector stage restarts (panics, hangs, unexpected exits).
@@ -182,6 +236,7 @@ pub type StageFactory<'a> = dyn FnMut(usize) -> Result<Box<dyn DetectStage>> + '
 pub struct Supervisor {
     config: SupervisorConfig,
     obs: Registry,
+    tracer: Tracer,
 }
 
 enum SourceItem {
@@ -209,15 +264,18 @@ struct Worker {
 /// channel closes (orderly shutdown or abandonment after a hang) or after
 /// reporting a panic, since a stage that unwound mid-frame cannot be
 /// trusted with another one.
-fn spawn_stage(mut stage: Box<dyn DetectStage>) -> Worker {
+fn spawn_stage(mut stage: Box<dyn DetectStage>, tracer: Tracer) -> Worker {
     let (work_tx, work_rx) = sync_channel::<(usize, Tensor)>(1);
     let (reply_tx, reply_rx) = channel();
     std::thread::spawn(move || {
-        while let Ok((_index, frame)) = work_rx.recv() {
+        while let Ok((index, frame)) = work_rx.recv() {
+            tracer.set_frame(index as u64);
+            let span = tracer.frame_span("frame", index as u64);
             let t0 = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| stage.detect_frame(&frame)));
             match outcome {
                 Ok(result) => {
+                    drop(span);
                     let reply = WorkerReply::Done {
                         result,
                         elapsed: t0.elapsed(),
@@ -227,6 +285,9 @@ fn spawn_stage(mut stage: Box<dyn DetectStage>) -> Worker {
                     }
                 }
                 Err(payload) => {
+                    // Leave the frame span open in the ring: the dangling
+                    // begin is the black box's crash evidence.
+                    span.cancel();
                     let _ = reply_tx.send(WorkerReply::Panicked {
                         msg: panic_message(payload),
                     });
@@ -244,6 +305,8 @@ struct Monitor {
     health: Health,
     clean_streak: u32,
     recovery_frames: u32,
+    tracer: Tracer,
+    black_box_events: usize,
     health_gauge: Gauge,
     faults_counter: Counter,
     retries_counter: Counter,
@@ -253,7 +316,13 @@ struct Monitor {
 }
 
 impl Monitor {
-    fn new(obs: &Registry, recovery_frames: u32, initial_input: usize) -> Self {
+    fn new(
+        obs: &Registry,
+        recovery_frames: u32,
+        initial_input: usize,
+        tracer: &Tracer,
+        black_box_events: usize,
+    ) -> Self {
         let health_gauge = obs.gauge("supervisor.health");
         health_gauge.set(Health::Healthy.as_metric());
         Monitor {
@@ -264,6 +333,8 @@ impl Monitor {
             health: Health::Healthy,
             clean_streak: 0,
             recovery_frames,
+            tracer: tracer.clone(),
+            black_box_events,
             health_gauge,
             faults_counter: obs.counter("supervisor.faults"),
             retries_counter: obs.counter("supervisor.retries"),
@@ -318,9 +389,27 @@ impl Monitor {
         self.mark_degraded();
     }
 
-    fn skipped(&mut self) {
+    fn skipped(&mut self, frame_id: Option<u64>) {
         self.report.skipped += 1;
+        if let Some(id) = frame_id {
+            self.report.skipped_ids.push(id);
+        }
         self.skipped_counter.inc();
+    }
+
+    /// Dumps the flight recorder's tail into the report. Later captures
+    /// overwrite earlier ones: the events leading up to the *final*
+    /// failure are the ones a post-mortem reads.
+    fn black_box(&mut self, trigger: &str, frame_id: Option<u64>) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let snapshot = self.tracer.snapshot();
+        self.report.black_box = Some(BlackBoxDump {
+            trigger: trigger.to_string(),
+            frame_id,
+            events: snapshot.tail(self.black_box_events).to_vec(),
+        });
     }
 
     fn clean_frame(&mut self) {
@@ -334,6 +423,10 @@ impl Monitor {
     }
 
     fn halt(&mut self, reason: String) {
+        // Keep an earlier capture's frame attribution if the halt itself
+        // has none (e.g. restart budget exhausted after a frame's panic).
+        let frame_id = self.report.black_box.as_ref().and_then(|b| b.frame_id);
+        self.black_box(&reason, frame_id);
         self.fault(None, "supervisor", reason);
         self.health = Health::Halted;
         self.health_gauge.set(self.health.as_metric());
@@ -363,6 +456,7 @@ struct RunState<'a> {
     current_input: usize,
     restarts_left: u32,
     monitor: Monitor,
+    tracer: Tracer,
     frames_counter: Counter,
     frame_hist: Histogram,
     input_gauge: Gauge,
@@ -383,7 +477,7 @@ impl RunState<'_> {
         match (self.factory)(self.current_input) {
             Ok(stage) => {
                 self.stage_chw = stage.input_chw();
-                self.worker = spawn_stage(stage);
+                self.worker = spawn_stage(stage, self.tracer.clone());
                 true
             }
             Err(e) => {
@@ -404,7 +498,7 @@ impl RunState<'_> {
         match (self.factory)(input) {
             Ok(stage) => {
                 self.stage_chw = stage.input_chw();
-                self.worker = spawn_stage(stage);
+                self.worker = spawn_stage(stage, self.tracer.clone());
                 true
             }
             Err(e) => {
@@ -437,6 +531,7 @@ impl RunState<'_> {
                     self.frame_hist.record(elapsed);
                     self.monitor.report.frames.push(FrameResult {
                         frame_index: index,
+                        frame_id: index as u64,
                         detections,
                         latency: elapsed,
                     });
@@ -454,7 +549,7 @@ impl RunState<'_> {
                         continue;
                     }
                     self.monitor.fault(Some(index), "detect", e.to_string());
-                    self.monitor.skipped();
+                    self.monitor.skipped(None);
                     return Disposition::Done;
                 }
                 Ok(WorkerReply::Panicked { msg }) => DetectError::StageFailed {
@@ -471,9 +566,13 @@ impl RunState<'_> {
                     msg: "detector stage terminated without replying".to_string(),
                 },
             };
-            // Panic / hang / unexpected exit: isolate, restart, maybe retry.
+            // Panic / hang / unexpected exit: isolate, restart, maybe
+            // retry. The black box is captured before the restart so the
+            // dump ends at the failing frame's events.
+            let description = failure.to_string();
             self.monitor
-                .fault(Some(index), "detect", failure.to_string());
+                .fault(Some(index), "detect", description.clone());
+            self.monitor.black_box(&description, Some(index as u64));
             if !self.respawn() {
                 return Disposition::Halted;
             }
@@ -481,7 +580,7 @@ impl RunState<'_> {
                 attempt += 1;
                 self.monitor.retry();
             } else {
-                self.monitor.skipped();
+                self.monitor.skipped(None);
                 return Disposition::Done;
             }
         }
@@ -494,7 +593,18 @@ impl Supervisor {
         Supervisor {
             config,
             obs: Registry::noop(),
+            tracer: Tracer::noop(),
         }
+    }
+
+    /// Attaches a flight recorder: every processed frame gets a `frame`
+    /// span (on the worker thread in threaded mode), and on stage
+    /// failures, watchdog trips, and halts the last
+    /// [`SupervisorConfig::black_box_events`] events are dumped into
+    /// [`SupervisorReport::black_box`].
+    pub fn tracing(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self
     }
 
     /// Attaches a telemetry registry: the supervisor exports
@@ -550,11 +660,18 @@ impl Supervisor {
 
         let mut state = RunState {
             stage_chw: stage.input_chw(),
-            worker: spawn_stage(stage),
+            worker: spawn_stage(stage, self.tracer.clone()),
             factory,
             current_input,
             restarts_left: cfg.max_restarts,
-            monitor: Monitor::new(obs, cfg.recovery_frames, current_input),
+            monitor: Monitor::new(
+                obs,
+                cfg.recovery_frames,
+                current_input,
+                &self.tracer,
+                cfg.black_box_events,
+            ),
+            tracer: self.tracer.clone(),
             frames_counter: obs.counter("pipeline.frames"),
             frame_hist: obs.histogram("pipeline.frame"),
             input_gauge,
@@ -567,6 +684,7 @@ impl Supervisor {
             let dropped_counter = dropped_counter.clone();
             let queue_depth = queue_depth.clone();
             let dropped = Arc::clone(&dropped);
+            let tracer = self.tracer.clone();
             let mut source = source;
             std::thread::spawn(move || {
                 let mut index = 0usize;
@@ -593,8 +711,12 @@ impl Supervisor {
                         // deployment: a frame arriving while the consumer
                         // is busy is lost.
                         Ok(frame) => match tx.try_send(SourceItem::Frame(index, frame)) {
-                            Ok(()) => queue_depth.add(1.0),
+                            Ok(()) => {
+                                tracer.instant_frame("camera.frame", index as u64);
+                                queue_depth.add(1.0);
+                            }
                             Err(TrySendError::Full(_)) => {
+                                tracer.instant_frame("camera.drop", index as u64);
                                 dropped.fetch_add(1, Ordering::Relaxed);
                                 dropped_counter.inc();
                             }
@@ -653,14 +775,14 @@ impl Supervisor {
                 SourceItem::Error(index, e) => {
                     queue_depth.sub(1.0);
                     state.monitor.fault(Some(index), "source", e.to_string());
-                    state.monitor.skipped();
+                    state.monitor.skipped(None);
                 }
                 SourceItem::Frame(index, frame) => {
                     queue_depth.sub(1.0);
                     match conform_frame(frame, state.stage_chw, index) {
                         Err(e) => {
                             state.monitor.fault(Some(index), "source", e.to_string());
-                            state.monitor.skipped();
+                            state.monitor.skipped(None);
                         }
                         Ok(frame) => {
                             if let Disposition::Halted = state.dispatch(index, &frame, cfg) {
@@ -741,10 +863,18 @@ impl Supervisor {
         let upshift_counter = obs.counter("degrade.upshifts");
         input_gauge.set(current_input as f64);
 
-        let mut monitor = Monitor::new(obs, cfg.recovery_frames, current_input);
+        let tracer = &self.tracer;
+        let mut monitor = Monitor::new(
+            obs,
+            cfg.recovery_frames,
+            current_input,
+            tracer,
+            cfg.black_box_events,
+        );
         let mut restarts_left = cfg.max_restarts;
         let mut index = 0usize;
         'stream: loop {
+            tracer.set_frame(index as u64);
             let t0 = Instant::now();
             let item = match catch_unwind(AssertUnwindSafe(|| source.next_frame())) {
                 Ok(item) => item,
@@ -759,6 +889,7 @@ impl Supervisor {
             };
             let acquisition = t0.elapsed();
             let Some(item) = item else { break };
+            tracer.instant("camera.frame");
             preprocess.record(acquisition);
             if acquisition > cfg.source_timeout {
                 monitor.stall(acquisition, cfg.source_timeout);
@@ -767,11 +898,12 @@ impl Supervisor {
             match item.and_then(|frame| conform_frame(frame, stage_chw, index)) {
                 Err(e) => {
                     monitor.fault(Some(index), "source", e.to_string());
-                    monitor.skipped();
+                    monitor.skipped(Some(index as u64));
                 }
                 Ok(frame) => {
                     let mut attempt = 0u32;
                     loop {
+                        let span = tracer.frame_span("frame", index as u64);
                         let t0 = Instant::now();
                         let outcome = catch_unwind(AssertUnwindSafe(|| stage.detect_frame(&frame)));
                         let elapsed = t0.elapsed();
@@ -794,6 +926,7 @@ impl Supervisor {
                                 frame_latency = Some(elapsed);
                                 monitor.report.frames.push(FrameResult {
                                     frame_index: index,
+                                    frame_id: index as u64,
                                     detections,
                                     latency: elapsed,
                                 });
@@ -801,6 +934,7 @@ impl Supervisor {
                                 break;
                             }
                             Ok(Err(e)) => {
+                                span.cancel();
                                 if e.is_recoverable() && attempt < cfg.max_retries {
                                     attempt += 1;
                                     monitor.retry();
@@ -808,7 +942,7 @@ impl Supervisor {
                                     continue;
                                 }
                                 monitor.fault(Some(index), "detect", e.to_string());
-                                monitor.skipped();
+                                monitor.skipped(Some(index as u64));
                                 break;
                             }
                             Err(payload) => {
@@ -816,7 +950,13 @@ impl Supervisor {
                                     stage: "detect",
                                     msg: panic_message(payload),
                                 };
-                                monitor.fault(Some(index), "detect", e.to_string());
+                                let description = e.to_string();
+                                monitor.fault(Some(index), "detect", description.clone());
+                                // Capture while the frame span is still
+                                // open, then leave its begin dangling as
+                                // crash evidence.
+                                monitor.black_box(&description, Some(index as u64));
+                                span.cancel();
                                 monitor.restart();
                                 if restarts_left == 0 {
                                     monitor.halt(
@@ -839,7 +979,7 @@ impl Supervisor {
                                     attempt += 1;
                                     monitor.retry();
                                 } else {
-                                    monitor.skipped();
+                                    monitor.skipped(Some(index as u64));
                                     break;
                                 }
                             }
@@ -1062,6 +1202,117 @@ mod tests {
         assert_eq!(report.final_health, Health::Halted);
         assert_eq!(report.restarts, 3, "initial budget 2 + the halting attempt");
         assert_eq!(report.processed(), 0);
+    }
+
+    #[test]
+    fn sync_panic_dumps_black_box_for_failing_frame() {
+        let tracer = Tracer::new();
+        let plan = FaultPlan::from_schedule(vec![None, None, Some(FaultKind::DetectorPanic), None]);
+        let sup = Supervisor::new(quick_config()).tracing(&tracer);
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mut factory: Box<dyn FnMut(usize) -> Result<Box<dyn DetectStage>>> = Box::new(|_| {
+            Ok(Box::new(FaultyDetector::with_counter(
+                NullStage,
+                plan.clone(),
+                Arc::clone(&calls),
+            )))
+        });
+        let report = sup
+            .run_sync(IterSource::new(frames(5)), &mut factory, None)
+            .unwrap();
+        assert_eq!(report.processed(), 5, "retry recovered the panicked frame");
+        assert!(report
+            .frames
+            .iter()
+            .all(|f| f.frame_id == f.frame_index as u64));
+        let bb = report.black_box.as_ref().expect("panic captured black box");
+        assert_eq!(bb.frame_id, Some(2));
+        assert!(!bb.events.is_empty());
+        // Captured while frame 2's span was still open: the dump ends at
+        // the failing frame's dangling begin.
+        let last = bb.events.last().unwrap();
+        assert_eq!(last.kind, dronet_obs::TraceKind::Begin);
+        assert_eq!(last.name, "frame");
+        assert_eq!(last.frame_id, 2);
+        assert!(bb.to_text().contains("frame"));
+    }
+
+    #[test]
+    fn sync_skips_record_frame_ids() {
+        let plan = FaultPlan::from_schedule(vec![
+            None,
+            Some(FaultKind::CorruptFrame),
+            None,
+            Some(FaultKind::NanFrame),
+        ]);
+        let sup = Supervisor::new(quick_config());
+        let mut factory: Box<dyn FnMut(usize) -> Result<Box<dyn DetectStage>>> =
+            Box::new(|_| Ok(Box::new(NullStage)));
+        let source = FaultyFrameSource::new(IterSource::new(frames(6)), plan);
+        let report = sup.run_sync(source, &mut factory, None).unwrap();
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.skipped_ids, vec![1, 3]);
+        assert!(
+            report.black_box.is_none(),
+            "no tracer attached, so no black box"
+        );
+    }
+
+    #[test]
+    fn halt_preserves_black_box_frame_attribution() {
+        let tracer = Tracer::new();
+        let plan = FaultPlan::from_schedule(vec![Some(FaultKind::DetectorPanic); 64]);
+        let sup = Supervisor::new(SupervisorConfig {
+            max_restarts: 1,
+            max_retries: 1,
+            ..quick_config()
+        })
+        .tracing(&tracer);
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mut factory: Box<dyn FnMut(usize) -> Result<Box<dyn DetectStage>>> = Box::new(|_| {
+            Ok(Box::new(FaultyDetector::with_counter(
+                NullStage,
+                plan.clone(),
+                Arc::clone(&calls),
+            )))
+        });
+        let report = sup
+            .run_sync(IterSource::new(frames(8)), &mut factory, None)
+            .unwrap();
+        assert_eq!(report.final_health, Health::Halted);
+        let bb = report.black_box.as_ref().expect("halt captured black box");
+        assert!(bb.trigger.contains("restart budget exhausted"));
+        assert_eq!(bb.frame_id, Some(0), "kept the failing frame's id");
+        assert!(!bb.events.is_empty());
+    }
+
+    #[test]
+    fn threaded_panic_dumps_black_box() {
+        let tracer = Tracer::new();
+        let plan = FaultPlan::from_schedule(vec![Some(FaultKind::DetectorPanic)]);
+        let sup = Supervisor::new(quick_config()).tracing(&tracer);
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mut factory: Box<dyn FnMut(usize) -> Result<Box<dyn DetectStage>>> = Box::new(|_| {
+            Ok(Box::new(FaultyDetector::with_counter(
+                NullStage,
+                plan.clone(),
+                Arc::clone(&calls),
+            )))
+        });
+        let report = sup
+            .run(IterSource::new(frames(12)), &mut factory, None)
+            .unwrap();
+        let bb = report.black_box.as_ref().expect("panic captured black box");
+        // The injected panic hits frame 0, but a slow host can overwrite
+        // the capture with a later watchdog trip; either way the dump is
+        // attributed to a concrete frame whose span begin it contains.
+        let fid = bb.frame_id.expect("stage failures carry a frame id");
+        assert!(bb
+            .events
+            .iter()
+            .any(|e| e.kind == dronet_obs::TraceKind::Begin
+                && e.name == "frame"
+                && e.frame_id == fid));
     }
 
     #[test]

@@ -1,6 +1,6 @@
-use crate::profile::{backward_metric_name, forward_metric_name};
+use crate::profile::{backward_metric_name, forward_metric_name, kind_slug};
 use crate::{Layer, NnError, Result};
-use dronet_obs::{Histogram, Registry};
+use dronet_obs::{Histogram, Registry, Tracer};
 use dronet_tensor::{Shape, Tensor};
 
 /// A sequential CNN: the Darknet network model.
@@ -41,6 +41,9 @@ pub struct Network {
     backward_spans: Vec<Histogram>,
     forward_total: Histogram,
     backward_total: Histogram,
+    /// Flight recorder; inert unless [`Network::set_tracing`] is called
+    /// with a live tracer.
+    tracer: Tracer,
 }
 
 impl Network {
@@ -57,6 +60,7 @@ impl Network {
             backward_spans: Vec::new(),
             forward_total: Histogram::default(),
             backward_total: Histogram::default(),
+            tracer: Tracer::noop(),
         }
     }
 
@@ -86,6 +90,23 @@ impl Network {
     /// The registry metrics are recorded into (inert by default).
     pub fn observability(&self) -> &Registry {
         &self.obs
+    }
+
+    /// Attaches (or, with [`Tracer::noop`], detaches) the flight recorder.
+    ///
+    /// With a live tracer every inference forward pass writes an
+    /// `nn.forward` span wrapping one span per layer (named by the layer's
+    /// kind slug, the layer index in the span's aux field), all carrying
+    /// the calling thread's current `frame_id` trace context. Histograms
+    /// answer *how long on average*; these spans answer *what happened
+    /// inside frame N*.
+    pub fn set_tracing(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+    }
+
+    /// The flight recorder spans are written to (inert by default).
+    pub fn tracing(&self) -> &Tracer {
+        &self.tracer
     }
 
     fn rebuild_spans(&mut self) {
@@ -205,12 +226,16 @@ impl Network {
     pub fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
         self.check_input(x)?;
         let total = self.forward_total.start();
+        let trace_total = self.tracer.span("nn.forward");
         let mut cur = x.clone();
         for (i, layer) in self.layers.iter_mut().enumerate() {
             let span = self.forward_spans.get(i).map(Histogram::start);
+            let trace_span = self.tracer.span_aux(kind_slug(layer.kind()), i as i64);
             cur = layer.forward(&cur).map_err(|e| at_layer(e, i))?;
+            drop(trace_span);
             drop(span);
         }
+        drop(trace_total);
         total.stop();
         Ok(cur)
     }
@@ -441,6 +466,33 @@ mod tests {
                 .count,
             1
         );
+    }
+
+    #[test]
+    fn traced_forward_emits_per_layer_spans() {
+        let mut net = tiny_net();
+        let tracer = Tracer::new();
+        net.set_tracing(&tracer);
+        assert!(net.tracing().is_enabled());
+        tracer.set_frame(11);
+        net.forward(&Tensor::zeros(Shape::nchw(1, 3, 16, 16)))
+            .unwrap();
+        let snap = tracer.snapshot();
+        // One nn.forward span plus one span per layer, each begin+end.
+        assert_eq!(snap.events.len(), 2 * (net.len() + 1));
+        assert!(snap.events.iter().all(|e| e.frame_id == 11));
+        let layer_auxes: Vec<i64> = snap
+            .events
+            .iter()
+            .filter(|e| e.kind == dronet_obs::TraceKind::End && e.name != "nn.forward")
+            .map(|e| e.aux)
+            .collect();
+        assert_eq!(layer_auxes, (0..net.len() as i64).collect::<Vec<_>>());
+        // Detaching goes back to the single-branch noop path.
+        net.set_tracing(&Tracer::noop());
+        net.forward(&Tensor::zeros(Shape::nchw(1, 3, 16, 16)))
+            .unwrap();
+        assert_eq!(tracer.snapshot().events.len(), snap.events.len());
     }
 
     #[test]

@@ -30,8 +30,9 @@ use dronet_obs::Snapshot;
 use std::fmt;
 use std::time::Duration;
 
-/// Metric-name slug for a layer kind.
-fn kind_slug(kind: LayerKind) -> &'static str {
+/// Metric-name slug for a layer kind (also the per-layer trace-span name;
+/// the layer index rides in the span's aux field).
+pub fn kind_slug(kind: LayerKind) -> &'static str {
     match kind {
         LayerKind::Convolutional => "conv",
         LayerKind::MaxPool => "maxpool",

@@ -1,0 +1,193 @@
+//! Snapshot differencing: what happened *between* two points in time.
+//!
+//! Counters and histograms accumulate forever, so attributing work to one
+//! phase of a run (one bench iteration, one pipeline pass) means
+//! subtracting the snapshot taken before it from the one taken after.
+//! [`Snapshot::diff`] does that subtraction, tolerating metric sets that
+//! do not fully overlap: a metric only in the newer snapshot contributes
+//! its full value, and one only in the older snapshot shows up as a
+//! negative delta (evidence of a reset, worth seeing rather than hiding).
+
+use crate::Snapshot;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Change in one counter between two snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDelta {
+    /// Metric name.
+    pub name: String,
+    /// Newer value minus older value (negative after a reset).
+    pub delta: i64,
+}
+
+/// Change in one histogram between two snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramDelta {
+    /// Metric name.
+    pub name: String,
+    /// Samples recorded between the snapshots.
+    pub count_delta: i64,
+    /// Nanoseconds accumulated between the snapshots.
+    pub sum_ns_delta: i64,
+}
+
+impl HistogramDelta {
+    /// Mean duration of the samples recorded between the snapshots
+    /// (zero when no samples, or after a reset).
+    pub fn mean(&self) -> Duration {
+        if self.count_delta <= 0 || self.sum_ns_delta <= 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_ns_delta / self.count_delta) as u64)
+    }
+}
+
+/// The change between two [`Snapshot`]s, from [`Snapshot::diff`].
+///
+/// Deltas are sorted by name. Metrics identical in both snapshots are
+/// included (with zero deltas) so callers can distinguish "unchanged"
+/// from "absent".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotDiff {
+    /// Per-counter changes.
+    pub counters: Vec<CounterDelta>,
+    /// Per-histogram changes.
+    pub histograms: Vec<HistogramDelta>,
+}
+
+impl SnapshotDiff {
+    /// Looks up a counter delta by name.
+    pub fn counter(&self, name: &str) -> Option<i64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.delta)
+    }
+
+    /// Looks up a histogram delta by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramDelta> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+fn clamped_i64(v: u64) -> i64 {
+    i64::try_from(v).unwrap_or(i64::MAX)
+}
+
+impl Snapshot {
+    /// Computes the change from `older` to `self` (`self` is the newer
+    /// snapshot). Metric names present in either snapshot appear in the
+    /// result; a missing side counts as zero.
+    pub fn diff(&self, older: &Snapshot) -> SnapshotDiff {
+        let mut counters: BTreeMap<&str, i64> = BTreeMap::new();
+        for c in &self.counters {
+            counters.insert(&c.name, clamped_i64(c.value));
+        }
+        for c in &older.counters {
+            *counters.entry(&c.name).or_insert(0) -= clamped_i64(c.value);
+        }
+
+        let mut histograms: BTreeMap<&str, (i64, i64)> = BTreeMap::new();
+        for h in &self.histograms {
+            let entry = histograms.entry(h.name.as_str()).or_insert((0, 0));
+            entry.0 += clamped_i64(h.count);
+            entry.1 += clamped_i64(h.sum_ns);
+        }
+        for h in &older.histograms {
+            let entry = histograms.entry(h.name.as_str()).or_insert((0, 0));
+            entry.0 -= clamped_i64(h.count);
+            entry.1 -= clamped_i64(h.sum_ns);
+        }
+
+        SnapshotDiff {
+            counters: counters
+                .into_iter()
+                .map(|(name, delta)| CounterDelta {
+                    name: name.to_string(),
+                    delta,
+                })
+                .collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|(name, (count_delta, sum_ns_delta))| HistogramDelta {
+                    name: name.to_string(),
+                    count_delta,
+                    sum_ns_delta,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+    use std::time::Duration;
+
+    #[test]
+    fn diff_isolates_work_between_snapshots() {
+        let r = Registry::new();
+        r.counter("frames").add(10);
+        r.histogram("stage").record(Duration::from_micros(100));
+        let before = r.snapshot();
+        r.counter("frames").add(5);
+        r.histogram("stage").record(Duration::from_micros(300));
+        r.histogram("stage").record(Duration::from_micros(500));
+        let after = r.snapshot();
+
+        let d = after.diff(&before);
+        assert_eq!(d.counter("frames"), Some(5));
+        let stage = d.histogram("stage").unwrap();
+        assert_eq!(stage.count_delta, 2);
+        assert_eq!(stage.sum_ns_delta, 800_000);
+        assert_eq!(stage.mean(), Duration::from_micros(400));
+    }
+
+    #[test]
+    fn disjoint_metric_names_appear_on_both_sides() {
+        let old_reg = Registry::new();
+        old_reg.counter("only_old").add(7);
+        old_reg.histogram("h_old").record(Duration::from_nanos(100));
+        let older = old_reg.snapshot();
+
+        let new_reg = Registry::new();
+        new_reg.counter("only_new").add(3);
+        new_reg.histogram("h_new").record(Duration::from_nanos(200));
+        let newer = new_reg.snapshot();
+
+        let d = newer.diff(&older);
+        assert_eq!(d.counter("only_new"), Some(3), "new-only = full value");
+        assert_eq!(
+            d.counter("only_old"),
+            Some(-7),
+            "old-only = negative (reset)"
+        );
+        assert_eq!(d.histogram("h_new").unwrap().count_delta, 1);
+        assert_eq!(d.histogram("h_old").unwrap().count_delta, -1);
+        assert_eq!(d.histogram("h_old").unwrap().mean(), Duration::ZERO);
+        let names: Vec<&str> = d.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["only_new", "only_old"], "sorted by name");
+    }
+
+    #[test]
+    fn identical_snapshots_diff_to_zero_deltas() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        r.histogram("h").record(Duration::from_micros(5));
+        let snap = r.snapshot();
+        let d = snap.diff(&snap);
+        assert_eq!(d.counter("c"), Some(0));
+        assert_eq!(d.histogram("h").unwrap().count_delta, 0);
+        assert_eq!(d.histogram("h").unwrap().sum_ns_delta, 0);
+    }
+
+    #[test]
+    fn empty_diff_is_default() {
+        assert_eq!(
+            Snapshot::default().diff(&Snapshot::default()),
+            SnapshotDiff::default()
+        );
+    }
+}

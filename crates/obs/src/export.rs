@@ -6,7 +6,7 @@ use std::fmt::Write as _;
 use std::io;
 
 /// Escapes a metric name for embedding in a JSON string literal.
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     for ch in s.chars() {
         match ch {
             '"' => out.push_str("\\\""),
@@ -24,7 +24,7 @@ fn escape_json(s: &str, out: &mut String) {
 
 /// Formats an `f64` so it round-trips through our parser (always keeps a
 /// decimal point or exponent so the value re-parses as a float).
-fn format_f64(v: f64) -> String {
+pub(crate) fn format_f64(v: f64) -> String {
     if v.is_finite() {
         let s = format!("{v}");
         if s.contains('.') || s.contains('e') || s.contains('E') {

@@ -2,8 +2,11 @@
 //! round-trips (persist a profile, reload it, compare runs) without serde.
 //!
 //! This is not a general JSON library: it parses the value grammar the
-//! [`JsonExporter`](crate::JsonExporter) emits (objects, arrays, strings
-//! with the escapes we write, and numbers) and maps it onto [`Snapshot`].
+//! in-tree writers emit (objects, arrays, strings with the escapes we
+//! write, and numbers — no `true`/`false`/`null`) into a [`JsonValue`]
+//! tree. [`Snapshot::from_json`] maps that tree back onto [`Snapshot`];
+//! the Chrome-trace reader and the bench-report schema checks reuse the
+//! same tree directly.
 
 use crate::{BucketCount, CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
 use std::collections::BTreeMap;
@@ -26,14 +29,103 @@ impl fmt::Display for JsonParseError {
 
 impl std::error::Error for JsonParseError {}
 
+/// A parsed JSON value from the in-tree reader.
+///
+/// Covers the grammar our hand-rolled writers emit: objects, arrays,
+/// strings and numbers (no booleans or nulls — in-tree schemas encode
+/// flags as 0/1 numbers instead).
 #[derive(Debug, Clone, PartialEq)]
-enum Value {
+pub enum JsonValue {
     /// Raw number text; kept unparsed so `u64` fields (counter values,
     /// nanosecond sums) round-trip losslessly instead of through `f64`.
     Number(String),
+    /// A string literal, unescaped.
     String(String),
-    Array(Vec<Value>),
-    Object(BTreeMap<String, Value>),
+    /// An array of values.
+    Array(Vec<JsonValue>),
+    /// An object, keys sorted.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document (rejecting trailing data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonParseError`] on malformed input or on grammar this
+    /// reader does not support (`true`/`false`/`null`).
+    pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let root = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return parser.err("trailing data after document");
+        }
+        Ok(root)
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` (exact integer parse first, then a lossy
+    /// float fallback), if this is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(text) => text
+                .parse::<u64>()
+                .ok()
+                .or_else(|| text.parse::<f64>().ok().map(|v| v as u64)),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if this is a number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Number(text) => text
+                .parse::<i64>()
+                .ok()
+                .or_else(|| text.parse::<f64>().ok().map(|v| v as i64)),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(text) => text.parse::<f64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// Member lookup, if this is an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object().and_then(|map| map.get(key))
+    }
 }
 
 struct Parser<'a> {
@@ -72,24 +164,24 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Value, JsonParseError> {
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
         self.skip_ws();
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
             _ => self.err("expected a value"),
         }
     }
 
-    fn object(&mut self) -> Result<Value, JsonParseError> {
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
         self.expect(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Value::Object(map));
+            return Ok(JsonValue::Object(map));
         }
         loop {
             self.skip_ws();
@@ -103,20 +195,20 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(Value::Object(map));
+                    return Ok(JsonValue::Object(map));
                 }
                 _ => return self.err("expected ',' or '}'"),
             }
         }
     }
 
-    fn array(&mut self) -> Result<Value, JsonParseError> {
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(Value::Array(items));
+            return Ok(JsonValue::Array(items));
         }
         loop {
             items.push(self.value()?);
@@ -125,7 +217,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
-                    return Ok(Value::Array(items));
+                    return Ok(JsonValue::Array(items));
                 }
                 _ => return self.err("expected ',' or ']'"),
             }
@@ -193,7 +285,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn number(&mut self) -> Result<Value, JsonParseError> {
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
         let start = self.pos;
         while let Some(b) = self.peek() {
             if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
@@ -204,17 +296,17 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
         match text.parse::<f64>() {
-            Ok(_) => Ok(Value::Number(text.to_string())),
+            Ok(_) => Ok(JsonValue::Number(text.to_string())),
             Err(_) => self.err(format!("bad number '{text}'")),
         }
     }
 }
 
-fn get_u64(obj: &BTreeMap<String, Value>, key: &str) -> Result<u64, JsonParseError> {
+fn get_u64(obj: &BTreeMap<String, JsonValue>, key: &str) -> Result<u64, JsonParseError> {
     match obj.get(key) {
         // Exact integer parse first: values above 2^53 are not
         // representable in f64 and would silently lose low bits.
-        Some(Value::Number(text)) => text
+        Some(JsonValue::Number(text)) => text
             .parse::<u64>()
             .or_else(|_| text.parse::<f64>().map(|v| v as u64))
             .map_err(|_| JsonParseError {
@@ -228,9 +320,9 @@ fn get_u64(obj: &BTreeMap<String, Value>, key: &str) -> Result<u64, JsonParseErr
     }
 }
 
-fn get_f64(obj: &BTreeMap<String, Value>, key: &str) -> Result<f64, JsonParseError> {
+fn get_f64(obj: &BTreeMap<String, JsonValue>, key: &str) -> Result<f64, JsonParseError> {
     match obj.get(key) {
-        Some(Value::Number(text)) => text.parse::<f64>().map_err(|_| JsonParseError {
+        Some(JsonValue::Number(text)) => text.parse::<f64>().map_err(|_| JsonParseError {
             msg: format!("bad numeric field '{key}'"),
             offset: 0,
         }),
@@ -241,9 +333,9 @@ fn get_f64(obj: &BTreeMap<String, Value>, key: &str) -> Result<f64, JsonParseErr
     }
 }
 
-fn get_str(obj: &BTreeMap<String, Value>, key: &str) -> Result<String, JsonParseError> {
+fn get_str(obj: &BTreeMap<String, JsonValue>, key: &str) -> Result<String, JsonParseError> {
     match obj.get(key) {
-        Some(Value::String(s)) => Ok(s.clone()),
+        Some(JsonValue::String(s)) => Ok(s.clone()),
         _ => Err(JsonParseError {
             msg: format!("missing string field '{key}'"),
             offset: 0,
@@ -252,11 +344,11 @@ fn get_str(obj: &BTreeMap<String, Value>, key: &str) -> Result<String, JsonParse
 }
 
 fn get_array<'v>(
-    obj: &'v BTreeMap<String, Value>,
+    obj: &'v BTreeMap<String, JsonValue>,
     key: &str,
-) -> Result<&'v [Value], JsonParseError> {
+) -> Result<&'v [JsonValue], JsonParseError> {
     match obj.get(key) {
-        Some(Value::Array(items)) => Ok(items),
+        Some(JsonValue::Array(items)) => Ok(items),
         _ => Err(JsonParseError {
             msg: format!("missing array field '{key}'"),
             offset: 0,
@@ -264,9 +356,9 @@ fn get_array<'v>(
     }
 }
 
-fn as_object(v: &Value) -> Result<&BTreeMap<String, Value>, JsonParseError> {
+fn as_object(v: &JsonValue) -> Result<&BTreeMap<String, JsonValue>, JsonParseError> {
     match v {
-        Value::Object(map) => Ok(map),
+        JsonValue::Object(map) => Ok(map),
         _ => Err(JsonParseError {
             msg: "expected an object".into(),
             offset: 0,

@@ -14,8 +14,16 @@
 //!   histogram on drop; created via [`Registry::timer`] or
 //!   [`Histogram::start`].
 //! * [`Snapshot`] — a point-in-time copy of every metric, exported through
-//!   [`JsonExporter`] / [`CsvExporter`] (hand-rolled writers, no serde) and
-//!   re-imported with [`Snapshot::from_json`] for round-trip tests.
+//!   [`JsonExporter`] / [`CsvExporter`] / [`PromExporter`] (hand-rolled
+//!   writers, no serde), re-imported with [`Snapshot::from_json`] for
+//!   round-trip tests, and differenced with [`Snapshot::diff`] for
+//!   per-phase attribution.
+//! * [`Tracer`] — the flight recorder: nested spans and instant events in
+//!   fixed-capacity per-thread ring buffers, each carrying a `frame_id`
+//!   trace context; merged snapshots export to Chrome/Perfetto
+//!   `trace.json` via [`ChromeTrace`] or a plain-text timeline via
+//!   [`TraceSnapshot::to_text`]. `Tracer::noop()` is a single branch, so
+//!   instrumentation can stay in release builds.
 //!
 //! # Example
 //!
@@ -39,15 +47,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chrome;
+mod diff;
 mod export;
 mod histogram;
 mod json;
+mod prom;
 mod registry;
+mod trace;
 
+pub use chrome::{ChromeEvent, ChromeTrace, CHROME_TRACE_PID};
+pub use diff::{CounterDelta, HistogramDelta, SnapshotDiff};
 pub use export::{CsvExporter, JsonExporter};
 pub use histogram::{Histogram, ScopedTimer, BUCKET_COUNT};
-pub use json::JsonParseError;
+pub use json::{JsonParseError, JsonValue};
+pub use prom::PromExporter;
 pub use registry::{Counter, Gauge, Registry};
+pub use trace::{
+    TraceEvent, TraceKind, TraceSnapshot, TraceSpan, Tracer, DEFAULT_TRACE_CAPACITY, NO_AUX,
+};
 
 use std::time::Duration;
 

@@ -1,0 +1,150 @@
+//! Prometheus text exposition format for [`Snapshot`]s.
+//!
+//! Renders every metric as `# TYPE`-annotated lines a Prometheus scraper
+//! (or `promtool check metrics`) accepts: counters and gauges as single
+//! samples, histograms as cumulative `_bucket{le="..."}` series plus
+//! `_sum` / `_count`. Metric names are sanitized to the legal
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*` alphabet (dots and dashes become
+//! underscores), and histogram nanoseconds are converted to seconds, the
+//! Prometheus base unit.
+
+use crate::export::format_f64;
+use crate::Snapshot;
+use std::fmt::Write as _;
+use std::io;
+
+/// Renders a [`Snapshot`] in the Prometheus text exposition format.
+pub struct PromExporter;
+
+/// Maps an internal metric name onto the Prometheus name alphabet.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let legal =
+            ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || { i > 0 && ch.is_ascii_digit() };
+        out.push(if legal { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Seconds rendering for nanosecond quantities.
+fn seconds(ns: u64) -> String {
+    format_f64(ns as f64 / 1e9)
+}
+
+impl PromExporter {
+    /// Renders the snapshot as exposition-format text.
+    pub fn to_string(snapshot: &Snapshot) -> String {
+        let mut out = String::new();
+        for c in &snapshot.counters {
+            let name = sanitize(&c.name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.value);
+        }
+        for g in &snapshot.gauges {
+            let name = sanitize(&g.name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", format_f64(g.value));
+        }
+        for h in &snapshot.histograms {
+            let name = sanitize(&h.name);
+            let _ = writeln!(out, "# TYPE {name}_seconds histogram");
+            let mut cumulative = 0u64;
+            for b in &h.buckets {
+                cumulative += b.count;
+                let _ = writeln!(
+                    out,
+                    "{name}_seconds_bucket{{le=\"{}\"}} {cumulative}",
+                    seconds(b.le_ns)
+                );
+            }
+            let _ = writeln!(out, "{name}_seconds_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_seconds_sum {}", seconds(h.sum_ns));
+            let _ = writeln!(out, "{name}_seconds_count {}", h.count);
+        }
+        out
+    }
+
+    /// Writes the exposition text to `writer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write_to(snapshot: &Snapshot, writer: &mut dyn io::Write) -> io::Result<()> {
+        writer.write_all(Self::to_string(snapshot).as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+    use std::time::Duration;
+
+    #[test]
+    fn exposition_format_is_locked() {
+        let r = Registry::new();
+        r.counter("pipeline.frames").add(12);
+        r.gauge("supervisor.health").set(2.0);
+        let h = r.histogram("detect.nms");
+        h.record(Duration::from_nanos(100)); // bucket le=128ns
+        h.record(Duration::from_nanos(100));
+        h.record(Duration::from_nanos(200)); // bucket le=256ns
+        let text = PromExporter::to_string(&r.snapshot());
+        let expected = "\
+# TYPE pipeline_frames counter
+pipeline_frames 12
+# TYPE supervisor_health gauge
+supervisor_health 2.0
+# TYPE detect_nms_seconds histogram
+detect_nms_seconds_bucket{le=\"0.000000128\"} 2
+detect_nms_seconds_bucket{le=\"0.000000256\"} 3
+detect_nms_seconds_bucket{le=\"+Inf\"} 3
+detect_nms_seconds_sum 0.0000004
+detect_nms_seconds_count 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn names_are_sanitized_to_legal_alphabet() {
+        assert_eq!(sanitize("nn.forward.L00.conv"), "nn_forward_L00_conv");
+        assert_eq!(sanitize("weird-name with spaces"), "weird_name_with_spaces");
+        assert_eq!(sanitize("0starts_with_digit"), "_starts_with_digit");
+        assert_eq!(sanitize(""), "_");
+        let legal = |s: &str| {
+            s.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            })
+        };
+        assert!(legal(&sanitize("üñïçødé.metric")));
+    }
+
+    #[test]
+    fn buckets_are_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        for us in [1u64, 2, 4, 8] {
+            h.record(Duration::from_micros(us));
+        }
+        let text = PromExporter::to_string(&r.snapshot());
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.contains("_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] <= w[1]),
+            "monotone: {counts:?}"
+        );
+        assert_eq!(*counts.last().unwrap(), 4, "+Inf bucket equals count");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(PromExporter::to_string(&Snapshot::default()), "");
+    }
+}

@@ -1,0 +1,617 @@
+//! The flight recorder: a lock-light tracer writing nested spans and
+//! instant events into fixed-capacity per-thread ring buffers.
+//!
+//! Where the [`Registry`](crate::Registry) answers *how long does stage X
+//! take on average* (histograms have no time axis), the [`Tracer`] answers
+//! *what happened, in order, around frame N*: which frame stalled, which
+//! layer inside that frame's forward pass spiked, what the pipeline was
+//! doing in the seconds before a stage died. Every event carries a
+//! monotonic `frame_id` trace context that flows camera → conform/resize →
+//! per-layer forward → decode → NMS through the detection stack, so a
+//! merged timeline can be filtered to one frame's causal history.
+//!
+//! Design constraints, in the spirit of the registry:
+//!
+//! * **no allocation on the hot path** — event names are `&'static str`,
+//!   events are fixed-size structs written into a preallocated ring,
+//! * **lock-light** — each thread writes its own shard; the shard's mutex
+//!   is only ever contended by a snapshot/black-box read, never by another
+//!   writer,
+//! * **fixed capacity** — the ring holds the last `capacity` events per
+//!   thread and overwrites the oldest beyond that (a flight recorder, not
+//!   a log), counting what it dropped,
+//! * **[`Tracer::noop`] is a single branch** — instrumented code keeps its
+//!   spans unconditionally, like inert registry handles.
+//!
+//! # Example
+//!
+//! ```
+//! use dronet_obs::Tracer;
+//!
+//! let tracer = Tracer::new();
+//! {
+//!     let _frame = tracer.frame_span("frame", 7); // sets the frame context
+//!     let _stage = tracer.span("detect.forward"); // inherits frame 7
+//!     tracer.instant("decode.start");
+//! }
+//! let snap = tracer.snapshot();
+//! assert_eq!(snap.events.len(), 5, "2 begins + 2 ends + 1 instant");
+//! assert!(snap.events.iter().all(|e| e.frame_id == 7));
+//! ```
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Instant;
+
+/// Default per-thread ring capacity, in events.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// Sentinel for [`TraceEvent::aux`]: no auxiliary value.
+pub const NO_AUX: i64 = -1;
+
+/// What kind of record a [`TraceEvent`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A span opened (the matching [`TraceKind::End`] may be missing if
+    /// the span was still open when the trace was captured — crash
+    /// evidence, not corruption).
+    Begin,
+    /// A span closed; carries the span duration and the sequence number of
+    /// its `Begin`, so spans survive even when the ring overwrote the
+    /// `Begin`.
+    End,
+    /// A point event with no duration.
+    Instant,
+}
+
+/// One flight-recorder event. Fixed-size and `Copy`: names are static
+/// strings, numeric context rides in `frame_id` / `aux`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (total order across threads).
+    pub seq: u64,
+    /// Record kind.
+    pub kind: TraceKind,
+    /// Nanoseconds since the tracer was created. For [`TraceKind::End`]
+    /// this is the span's *end* time.
+    pub ts_ns: u64,
+    /// Span duration in nanoseconds ([`TraceKind::End`] only, else 0).
+    pub dur_ns: u64,
+    /// Sequence number of the matching `Begin` ([`TraceKind::End`] only,
+    /// else `u64::MAX`).
+    pub begin_seq: u64,
+    /// Recorder-assigned id of the thread that wrote the event.
+    pub tid: u64,
+    /// The frame this event belongs to (the trace context).
+    pub frame_id: u64,
+    /// Auxiliary integer (layer index for per-layer spans); [`NO_AUX`]
+    /// when unused.
+    pub aux: i64,
+    /// Event name.
+    pub name: &'static str,
+}
+
+impl TraceEvent {
+    /// Span start time in nanoseconds (for `End` events, `ts - dur`;
+    /// otherwise `ts`).
+    pub fn start_ns(&self) -> u64 {
+        self.ts_ns.saturating_sub(self.dur_ns)
+    }
+}
+
+/// One thread's ring. The cursor counts every write ever made; the buffer
+/// retains the most recent `capacity` of them.
+#[derive(Debug)]
+struct Shard {
+    tid: u64,
+    current_frame: AtomicU64,
+    cursor: AtomicU64,
+    buf: Mutex<Vec<TraceEvent>>,
+}
+
+impl Shard {
+    fn write(&self, event: TraceEvent) {
+        let mut buf = self.buf.lock().expect("trace shard lock poisoned");
+        let cursor = self.cursor.load(Ordering::Relaxed) as usize;
+        if buf.len() < buf.capacity() {
+            buf.push(event);
+        } else {
+            let cap = buf.len();
+            buf[cursor % cap] = event;
+        }
+        self.cursor.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Events in write order (oldest retained first), plus the number of
+    /// events the ring overwrote.
+    fn drain_ordered(&self) -> (Vec<TraceEvent>, u64) {
+        let buf = self.buf.lock().expect("trace shard lock poisoned");
+        let cursor = self.cursor.load(Ordering::Relaxed);
+        let mut events = Vec::with_capacity(buf.len());
+        if buf.len() == buf.capacity() && !buf.is_empty() {
+            let split = cursor as usize % buf.len();
+            events.extend_from_slice(&buf[split..]);
+            events.extend_from_slice(&buf[..split]);
+        } else {
+            events.extend_from_slice(&buf);
+        }
+        (events, cursor.saturating_sub(buf.len() as u64))
+    }
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    /// Identity of this tracer for the thread-local shard cache (never
+    /// reused, unlike an `Arc` address).
+    id: u64,
+    capacity: usize,
+    epoch: Instant,
+    seq: AtomicU64,
+    next_tid: AtomicU64,
+    shards: Mutex<Vec<Arc<Shard>>>,
+}
+
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Per-thread cache of (tracer id → shard). Almost always one entry.
+    /// Weak so a dropped tracer's rings are freed; dead entries are pruned
+    /// on the (cold) cache-miss path.
+    static LOCAL_SHARDS: RefCell<Vec<(u64, Weak<Shard>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The flight recorder handle. Cheap to clone (all clones share the same
+/// rings); inert when obtained from [`Tracer::noop`].
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// A live tracer with [`DEFAULT_TRACE_CAPACITY`] events per thread.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A live tracer retaining the last `capacity` events per thread
+    /// (clamped to at least 2 so a span's begin/end pair can coexist).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+                capacity: capacity.max(2),
+                epoch: Instant::now(),
+                seq: AtomicU64::new(0),
+                next_tid: AtomicU64::new(1),
+                shards: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// An inert tracer: every record path is a single branch, no clock
+    /// read, no storage.
+    pub fn noop() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// Whether this tracer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The calling thread's shard, creating and registering it on first
+    /// use. Only called on live tracers.
+    fn shard(inner: &Arc<TracerInner>) -> Arc<Shard> {
+        LOCAL_SHARDS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(shard) = cache
+                .iter()
+                .find(|(id, _)| *id == inner.id)
+                .and_then(|(_, weak)| weak.upgrade())
+            {
+                return shard;
+            }
+            cache.retain(|(_, weak)| weak.strong_count() > 0);
+            let shard = Arc::new(Shard {
+                tid: inner.next_tid.fetch_add(1, Ordering::Relaxed),
+                current_frame: AtomicU64::new(0),
+                cursor: AtomicU64::new(0),
+                buf: Mutex::new(Vec::with_capacity(inner.capacity)),
+            });
+            inner
+                .shards
+                .lock()
+                .expect("tracer shard list poisoned")
+                .push(Arc::clone(&shard));
+            cache.push((inner.id, Arc::downgrade(&shard)));
+            shard
+        })
+    }
+
+    /// Sets the calling thread's frame context: subsequent [`Tracer::span`]
+    /// / [`Tracer::instant`] events carry this `frame_id`.
+    pub fn set_frame(&self, frame_id: u64) {
+        if let Some(inner) = &self.inner {
+            Self::shard(inner)
+                .current_frame
+                .store(frame_id, Ordering::Relaxed);
+        }
+    }
+
+    /// The calling thread's current frame context (0 when unset or inert).
+    pub fn current_frame(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => Self::shard(inner).current_frame.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    fn open_span(&self, name: &'static str, frame_id: Option<u64>, aux: i64) -> TraceSpan {
+        let Some(inner) = &self.inner else {
+            return TraceSpan { state: None };
+        };
+        let shard = Self::shard(inner);
+        let frame_id = match frame_id {
+            Some(id) => {
+                shard.current_frame.store(id, Ordering::Relaxed);
+                id
+            }
+            None => shard.current_frame.load(Ordering::Relaxed),
+        };
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let ts_ns = saturating_ns(start - inner.epoch);
+        shard.write(TraceEvent {
+            seq,
+            kind: TraceKind::Begin,
+            ts_ns,
+            dur_ns: 0,
+            begin_seq: u64::MAX,
+            tid: shard.tid,
+            frame_id,
+            aux,
+            name,
+        });
+        TraceSpan {
+            state: Some(SpanState {
+                inner: Arc::clone(inner),
+                shard,
+                name,
+                frame_id,
+                aux,
+                begin_seq: seq,
+                start,
+            }),
+        }
+    }
+
+    /// Opens a span that inherits the thread's current frame context and
+    /// closes (recording its duration) on drop.
+    pub fn span(&self, name: &'static str) -> TraceSpan {
+        self.open_span(name, None, NO_AUX)
+    }
+
+    /// [`Tracer::span`] with an auxiliary integer (e.g. a layer index).
+    pub fn span_aux(&self, name: &'static str, aux: i64) -> TraceSpan {
+        self.open_span(name, None, aux)
+    }
+
+    /// Opens the per-frame root span: sets the thread's frame context to
+    /// `frame_id` and opens a span carrying it. Nested spans and instants
+    /// on this thread inherit the id until the next `frame_span` /
+    /// [`Tracer::set_frame`].
+    pub fn frame_span(&self, name: &'static str, frame_id: u64) -> TraceSpan {
+        self.open_span(name, Some(frame_id), NO_AUX)
+    }
+
+    /// Records a point event with the thread's current frame context.
+    pub fn instant(&self, name: &'static str) {
+        self.instant_aux(name, NO_AUX);
+    }
+
+    /// [`Tracer::instant`] with an explicit frame id (e.g. for a dropped
+    /// frame that never becomes the current context).
+    pub fn instant_frame(&self, name: &'static str, frame_id: u64) {
+        if let Some(inner) = &self.inner {
+            let shard = Self::shard(inner);
+            self.write_instant(inner, &shard, name, frame_id, NO_AUX);
+        }
+    }
+
+    /// [`Tracer::instant`] with an auxiliary integer.
+    pub fn instant_aux(&self, name: &'static str, aux: i64) {
+        if let Some(inner) = &self.inner {
+            let shard = Self::shard(inner);
+            let frame_id = shard.current_frame.load(Ordering::Relaxed);
+            self.write_instant(inner, &shard, name, frame_id, aux);
+        }
+    }
+
+    fn write_instant(
+        &self,
+        inner: &Arc<TracerInner>,
+        shard: &Shard,
+        name: &'static str,
+        frame_id: u64,
+        aux: i64,
+    ) {
+        shard.write(TraceEvent {
+            seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+            kind: TraceKind::Instant,
+            ts_ns: saturating_ns(inner.epoch.elapsed()),
+            dur_ns: 0,
+            begin_seq: u64::MAX,
+            tid: shard.tid,
+            frame_id,
+            aux,
+            name,
+        });
+    }
+
+    /// Merged, time-ordered copy of every thread's retained events. The
+    /// rings keep recording; a snapshot is a read, not a drain.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let Some(inner) = &self.inner else {
+            return TraceSnapshot::default();
+        };
+        let shards: Vec<Arc<Shard>> = inner
+            .shards
+            .lock()
+            .expect("tracer shard list poisoned")
+            .iter()
+            .map(Arc::clone)
+            .collect();
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        for shard in shards {
+            let (mut shard_events, shard_dropped) = shard.drain_ordered();
+            events.append(&mut shard_events);
+            dropped += shard_dropped;
+        }
+        events.sort_by_key(|e| e.seq);
+        TraceSnapshot { events, dropped }
+    }
+}
+
+fn saturating_ns(d: std::time::Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
+struct SpanState {
+    inner: Arc<TracerInner>,
+    shard: Arc<Shard>,
+    name: &'static str,
+    frame_id: u64,
+    aux: i64,
+    begin_seq: u64,
+    start: Instant,
+}
+
+impl std::fmt::Debug for SpanState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanState")
+            .field("name", &self.name)
+            .field("frame_id", &self.frame_id)
+            .finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for an open trace span; writes the `End` event on drop.
+/// Obtained from [`Tracer::span`] and friends; inert from a noop tracer.
+#[derive(Debug)]
+pub struct TraceSpan {
+    state: Option<SpanState>,
+}
+
+impl TraceSpan {
+    /// Closes the span now (identical to dropping it).
+    pub fn stop(self) {
+        drop(self);
+    }
+
+    /// Abandons the span: no `End` event is written (the `Begin` stays in
+    /// the ring as evidence of the open span).
+    pub fn cancel(mut self) {
+        self.state = None;
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            state.shard.write(TraceEvent {
+                seq: state.inner.seq.fetch_add(1, Ordering::Relaxed),
+                kind: TraceKind::End,
+                ts_ns: saturating_ns(state.inner.epoch.elapsed()),
+                dur_ns: saturating_ns(state.start.elapsed()),
+                begin_seq: state.begin_seq,
+                tid: state.shard.tid,
+                frame_id: state.frame_id,
+                aux: state.aux,
+                name: state.name,
+            });
+        }
+    }
+}
+
+/// A merged, sequence-ordered copy of the flight recorder's contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSnapshot {
+    /// All retained events, ordered by global sequence number.
+    pub events: Vec<TraceEvent>,
+    /// Events the rings overwrote before this snapshot (flight-recorder
+    /// wrap, not an error).
+    pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// The last `n` events (the black-box view).
+    pub fn tail(&self, n: usize) -> &[TraceEvent] {
+        &self.events[self.events.len().saturating_sub(n)..]
+    }
+
+    /// Every event carrying `frame_id`.
+    pub fn for_frame(&self, frame_id: u64) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.frame_id == frame_id)
+            .collect()
+    }
+
+    /// Renders the snapshot as a plain-text timeline, one event per line,
+    /// in time order — the greppable companion to the Chrome export.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(self.events.len() * 64 + 64);
+        let _ = writeln!(
+            out,
+            "# trace: {} events ({} overwritten by ring wrap)",
+            self.events.len(),
+            self.dropped
+        );
+        for e in &self.events {
+            let kind = match e.kind {
+                TraceKind::Begin => "B",
+                TraceKind::End => "E",
+                TraceKind::Instant => "i",
+            };
+            let _ = write!(
+                out,
+                "[{:>12.3} ms] tid {:>2} frame {:>6} {} {}",
+                e.ts_ns as f64 / 1e6,
+                e.tid,
+                e.frame_id,
+                kind,
+                e.name
+            );
+            if e.aux != NO_AUX {
+                let _ = write!(out, "#{}", e.aux);
+            }
+            if e.kind == TraceKind::End {
+                let _ = write!(out, " ({:.3} ms)", e.dur_ns as f64 / 1e6);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_tracer_is_inert() {
+        let t = Tracer::noop();
+        assert!(!t.is_enabled());
+        let span = t.span("x");
+        t.instant("y");
+        t.set_frame(3);
+        drop(span);
+        assert_eq!(t.snapshot(), TraceSnapshot::default());
+        assert_eq!(t.current_frame(), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_inherit_frame_context() {
+        let t = Tracer::new();
+        let frame = t.frame_span("frame", 42);
+        let stage = t.span("stage");
+        let layer = t.span_aux("conv", 3);
+        t.instant("note");
+        drop(layer);
+        drop(stage);
+        drop(frame);
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 7);
+        assert!(snap.events.iter().all(|e| e.frame_id == 42));
+        // Sequence order is write order; ends come out innermost-first.
+        let ends: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceKind::End)
+            .collect();
+        assert_eq!(
+            ends.iter().map(|e| e.name).collect::<Vec<_>>(),
+            vec!["conv", "stage", "frame"]
+        );
+        // Every end back-references its begin.
+        for end in ends {
+            let begin = snap.events.iter().find(|e| e.seq == end.begin_seq).unwrap();
+            assert_eq!(begin.kind, TraceKind::Begin);
+            assert_eq!(begin.name, end.name);
+        }
+        assert_eq!(
+            snap.events.iter().find(|e| e.aux == 3).unwrap().name,
+            "conv"
+        );
+    }
+
+    #[test]
+    fn ring_wraps_keeping_most_recent() {
+        let t = Tracer::with_capacity(8);
+        for i in 0..30u64 {
+            t.instant_frame("tick", i);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 8);
+        assert_eq!(snap.dropped, 22);
+        let ids: Vec<u64> = snap.events.iter().map(|e| e.frame_id).collect();
+        assert_eq!(
+            ids,
+            (22..30).collect::<Vec<_>>(),
+            "newest retained, in order"
+        );
+    }
+
+    #[test]
+    fn threads_get_distinct_shards_and_merge_ordered() {
+        let t = Tracer::new();
+        std::thread::scope(|s| {
+            for worker in 0..3u64 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let _span = t.frame_span("work", worker * 1000 + i);
+                    }
+                });
+            }
+        });
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 300, "3 threads x 50 spans x B+E");
+        let tids: std::collections::BTreeSet<u64> = snap.events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 3, "one shard per thread");
+        for pair in snap.events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "snapshot is sequence-ordered");
+        }
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn cancelled_span_leaves_open_begin() {
+        let t = Tracer::new();
+        t.frame_span("frame", 9).cancel();
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].kind, TraceKind::Begin);
+        assert_eq!(snap.tail(5)[0].frame_id, 9);
+        assert_eq!(snap.for_frame(9).len(), 1);
+        assert!(snap.for_frame(8).is_empty());
+    }
+
+    #[test]
+    fn text_timeline_renders_all_events() {
+        let t = Tracer::new();
+        {
+            let _f = t.frame_span("frame", 1);
+            let _l = t.span_aux("conv", 2);
+            t.instant("note");
+        }
+        let text = t.snapshot().to_text();
+        assert!(text.contains("B frame"));
+        assert!(text.contains("E conv#2"));
+        assert!(text.contains("i note"));
+        assert!(text.lines().count() >= 6);
+    }
+}

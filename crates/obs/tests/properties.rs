@@ -1,8 +1,9 @@
-//! Property tests for the histogram estimator and the JSON exporter: the
-//! invariants the rest of the workspace leans on (percentile bounds, bucket
-//! accounting, lossless export) must hold for arbitrary inputs.
+//! Property tests for the histogram estimator, the JSON exporter and the
+//! flight-recorder ring buffer: the invariants the rest of the workspace
+//! leans on (percentile bounds, bucket accounting, lossless export,
+//! newest-events-retained wrap-around) must hold for arbitrary inputs.
 
-use dronet_obs::{JsonExporter, Registry, Snapshot};
+use dronet_obs::{ChromeTrace, JsonExporter, Registry, Snapshot, TraceKind, Tracer};
 use proptest::prelude::*;
 
 /// Names stressing the JSON escaper: quotes, backslashes, control bytes.
@@ -93,5 +94,57 @@ proptest! {
         let parsed = Snapshot::from_json(&json)
             .map_err(|e| TestCaseError::Fail(format!("parse failed: {e}\n{json}")))?;
         prop_assert_eq!(parsed, snap);
+    }
+
+    /// Ring wrap-around keeps exactly the newest `capacity` events (or all
+    /// of them when fewer were written), in order, and accounts for every
+    /// overwritten event in `dropped`.
+    #[test]
+    fn trace_ring_retains_newest_events(
+        capacity in 2usize..64,
+        writes in 0u64..300,
+    ) {
+        let tracer = Tracer::with_capacity(capacity);
+        for i in 0..writes {
+            tracer.instant_frame("tick", i);
+        }
+        let snap = tracer.snapshot();
+        let retained = (writes as usize).min(capacity);
+        prop_assert_eq!(snap.events.len(), retained);
+        prop_assert_eq!(snap.dropped, writes.saturating_sub(capacity as u64));
+        let expect_first = writes - retained as u64;
+        for (offset, event) in snap.events.iter().enumerate() {
+            prop_assert_eq!(event.frame_id, expect_first + offset as u64);
+            prop_assert_eq!(event.kind, TraceKind::Instant);
+        }
+    }
+
+    /// Interleaved spans and instants survive wrap: the merged snapshot is
+    /// sequence-ordered, every `End` is newer than the events before it,
+    /// and the Chrome export of a wrapped ring still parses.
+    #[test]
+    fn trace_ring_wrap_preserves_order_and_exports(
+        capacity in 4usize..32,
+        frames in 1u64..60,
+    ) {
+        let tracer = Tracer::with_capacity(capacity);
+        for frame in 0..frames {
+            let span = tracer.frame_span("frame", frame);
+            tracer.instant("mid");
+            span.stop();
+        }
+        let snap = tracer.snapshot();
+        prop_assert!(snap.events.len() <= capacity);
+        prop_assert_eq!(snap.events.len() as u64 + snap.dropped, frames * 3);
+        for pair in snap.events.windows(2) {
+            prop_assert!(pair[0].seq < pair[1].seq, "sequence-ordered");
+            prop_assert!(pair[0].ts_ns <= pair[1].ts_ns, "single thread: time-ordered");
+        }
+        let parsed = ChromeTrace::parse(&ChromeTrace::to_string(&snap))
+            .map_err(|e| TestCaseError::Fail(format!("chrome parse failed: {e}")))?;
+        // Every End in the ring yields an X event even when its Begin was
+        // overwritten (the End carries the duration).
+        let ends = snap.events.iter().filter(|e| e.kind == TraceKind::End).count();
+        prop_assert_eq!(parsed.iter().filter(|e| e.ph == 'X').count(), ends);
     }
 }

@@ -1,29 +1,39 @@
 //! Observability tour: run an instrumented DroNet detection pipeline and a
 //! short training run, print the per-layer achieved-GFLOP/s breakdown, and
-//! dump the whole telemetry snapshot as JSON (plus CSV next to it).
+//! dump the whole telemetry snapshot as JSON (plus CSV next to it) and the
+//! flight recorder as a Chrome/Perfetto trace (`trace.json`).
 //!
 //! ```text
-//! cargo run --release --example observe_pipeline [profile.json]
+//! cargo run --release --example observe_pipeline [profile.json [trace.json]]
 //! ```
+//!
+//! Open the trace in <https://ui.perfetto.dev> (or `chrome://tracing`):
+//! each frame id shows camera.frame → frame → detect.forward → per-layer
+//! spans nested on their thread's track.
 
 use dronet::core::{zoo, ModelId};
 use dronet::data::dataset::VehicleDataset;
 use dronet::data::scene::{SceneConfig, SceneGenerator};
-use dronet::detect::{DetectorBuilder, VideoPipeline};
+use dronet::detect::{DetectorBuilder, IterSource, VideoPipeline};
 use dronet::nn::profile::NetworkProfile;
 use dronet::nn::summary::NetworkSummary;
-use dronet::obs::{CsvExporter, JsonExporter, Registry};
+use dronet::obs::{ChromeTrace, CsvExporter, JsonExporter, Registry, Tracer};
 use dronet::train::{LrSchedule, TrainConfig, Trainer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let obs = Registry::new();
+    let tracer = Tracer::new();
     let input = 352;
 
-    // 1. An observed detector: per-layer network timings plus the
-    //    forward/decode/NMS stage histograms.
+    // 1. An observed, traced detector: per-layer network timings plus the
+    //    forward/decode/NMS stage histograms, and a flight-recorder span
+    //    for every stage under the current frame id.
     let net = zoo::build(ModelId::DroNet, input)?;
     let summary = NetworkSummary::of("DroNet-352", &net);
-    let mut detector = DetectorBuilder::new(net).observability(&obs).build()?;
+    let mut detector = DetectorBuilder::new(net)
+        .observability(&obs)
+        .tracing(&tracer)
+        .build()?;
 
     // 2. Stream synthetic camera frames through both pipeline modes.
     let frames: Vec<_> = (0..6)
@@ -35,18 +45,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .to_tensor()
         })
         .collect();
-    let report = VideoPipeline::run_observed(&mut detector, frames.clone(), &obs)?;
+    let report = VideoPipeline::run_source_traced(
+        &mut detector,
+        IterSource::new(frames.clone()),
+        &obs,
+        &tracer,
+    )?;
     println!(
         "synchronous pipeline: {} frames at {} ({:.1} ms mean)",
         report.processed(),
         report.fps(),
         report.mean_latency().as_secs_f64() * 1e3
     );
-    let report = VideoPipeline::run_threaded_observed(&mut detector, frames, &obs)?;
+    let report = VideoPipeline::run_source_threaded_traced(
+        &mut detector,
+        IterSource::new(frames),
+        &obs,
+        &tracer,
+    )?;
     println!(
-        "threaded pipeline:    {} processed, {} dropped (single-slot camera buffer)",
+        "threaded pipeline:    {} processed, {} dropped (ids {:?}, single-slot camera buffer)",
         report.processed(),
-        report.dropped
+        report.dropped,
+        report.dropped_ids
     );
 
     // 3. Where do the milliseconds go? Join the recorded timings with the
@@ -110,5 +131,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         snapshot.histograms.len(),
         csv_path
     );
+
+    // 6. Flight recorder: Chrome/Perfetto trace of both pipeline runs
+    //    (camera instants + nested frame → stage → layer spans per frame
+    //    id) and a plain-text timeline tail for the terminal.
+    let trace = tracer.snapshot();
+    let trace_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "trace.json".to_string());
+    std::fs::write(&trace_path, ChromeTrace::to_string(&trace))?;
+    println!(
+        "wrote {} ({} events, {} overwritten) — open in https://ui.perfetto.dev",
+        trace_path,
+        trace.events.len(),
+        trace.dropped
+    );
+    let text = dronet::obs::TraceSnapshot {
+        events: trace.tail(12).to_vec(),
+        dropped: 0,
+    }
+    .to_text();
+    println!("last 12 flight-recorder events:\n{text}");
     Ok(())
 }

@@ -1,0 +1,77 @@
+//! The committed bench-regression report (`BENCH_PR3.json`, written by
+//! `cargo run --release -p dronet-bench --bin bench_report`) must stay
+//! parseable by the in-tree JSON reader and schema-stable: regression
+//! tooling diffs these files across PRs, so shape drift is a break.
+
+use dronet::obs::JsonValue;
+use std::path::Path;
+
+fn load_report() -> JsonValue {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_PR3.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} unreadable: {e}", path.display()));
+    JsonValue::parse(&text).expect("BENCH_PR3.json parses with the in-tree reader")
+}
+
+#[test]
+fn bench_report_is_schema_stable() {
+    let report = load_report();
+    assert_eq!(
+        report.get("schema").and_then(JsonValue::as_str),
+        Some("dronet-bench-report")
+    );
+    assert_eq!(report.get("version").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(report.get("pr").and_then(JsonValue::as_str), Some("PR3"));
+    assert!(report.get("iters").and_then(JsonValue::as_u64).unwrap() >= 1);
+}
+
+#[test]
+fn bench_report_covers_the_model_resolution_grid() {
+    let report = load_report();
+    let rows = report
+        .get("forward")
+        .and_then(JsonValue::as_array)
+        .expect("forward array");
+    let mut models = std::collections::BTreeSet::new();
+    let mut inputs = std::collections::BTreeSet::new();
+    for row in rows {
+        let model = row.get("model").and_then(JsonValue::as_str).unwrap();
+        let input = row.get("input").and_then(JsonValue::as_u64).unwrap();
+        models.insert(model.to_string());
+        inputs.insert(input);
+        let median = row.get("median_ms").and_then(JsonValue::as_f64).unwrap();
+        let p90 = row.get("p90_ms").and_then(JsonValue::as_f64).unwrap();
+        assert!(median > 0.0, "{model}@{input} median");
+        assert!(p90 >= median, "{model}@{input} p90 >= median");
+        assert!(
+            row.get("achieved_gflops")
+                .and_then(JsonValue::as_f64)
+                .unwrap()
+                > 0.0,
+            "{model}@{input} achieved GFLOP/s from nn::profile"
+        );
+    }
+    assert!(models.len() >= 2, "at least two models: {models:?}");
+    assert!(inputs.len() >= 3, "at least three resolutions: {inputs:?}");
+}
+
+#[test]
+fn bench_report_pipeline_section_is_consistent() {
+    let report = load_report();
+    let pipeline = report.get("pipeline").expect("pipeline object");
+    let frames = pipeline.get("frames").and_then(JsonValue::as_u64).unwrap();
+    let delta = pipeline
+        .get("frames_delta")
+        .and_then(JsonValue::as_i64)
+        .unwrap();
+    assert!(frames > 0);
+    assert_eq!(delta, frames as i64, "registry diff matches the report");
+    assert!(
+        pipeline
+            .get("trace_events")
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            > 0,
+        "the pipeline run was flight-recorded"
+    );
+}

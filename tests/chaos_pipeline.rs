@@ -10,7 +10,7 @@ use dronet::detect::{
     DegradeConfig, DegradeController, DetectStage, DetectorBuilder, FaultConfig, FaultKind,
     FaultPlan, FaultyDetector, FaultyFrameSource, IterSource, Result as DetectResult,
 };
-use dronet::obs::Registry;
+use dronet::obs::{Registry, TraceKind, Tracer};
 use dronet::tensor::{Shape, Tensor};
 use std::sync::atomic::AtomicUsize;
 use std::sync::{Arc, Mutex};
@@ -97,7 +97,8 @@ fn chaos_detector_panics_are_isolated_and_recovered() {
         None,
         None,
     ]);
-    let sup = Supervisor::new(patient_config());
+    let tracer = Tracer::new();
+    let sup = Supervisor::new(patient_config()).tracing(&tracer);
     let calls = Arc::new(AtomicUsize::new(0));
     let mut factory: Box<dyn FnMut(usize) -> DetectResult<Box<dyn DetectStage>>> =
         Box::new(move |_| {
@@ -126,6 +127,24 @@ fn chaos_detector_panics_are_isolated_and_recovered() {
         "no frame lost: retries recovered all"
     );
     assert_eq!(report.final_health, Health::Healthy);
+
+    // The crash black box recorded what the flight recorder saw: a
+    // non-empty event dump attributed to the panicking frame (index 2),
+    // ending at that frame's still-open span.
+    let bb = report
+        .black_box
+        .as_ref()
+        .expect("panic triggered a black-box dump");
+    assert_eq!(bb.frame_id, Some(2), "dump attributed to the failing frame");
+    assert!(!bb.events.is_empty(), "dump holds the recorder tail");
+    let last = bb.events.last().unwrap();
+    assert_eq!(last.frame_id, 2, "dump ends at the failing frame's events");
+    assert_eq!(
+        (last.kind, last.name),
+        (TraceKind::Begin, "frame"),
+        "the failing frame's span was left open mid-crash"
+    );
+    assert!(bb.to_text().contains("B frame"));
 }
 
 /// Camera stalls under the threaded watchdog: recorded as stall faults

@@ -5,10 +5,11 @@
 use dronet::core::{zoo, ModelId};
 use dronet::data::dataset::VehicleDataset;
 use dronet::data::scene::SceneConfig;
+use dronet::detect::IterSource;
 use dronet::detect::{DetectorBuilder, VideoPipeline};
 use dronet::nn::profile::{forward_metric_name, NetworkProfile};
 use dronet::nn::summary::NetworkSummary;
-use dronet::obs::{JsonExporter, Registry, Snapshot};
+use dronet::obs::{ChromeTrace, JsonExporter, Registry, Snapshot, TraceKind, Tracer};
 use dronet::tensor::{Shape, Tensor};
 use dronet::train::{LrSchedule, TrainConfig, Trainer};
 use std::time::{Duration, Instant};
@@ -157,4 +158,104 @@ fn instrumented_forward_overhead_under_two_percent() {
         "instrumented forward {:?} is more than 2% over uninstrumented {:?}",
         last.1, last.0
     );
+}
+
+/// Same bar for the flight recorder's disabled path: a network carrying a
+/// noop [`Tracer`] (one branch per would-be event) must stay within 2% of
+/// one that never heard of tracing.
+#[test]
+fn disabled_tracer_overhead_under_two_percent() {
+    let x = Tensor::zeros(Shape::nchw(1, 3, 352, 352));
+    let mut plain = zoo::build(ModelId::DroNet, 352).unwrap();
+    let mut traced = zoo::build(ModelId::DroNet, 352).unwrap();
+    traced.set_tracing(&Tracer::noop());
+
+    plain.forward(&x).unwrap();
+    traced.forward(&x).unwrap();
+
+    let mut last = (Duration::ZERO, Duration::ZERO);
+    for _ in 0..3 {
+        let mut plain_min = Duration::MAX;
+        let mut traced_min = Duration::MAX;
+        for _ in 0..4 {
+            plain_min = plain_min.min(min_forward(&mut plain, &x, 1));
+            traced_min = traced_min.min(min_forward(&mut traced, &x, 1));
+        }
+        last = (plain_min, traced_min);
+        if traced_min.as_secs_f64() <= plain_min.as_secs_f64() * 1.02 {
+            return;
+        }
+    }
+    panic!(
+        "noop-traced forward {:?} is more than 2% over untraced {:?}",
+        last.1, last.0
+    );
+}
+
+/// End-to-end flight recording: a traced pipeline run yields a Chrome
+/// trace whose events nest camera → frame → stage → layer under each
+/// frame id, and the export round-trips through the in-tree parser.
+#[test]
+fn traced_pipeline_chrome_trace_round_trips() {
+    let obs = Registry::new();
+    let tracer = Tracer::new();
+    let mut detector = DetectorBuilder::new(zoo::build(ModelId::DroNet, 96).unwrap())
+        .observability(&obs)
+        .tracing(&tracer)
+        .build()
+        .unwrap();
+    let frames: Vec<_> = (0..3)
+        .map(|_| Tensor::zeros(Shape::nchw(1, 3, 96, 96)))
+        .collect();
+    let report =
+        VideoPipeline::run_source_traced(&mut detector, IterSource::new(frames), &obs, &tracer)
+            .unwrap();
+    assert_eq!(report.processed(), 3);
+    assert!(report
+        .frames
+        .iter()
+        .all(|f| f.frame_id == f.frame_index as u64));
+
+    let snap = tracer.snapshot();
+    assert_eq!(snap.dropped, 0, "3 small frames fit the default ring");
+    for frame_id in 0..3u64 {
+        let events = snap.for_frame(frame_id);
+        let instants = events
+            .iter()
+            .filter(|e| e.kind == TraceKind::Instant && e.name == "camera.frame")
+            .count();
+        assert_eq!(instants, 1, "frame {frame_id} acquisition instant");
+        for name in ["frame", "detect.forward", "nn.forward", "conv"] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.kind == TraceKind::End && e.name == name),
+                "frame {frame_id} missing {name} span"
+            );
+        }
+        // Nesting: the frame span brackets the detector stages.
+        let frame_end = events
+            .iter()
+            .find(|e| e.kind == TraceKind::End && e.name == "frame")
+            .unwrap();
+        let forward_end = events
+            .iter()
+            .find(|e| e.kind == TraceKind::End && e.name == "detect.forward")
+            .unwrap();
+        assert!(frame_end.start_ns() <= forward_end.start_ns());
+        assert!(frame_end.ts_ns >= forward_end.ts_ns);
+    }
+
+    // Chrome export parses back with one X event per closed span and one
+    // i event per instant, frame ids preserved.
+    let text = ChromeTrace::to_string(&snap);
+    let events = ChromeTrace::parse(&text).unwrap();
+    let ends = snap
+        .events
+        .iter()
+        .filter(|e| e.kind == TraceKind::End)
+        .count();
+    assert_eq!(events.iter().filter(|e| e.ph == 'X').count(), ends);
+    assert_eq!(events.iter().filter(|e| e.ph == 'i').count(), 3);
+    assert!(events.iter().all(|e| e.frame_id.is_some()));
 }
