@@ -1,11 +1,13 @@
 //! Bench-regression harness: times the zoo models across the paper's
-//! input-size ladder plus one traced pipeline run, and writes a
-//! schema-stable JSON report (`BENCH_PR3.json`) that CI archives and the
-//! in-tree JSON reader ([`dronet_obs::JsonValue`]) can parse back for
-//! regression diffing.
+//! input-size ladder plus one traced pipeline run, and writes
+//! schema-stable JSON reports (`BENCH_PR3.json` for single-image forwards
+//! and the pipeline, `BENCH_PR4.json` for batched serving throughput) that
+//! CI archives and the in-tree JSON reader ([`dronet_obs::JsonValue`]) can
+//! parse back for regression diffing.
 //!
 //! ```text
-//! cargo run --release -p dronet-bench --bin bench_report [report.json [trace.json]]
+//! cargo run --release -p dronet-bench --bin bench_report \
+//!     [report.json [trace.json [batched_report.json]]]
 //! ```
 //!
 //! `DRONET_BENCH_ITERS` overrides the timed iterations per configuration
@@ -31,6 +33,11 @@ const SCHEMA_VERSION: u64 = 1;
 /// proposed model + accuracy baseline).
 const MODELS: [ModelId; 2] = [ModelId::DroNet, ModelId::TinyYoloVoc];
 const SIZES: [usize; 4] = [352, 416, 512, 608];
+
+/// The batched-throughput grid (`BENCH_PR4.json`): the serving micro-batch
+/// curve for the proposed model at its two real-time input sizes.
+const BATCH_INPUTS: [usize; 2] = [352, 416];
+const BATCH_SIZES: [usize; 4] = [1, 2, 4, 8];
 
 /// One timed configuration.
 struct ForwardRow {
@@ -89,6 +96,83 @@ fn time_forward(id: ModelId, input: usize, iters: usize) -> ForwardRow {
     }
 }
 
+/// One batched-throughput configuration.
+struct BatchRow {
+    model: &'static str,
+    input: usize,
+    batch: usize,
+    iters: usize,
+    median_batch_ms: f64,
+    per_image_median_ms: f64,
+    images_per_sec: f64,
+}
+
+/// Frames pushed through the network per timed iteration of the batch
+/// curve — the LCM of [`BATCH_SIZES`], so every batch size processes the
+/// identical workload and rows differ only in how it is coalesced.
+const FRAMES_PER_ITER: usize = 8;
+
+/// Times the whole batch curve at one input size on a fixed workload:
+/// every row pushes the same [`FRAMES_PER_ITER`] distinct frames through
+/// the network per iteration, coalesced as `FRAMES_PER_ITER / batch`
+/// forwards of `batch`-frame NCHW stacks. Two methodology points:
+///
+/// - Timing one batch-1 forward of a single repeated frame would flatter
+///   batch-1 (its input stays warm in cache across iterations) and
+///   measure nothing a server ever does; this is the serving question —
+///   same traffic, different coalescing — answered directly.
+/// - Iterations are **interleaved** across batch sizes (round-robin, one
+///   shared network) rather than timed row after row, so slow machine
+///   phases — a shared box's noisy neighbours, frequency drift — land on
+///   every row equally instead of biasing whichever row they overlap.
+fn time_batch_curve(id: ModelId, input: usize, iters: usize) -> Vec<BatchRow> {
+    let mut net = model(id, input);
+    let frames: Vec<_> = (0..FRAMES_PER_ITER)
+        .map(|i| input_image(input, 42 + i as u64))
+        .collect();
+    let stacked: Vec<Vec<dronet_tensor::Tensor>> = BATCH_SIZES
+        .iter()
+        .map(|&batch| {
+            assert_eq!(FRAMES_PER_ITER % batch, 0, "batch must divide the workload");
+            frames
+                .chunks(batch)
+                .map(|chunk| dronet_tensor::Tensor::stack_batch(chunk).expect("stack batch"))
+                .collect()
+        })
+        .collect();
+    let mut samples_ms: Vec<Vec<f64>> = vec![Vec::with_capacity(iters); BATCH_SIZES.len()];
+    for round in 0..=iters {
+        for (bi, stacks) in stacked.iter().enumerate() {
+            let t0 = Instant::now();
+            for x in stacks {
+                std::hint::black_box(net.forward(x).expect("timed forward").len());
+            }
+            // Round 0 is warmup (buffers faulted in, pool warm) — discard.
+            if round > 0 {
+                samples_ms[bi].push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+    }
+    BATCH_SIZES
+        .iter()
+        .zip(samples_ms.iter_mut())
+        .map(|(&batch, samples)| {
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+            let median_iter_ms = median_ms(samples);
+            let forwards = (FRAMES_PER_ITER / batch) as f64;
+            BatchRow {
+                model: id.name(),
+                input,
+                batch,
+                iters,
+                median_batch_ms: median_iter_ms / forwards,
+                per_image_median_ms: median_iter_ms / FRAMES_PER_ITER as f64,
+                images_per_sec: FRAMES_PER_ITER as f64 / (median_iter_ms / 1e3),
+            }
+        })
+        .collect()
+}
+
 /// A JSON number that the in-tree reader round-trips: finite, plain
 /// decimal (Rust's `f64` Display never emits scientific notation).
 fn num(value: f64) -> String {
@@ -110,6 +194,7 @@ fn main() {
     let trace_path = args
         .next()
         .unwrap_or_else(|| "bench_trace.json".to_string());
+    let batched_path = args.next().unwrap_or_else(|| "BENCH_PR4.json".to_string());
 
     let mut rows = Vec::new();
     for id in MODELS {
@@ -205,4 +290,59 @@ fn main() {
 
     std::fs::write(&report_path, &out).expect("write report");
     eprintln!("wrote {report_path} ({} forward rows)", rows.len());
+
+    // Batched serving throughput (BENCH_PR4.json): the micro-batch curve
+    // the serve crate's coalescing is justified by — measured, not
+    // asserted.
+    let mut batch_rows = Vec::new();
+    for input in BATCH_INPUTS {
+        eprintln!(
+            "timing DroNet @{input} batch curve {BATCH_SIZES:?} ({iters} interleaved iters)..."
+        );
+        for row in time_batch_curve(ModelId::DroNet, input, iters) {
+            eprintln!(
+                "  batch {}: median {:.2} ms/forward, {:.2} ms/image, {:.2} images/s",
+                row.batch, row.median_batch_ms, row.per_image_median_ms, row.images_per_sec
+            );
+            batch_rows.push(row);
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"dronet-bench-report\",");
+    let _ = writeln!(out, "  \"version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"pr\": \"PR4\",");
+    let _ = writeln!(out, "  \"iters\": {iters},");
+    out.push_str("  \"batched_throughput\": [\n");
+    for (i, row) in batch_rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"model\": \"{}\", \"input\": {}, \"batch\": {}, \"iters\": {}, \
+             \"median_batch_ms\": {}, \"per_image_median_ms\": {}, \"images_per_sec\": {}}}",
+            row.model,
+            row.input,
+            row.batch,
+            row.iters,
+            num(row.median_batch_ms),
+            num(row.per_image_median_ms),
+            num(row.images_per_sec),
+        );
+        out.push_str(if i + 1 < batch_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+
+    let parsed = JsonValue::parse(&out).expect("batched report parses with the in-tree reader");
+    let throughput = parsed
+        .get("batched_throughput")
+        .and_then(JsonValue::as_array)
+        .expect("batched_throughput array");
+    assert_eq!(throughput.len(), BATCH_INPUTS.len() * BATCH_SIZES.len());
+
+    std::fs::write(&batched_path, &out).expect("write batched report");
+    eprintln!("wrote {batched_path} ({} batched rows)", batch_rows.len());
 }

@@ -206,6 +206,11 @@ impl Detector {
         self.confidence_threshold
     }
 
+    /// The NMS IoU threshold in use.
+    pub fn nms_threshold(&self) -> f32 {
+        self.nms_threshold
+    }
+
     /// Replaces the altitude filter (e.g. as the UAV climbs).
     pub fn set_altitude_filter(&mut self, filter: Option<AltitudeFilter>) {
         self.altitude_filter = filter;
@@ -231,6 +236,24 @@ impl Detector {
         &self.network
     }
 
+    /// Attaches (or replaces) telemetry after construction: stage
+    /// histograms re-bind to `obs` and the wrapped network follows. The
+    /// serving layer uses this to pull factory-built detectors into its
+    /// own registry.
+    pub fn set_observability(&mut self, obs: &Registry) {
+        self.forward_hist = obs.histogram("detect.forward");
+        self.decode_hist = obs.histogram("detect.decode");
+        self.nms_hist = obs.histogram("detect.nms");
+        self.network.set_observability(obs);
+    }
+
+    /// Attaches (or replaces) the flight recorder after construction; the
+    /// wrapped network's per-layer spans follow along.
+    pub fn set_tracing(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
+        self.network.set_tracing(tracer);
+    }
+
     /// Runs detection on a `[1, c, h, w]` image tensor.
     ///
     /// Detections are returned in descending score order, after NMS and
@@ -238,8 +261,20 @@ impl Detector {
     ///
     /// # Errors
     ///
-    /// Propagates network and decode errors.
+    /// Propagates network and decode errors. Returns
+    /// [`DetectError::BadConfig`] when `image` carries more than one batch
+    /// item — decoding would silently drop every image past the first, so a
+    /// multi-frame tensor must go through [`Detector::detect_batch`].
     pub fn detect(&mut self, image: &Tensor) -> Result<Vec<Detection>> {
+        let n = image.shape().batch();
+        if n != 1 {
+            return Err(DetectError::BadConfig {
+                param: "batch",
+                msg: format!(
+                    "detect() takes a single [1, c, h, w] frame, got batch {n}; use detect_batch()"
+                ),
+            });
+        }
         self.fps.start();
         let span = self.forward_hist.start();
         let trace = self.tracer.span("detect.forward");
@@ -269,21 +304,55 @@ impl Detector {
     ///
     /// Propagates network and decode errors.
     pub fn detect_batch(&mut self, images: &Tensor) -> Result<Vec<Vec<Detection>>> {
+        self.detect_batch_frames(images, None)
+    }
+
+    /// Like [`Detector::detect_batch`], but tags each image's trace spans
+    /// with its own frame id so a coalesced server batch de-multiplexes
+    /// cleanly in the Chrome trace: one `detect.forward` span carrying the
+    /// batch size, then per-image `detect.decode` / `detect.nms` spans under
+    /// each request's frame id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network and decode errors; returns
+    /// [`DetectError::BadConfig`] when `frames` is present but its length
+    /// differs from the batch size.
+    pub fn detect_batch_frames(
+        &mut self,
+        images: &Tensor,
+        frames: Option<&[u64]>,
+    ) -> Result<Vec<Vec<Detection>>> {
+        let n = images.shape().batch();
+        if let Some(ids) = frames {
+            if ids.len() != n {
+                return Err(DetectError::BadConfig {
+                    param: "frames",
+                    msg: format!("{} frame ids for a batch of {n}", ids.len()),
+                });
+            }
+        }
         self.fps.start();
         let span = self.forward_hist.start();
+        let trace = self.tracer.span_aux("detect.forward", n as i64);
         let output = self.network.forward(images)?;
+        drop(trace);
         span.stop();
-        let n = output.shape().batch();
         let mut all = Vec::with_capacity(n);
         for b in 0..n {
+            let frame_id = frames.map_or_else(|| self.tracer.current_frame(), |ids| ids[b]);
             let span = self.decode_hist.start();
+            let trace = self.tracer.frame_span("detect.decode", frame_id);
             let candidates = decode(&output, &self.region, b, self.confidence_threshold)?;
+            drop(trace);
             span.stop();
             let span = self.nms_hist.start();
+            let trace = self.tracer.frame_span("detect.nms", frame_id);
             let mut kept = non_max_suppression(candidates, self.nms_threshold);
             if let Some(filter) = &self.altitude_filter {
                 kept.retain(|d| filter.is_feasible(&d.bbox));
             }
+            drop(trace);
             span.stop();
             all.push(kept);
         }

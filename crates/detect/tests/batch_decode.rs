@@ -1,0 +1,132 @@
+//! Regression tests for batch-stride correctness in the decode path.
+//!
+//! The serving micro-batcher stacks N request frames into one NCHW tensor
+//! and decodes each image out of the shared region-head output. These tests
+//! pin the contract that batched decoding is bit-exact against running each
+//! image alone — any stride or offset slip in `decode`, NMS, or the fused
+//! batched conv path shows up here.
+
+use dronet_core::{zoo, ModelId};
+use dronet_detect::decode::decode;
+use dronet_detect::{DetectError, DetectorBuilder};
+use dronet_nn::Network;
+use dronet_tensor::{init, Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn trained_like_net(seed: u64) -> Network {
+    let mut net = zoo::build(ModelId::DroNet, 64).expect("zoo build");
+    let mut rng = StdRng::seed_from_u64(seed);
+    net.init_weights(&mut rng);
+    net
+}
+
+fn random_batch(seed: u64, n: usize) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    init::uniform(Shape::nchw(n, 3, 64, 64), 0.0, 1.0, &mut rng)
+}
+
+/// Decoding image `b` from a batch-of-4 region output must be bit-exact
+/// against decoding the same image forwarded alone (batch-of-1, index 0).
+#[test]
+fn batch_of_4_decode_matches_four_batch_of_1_decodes() {
+    let mut net = trained_like_net(7);
+    let batch = random_batch(11, 4);
+    let region = net
+        .layers()
+        .last()
+        .and_then(|l| l.as_region())
+        .map(|r| r.config().clone())
+        .expect("region head");
+
+    let batched_out = net.forward(&batch).expect("batched forward");
+    for b in 0..4 {
+        let single = batch.batch_item(b).expect("batch item");
+        let single_out = net.forward(&single).expect("single forward");
+        let from_batch = decode(&batched_out, &region, b, 0.1).expect("batched decode");
+        let from_single = decode(&single_out, &region, 0, 0.1).expect("single decode");
+        assert_eq!(
+            from_batch.len(),
+            from_single.len(),
+            "image {b}: detection count diverges"
+        );
+        for (a, s) in from_batch.iter().zip(&from_single) {
+            assert_eq!(
+                a.bbox.cx.to_bits(),
+                s.bbox.cx.to_bits(),
+                "image {b} bbox.cx"
+            );
+            assert_eq!(
+                a.bbox.cy.to_bits(),
+                s.bbox.cy.to_bits(),
+                "image {b} bbox.cy"
+            );
+            assert_eq!(a.bbox.w.to_bits(), s.bbox.w.to_bits(), "image {b} bbox.w");
+            assert_eq!(a.bbox.h.to_bits(), s.bbox.h.to_bits(), "image {b} bbox.h");
+            assert_eq!(
+                a.objectness.to_bits(),
+                s.objectness.to_bits(),
+                "image {b} objectness"
+            );
+            assert_eq!(a.class, s.class, "image {b} class");
+            assert_eq!(
+                a.class_prob.to_bits(),
+                s.class_prob.to_bits(),
+                "image {b} class_prob"
+            );
+        }
+    }
+}
+
+/// The full detector pipeline (forward → decode → NMS) agrees between
+/// `detect_batch` and per-image `detect`.
+#[test]
+fn detect_batch_matches_per_image_detect() {
+    let mut batched = DetectorBuilder::new(trained_like_net(21))
+        .confidence_threshold(0.05)
+        .build()
+        .expect("build");
+    let mut single = DetectorBuilder::new(trained_like_net(21))
+        .confidence_threshold(0.05)
+        .build()
+        .expect("build");
+    let batch = random_batch(22, 4);
+    let all = batched.detect_batch(&batch).expect("detect_batch");
+    assert_eq!(all.len(), 4);
+    for (b, from_batch) in all.iter().enumerate() {
+        let item = batch.batch_item(b).expect("batch item");
+        let from_single = single.detect(&item).expect("detect");
+        assert_eq!(
+            from_batch.len(),
+            from_single.len(),
+            "image {b}: kept-count diverges"
+        );
+        for (a, s) in from_batch.iter().zip(&from_single) {
+            assert_eq!(a.score().to_bits(), s.score().to_bits(), "image {b} score");
+        }
+    }
+}
+
+/// `detect` used to silently decode only image 0 of a multi-frame tensor;
+/// it now refuses batched input with a typed error.
+#[test]
+fn detect_rejects_multi_frame_input() {
+    let mut det = DetectorBuilder::new(trained_like_net(3))
+        .build()
+        .expect("build");
+    let err = det
+        .detect(&Tensor::zeros(Shape::nchw(2, 3, 64, 64)))
+        .expect_err("batched input must be rejected");
+    assert!(matches!(err, DetectError::BadConfig { param: "batch", .. }));
+    // detect_batch_frames validates the frame-id list length too.
+    let err = det
+        .detect_batch_frames(&Tensor::zeros(Shape::nchw(2, 3, 64, 64)), Some(&[1]))
+        .expect_err("mismatched frame ids must be rejected");
+    assert!(matches!(
+        err,
+        DetectError::BadConfig {
+            param: "frames",
+            ..
+        }
+    ));
+}

@@ -1,5 +1,5 @@
-use crate::{Activation, BatchNorm, NnError, Result};
-use dronet_tensor::im2col::{col2im, im2col, ConvGeometry};
+use crate::{Activation, ActivationPool, BatchNorm, NnError, Result};
+use dronet_tensor::im2col::{col2im, im2col, im2col_into, im2col_into_prezeroed, ConvGeometry};
 use dronet_tensor::{gemm, ops, Shape, Tensor};
 
 /// A 2-D convolution layer with optional batch normalisation, bias and
@@ -236,7 +236,18 @@ impl Conv2d {
     /// Returns [`NnError::BadInput`] when the channel count disagrees and
     /// propagates tensor kernel errors.
     pub fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
-        self.forward_impl(x, false)
+        self.forward_impl(x, false, None)
+    }
+
+    /// Inference forward pass drawing its output and column scratch from a
+    /// recycled [`ActivationPool`] instead of fresh allocations — see the
+    /// pool's docs for why that matters for batched serving throughput.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Conv2d::forward`].
+    pub fn forward_pooled(&mut self, x: &Tensor, pool: &mut ActivationPool) -> Result<Tensor> {
+        self.forward_impl(x, false, Some(pool))
     }
 
     /// Training forward pass: uses batch statistics for BN and records the
@@ -246,10 +257,15 @@ impl Conv2d {
     ///
     /// Same as [`Conv2d::forward`].
     pub fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
-        self.forward_impl(x, true)
+        self.forward_impl(x, true, None)
     }
 
-    fn forward_impl(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+    fn forward_impl(
+        &mut self,
+        x: &Tensor,
+        train: bool,
+        pool: Option<&mut ActivationPool>,
+    ) -> Result<Tensor> {
         let s = x.shape();
         if s.rank() != 4 || s.channels() != self.in_channels {
             return Err(NnError::BadInput {
@@ -263,18 +279,69 @@ impl Conv2d {
         let (oh, ow) = (geom.out_height(), geom.out_width());
 
         let mut cols_cache: Vec<Tensor> = Vec::new();
-        let mut out = Tensor::zeros(Shape::nchw(n, self.out_channels, oh, ow));
         let plane = oh * ow;
-        for b in 0..n {
-            let item = x.batch_item(b)?;
-            let cols = im2col(&item, &geom)?;
-            let mut out_mat = Tensor::zeros(Shape::matrix(self.out_channels, plane));
-            gemm::sgemm(false, false, 1.0, &self.weights, &cols, 0.0, &mut out_mat)?;
-            let base = b * self.out_channels * plane;
-            out.as_mut_slice()[base..base + self.out_channels * plane]
-                .copy_from_slice(out_mat.as_slice());
-            if train {
+        let out_shape = Shape::nchw(n, self.out_channels, oh, ow);
+        let mut pool = pool;
+        // Pooled buffers arrive with stale contents; that is safe here
+        // because the GEMM below runs with beta = 0 (assigns, never reads
+        // C) over every output position.
+        let mut out = match pool.as_deref_mut() {
+            Some(p) => Tensor::from_vec(p.take(out_shape.len()), out_shape)?,
+            None => Tensor::zeros(out_shape),
+        };
+        if train {
+            // Training keeps one column matrix per image for the backward
+            // pass, so each item allocates its own.
+            for b in 0..n {
+                let item = x.batch_item(b)?;
+                let cols = im2col(&item, &geom)?;
+                let base = b * self.out_channels * plane;
+                gemm::sgemm_slices(
+                    self.out_channels,
+                    plane,
+                    geom.col_rows(),
+                    1.0,
+                    self.weights.as_slice(),
+                    cols.as_slice(),
+                    0.0,
+                    &mut out.as_mut_slice()[base..base + self.out_channels * plane],
+                )?;
                 cols_cache.push(cols);
+            }
+        } else {
+            // Inference amortises the im2col setup across the batch: one
+            // column buffer is shared by every image (micro-batched
+            // requests split its allocation and all but the first zero
+            // fill — im2col's write set is geometry-fixed, so padding
+            // positions stay zero across items), each image is unrolled in
+            // place from the batched tensor, and the GEMM writes straight
+            // into the output tensor — no per-item clone or scratch matrix.
+            let cols_len = geom.col_rows() * geom.col_cols();
+            let mut cols = match pool.as_deref_mut() {
+                Some(p) => p.take(cols_len),
+                None => vec![0.0f32; cols_len],
+            };
+            for b in 0..n {
+                if b == 0 {
+                    // The buffer may hold a previous layer's stale columns.
+                    im2col_into(x, b, &geom, &mut cols)?;
+                } else {
+                    im2col_into_prezeroed(x, b, &geom, &mut cols)?;
+                }
+                let base = b * self.out_channels * plane;
+                gemm::sgemm_slices(
+                    self.out_channels,
+                    plane,
+                    geom.col_rows(),
+                    1.0,
+                    self.weights.as_slice(),
+                    &cols,
+                    0.0,
+                    &mut out.as_mut_slice()[base..base + self.out_channels * plane],
+                )?;
+            }
+            if let Some(p) = pool {
+                p.give(cols);
             }
         }
 
@@ -588,6 +655,42 @@ mod tests {
                 "db probe {probe}: numeric {numeric} analytic {analytic}"
             );
         }
+    }
+
+    /// The fused inference path (shared cols buffer, in-place GEMM) must be
+    /// bit-exact against per-image forwards: image `i` of a batched forward
+    /// equals the forward of image `i` alone. This is the stride/offset
+    /// contract the serving micro-batcher relies on.
+    #[test]
+    fn batched_inference_is_bit_exact_per_image() {
+        let mut r = rng(17);
+        for (bn, pad) in [(false, 1), (true, 0)] {
+            let mut conv = Conv2d::new(3, 4, 3, 1, pad, Activation::Leaky, bn).unwrap();
+            conv.init_weights(&mut r);
+            let batch = init::uniform(Shape::nchw(4, 3, 6, 6), -1.0, 1.0, &mut r);
+            let batched = conv.forward(&batch).unwrap();
+            for b in 0..4 {
+                let single = conv.forward(&batch.batch_item(b).unwrap()).unwrap();
+                assert_eq!(
+                    batched.batch_item(b).unwrap().as_slice(),
+                    single.as_slice(),
+                    "bn={bn} pad={pad} image {b}"
+                );
+            }
+        }
+    }
+
+    /// Inference and training forwards compute the same values (different
+    /// buffer management, same math).
+    #[test]
+    fn inference_and_training_forward_agree() {
+        let mut r = rng(18);
+        let mut conv = Conv2d::new(2, 3, 3, 2, 1, Activation::Linear, false).unwrap();
+        conv.init_weights(&mut r);
+        let x = init::uniform(Shape::nchw(3, 2, 7, 5), -1.0, 1.0, &mut r);
+        let infer = conv.forward(&x).unwrap();
+        let train = conv.forward_train(&x).unwrap();
+        assert_eq!(infer.as_slice(), train.as_slice());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use crate::{Conv2d, MaxPool2d, RegionLayer, Result};
+use crate::{ActivationPool, Conv2d, MaxPool2d, RegionLayer, Result};
 use dronet_tensor::Tensor;
 
 /// Discriminant of a [`Layer`], used for summaries and serialisation.
@@ -105,6 +105,20 @@ impl Layer {
     pub fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
         match self {
             Layer::Conv(c) => c.forward(x),
+            Layer::MaxPool(p) => p.forward(x),
+            Layer::Region(r) => r.forward(x),
+        }
+    }
+
+    /// Inference forward pass drawing conv scratch/output memory from a
+    /// recycled [`ActivationPool`] (pass-through for other layer kinds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the wrapped layer's errors.
+    pub fn forward_pooled(&mut self, x: &Tensor, pool: &mut ActivationPool) -> Result<Tensor> {
+        match self {
+            Layer::Conv(c) => c.forward_pooled(x, pool),
             Layer::MaxPool(p) => p.forward(x),
             Layer::Region(r) => r.forward(x),
         }

@@ -45,6 +45,7 @@ mod error;
 mod layer;
 mod maxpool;
 mod network;
+mod pool;
 mod region;
 
 pub mod cfg;
@@ -60,6 +61,7 @@ pub use error::NnError;
 pub use layer::{Layer, LayerKind};
 pub use maxpool::MaxPool2d;
 pub use network::Network;
+pub use pool::ActivationPool;
 pub use region::{RegionConfig, RegionLayer};
 
 /// Convenience alias for results returned by this crate.

@@ -1,5 +1,5 @@
 use crate::profile::{backward_metric_name, forward_metric_name, kind_slug};
-use crate::{Layer, NnError, Result};
+use crate::{ActivationPool, Layer, NnError, Result};
 use dronet_obs::{Histogram, Registry, Tracer};
 use dronet_tensor::{Shape, Tensor};
 
@@ -44,6 +44,9 @@ pub struct Network {
     /// Flight recorder; inert unless [`Network::set_tracing`] is called
     /// with a live tracer.
     tracer: Tracer,
+    /// Recycled activation/scratch buffers for the inference path (empty
+    /// until the first [`Network::forward`]; clones start empty).
+    scratch: ActivationPool,
 }
 
 impl Network {
@@ -61,6 +64,7 @@ impl Network {
             forward_total: Histogram::default(),
             backward_total: Histogram::default(),
             tracer: Tracer::noop(),
+            scratch: ActivationPool::default(),
         }
     }
 
@@ -227,17 +231,42 @@ impl Network {
         self.check_input(x)?;
         let total = self.forward_total.start();
         let trace_total = self.tracer.span("nn.forward");
-        let mut cur = x.clone();
+        // Activations flow through the recycled scratch pool: each layer
+        // draws its output from it and the previous layer's (now consumed)
+        // activation is returned to it, so repeated forwards — a serving
+        // loop — reuse the same mapped pages instead of re-faulting
+        // mmap-sized allocations every pass.
+        let mut pool = std::mem::take(&mut self.scratch);
+        let mut cur: Option<Tensor> = None;
+        let mut failed = None;
         for (i, layer) in self.layers.iter_mut().enumerate() {
             let span = self.forward_spans.get(i).map(Histogram::start);
             let trace_span = self.tracer.span_aux(kind_slug(layer.kind()), i as i64);
-            cur = layer.forward(&cur).map_err(|e| at_layer(e, i))?;
+            // The first layer reads the caller's tensor directly — no
+            // input clone.
+            match layer.forward_pooled(cur.as_ref().unwrap_or(x), &mut pool) {
+                Ok(next) => {
+                    if let Some(prev) = cur.replace(next) {
+                        pool.give(prev.into_vec());
+                    }
+                }
+                Err(e) => {
+                    failed = Some(at_layer(e, i));
+                }
+            }
             drop(trace_span);
             drop(span);
+            if failed.is_some() {
+                break;
+            }
+        }
+        self.scratch = pool;
+        if let Some(e) = failed {
+            return Err(e);
         }
         drop(trace_total);
         total.stop();
-        Ok(cur)
+        Ok(cur.unwrap_or_else(|| x.clone()))
     }
 
     /// Training forward pass: every layer records the caches backward needs.
@@ -356,6 +385,27 @@ mod tests {
             .forward(&Tensor::zeros(Shape::nchw(2, 3, 16, 16)))
             .unwrap();
         assert_eq!(y.shape(), &net.output_shape(2));
+    }
+
+    /// End-to-end batch sanity for the serving micro-batcher: a batched
+    /// forward through conv → pool → conv → region must reproduce each
+    /// per-image forward bit-exactly (no cross-image stride leakage in any
+    /// layer).
+    #[test]
+    fn batched_forward_matches_per_image_forwards_bit_exactly() {
+        let mut net = tiny_net();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        net.init_weights(&mut rng);
+        let batch = init::uniform(Shape::nchw(4, 3, 16, 16), -1.0, 1.0, &mut rng);
+        let batched = net.forward(&batch).unwrap();
+        for b in 0..4 {
+            let single = net.forward(&batch.batch_item(b).unwrap()).unwrap();
+            assert_eq!(
+                batched.batch_item(b).unwrap().as_slice(),
+                single.as_slice(),
+                "image {b} diverges between batched and single forward"
+            );
+        }
     }
 
     #[test]

@@ -36,6 +36,10 @@ fn seconds(ns: u64) -> String {
 }
 
 impl PromExporter {
+    /// The `Content-Type` an HTTP endpoint should advertise for this
+    /// format (Prometheus text exposition v0.0.4).
+    pub const CONTENT_TYPE: &'static str = "text/plain; version=0.0.4";
+
     /// Renders the snapshot as exposition-format text.
     pub fn to_string(snapshot: &Snapshot) -> String {
         let mut out = String::new();

@@ -1,0 +1,351 @@
+//! Bounded admission queue and the dynamic micro-batching worker pool.
+//!
+//! Connections push one [`Job`] per `POST /detect`; workers pop *batches*:
+//! once a job arrives, a worker waits up to `max_wait` (measured from the
+//! head job's enqueue time) for the batch to fill to `max_batch`, then
+//! stacks the frames into one NCHW tensor, runs a single shared
+//! `Network::forward`, and de-multiplexes per-image decode + NMS results
+//! back to each waiting connection over its reply channel. This amortizes
+//! im2col/GEMM setup across concurrent requests — the same cost-amortizing
+//! move the paper makes per-frame, applied across the wire.
+//!
+//! The queue is strictly bounded: a full queue rejects at push time
+//! ([`ServeError::Overloaded`] → `503` + `Retry-After`) instead of letting
+//! latency grow without bound.
+
+use crate::error::ServeError;
+use dronet_detect::{Detection, Detector, Health};
+use dronet_obs::{Counter, Gauge, Histogram, Registry, Tracer};
+use dronet_tensor::Tensor;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One queued detection request.
+pub struct Job {
+    /// Server-assigned frame id (trace correlation + response body).
+    pub frame_id: u64,
+    /// The conformed `[1, c, h, w]` frame.
+    pub frame: Tensor,
+    /// When the job entered the queue.
+    pub enqueued: Instant,
+    /// Where the worker sends this frame's detections.
+    pub reply: mpsc::Sender<Result<Vec<Detection>, ServeError>>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// No new pushes are admitted (shutdown has begun).
+    draining: bool,
+    /// Workers exit once the remaining jobs are drained.
+    closed: bool,
+}
+
+/// The bounded, condvar-signalled admission queue.
+pub struct BatchQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    capacity: usize,
+    depth: Gauge,
+    drops: Counter,
+}
+
+impl BatchQueue {
+    /// A queue admitting at most `capacity` pending jobs.
+    pub fn new(capacity: usize, obs: &Registry) -> Arc<Self> {
+        Arc::new(BatchQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity),
+                draining: false,
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            capacity,
+            depth: obs.gauge("serve.queue_depth"),
+            drops: obs.counter("serve.admission_drops"),
+        })
+    }
+
+    /// Admits a job, or sheds load.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is at capacity,
+    /// [`ServeError::Draining`] once shutdown has begun.
+    pub fn push(&self, job: Job) -> Result<(), ServeError> {
+        let mut s = self.state.lock().unwrap();
+        if s.draining || s.closed {
+            return Err(ServeError::Draining);
+        }
+        if s.jobs.len() >= self.capacity {
+            self.drops.inc();
+            return Err(ServeError::Overloaded);
+        }
+        s.jobs.push_back(job);
+        self.depth.set(s.jobs.len() as f64);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Current queue depth (tests and metrics).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().jobs.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks until at least one job is available, then keeps waiting — up
+    /// to `max_wait` past the head job's arrival — for the batch to fill to
+    /// `max_batch`. Returns `None` only when the queue is closed and empty.
+    pub fn pop_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<Job>> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            while s.jobs.is_empty() {
+                if s.closed {
+                    return None;
+                }
+                s = self.cond.wait(s).unwrap();
+            }
+            // A batch head exists; linger for stragglers to coalesce.
+            let deadline = s.jobs.front().map(|j| j.enqueued + max_wait);
+            while s.jobs.len() < max_batch && !s.closed {
+                let Some(deadline) = deadline else { break };
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self.cond.wait_timeout(s, deadline - now).unwrap();
+                s = guard;
+                if s.jobs.is_empty() {
+                    // Another worker took the whole batch; start over.
+                    break;
+                }
+            }
+            if s.jobs.is_empty() {
+                continue;
+            }
+            let n = s.jobs.len().min(max_batch);
+            let batch: Vec<Job> = s.jobs.drain(..n).collect();
+            self.depth.set(s.jobs.len() as f64);
+            if !s.jobs.is_empty() {
+                // Leftovers form the next batch head; wake another worker.
+                self.cond.notify_one();
+            }
+            return Some(batch);
+        }
+    }
+
+    /// Stops admitting new jobs; queued jobs still complete.
+    pub fn set_draining(&self) {
+        self.state.lock().unwrap().draining = true;
+    }
+
+    /// Stops admitting new jobs AND tells workers to exit once the backlog
+    /// is drained.
+    pub fn close(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.draining = true;
+        s.closed = true;
+        self.cond.notify_all();
+    }
+}
+
+/// Everything a worker thread needs.
+pub(crate) struct WorkerContext {
+    pub queue: Arc<BatchQueue>,
+    pub factory: Arc<dyn Fn() -> dronet_detect::Result<Detector> + Send + Sync>,
+    pub max_batch: usize,
+    pub max_wait: Duration,
+    /// Artificial pre-forward delay — a chaos/test knob that holds the
+    /// queue full so load shedding can be exercised deterministically.
+    pub dispatch_delay: Duration,
+    pub health: Arc<AtomicU8>,
+    pub health_gauge: Gauge,
+    pub batch_size_hist: Histogram,
+    pub queue_wait_hist: Histogram,
+    pub panics: Counter,
+    pub obs: Registry,
+    pub tracer: Tracer,
+}
+
+/// Spawns the worker loop on a new thread, moving `detector` into it.
+pub(crate) fn spawn_worker(
+    index: usize,
+    mut detector: Detector,
+    ctx: WorkerContext,
+) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name(format!("serve-worker-{index}"))
+        .spawn(move || {
+            while let Some(batch) = ctx.queue.pop_batch(ctx.max_batch, ctx.max_wait) {
+                if !ctx.dispatch_delay.is_zero() {
+                    thread::sleep(ctx.dispatch_delay);
+                }
+                detector = run_batch(detector, batch, &ctx);
+            }
+        })
+        .expect("spawn worker thread")
+}
+
+/// Processes one batch, returning the (possibly rebuilt) detector.
+fn run_batch(mut detector: Detector, batch: Vec<Job>, ctx: &WorkerContext) -> Detector {
+    let n = batch.len();
+    // The batch-size histogram encodes *counts* as nanoseconds: the log2
+    // buckets keep 1/2/4/8 distinct and `max_ns` records the exact largest
+    // batch, which is what the coalescing tests assert on.
+    ctx.batch_size_hist.record(Duration::from_nanos(n as u64));
+    let mut frames = Vec::with_capacity(n);
+    let mut ids = Vec::with_capacity(n);
+    let mut replies = Vec::with_capacity(n);
+    for job in batch {
+        ctx.queue_wait_hist.record(job.enqueued.elapsed());
+        frames.push(job.frame);
+        ids.push(job.frame_id);
+        replies.push(job.reply);
+    }
+    let trace = ctx.tracer.span_aux("serve.batch", n as i64);
+    let stacked = match Tensor::stack_batch(&frames) {
+        Ok(t) => t,
+        Err(e) => {
+            let msg = format!("stacking batch failed: {e}");
+            for reply in &replies {
+                let _ = reply.send(Err(ServeError::WorkerFailed(msg.clone())));
+            }
+            return detector;
+        }
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let result = detector.detect_batch_frames(&stacked, Some(&ids));
+        (detector, result)
+    }));
+    drop(trace);
+    match outcome {
+        Ok((det, Ok(all))) => {
+            for (reply, dets) in replies.iter().zip(all) {
+                let _ = reply.send(Ok(dets));
+            }
+            det
+        }
+        Ok((det, Err(e))) => {
+            let msg = e.to_string();
+            for reply in &replies {
+                let _ = reply.send(Err(ServeError::WorkerFailed(msg.clone())));
+            }
+            det
+        }
+        Err(_) => {
+            // The detector may hold poisoned state after a panic: isolate
+            // the blast radius, mark the server degraded, rebuild.
+            ctx.panics.inc();
+            ctx.health
+                .store(Health::Degraded.as_metric() as u8, Ordering::Relaxed);
+            ctx.health_gauge.set(Health::Degraded.as_metric());
+            for reply in &replies {
+                let _ = reply.send(Err(ServeError::WorkerFailed(
+                    "worker panicked during batch".to_string(),
+                )));
+            }
+            match (ctx.factory)() {
+                Ok(mut fresh) => {
+                    if ctx.obs.is_enabled() {
+                        fresh.set_observability(&ctx.obs);
+                    }
+                    if ctx.tracer.is_enabled() {
+                        fresh.set_tracing(&ctx.tracer);
+                    }
+                    fresh
+                }
+                Err(e) => {
+                    // Without a detector this worker is useless; close the
+                    // queue so the server fails loudly instead of hanging.
+                    ctx.queue.close();
+                    panic!("worker detector rebuild failed: {e}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dronet_tensor::Shape;
+
+    fn job(id: u64, reply: &mpsc::Sender<Result<Vec<Detection>, ServeError>>) -> Job {
+        Job {
+            frame_id: id,
+            frame: Tensor::zeros(Shape::nchw(1, 3, 8, 8)),
+            enqueued: Instant::now(),
+            reply: reply.clone(),
+        }
+    }
+
+    #[test]
+    fn queue_sheds_load_at_capacity() {
+        let obs = Registry::new();
+        let q = BatchQueue::new(2, &obs);
+        let (tx, _rx) = mpsc::channel();
+        q.push(job(1, &tx)).unwrap();
+        q.push(job(2, &tx)).unwrap();
+        assert!(matches!(q.push(job(3, &tx)), Err(ServeError::Overloaded)));
+        assert_eq!(obs.snapshot().counter("serve.admission_drops"), Some(1));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn draining_queue_rejects_new_work_but_keeps_backlog() {
+        let obs = Registry::new();
+        let q = BatchQueue::new(4, &obs);
+        let (tx, _rx) = mpsc::channel();
+        q.push(job(1, &tx)).unwrap();
+        q.set_draining();
+        assert!(matches!(q.push(job(2, &tx)), Err(ServeError::Draining)));
+        assert_eq!(q.len(), 1);
+        // Closing still lets a worker drain the backlog…
+        q.close();
+        let batch = q.pop_batch(8, Duration::ZERO).expect("backlog");
+        assert_eq!(batch.len(), 1);
+        // …and only then signals exit.
+        assert!(q.pop_batch(8, Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn pop_batch_coalesces_up_to_max_batch() {
+        let obs = Registry::new();
+        let q = BatchQueue::new(16, &obs);
+        let (tx, _rx) = mpsc::channel();
+        for i in 0..5 {
+            q.push(job(i, &tx)).unwrap();
+        }
+        let batch = q.pop_batch(4, Duration::ZERO).expect("batch");
+        assert_eq!(batch.len(), 4, "capped at max_batch");
+        assert_eq!(batch[0].frame_id, 0, "FIFO order");
+        let rest = q.pop_batch(4, Duration::ZERO).expect("leftover");
+        assert_eq!(rest.len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_lingers_for_stragglers() {
+        let obs = Registry::new();
+        let q = BatchQueue::new(16, &obs);
+        let (tx, _rx) = mpsc::channel();
+        q.push(job(0, &tx)).unwrap();
+        let q2 = Arc::clone(&q);
+        let tx2 = tx.clone();
+        let pusher = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            q2.push(job(1, &tx2)).unwrap();
+        });
+        // max_wait far beyond the straggler's arrival: both coalesce.
+        let batch = q.pop_batch(2, Duration::from_secs(5)).expect("batch");
+        assert_eq!(batch.len(), 2);
+        pusher.join().unwrap();
+    }
+}

@@ -1,0 +1,94 @@
+use crate::http::HttpError;
+use dronet_detect::DetectError;
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced by the detection server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding, accepting, or socket I/O failed.
+    Io(io::Error),
+    /// The request bytes violated the HTTP grammar or a hard limit.
+    Http(HttpError),
+    /// The detection pipeline rejected or failed on the frame.
+    Detect(DetectError),
+    /// The request body was not a decodable PPM frame.
+    BadFrame(String),
+    /// The admission queue is full; the client should retry later.
+    Overloaded,
+    /// The server is draining and no longer admits work.
+    Draining,
+    /// A worker crashed (or its response channel died) while the request
+    /// was in flight.
+    WorkerFailed(String),
+    /// The server did not produce a response within the deadline.
+    ResponseTimeout,
+    /// The [`crate::ServeConfig`] was invalid (zero workers, zero batch…).
+    Config(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "I/O failure: {e}"),
+            ServeError::Http(e) => write!(f, "bad request: {e}"),
+            ServeError::Detect(e) => write!(f, "detection failure: {e}"),
+            ServeError::BadFrame(msg) => write!(f, "bad frame: {msg}"),
+            ServeError::Overloaded => write!(f, "admission queue full"),
+            ServeError::Draining => write!(f, "server draining"),
+            ServeError::WorkerFailed(msg) => write!(f, "worker failed: {msg}"),
+            ServeError::ResponseTimeout => write!(f, "response deadline exceeded"),
+            ServeError::Config(msg) => write!(f, "bad server config: {msg}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Http(e) => Some(e),
+            ServeError::Detect(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<HttpError> for ServeError {
+    fn from(e: HttpError) -> Self {
+        ServeError::Http(e)
+    }
+}
+
+impl From<DetectError> for ServeError {
+    fn from(e: DetectError) -> Self {
+        ServeError::Detect(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_bounds_display_and_sources() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<ServeError>();
+        assert!(ServeError::Overloaded.to_string().contains("queue full"));
+        assert!(ServeError::Draining.to_string().contains("draining"));
+        let e = ServeError::from(io::Error::other("x"));
+        assert!(e.source().is_some());
+        let e = ServeError::from(HttpError::TooManyHeaders { limit: 4 });
+        assert!(e.source().is_some());
+        let e = ServeError::from(DetectError::MissingRegionHead);
+        assert!(e.source().is_some());
+        assert!(ServeError::Overloaded.source().is_none());
+    }
+}

@@ -1,0 +1,525 @@
+//! Hand-rolled, hardened HTTP/1.1 request parsing and response writing.
+//!
+//! The parser follows the same hostile-input discipline as `data::ppm`:
+//! every limit is enforced with checked arithmetic, every malformed byte
+//! maps to a typed [`HttpError`], and no input — garbage, truncated, or
+//! adversarial — may panic. Parsing is incremental: the caller feeds the
+//! bytes read so far and gets back either a complete request (plus how many
+//! bytes it consumed), "need more data", or a typed error.
+//!
+//! Only the subset the detection server needs is implemented: `GET`/`POST`
+//! with `Content-Length` bodies. `Transfer-Encoding` is rejected outright
+//! (typed, not ignored — request smuggling hinges on ambiguity between the
+//! two framings).
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Write};
+
+/// Request method. Unknown-but-grammatical tokens are preserved so the
+/// router can answer `405` rather than the parser guessing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+    /// Any other valid token (e.g. `PUT`, `DELETE`).
+    Other(String),
+}
+
+impl Method {
+    fn from_token(token: &str) -> Method {
+        match token {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            other => Method::Other(other.to_string()),
+        }
+    }
+}
+
+/// A parsed request: method, target path, headers, raw body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// The request target as sent (e.g. `/detect`).
+    pub target: String,
+    /// Header name/value pairs in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, looked up case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Hard limits the parser enforces. Defaults are deliberately small — this
+/// serves detection frames, not arbitrary uploads.
+#[derive(Debug, Clone)]
+pub struct HttpLimits {
+    /// Maximum bytes of request line + headers (before the blank line).
+    pub max_head_bytes: usize,
+    /// Maximum number of header fields.
+    pub max_headers: usize,
+    /// Maximum `Content-Length` the server will buffer.
+    pub max_body_bytes: usize,
+    /// Maximum request-target length.
+    pub max_target_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 16 * 1024,
+            max_headers: 64,
+            // A 608x608 P6 frame is ~1.1 MiB; 8 MiB leaves generous slack.
+            max_body_bytes: 8 * 1024 * 1024,
+            max_target_bytes: 1024,
+        }
+    }
+}
+
+/// Typed HTTP parse failures. Each maps to a `400`-class response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Request line + headers exceeded [`HttpLimits::max_head_bytes`].
+    HeadTooLarge {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The request line was not `METHOD SP target SP HTTP/1.x`.
+    BadRequestLine,
+    /// The method token was empty, overlong, or not a valid token.
+    BadMethod,
+    /// The target was empty, overlong, not origin-form, or carried
+    /// non-visible bytes.
+    BadTarget,
+    /// The version was not `HTTP/1.0` or `HTTP/1.1`.
+    BadVersion,
+    /// More header fields than [`HttpLimits::max_headers`].
+    TooManyHeaders {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A header line was malformed (no colon, illegal name or value bytes).
+    BadHeader {
+        /// Zero-based index of the offending header line.
+        line: usize,
+    },
+    /// `Content-Length` was not a plain decimal integer.
+    BadContentLength,
+    /// Multiple `Content-Length` headers disagreed (or repeated).
+    ConflictingContentLength,
+    /// The declared body exceeds [`HttpLimits::max_body_bytes`].
+    BodyTooLarge {
+        /// The declared length.
+        declared: u64,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A `Transfer-Encoding` header was present; chunked framing is
+    /// unsupported and rejecting it closes the smuggling ambiguity.
+    UnsupportedTransferEncoding,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::HeadTooLarge { limit } => {
+                write!(f, "request head exceeds {limit} bytes")
+            }
+            HttpError::BadRequestLine => write!(f, "malformed request line"),
+            HttpError::BadMethod => write!(f, "malformed method token"),
+            HttpError::BadTarget => write!(f, "malformed request target"),
+            HttpError::BadVersion => write!(f, "unsupported HTTP version"),
+            HttpError::TooManyHeaders { limit } => {
+                write!(f, "more than {limit} header fields")
+            }
+            HttpError::BadHeader { line } => write!(f, "malformed header at line {line}"),
+            HttpError::BadContentLength => write!(f, "malformed Content-Length"),
+            HttpError::ConflictingContentLength => {
+                write!(f, "conflicting Content-Length headers")
+            }
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds {limit}")
+            }
+            HttpError::UnsupportedTransferEncoding => {
+                write!(f, "Transfer-Encoding is not supported")
+            }
+        }
+    }
+}
+
+impl Error for HttpError {}
+
+/// `tchar` per RFC 9110 §5.6.2 — the legal token alphabet for methods and
+/// header names.
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+fn is_target_byte(b: u8) -> bool {
+    // Visible ASCII, no spaces: enough for origin-form targets.
+    (0x21..=0x7e).contains(&b)
+}
+
+fn is_header_value_byte(b: u8) -> bool {
+    b == b'\t' || (0x20..=0x7e).contains(&b)
+}
+
+/// Attempts to parse one request from the start of `buf`.
+///
+/// Returns `Ok(Some((request, consumed)))` when a full request (head and
+/// declared body) is present, `Ok(None)` when more bytes are needed, and a
+/// typed [`HttpError`] the moment the input is provably malformed — the
+/// connection should then answer `400` and close.
+///
+/// # Errors
+///
+/// See [`HttpError`] for every rejection class.
+pub fn parse_request(
+    buf: &[u8],
+    limits: &HttpLimits,
+) -> Result<Option<(Request, usize)>, HttpError> {
+    // Locate the end of the head (the CRLFCRLF terminator).
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n");
+    let head_end = match head_end {
+        Some(i) => {
+            if i > limits.max_head_bytes {
+                return Err(HttpError::HeadTooLarge {
+                    limit: limits.max_head_bytes,
+                });
+            }
+            i
+        }
+        None => {
+            // No terminator yet: either wait for more bytes or give up once
+            // the head could no longer fit under the limit.
+            if buf.len() > limits.max_head_bytes.saturating_add(3) {
+                return Err(HttpError::HeadTooLarge {
+                    limit: limits.max_head_bytes,
+                });
+            }
+            return Ok(None);
+        }
+    };
+
+    let head = &buf[..head_end];
+    let mut lines = head.split(|&b| b == b'\n').map(|l| match l.last() {
+        Some(b'\r') => &l[..l.len() - 1],
+        _ => l,
+    });
+
+    // Request line: METHOD SP target SP HTTP/1.x
+    let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
+    let mut parts = request_line.split(|&b| b == b' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(HttpError::BadRequestLine),
+    };
+    if method.is_empty() || method.len() > 16 || !method.iter().all(|&b| is_token_byte(b)) {
+        return Err(HttpError::BadMethod);
+    }
+    if target.is_empty()
+        || target.len() > limits.max_target_bytes
+        || target[0] != b'/'
+        || !target.iter().all(|&b| is_target_byte(b))
+    {
+        return Err(HttpError::BadTarget);
+    }
+    if version != b"HTTP/1.1" && version != b"HTTP/1.0" {
+        return Err(HttpError::BadVersion);
+    }
+
+    // Header fields.
+    let mut headers = Vec::new();
+    let mut content_length: Option<u64> = None;
+    for (i, line) in lines.enumerate() {
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::TooManyHeaders {
+                limit: limits.max_headers,
+            });
+        }
+        let colon = line
+            .iter()
+            .position(|&b| b == b':')
+            .ok_or(HttpError::BadHeader { line: i })?;
+        let (name, rest) = line.split_at(colon);
+        let value = &rest[1..];
+        if name.is_empty() || !name.iter().all(|&b| is_token_byte(b)) {
+            return Err(HttpError::BadHeader { line: i });
+        }
+        if !value.iter().all(|&b| is_header_value_byte(b)) {
+            return Err(HttpError::BadHeader { line: i });
+        }
+        let name = String::from_utf8_lossy(name).to_ascii_lowercase();
+        let value = String::from_utf8_lossy(value).trim().to_string();
+        if name == "transfer-encoding" {
+            return Err(HttpError::UnsupportedTransferEncoding);
+        }
+        if name == "content-length" {
+            let parsed: u64 = if !value.is_empty() && value.bytes().all(|b| b.is_ascii_digit()) {
+                value.parse().map_err(|_| HttpError::BadContentLength)?
+            } else {
+                return Err(HttpError::BadContentLength);
+            };
+            if content_length.is_some() {
+                // Even agreeing duplicates are rejected: repetition is the
+                // raw material of framing attacks.
+                return Err(HttpError::ConflictingContentLength);
+            }
+            content_length = Some(parsed);
+        }
+        headers.push((name, value));
+    }
+
+    let body_len = content_length.unwrap_or(0);
+    if body_len > limits.max_body_bytes as u64 {
+        return Err(HttpError::BodyTooLarge {
+            declared: body_len,
+            limit: limits.max_body_bytes,
+        });
+    }
+    let body_len = body_len as usize;
+    let total = head_end + 4 + body_len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+
+    let request = Request {
+        method: Method::from_token(&String::from_utf8_lossy(method)),
+        target: String::from_utf8_lossy(target).to_string(),
+        headers,
+        body: buf[head_end + 4..total].to_vec(),
+    };
+    Ok(Some((request, total)))
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code, e.g. `200`.
+    pub status: u16,
+    /// Reason phrase, e.g. `OK`.
+    pub reason: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Optional `Retry-After` header (seconds), for `503` load shedding.
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    /// A response with the given status, reason, and body.
+    pub fn new(status: u16, reason: &'static str, content_type: &'static str, body: &str) -> Self {
+        Response {
+            status,
+            reason,
+            content_type,
+            body: body.as_bytes().to_vec(),
+            retry_after: None,
+        }
+    }
+
+    /// A `200 OK` JSON response.
+    pub fn json(body: String) -> Self {
+        Response {
+            status: 200,
+            reason: "OK",
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, reason: &'static str, body: String) -> Self {
+        Response {
+            status,
+            reason,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    /// The `503` load-shedding response with a `Retry-After` hint.
+    pub fn overloaded(retry_after_secs: u64) -> Self {
+        let mut r = Response::text(
+            503,
+            "Service Unavailable",
+            "admission queue full; retry later\n".to_string(),
+        );
+        r.retry_after = Some(retry_after_secs);
+        r
+    }
+
+    /// Serializes the response, always with `Content-Length` and
+    /// `Connection: close` (the server is strictly one request per
+    /// connection — simple, and immune to pipelining ambiguity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write_to(&self, writer: &mut dyn Write) -> io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            self.reason,
+            self.content_type,
+            self.body.len()
+        )?;
+        if let Some(secs) = self.retry_after {
+            write!(writer, "Retry-After: {secs}\r\n")?;
+        }
+        writer.write_all(b"\r\n")?;
+        writer.write_all(&self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(bytes: &[u8]) -> (Request, usize) {
+        parse_request(bytes, &HttpLimits::default())
+            .expect("parse")
+            .expect("complete")
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let (req, used) = parse_ok(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.target, "/metrics");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.body.is_empty());
+        assert_eq!(used, b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n".len());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_reports_consumed() {
+        let raw = b"POST /detect HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloEXTRA";
+        let (req, used) = parse_ok(raw);
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.body, b"hello");
+        assert_eq!(used, raw.len() - 5, "EXTRA is not consumed");
+    }
+
+    #[test]
+    fn incomplete_requests_ask_for_more() {
+        let limits = HttpLimits::default();
+        assert!(matches!(parse_request(b"", &limits), Ok(None)));
+        assert!(matches!(parse_request(b"GET / HT", &limits), Ok(None)));
+        assert!(matches!(
+            parse_request(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", &limits),
+            Ok(None)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_inputs_with_typed_errors() {
+        let limits = HttpLimits::default();
+        let cases: &[(&[u8], HttpError)] = &[
+            (b"GET\r\n\r\n", HttpError::BadRequestLine),
+            (b"GET / HTTP/1.1 extra\r\n\r\n", HttpError::BadRequestLine),
+            (b"G@T / HTTP/1.1\r\n\r\n", HttpError::BadMethod),
+            (b"GET nope HTTP/1.1\r\n\r\n", HttpError::BadTarget),
+            (b"GET / HTTP/2.0\r\n\r\n", HttpError::BadVersion),
+            (
+                b"GET / HTTP/1.1\r\nno-colon\r\n\r\n",
+                HttpError::BadHeader { line: 0 },
+            ),
+            (
+                b"GET / HTTP/1.1\r\n: v\r\n\r\n",
+                HttpError::BadHeader { line: 0 },
+            ),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+                HttpError::BadContentLength,
+            ),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: 1e3\r\n\r\n",
+                HttpError::BadContentLength,
+            ),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\n",
+                HttpError::ConflictingContentLength,
+            ),
+            (
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                HttpError::UnsupportedTransferEncoding,
+            ),
+        ];
+        for (bytes, want) in cases {
+            match parse_request(bytes, &limits) {
+                Err(e) => assert_eq!(&e, want, "input {:?}", String::from_utf8_lossy(bytes)),
+                other => panic!(
+                    "input {:?}: expected {want:?}, got {other:?}",
+                    String::from_utf8_lossy(bytes)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn enforces_size_limits() {
+        let limits = HttpLimits {
+            max_head_bytes: 64,
+            max_headers: 2,
+            max_body_bytes: 10,
+            max_target_bytes: 8,
+        };
+        // Head that can never fit.
+        let huge = vec![b'A'; 200];
+        assert!(matches!(
+            parse_request(&huge, &limits),
+            Err(HttpError::HeadTooLarge { .. })
+        ));
+        // Declared body over the cap is rejected before buffering it.
+        assert!(matches!(
+            parse_request(b"POST / HTTP/1.1\r\nContent-Length: 11\r\n\r\n", &limits),
+            Err(HttpError::BodyTooLarge { declared: 11, .. })
+        ));
+        assert!(matches!(
+            parse_request(b"GET /0123456789abcdef HTTP/1.1\r\n\r\n", &limits),
+            Err(HttpError::BadTarget)
+        ));
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n\r\n", &limits),
+            Err(HttpError::TooManyHeaders { limit: 2 })
+        ));
+    }
+
+    #[test]
+    fn response_serialization_is_locked() {
+        let mut out = Vec::new();
+        Response::json("{\"ok\":true}".to_string())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        Response::overloaded(1).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+    }
+}

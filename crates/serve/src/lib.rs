@@ -1,0 +1,72 @@
+//! # dronet-serve
+//!
+//! A zero-dependency (std-only) HTTP/1.1 detection server, turning the
+//! in-process [`dronet_detect::Detector`] into a network service — the
+//! ROADMAP's "heavy traffic" deployment story for the paper's detector.
+//!
+//! Four layers, bottom up:
+//!
+//! * [`http`] — a hand-rolled, hardened HTTP parser: bounded head/body
+//!   sizes, typed [`HttpError`]s, incremental feeding, the same
+//!   hostile-input discipline as `data::ppm`. No input may panic.
+//! * admission control — a strictly bounded queue ([`batcher::BatchQueue`]);
+//!   when it is full the server sheds load with `503` + `Retry-After`
+//!   instead of queueing unbounded latency, and every connection carries
+//!   read/write deadlines.
+//! * dynamic micro-batching — workers coalesce queued frames into one NCHW
+//!   batch (dispatch when `max_batch` fills or `max_wait` expires,
+//!   whichever first), run a single shared `Network::forward`, and
+//!   de-multiplex per-image decode + NMS back to each waiting connection.
+//!   Batch-1 traffic pays full per-request setup; coalesced traffic
+//!   amortizes it — `BENCH_PR4.json` measures the curve.
+//! * endpoints — `POST /detect` (binary P6 PPM body → JSON detections),
+//!   `GET /metrics` (Prometheus text exposition of queue depth, batch-size
+//!   histogram, admission drops, latency percentiles), `GET /healthz`
+//!   (the supervisor's Healthy/Degraded/Halted machine), plus graceful
+//!   drain on [`Server::shutdown`].
+//!
+//! Requests are traced end to end when a `Tracer` is attached: each frame
+//! shows up as `serve.parse → serve.queue → serve.batch(n) → nn.forward →
+//! detect.decode → detect.nms` spans under its own frame id.
+//!
+//! # Example
+//!
+//! ```
+//! use dronet_serve::{Server, ServeConfig};
+//! use dronet_detect::DetectorBuilder;
+//! use dronet_obs::{Registry, Tracer};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), dronet_serve::ServeError> {
+//! let factory: dronet_serve::DetectorFactory = Arc::new(|| {
+//!     let net = dronet_core::zoo::build(dronet_core::ModelId::DroNet, 96)?;
+//!     DetectorBuilder::new(net).build()
+//! });
+//! let server = Server::start(
+//!     factory,
+//!     ServeConfig::default(),
+//!     &Registry::new(),
+//!     &Tracer::noop(),
+//! )?;
+//! println!("listening on {}", server.addr());
+//! let report = server.shutdown();
+//! assert!(report.drained);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+mod error;
+pub mod http;
+pub mod json;
+mod server;
+
+pub use error::ServeError;
+pub use http::{HttpError, HttpLimits, Method, Request, Response};
+pub use server::{DetectorFactory, DrainReport, ServeConfig, Server};
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

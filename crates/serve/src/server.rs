@@ -1,0 +1,441 @@
+//! The HTTP front end: accept loop, admission control, routing, drain.
+//!
+//! Threading model — deliberately boring: one accept thread, one OS thread
+//! per connection (each strictly one request, `Connection: close`), and a
+//! small worker pool that owns the detectors. Connections never touch a
+//! network; they parse, enqueue, and block on a reply channel. All
+//! cleverness lives in the [`crate::batcher`].
+
+use crate::batcher::{spawn_worker, BatchQueue, Job, WorkerContext};
+use crate::error::ServeError;
+use crate::http::{parse_request, HttpLimits, Method, Request, Response};
+use crate::json::detections_json;
+use dronet_detect::{conform_frame, Detector, Health};
+use dronet_obs::{PromExporter, Registry, Tracer};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A detector constructor: each worker builds (and after a panic, rebuilds)
+/// its own [`Detector`] from this.
+pub type DetectorFactory = Arc<dyn Fn() -> dronet_detect::Result<Detector> + Send + Sync>;
+
+/// Server tuning knobs. The defaults favour a small embedded host: tight
+/// limits, a short coalescing window, shallow queue.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each owns one detector).
+    pub workers: usize,
+    /// Largest batch a single forward pass may carry.
+    pub max_batch: usize,
+    /// How long a batch head waits for stragglers before dispatch.
+    pub max_wait: Duration,
+    /// Admission queue capacity; beyond it requests are shed with `503`.
+    pub queue_capacity: usize,
+    /// Per-connection socket read deadline.
+    pub read_timeout: Duration,
+    /// Per-connection socket write deadline.
+    pub write_timeout: Duration,
+    /// How long a connection waits for its detections before giving up.
+    pub response_timeout: Duration,
+    /// `Retry-After` seconds advertised when shedding load.
+    pub retry_after_secs: u64,
+    /// HTTP parser limits.
+    pub limits: HttpLimits,
+    /// Artificial pre-forward worker delay — test/chaos knob that holds the
+    /// queue full so `503` paths can be driven deterministically.
+    pub dispatch_delay: Duration,
+    /// Upper bound on waiting for in-flight connections during shutdown.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            response_timeout: Duration::from_secs(30),
+            retry_after_secs: 1,
+            limits: HttpLimits::default(),
+            dispatch_delay: Duration::ZERO,
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        for (name, v) in [
+            ("workers", self.workers),
+            ("max_batch", self.max_batch),
+            ("queue_capacity", self.queue_capacity),
+        ] {
+            if v == 0 {
+                return Err(ServeError::Config(format!("{name} must be >= 1")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    queue: Arc<BatchQueue>,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+    health: Arc<AtomicU8>,
+    next_frame_id: AtomicU64,
+    input_chw: (usize, usize, usize),
+    obs: Registry,
+    tracer: Tracer,
+    config: ServeConfig,
+}
+
+/// Handle to a running server; dropping it does NOT stop the server — call
+/// [`Server::shutdown`] for a graceful drain.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_handle: thread::JoinHandle<()>,
+    worker_handles: Vec<thread::JoinHandle<()>>,
+}
+
+/// What a graceful shutdown accomplished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Whether every in-flight connection completed inside the timeout.
+    pub drained: bool,
+    /// Connections still open when the drain timed out (0 when `drained`).
+    pub abandoned_connections: usize,
+}
+
+impl Server {
+    /// Binds, builds one detector per worker (failing fast on a broken
+    /// factory), and starts the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for nonsensical knobs,
+    /// [`ServeError::Detect`] when the factory cannot build a detector, and
+    /// [`ServeError::Io`] when the address cannot be bound.
+    pub fn start(
+        factory: DetectorFactory,
+        config: ServeConfig,
+        obs: &Registry,
+        tracer: &Tracer,
+    ) -> Result<Server, ServeError> {
+        config.validate()?;
+        let mut detectors = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let mut det = factory()?;
+            // The server's registry and tracer win over whatever the
+            // factory attached: /metrics and the flight recorder must see
+            // every worker's detect.* stages.
+            if obs.is_enabled() {
+                det.set_observability(obs);
+            }
+            if tracer.is_enabled() {
+                det.set_tracing(tracer);
+            }
+            detectors.push(det);
+        }
+        let input_chw = detectors[0].input_chw();
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let queue = BatchQueue::new(config.queue_capacity, obs);
+        let health = Arc::new(AtomicU8::new(Health::Healthy.as_metric() as u8));
+        let health_gauge = obs.gauge("serve.health");
+        health_gauge.set(Health::Healthy.as_metric());
+
+        let worker_handles = detectors
+            .into_iter()
+            .enumerate()
+            .map(|(i, det)| {
+                spawn_worker(
+                    i,
+                    det,
+                    WorkerContext {
+                        queue: Arc::clone(&queue),
+                        factory: Arc::clone(&factory),
+                        max_batch: config.max_batch,
+                        max_wait: config.max_wait,
+                        dispatch_delay: config.dispatch_delay,
+                        health: Arc::clone(&health),
+                        health_gauge: health_gauge.clone(),
+                        batch_size_hist: obs.histogram("serve.batch_size"),
+                        queue_wait_hist: obs.histogram("serve.queue_wait"),
+                        panics: obs.counter("serve.worker_panics"),
+                        obs: obs.clone(),
+                        tracer: tracer.clone(),
+                    },
+                )
+            })
+            .collect();
+
+        let shared = Arc::new(Shared {
+            queue,
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            health,
+            next_frame_id: AtomicU64::new(0),
+            input_chw,
+            obs: obs.clone(),
+            tracer: tracer.clone(),
+            config,
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            shared,
+            local_addr,
+            accept_handle,
+            worker_handles,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful drain: stop accepting, let every in-flight connection
+    /// finish (bounded by `drain_timeout`), flush the queue through the
+    /// workers, then join them.
+    pub fn shutdown(self) -> DrainReport {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.accept_handle.join();
+
+        // In-flight connections may still be enqueueing; keep the queue
+        // open for them and wait for the connection count to hit zero.
+        let deadline = Instant::now() + self.shared.config.drain_timeout;
+        while self.shared.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline
+        {
+            thread::sleep(Duration::from_millis(1));
+        }
+        let abandoned = self.shared.active_connections.load(Ordering::SeqCst);
+
+        // No connection can enqueue any more (or we stopped waiting for
+        // it): drain the backlog and retire the workers.
+        self.shared.queue.close();
+        for h in self.worker_handles {
+            let _ = h.join();
+        }
+        self.shared
+            .health
+            .store(Health::Halted.as_metric() as u8, Ordering::SeqCst);
+        self.shared
+            .obs
+            .gauge("serve.health")
+            .set(Health::Halted.as_metric());
+        DrainReport {
+            drained: abandoned == 0,
+            abandoned_connections: abandoned,
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // drops the listener → port closes
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.active_connections.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(&shared);
+                let spawned =
+                    thread::Builder::new()
+                        .name("serve-conn".to_string())
+                        .spawn(move || {
+                            handle_connection(stream, &conn_shared);
+                            conn_shared
+                                .active_connections
+                                .fetch_sub(1, Ordering::SeqCst);
+                        });
+                if spawned.is_err() {
+                    shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Reads one request off the socket (incremental parse under the limits),
+/// routes it, writes one response, closes.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let started = Instant::now();
+    let cfg = &shared.config;
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    shared.obs.counter("serve.requests").inc();
+
+    let request = match read_request(&mut stream, &cfg.limits, cfg.read_timeout) {
+        Ok(Some(req)) => req,
+        Ok(None) => return, // peer closed before completing a request
+        Err(response) => {
+            shared.obs.counter("serve.http_errors").inc();
+            let _ = response.write_to(&mut stream);
+            return;
+        }
+    };
+
+    let response = route(&request, shared);
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+    shared
+        .obs
+        .histogram("serve.request")
+        .record(started.elapsed());
+}
+
+/// Drives the incremental parser against the socket. Returns `Ok(None)`
+/// when the peer hangs up cleanly before a full request, and a ready-made
+/// error [`Response`] for malformed or oversized input.
+fn read_request(
+    stream: &mut TcpStream,
+    limits: &HttpLimits,
+    read_timeout: Duration,
+) -> Result<Option<Request>, Box<Response>> {
+    let mut buf = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 16 * 1024];
+    let deadline = Instant::now() + read_timeout;
+    loop {
+        match parse_request(&buf, limits) {
+            Ok(Some((req, _consumed))) => return Ok(Some(req)),
+            Ok(None) => {}
+            Err(e) => {
+                return Err(Box::new(Response::text(
+                    400,
+                    "Bad Request",
+                    format!("{e}\n"),
+                )));
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(Box::new(Response::text(
+                408,
+                "Request Timeout",
+                "request not completed in time\n".to_string(),
+            )));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(None),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(Box::new(Response::text(
+                    408,
+                    "Request Timeout",
+                    "request not completed in time\n".to_string(),
+                )));
+            }
+            Err(_) => return Ok(None),
+        }
+    }
+}
+
+fn route(request: &Request, shared: &Shared) -> Response {
+    match (&request.method, request.target.as_str()) {
+        (Method::Post, "/detect") => handle_detect(request, shared),
+        (Method::Get, "/metrics") => {
+            let text = PromExporter::to_string(&shared.obs.snapshot());
+            Response::new(200, "OK", PromExporter::CONTENT_TYPE, &text)
+        }
+        (Method::Get, "/healthz") => {
+            let health = shared.health.load(Ordering::SeqCst);
+            let (status, reason, body) = match health {
+                h if h == Health::Healthy.as_metric() as u8 => (200, "OK", "healthy\n"),
+                h if h == Health::Degraded.as_metric() as u8 => (200, "OK", "degraded\n"),
+                _ => (503, "Service Unavailable", "halted\n"),
+            };
+            Response::text(status, reason, body.to_string())
+        }
+        (_, "/detect" | "/metrics" | "/healthz") => Response::text(
+            405,
+            "Method Not Allowed",
+            "method not allowed\n".to_string(),
+        ),
+        _ => Response::text(404, "Not Found", "no such endpoint\n".to_string()),
+    }
+}
+
+fn handle_detect(request: &Request, shared: &Shared) -> Response {
+    let frame_id = shared.next_frame_id.fetch_add(1, Ordering::SeqCst) + 1;
+
+    // serve.parse: body bytes → validated, conformed [1, c, h, w] frame.
+    let parse_span = shared.tracer.frame_span("serve.parse", frame_id);
+    let image = match dronet_data::ppm::read(request.body.as_slice()) {
+        Ok(img) => img,
+        Err(e) => {
+            drop(parse_span);
+            return Response::text(400, "Bad Request", format!("bad PPM body: {e}\n"));
+        }
+    };
+    let frame = match conform_frame(image.to_tensor(), shared.input_chw, frame_id as usize) {
+        Ok(t) => t,
+        Err(e) => {
+            drop(parse_span);
+            return Response::text(400, "Bad Request", format!("bad frame: {e}\n"));
+        }
+    };
+    drop(parse_span);
+
+    // serve.queue: admission → detections handed back by a worker.
+    let queue_span = shared.tracer.frame_span("serve.queue", frame_id);
+    let (reply, receiver) = mpsc::channel();
+    let job = Job {
+        frame_id,
+        frame,
+        enqueued: Instant::now(),
+        reply,
+    };
+    match shared.queue.push(job) {
+        Ok(()) => {}
+        Err(ServeError::Overloaded) => {
+            drop(queue_span);
+            return Response::overloaded(shared.config.retry_after_secs);
+        }
+        Err(_) => {
+            drop(queue_span);
+            let mut r = Response::text(
+                503,
+                "Service Unavailable",
+                "server is draining\n".to_string(),
+            );
+            r.retry_after = Some(shared.config.retry_after_secs);
+            return r;
+        }
+    }
+    let outcome = receiver.recv_timeout(shared.config.response_timeout);
+    drop(queue_span);
+    match outcome {
+        Ok(Ok(detections)) => Response::json(detections_json(frame_id, &detections)),
+        Ok(Err(e)) => Response::text(500, "Internal Server Error", format!("{e}\n")),
+        Err(_) => Response::text(
+            504,
+            "Gateway Timeout",
+            "detection did not complete in time\n".to_string(),
+        ),
+    }
+}

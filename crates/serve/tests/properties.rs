@@ -1,0 +1,101 @@
+//! Property-based fuzzing of the HTTP parser — the same hostile-input
+//! discipline `data::ppm` is held to: for ANY byte stream (garbage,
+//! truncated, or a mutated-valid request) the parser must return a typed
+//! result, never panic, and never claim to have consumed more bytes than it
+//! was given.
+
+use dronet_serve::http::{parse_request, HttpLimits, Method};
+use proptest::prelude::*;
+
+/// A well-formed request to mutate.
+fn valid_request(body_len: usize) -> Vec<u8> {
+    let mut req =
+        format!("POST /detect HTTP/1.1\r\nHost: localhost\r\nContent-Length: {body_len}\r\n\r\n")
+            .into_bytes();
+    req.extend(std::iter::repeat_n(0xAB, body_len));
+    req
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary garbage never panics and never over-consumes.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let limits = HttpLimits::default();
+        match parse_request(&bytes, &limits) {
+            Ok(Some((_, consumed))) => prop_assert!(consumed <= bytes.len()),
+            Ok(None) => {}
+            Err(_) => {} // typed rejection is the expected outcome
+        }
+    }
+
+    /// Garbage under tiny limits never panics either (limit arithmetic is
+    /// where off-by-ones hide).
+    #[test]
+    fn garbage_under_tiny_limits_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..128),
+        max_head in 0usize..32,
+        max_body in 0usize..16,
+    ) {
+        let limits = HttpLimits {
+            max_head_bytes: max_head,
+            max_headers: 2,
+            max_body_bytes: max_body,
+            max_target_bytes: 8,
+        };
+        let _ = parse_request(&bytes, &limits);
+    }
+
+    /// Every truncation of a valid request is either "need more data" or a
+    /// typed error — never a panic, never a phantom success.
+    #[test]
+    fn truncations_never_panic(body_len in 0usize..64, cut in 0usize..128) {
+        let full = valid_request(body_len);
+        let cut = cut.min(full.len());
+        let truncated = &full[..cut];
+        match parse_request(truncated, &HttpLimits::default()) {
+            Ok(Some((req, consumed))) => {
+                // Only possible when the cut landed exactly at the end.
+                prop_assert_eq!(consumed, full.len());
+                prop_assert_eq!(req.body.len(), body_len);
+            }
+            Ok(None) => {}
+            Err(_) => {}
+        }
+    }
+
+    /// Single-byte mutations of a valid request never panic, and when they
+    /// still parse, the parse is internally consistent.
+    #[test]
+    fn mutations_never_panic(
+        body_len in 0usize..32,
+        pos in 0usize..256,
+        replacement in any::<u8>(),
+    ) {
+        let mut req = valid_request(body_len);
+        let pos = pos % req.len();
+        req[pos] = replacement;
+        match parse_request(&req, &HttpLimits::default()) {
+            Ok(Some((parsed, consumed))) => {
+                prop_assert!(consumed <= req.len());
+                prop_assert!(parsed.body.len() <= req.len());
+            }
+            Ok(None) => {}
+            Err(_) => {}
+        }
+    }
+
+    /// The unmutated request always parses, regardless of body size within
+    /// limits — the fuzz baseline is actually valid.
+    #[test]
+    fn valid_requests_always_parse(body_len in 0usize..512) {
+        let full = valid_request(body_len);
+        let (req, consumed) = parse_request(&full, &HttpLimits::default())
+            .expect("valid request")
+            .expect("complete request");
+        prop_assert_eq!(req.method, Method::Post);
+        prop_assert_eq!(req.body.len(), body_len);
+        prop_assert_eq!(consumed, full.len());
+    }
+}

@@ -99,6 +99,45 @@ pub fn sgemm(
     Ok(())
 }
 
+/// `C[m x n] = alpha * A[m x k] * B[k x n] + beta * C` over raw row-major
+/// slices (no transposes).
+///
+/// This is the allocation-free entry point for callers that manage their
+/// own buffers — a batched convolution GEMMs straight into its output
+/// tensor's per-image slice instead of staging through a scratch matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when a slice length disagrees
+/// with the stated dimensions.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS sgemm signature
+pub fn sgemm_slices(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) -> Result<()> {
+    for (op, slice_len, rows, cols) in [
+        ("sgemm_slices a", a.len(), m, k),
+        ("sgemm_slices b", b.len(), k, n),
+        ("sgemm_slices c", c.len(), m, n),
+    ] {
+        if slice_len != rows * cols {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: vec![rows, cols],
+                rhs: vec![slice_len],
+            });
+        }
+    }
+    gemm_nn_kernel(m, n, k, alpha, a, b, beta, c);
+    Ok(())
+}
+
 /// Convenience wrapper computing `A * B` into a fresh tensor.
 ///
 /// # Errors
@@ -313,6 +352,29 @@ mod tests {
         let b = Tensor::zeros(Shape::matrix(0, 2));
         let c = matmul(&a, &b).unwrap();
         assert_eq!(c.sum(), 0.0);
+    }
+
+    /// The slice entry point runs the identical kernel as the tensor one.
+    #[test]
+    fn sgemm_slices_matches_tensor_sgemm() {
+        let (m, n, k) = (4, 7, 5);
+        let a = random_matrix(m, k, 31);
+        let b = random_matrix(k, n, 32);
+        let mut c = Tensor::zeros(Shape::matrix(m, n));
+        sgemm(false, false, 1.5, &a, &b, 0.0, &mut c).unwrap();
+        let mut c_slices = vec![0.0f32; m * n];
+        sgemm_slices(m, n, k, 1.5, a.as_slice(), b.as_slice(), 0.0, &mut c_slices).unwrap();
+        assert_eq!(c.as_slice(), c_slices.as_slice(), "bit-exact same kernel");
+    }
+
+    #[test]
+    fn sgemm_slices_rejects_bad_lengths() {
+        let a = vec![0.0f32; 6];
+        let b = vec![0.0f32; 6];
+        let mut c = vec![0.0f32; 4];
+        assert!(sgemm_slices(2, 2, 3, 1.0, &a, &b, 0.0, &mut c).is_ok());
+        assert!(sgemm_slices(2, 2, 4, 1.0, &a, &b, 0.0, &mut c).is_err());
+        assert!(sgemm_slices(2, 3, 3, 1.0, &a, &b, 0.0, &mut c).is_err());
     }
 
     #[test]

@@ -94,11 +94,105 @@ pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> u
 pub fn im2col(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor> {
     geom.validate()?;
     check_image_shape(input, geom)?;
+    let mut col = vec![0.0f32; geom.col_rows() * geom.col_cols()];
+    unroll_item(input.as_slice(), 0, geom, &mut col);
+    Tensor::from_vec(col, Shape::matrix(geom.col_rows(), geom.col_cols()))
+}
+
+/// [`im2col`] into a caller-provided buffer, reading batch item `batch` of
+/// an `[n, c, h, w]` tensor in place (no per-item copy, no allocation).
+///
+/// The buffer is fully overwritten (padding positions are re-zeroed), so it
+/// can be reused across batch items and layers — this is what lets a
+/// batched convolution amortise its im2col setup across images.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for invalid geometry,
+/// [`TensorError::ShapeMismatch`] when the tensor's channel/spatial dims do
+/// not match the geometry or `col` has the wrong length, and
+/// [`TensorError::IndexOutOfBounds`] when `batch` exceeds the batch size.
+pub fn im2col_into(
+    input: &Tensor,
+    batch: usize,
+    geom: &ConvGeometry,
+    col: &mut [f32],
+) -> Result<()> {
+    check_into_args(input, batch, geom, col)?;
+    col.fill(0.0);
+    let item_stride = geom.channels * geom.height * geom.width;
+    unroll_item(input.as_slice(), batch * item_stride, geom, col);
+    Ok(())
+}
+
+/// [`im2col_into`] without the upfront zero fill, for buffers whose padding
+/// positions are already zero.
+///
+/// The set of column positions im2col writes depends only on the geometry,
+/// not on the batch item: data positions are fully overwritten on every
+/// call and padding positions are never touched. So once a buffer has been
+/// zero-initialised (e.g. freshly allocated with `vec![0.0; ..]` or passed
+/// through [`im2col_into`] once) it can be unrolled into repeatedly for the
+/// **same geometry** without re-zeroing — that fill is pure memory
+/// bandwidth, and skipping it for items 2..n is where a batched forward
+/// pass beats n single-image forwards on a memory-bound core.
+///
+/// Calling this with a dirty buffer or a different geometry leaves stale
+/// values at padding positions; it is validated for shape, not cleanliness.
+///
+/// # Errors
+///
+/// Same contract as [`im2col_into`].
+pub fn im2col_into_prezeroed(
+    input: &Tensor,
+    batch: usize,
+    geom: &ConvGeometry,
+    col: &mut [f32],
+) -> Result<()> {
+    check_into_args(input, batch, geom, col)?;
+    let item_stride = geom.channels * geom.height * geom.width;
+    unroll_item(input.as_slice(), batch * item_stride, geom, col);
+    Ok(())
+}
+
+/// Shared argument validation for [`im2col_into`] / [`im2col_into_prezeroed`].
+fn check_into_args(input: &Tensor, batch: usize, geom: &ConvGeometry, col: &[f32]) -> Result<()> {
+    geom.validate()?;
+    let dims = input.shape().dims();
+    let ok = dims.len() == 4
+        && dims[1] == geom.channels
+        && dims[2] == geom.height
+        && dims[3] == geom.width;
+    if !ok {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col_into input",
+            lhs: vec![0, geom.channels, geom.height, geom.width],
+            rhs: dims.to_vec(),
+        });
+    }
+    if batch >= dims[0] {
+        return Err(TensorError::IndexOutOfBounds {
+            index: vec![batch],
+            dims: vec![dims[0]],
+        });
+    }
+    if col.len() != geom.col_rows() * geom.col_cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "im2col_into buffer",
+            lhs: vec![geom.col_rows(), geom.col_cols()],
+            rhs: vec![col.len()],
+        });
+    }
+    Ok(())
+}
+
+/// Shared im2col inner loop: unrolls the image at `src[src_offset..]` into
+/// `col`, which must be `col_rows * col_cols` long and pre-zeroed (padding
+/// positions are skipped, not written).
+fn unroll_item(src: &[f32], src_offset: usize, geom: &ConvGeometry, col: &mut [f32]) {
     let out_h = geom.out_height();
     let out_w = geom.out_width();
     let k = geom.kernel;
-    let mut col = vec![0.0f32; geom.col_rows() * geom.col_cols()];
-    let src = input.as_slice();
     let (h, w) = (geom.height, geom.width);
     let plane = h * w;
     let n_cols = out_h * out_w;
@@ -114,7 +208,7 @@ pub fn im2col(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor> {
                         // whole output row reads padding
                         continue;
                     }
-                    let src_base = c * plane + iy as usize * w;
+                    let src_base = src_offset + c * plane + iy as usize * w;
                     let dst_base = oy * out_w;
                     for ox in 0..out_w {
                         let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
@@ -126,7 +220,6 @@ pub fn im2col(input: &Tensor, geom: &ConvGeometry) -> Result<Tensor> {
             }
         }
     }
-    Tensor::from_vec(col, Shape::matrix(geom.col_rows(), geom.col_cols()))
 }
 
 /// Adjoint of [`im2col`]: scatters a `[c*k*k, out_h*out_w]` column matrix
@@ -325,5 +418,70 @@ mod tests {
     fn accepts_rank3_images() {
         let input = Tensor::zeros(Shape::new(&[2, 4, 4]));
         assert!(im2col(&input, &geometry(2, 4, 4, 3, 1, 1)).is_ok());
+    }
+
+    /// `im2col_into` on batch item `b` of a stacked tensor must match
+    /// `im2col` on the corresponding single image bit-exactly, even when the
+    /// buffer is dirty from a previous item (padding re-zeroing).
+    #[test]
+    fn im2col_into_matches_per_item_im2col() {
+        use crate::init;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let geom = geometry(3, 6, 5, 3, 1, 1);
+        let batch = init::uniform(Shape::nchw(3, 3, 6, 5), -1.0, 1.0, &mut rng);
+        let mut buf = vec![f32::NAN; geom.col_rows() * geom.col_cols()];
+        for b in 0..3 {
+            im2col_into(&batch, b, &geom, &mut buf).unwrap();
+            let item = batch.batch_item(b).unwrap();
+            let reference = im2col(&item, &geom).unwrap();
+            assert_eq!(buf.as_slice(), reference.as_slice(), "item {b}");
+        }
+    }
+
+    #[test]
+    fn im2col_into_prezeroed_reuses_buffer_bit_exactly() {
+        use crate::init;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        // pad=1 so padding positions exist and would expose stale values.
+        let geom = geometry(3, 6, 5, 3, 1, 1);
+        let batch = init::uniform(Shape::nchw(4, 3, 6, 5), -1.0, 1.0, &mut rng);
+        // One dirty buffer, zeroed once by im2col_into for item 0, then
+        // reused for items 1..4 without re-zeroing.
+        let mut buf = vec![f32::NAN; geom.col_rows() * geom.col_cols()];
+        im2col_into(&batch, 0, &geom, &mut buf).unwrap();
+        for b in 0..4 {
+            if b > 0 {
+                im2col_into_prezeroed(&batch, b, &geom, &mut buf).unwrap();
+            }
+            let item = batch.batch_item(b).unwrap();
+            let reference = im2col(&item, &geom).unwrap();
+            assert_eq!(buf.as_slice(), reference.as_slice(), "item {b}");
+        }
+        // Same validation contract as the filling variant.
+        assert!(matches!(
+            im2col_into_prezeroed(&batch, 4, &geom, &mut buf),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn im2col_into_validates_inputs() {
+        let geom = geometry(1, 4, 4, 3, 1, 1);
+        let input = Tensor::zeros(Shape::nchw(2, 1, 4, 4));
+        let mut buf = vec![0.0; geom.col_rows() * geom.col_cols()];
+        assert!(im2col_into(&input, 0, &geom, &mut buf).is_ok());
+        assert!(matches!(
+            im2col_into(&input, 2, &geom, &mut buf),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+        let mut short = vec![0.0; 3];
+        assert!(matches!(
+            im2col_into(&input, 0, &geom, &mut short),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        let wrong = Tensor::zeros(Shape::nchw(1, 2, 4, 4));
+        assert!(im2col_into(&wrong, 0, &geom, &mut buf).is_err());
     }
 }

@@ -52,6 +52,9 @@ pub use dronet_nn as nn;
 pub use dronet_obs as obs;
 /// Embedded platform performance models (`dronet-platform`).
 pub use dronet_platform as platform;
+/// HTTP detection server with dynamic micro-batching and admission
+/// control (`dronet-serve`).
+pub use dronet_serve as serve;
 /// Tensor kernels (`dronet-tensor`).
 pub use dronet_tensor as tensor;
 /// YOLO loss, SGD and the training loop (`dronet-train`).

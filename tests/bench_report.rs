@@ -1,16 +1,26 @@
-//! The committed bench-regression report (`BENCH_PR3.json`, written by
-//! `cargo run --release -p dronet-bench --bin bench_report`) must stay
-//! parseable by the in-tree JSON reader and schema-stable: regression
-//! tooling diffs these files across PRs, so shape drift is a break.
+//! The committed bench-regression reports (`BENCH_PR3.json` and
+//! `BENCH_PR4.json`, written by `cargo run --release -p dronet-bench --bin
+//! bench_report`) must stay parseable by the in-tree JSON reader and
+//! schema-stable: regression tooling diffs these files across PRs, so
+//! shape drift is a break.
 
 use dronet::obs::JsonValue;
 use std::path::Path;
 
-fn load_report() -> JsonValue {
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_PR3.json");
+fn load_named(name: &str) -> JsonValue {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(name);
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("{} unreadable: {e}", path.display()));
-    JsonValue::parse(&text).expect("BENCH_PR3.json parses with the in-tree reader")
+    JsonValue::parse(&text)
+        .unwrap_or_else(|e| panic!("{name} does not parse with the in-tree reader: {e:?}"))
+}
+
+fn load_report() -> JsonValue {
+    load_named("BENCH_PR3.json")
+}
+
+fn load_batched_report() -> JsonValue {
+    load_named("BENCH_PR4.json")
 }
 
 #[test]
@@ -73,5 +83,88 @@ fn bench_report_pipeline_section_is_consistent() {
             .unwrap()
             > 0,
         "the pipeline run was flight-recorded"
+    );
+}
+
+#[test]
+fn batched_report_is_schema_stable() {
+    let report = load_batched_report();
+    assert_eq!(
+        report.get("schema").and_then(JsonValue::as_str),
+        Some("dronet-bench-report")
+    );
+    assert_eq!(report.get("version").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(report.get("pr").and_then(JsonValue::as_str), Some("PR4"));
+    assert!(report.get("iters").and_then(JsonValue::as_u64).unwrap() >= 1);
+}
+
+#[test]
+fn batched_report_covers_the_batch_grid() {
+    let report = load_batched_report();
+    let rows = report
+        .get("batched_throughput")
+        .and_then(JsonValue::as_array)
+        .expect("batched_throughput array");
+    let mut grid = std::collections::BTreeSet::new();
+    for row in rows {
+        assert_eq!(
+            row.get("model").and_then(JsonValue::as_str),
+            Some("DroNet"),
+            "the batch curve is for the proposed model"
+        );
+        let input = row.get("input").and_then(JsonValue::as_u64).unwrap();
+        let batch = row.get("batch").and_then(JsonValue::as_u64).unwrap();
+        grid.insert((input, batch));
+        let batch_ms = row
+            .get("median_batch_ms")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        let image_ms = row
+            .get("per_image_median_ms")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        let ips = row
+            .get("images_per_sec")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert!(batch_ms > 0.0, "{input}@{batch} batch ms");
+        assert!(image_ms > 0.0, "{input}@{batch} per-image ms");
+        assert!(ips > 0.0, "{input}@{batch} images/s");
+        // Internal consistency of the derived fields (within rounding).
+        let derived_ips = batch as f64 / (batch_ms / 1e3);
+        assert!(
+            (ips - derived_ips).abs() / derived_ips < 0.01,
+            "{input}@{batch}: images_per_sec {ips} vs derived {derived_ips}"
+        );
+    }
+    for input in [352u64, 416] {
+        for batch in [1u64, 2, 4, 8] {
+            assert!(grid.contains(&(input, batch)), "missing {input}@{batch}");
+        }
+    }
+}
+
+#[test]
+fn batching_amortizes_at_352() {
+    // The acceptance bar for the serving micro-batcher: coalescing eight
+    // requests into one forward must not be slower per image than batch-1.
+    let report = load_batched_report();
+    let rows = report
+        .get("batched_throughput")
+        .and_then(JsonValue::as_array)
+        .expect("batched_throughput array");
+    let ips_at = |batch: u64| -> f64 {
+        rows.iter()
+            .find(|r| {
+                r.get("input").and_then(JsonValue::as_u64) == Some(352)
+                    && r.get("batch").and_then(JsonValue::as_u64) == Some(batch)
+            })
+            .and_then(|r| r.get("images_per_sec").and_then(JsonValue::as_f64))
+            .unwrap_or_else(|| panic!("no 352/batch-{batch} row"))
+    };
+    let (b1, b8) = (ips_at(1), ips_at(8));
+    assert!(
+        b8 >= b1,
+        "batch-8 throughput ({b8:.2} images/s) fell below batch-1 ({b1:.2})"
     );
 }

@@ -1,0 +1,255 @@
+//! End-to-end integration tests for the detection server: a real
+//! `TcpListener` on an ephemeral port, driven by plain `TcpStream` clients.
+//!
+//! Covers the four serving guarantees: concurrent requests coalesce into
+//! one forward batch (observed via the batch-size histogram), a full
+//! admission queue sheds load with `503` + `Retry-After`, `/metrics` emits
+//! valid Prometheus text, and graceful drain completes in-flight requests.
+
+use dronet::detect::DetectorBuilder;
+use dronet::obs::{JsonValue, Registry, Tracer};
+use dronet::serve::{DetectorFactory, ServeConfig, Server};
+use dronet_core::{zoo, ModelId};
+use dronet_data::{ppm, Image};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn factory() -> DetectorFactory {
+    Arc::new(|| {
+        let net = zoo::build(ModelId::DroNet, 64)?;
+        DetectorBuilder::new(net).confidence_threshold(0.3).build()
+    })
+}
+
+fn frame_bytes() -> Vec<u8> {
+    let img = Image::new(64, 64, [0.4, 0.5, 0.6]);
+    let mut bytes = Vec::new();
+    ppm::write(&img, &mut bytes).expect("encode frame");
+    bytes
+}
+
+/// Minimal one-shot HTTP client: returns (status, head, body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    let split = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head terminator");
+    let head = String::from_utf8_lossy(&response[..split]).to_string();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, head, response[split + 4..].to_vec())
+}
+
+fn post_detect(addr: SocketAddr) -> (u16, String, Vec<u8>) {
+    http(addr, "POST", "/detect", &frame_bytes())
+}
+
+#[test]
+fn concurrent_requests_coalesce_into_batches() {
+    let obs = Registry::new();
+    let tracer = Tracer::new();
+    let config = ServeConfig {
+        max_batch: 8,
+        // Generous linger so all eight clients land in the first batch even
+        // on a loaded CI box.
+        max_wait: Duration::from_millis(250),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(factory(), config, &obs, &tracer).expect("start");
+    let addr = server.addr();
+
+    let clients: Vec<_> = (0..8)
+        .map(|_| thread::spawn(move || post_detect(addr)))
+        .collect();
+    for c in clients {
+        let (status, _head, body) = c.join().expect("client thread");
+        assert_eq!(status, 200);
+        let v = JsonValue::parse(&String::from_utf8_lossy(&body)).expect("JSON body");
+        assert!(v.get("frame_id").and_then(JsonValue::as_f64).unwrap() >= 1.0);
+        let count = v.get("count").and_then(JsonValue::as_f64).unwrap() as usize;
+        let dets = v.get("detections").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(dets.len(), count);
+    }
+
+    // The batch-size histogram encodes batch sizes as nanoseconds; max_ns
+    // is exact, so coalescing means at least one forward saw >= 2 frames.
+    let snap = obs.snapshot();
+    let sizes = snap.histogram("serve.batch_size").expect("batch histogram");
+    assert!(sizes.count >= 1, "at least one forward batch");
+    assert!(
+        sizes.max_ns >= 2,
+        "8 concurrent requests never coalesced (largest batch {})",
+        sizes.max_ns
+    );
+    assert_eq!(snap.counter("serve.requests"), Some(8));
+
+    // Every frame shows its serving spans in the flight recorder.
+    let trace = tracer.snapshot();
+    for name in ["serve.parse", "serve.queue", "serve.batch", "detect.decode"] {
+        assert!(
+            trace.events.iter().any(|e| e.name == name),
+            "missing span {name}"
+        );
+    }
+
+    assert!(server.shutdown().drained);
+}
+
+#[test]
+fn full_queue_sheds_load_with_503_and_retry_after() {
+    let obs = Registry::new();
+    let config = ServeConfig {
+        workers: 1,
+        max_batch: 1,
+        max_wait: Duration::ZERO,
+        queue_capacity: 1,
+        // Hold the only worker busy so the queue stays full.
+        dispatch_delay: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(factory(), config, &obs, &Tracer::noop()).expect("start");
+    let addr = server.addr();
+
+    let clients: Vec<_> = (0..4)
+        .map(|_| thread::spawn(move || post_detect(addr)))
+        .collect();
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    for c in clients {
+        let (status, head, _body) = c.join().expect("client thread");
+        match status {
+            200 => ok += 1,
+            503 => {
+                shed += 1;
+                assert!(head.contains("Retry-After:"), "503 without Retry-After");
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert!(ok >= 1, "some requests must still be served");
+    assert!(
+        shed >= 1,
+        "a 1-deep queue behind a stalled worker must shed"
+    );
+    let drops = obs.snapshot().counter("serve.admission_drops").unwrap_or(0);
+    assert!(drops >= shed as u64);
+    server.shutdown();
+}
+
+#[test]
+fn metrics_endpoint_serves_valid_prometheus_text() {
+    let obs = Registry::new();
+    let server =
+        Server::start(factory(), ServeConfig::default(), &obs, &Tracer::noop()).expect("start");
+    let addr = server.addr();
+    let (status, _, _) = post_detect(addr);
+    assert_eq!(status, 200);
+
+    let (status, head, body) = http(addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    assert!(head.contains("Content-Type: text/plain; version=0.0.4"));
+    let text = String::from_utf8(body).expect("utf-8 exposition");
+    for metric in [
+        "serve_queue_depth",
+        "serve_batch_size_seconds_bucket",
+        "serve_admission_drops",
+        "serve_request_seconds_count",
+        "serve_health",
+    ] {
+        assert!(text.contains(metric), "missing metric {metric}");
+    }
+    // Structural validation: every line is a comment or `name[{labels}] value`.
+    for line in text.lines() {
+        if line.starts_with("# TYPE ") {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("sample line");
+        assert!(!name.is_empty());
+        let bare = name.split('{').next().unwrap();
+        assert!(
+            bare.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            }),
+            "illegal metric name {bare:?}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value {value:?} in {line:?}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn graceful_drain_completes_in_flight_requests() {
+    let obs = Registry::new();
+    let config = ServeConfig {
+        workers: 1,
+        // Slow the worker so the request is provably in flight when the
+        // drain begins.
+        dispatch_delay: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(factory(), config, &obs, &Tracer::noop()).expect("start");
+    let addr = server.addr();
+
+    let inflight = thread::spawn(move || post_detect(addr));
+    // Let the request reach the queue before draining.
+    thread::sleep(Duration::from_millis(100));
+    let report = server.shutdown();
+    let (status, _, body) = inflight.join().expect("client thread");
+    assert_eq!(status, 200, "in-flight request must complete during drain");
+    JsonValue::parse(&String::from_utf8_lossy(&body)).expect("JSON body");
+    assert!(report.drained, "drain must finish inside the timeout");
+    assert_eq!(report.abandoned_connections, 0);
+}
+
+#[test]
+fn routing_health_and_error_paths() {
+    let obs = Registry::new();
+    let server =
+        Server::start(factory(), ServeConfig::default(), &obs, &Tracer::noop()).expect("start");
+    let addr = server.addr();
+
+    let (status, _, body) = http(addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    assert_eq!(String::from_utf8_lossy(&body), "healthy\n");
+
+    let (status, _, _) = http(addr, "GET", "/nope", b"");
+    assert_eq!(status, 404);
+
+    let (status, _, _) = http(addr, "GET", "/detect", b"");
+    assert_eq!(status, 405);
+
+    // A non-PPM body is a typed 400, not a hang or a crash.
+    let (status, _, body) = http(addr, "POST", "/detect", b"this is not a ppm");
+    assert_eq!(status, 400);
+    assert!(String::from_utf8_lossy(&body).contains("bad PPM body"));
+
+    // Malformed HTTP is a typed 400 too.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(b"BROKEN\r\n\r\n").expect("write");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read");
+    assert!(String::from_utf8_lossy(&response).starts_with("HTTP/1.1 400"));
+
+    server.shutdown();
+}
