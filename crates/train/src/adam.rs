@@ -1,5 +1,22 @@
 use dronet_nn::Network;
 
+/// Serializable snapshot of an [`Adam`] optimizer's mutable state.
+///
+/// Crucially includes `step_count`: Adam's bias correction divides by
+/// `1 - beta^t`, so a restart that zeroes the timestep re-applies the large
+/// early-step corrections to late-training moments and kicks the weights.
+/// Before [`Adam::state`]/[`Adam::restore_state`] existed the timestep was
+/// unrecoverable after a restart; now it round-trips with the buffers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AdamState {
+    /// Number of steps taken (the `t` in the bias-correction terms).
+    pub step_count: u64,
+    /// First-moment buffers in parameter-visitation order.
+    pub m: Vec<Vec<f32>>,
+    /// Second-moment buffers in parameter-visitation order.
+    pub v: Vec<Vec<f32>>,
+}
+
 /// Adam optimizer (Kingma & Ba) over a [`Network`].
 ///
 /// The paper trains with Darknet's SGD+momentum ([`crate::Sgd`]); Adam is
@@ -69,6 +86,30 @@ impl Adam {
     pub fn set_learning_rate(&mut self, lr: f32) {
         assert!(lr > 0.0, "learning rate must be positive");
         self.learning_rate = lr;
+    }
+
+    /// Number of steps taken so far (the bias-correction timestep).
+    pub fn step_count(&self) -> u64 {
+        self.step_count
+    }
+
+    /// Snapshot of the moment buffers and timestep for checkpointing.
+    pub fn state(&self) -> AdamState {
+        AdamState {
+            step_count: self.step_count,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Adam::state`], including the
+    /// bias-correction timestep. Layout is validated lazily on the next
+    /// [`Adam::step`]; validate against the target network first when the
+    /// state comes from an untrusted checkpoint.
+    pub fn restore_state(&mut self, state: AdamState) {
+        self.step_count = state.step_count;
+        self.m = state.m;
+        self.v = state.v;
     }
 
     /// Applies one Adam step using the gradients accumulated in `net`,
@@ -182,6 +223,89 @@ mod tests {
         let mut w = 1.0;
         net.visit_params_mut(|p, _| w = p[0]);
         assert!(w < 0.9, "decay did not shrink weight: {w}");
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_timestep_and_trajectory() {
+        let drive = |net: &mut Network, opt: &mut Adam, steps: usize| {
+            let x = Tensor::ones(Shape::nchw(1, 1, 4, 4));
+            let target = Tensor::full(Shape::nchw(1, 1, 4, 4), 3.0);
+            for _ in 0..steps {
+                let y = net.forward_train(&x).unwrap();
+                let mut grad = y.sub(&target).unwrap();
+                grad.scale(2.0);
+                net.zero_grads();
+                net.forward_train(&x).unwrap();
+                net.backward(&grad).unwrap();
+                opt.step(net, 1);
+            }
+        };
+        let weight = |net: &mut Network| {
+            let mut w = 0.0;
+            net.visit_params_mut(|p, _| w = p[0]);
+            w
+        };
+        let mut net_a = one_conv_net();
+        let mut opt_a = Adam::new(0.05);
+        drive(&mut net_a, &mut opt_a, 20);
+
+        let mut net_b = one_conv_net();
+        let mut opt_b = Adam::new(0.05);
+        drive(&mut net_b, &mut opt_b, 10);
+        let snapshot = opt_b.state();
+        assert_eq!(snapshot.step_count, 10, "timestep must be recoverable");
+        let mut opt_c = Adam::new(0.05);
+        opt_c.restore_state(snapshot.clone());
+        assert_eq!(opt_c.state(), snapshot);
+        assert_eq!(opt_c.step_count(), 10);
+        drive(&mut net_b, &mut opt_c, 10);
+        assert_eq!(
+            weight(&mut net_a).to_bits(),
+            weight(&mut net_b).to_bits(),
+            "restored Adam must continue bit-identically"
+        );
+    }
+
+    #[test]
+    fn dropping_the_timestep_perturbs_the_trajectory() {
+        // The bug state()/restore_state() fixes: a restart that keeps the
+        // moments but zeroes step_count changes the update (stale bias
+        // correction), so the two runs diverge.
+        let drive = |net: &mut Network, opt: &mut Adam, steps: usize| {
+            let x = Tensor::ones(Shape::nchw(1, 1, 4, 4));
+            let target = Tensor::full(Shape::nchw(1, 1, 4, 4), 3.0);
+            for _ in 0..steps {
+                let y = net.forward_train(&x).unwrap();
+                let mut grad = y.sub(&target).unwrap();
+                grad.scale(2.0);
+                net.zero_grads();
+                net.forward_train(&x).unwrap();
+                net.backward(&grad).unwrap();
+                opt.step(net, 1);
+            }
+        };
+        let weight = |net: &mut Network| {
+            let mut w = 0.0;
+            net.visit_params_mut(|p, _| w = p[0]);
+            w
+        };
+        let mut net_a = one_conv_net();
+        let mut opt_a = Adam::new(0.05);
+        drive(&mut net_a, &mut opt_a, 20);
+
+        let mut net_b = one_conv_net();
+        let mut opt_b = Adam::new(0.05);
+        drive(&mut net_b, &mut opt_b, 10);
+        let mut amnesiac = opt_b.state();
+        amnesiac.step_count = 0; // simulate the pre-fix restart
+        let mut opt_c = Adam::new(0.05);
+        opt_c.restore_state(amnesiac);
+        drive(&mut net_b, &mut opt_c, 10);
+        assert_ne!(
+            weight(&mut net_a).to_bits(),
+            weight(&mut net_b).to_bits(),
+            "zeroed timestep should not reproduce the straight run"
+        );
     }
 
     #[test]

@@ -12,7 +12,16 @@
 //! * [`Sgd`] — SGD + momentum + weight decay over a [`dronet_nn::Network`],
 //! * [`LrSchedule`] — constant, burn-in polynomial, and step schedules,
 //! * [`Trainer`] — epoch loop over a [`dronet_data::dataset::VehicleDataset`]
-//!   with per-epoch loss reporting and optional weight checkpoints.
+//!   with per-epoch loss reporting and optional weight checkpoints,
+//! * [`CheckpointStore`] — durable, CRC-guarded, rotating training
+//!   checkpoints (weights + optimizer + schedule position) with torn-write
+//!   recovery, enabling bit-identical crash/resume via
+//!   [`Trainer::train_resumable`],
+//! * [`DivergenceSentry`] — NaN/spike detection with
+//!   rollback-to-last-good-checkpoint and LR backoff under a bounded retry
+//!   budget,
+//! * [`crash`] — deterministic crash/fault injection used by the chaos
+//!   tests to prove the recovery paths.
 //!
 //! # Example
 //!
@@ -35,15 +44,22 @@
 #![warn(missing_docs)]
 
 mod adam;
+mod checkpoint;
 mod loss;
 mod optimizer;
 mod schedule;
+mod sentry;
 mod trainer;
 
+pub mod crash;
 pub mod gradcheck;
 
-pub use adam::Adam;
+pub use adam::{Adam, AdamState};
+pub use checkpoint::{
+    crc32, Checkpoint, CheckpointError, CheckpointStore, OptimizerState, Recovery, CHECKPOINT_EXT,
+};
 pub use loss::{LossBreakdown, YoloLoss, YoloLossConfig};
-pub use optimizer::Sgd;
+pub use optimizer::{Sgd, SgdState};
 pub use schedule::LrSchedule;
-pub use trainer::{TrainConfig, TrainReport, Trainer};
+pub use sentry::{DivergenceSentry, SentryConfig, TrainHealth, TripReason};
+pub use trainer::{TrainConfig, TrainError, TrainEvent, TrainReport, Trainer, TRAIN_EVENT_TAIL};

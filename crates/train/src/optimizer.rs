@@ -1,5 +1,16 @@
 use dronet_nn::Network;
 
+/// Serializable snapshot of an [`Sgd`] optimizer's mutable state: the
+/// per-parameter-group momentum buffers. Hyper-parameters (learning rate,
+/// momentum, decay) are configuration, not state — a restored run rebuilds
+/// them from its [`crate::TrainConfig`] and restores only the buffers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SgdState {
+    /// Momentum buffers in parameter-visitation order; empty before the
+    /// first step.
+    pub velocity: Vec<Vec<f32>>,
+}
+
 /// Stochastic gradient descent with momentum and weight decay — Darknet's
 /// optimizer, with its default hyper-parameters (`momentum=0.9`,
 /// `decay=0.0005`).
@@ -60,6 +71,23 @@ impl Sgd {
     pub fn set_learning_rate(&mut self, lr: f32) {
         assert!(lr > 0.0, "learning rate must be positive");
         self.learning_rate = lr;
+    }
+
+    /// Snapshot of the momentum buffers for checkpointing. Empty until the
+    /// first [`Sgd::step`].
+    pub fn state(&self) -> SgdState {
+        SgdState {
+            velocity: self.velocity.clone(),
+        }
+    }
+
+    /// Restores momentum buffers captured by [`Sgd::state`]. The layout is
+    /// validated lazily: the next [`Sgd::step`] panics if the buffers do
+    /// not match the network's parameter groups, so validate against the
+    /// target network first when loading untrusted checkpoints (the
+    /// trainer's checkpoint restore path does).
+    pub fn restore_state(&mut self, state: SgdState) {
+        self.velocity = state.velocity;
     }
 
     /// Applies one update step using the gradients accumulated in `net`,
@@ -209,6 +237,50 @@ mod tests {
         };
         assert!((make(1) - -1.0).abs() < 1e-6);
         assert!((make(4) - -0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_identically() {
+        let drive = |net: &mut Network, opt: &mut Sgd, steps: usize| {
+            let x = Tensor::ones(Shape::nchw(1, 1, 4, 4));
+            let target = Tensor::full(Shape::nchw(1, 1, 4, 4), 3.0);
+            for _ in 0..steps {
+                let y = net.forward_train(&x).unwrap();
+                let mut grad = y.sub(&target).unwrap();
+                grad.scale(2.0);
+                net.zero_grads();
+                net.forward_train(&x).unwrap();
+                net.backward(&grad).unwrap();
+                opt.step(net, 1);
+            }
+        };
+        let weight = |net: &mut Network| {
+            let mut w = 0.0;
+            net.visit_params_mut(|p, _| w = p[0]);
+            w
+        };
+        // Straight run: 6 steps.
+        let mut net_a = one_conv_net();
+        net_a.visit_params_mut(|p, _| p.iter_mut().for_each(|v| *v = 0.0));
+        let mut opt_a = Sgd::with_hyperparams(0.01, 0.9, 0.0);
+        drive(&mut net_a, &mut opt_a, 6);
+        // Split run: 3 steps, snapshot, fresh optimizer restored, 3 more.
+        let mut net_b = one_conv_net();
+        net_b.visit_params_mut(|p, _| p.iter_mut().for_each(|v| *v = 0.0));
+        let mut opt_b = Sgd::with_hyperparams(0.01, 0.9, 0.0);
+        drive(&mut net_b, &mut opt_b, 3);
+        let snapshot = opt_b.state();
+        assert_eq!(
+            snapshot.velocity.len(),
+            2,
+            "bias + weights parameter groups"
+        );
+        let mut opt_c = Sgd::with_hyperparams(0.01, 0.9, 0.0);
+        opt_c.restore_state(snapshot.clone());
+        assert_eq!(opt_c.state(), snapshot);
+        drive(&mut net_b, &mut opt_c, 3);
+        // Momentum survived the restart: trajectories are bit-identical.
+        assert_eq!(weight(&mut net_a).to_bits(), weight(&mut net_b).to_bits());
     }
 
     #[test]

@@ -1,12 +1,16 @@
+use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointStore, OptimizerState};
+use crate::crash::{TrainFault, TrainFaultPlan};
+use crate::sentry::{DivergenceSentry, SentryConfig, TrainHealth};
 use crate::{LrSchedule, Sgd, YoloLoss, YoloLossConfig};
 use dronet_data::augment::{AugmentConfig, Augmenter};
 use dronet_data::dataset::VehicleDataset;
 use dronet_metrics::BBox;
 use dronet_nn::{Network, NnError};
-use dronet_obs::Registry;
+use dronet_obs::{Registry, Tracer};
 use dronet_tensor::Tensor;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::fmt;
 
 /// Training-run configuration.
 #[derive(Debug, Clone)]
@@ -48,15 +52,124 @@ impl Default for TrainConfig {
     }
 }
 
+/// Errors of the resumable training loop.
+#[derive(Debug)]
+pub enum TrainError {
+    /// A forward/backward/configuration error from the network.
+    Nn(NnError),
+    /// Checkpoint storage or recovery failed.
+    Checkpoint(CheckpointError),
+    /// The run was aborted mid-step by the crash hook of
+    /// [`Trainer::train_resumable_with`] — nothing was checkpointed for
+    /// the aborted step, exactly like a process kill.
+    Aborted {
+        /// Global step at which the abort struck.
+        step: u64,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Nn(e) => write!(f, "training failed: {e}"),
+            TrainError::Checkpoint(e) => write!(f, "checkpointing failed: {e}"),
+            TrainError::Aborted { step } => {
+                write!(f, "training aborted (crash hook) at step {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Nn(e) => Some(e),
+            TrainError::Checkpoint(e) => Some(e),
+            TrainError::Aborted { .. } => None,
+        }
+    }
+}
+
+impl From<NnError> for TrainError {
+    fn from(e: NnError) -> Self {
+        TrainError::Nn(e)
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+impl From<dronet_tensor::TensorError> for TrainError {
+    fn from(e: dronet_tensor::TensorError) -> Self {
+        TrainError::Nn(NnError::from(e))
+    }
+}
+
+/// One entry of the training run's black-box event tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainEvent {
+    /// Global step when the event fired.
+    pub step: u64,
+    /// Event kind: `"resume"`, `"checkpoint"`, `"best"`, `"trip"`,
+    /// `"rollback"`, `"recover"` or `"halt"`.
+    pub kind: &'static str,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+/// Maximum events retained in [`TrainReport::events`] (oldest dropped).
+pub const TRAIN_EVENT_TAIL: usize = 64;
+
 /// Outcome of a training run.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainReport {
     /// Mean total loss per epoch.
     pub epoch_losses: Vec<f32>,
-    /// Total optimizer steps taken.
+    /// Total optimizer steps taken (the final global step).
     pub batches: usize,
     /// Images consumed (including augmented repeats).
     pub images_seen: usize,
+    /// Step of the checkpoint this run resumed from, when it did.
+    pub resumed_from_step: Option<u64>,
+    /// Checkpoints written during the run (rotating + best + final).
+    pub checkpoints_written: usize,
+    /// Divergence-sentry trips observed.
+    pub sentry_trips: usize,
+    /// Rollbacks performed (each consumed retry budget).
+    pub rollbacks: usize,
+    /// Cumulative LR backoff multiplier at the end of the run (1.0 = the
+    /// sentry never backed off).
+    pub final_lr_scale: f32,
+    /// Health at the end of the run; [`TrainHealth::Halted`] means the
+    /// sentry stopped the run early.
+    pub final_health: TrainHealth,
+    /// Why the run halted, when it did.
+    pub halt_reason: Option<String>,
+    /// Black-box tail of the last [`TRAIN_EVENT_TAIL`] notable events
+    /// (checkpoints, trips, rollbacks…), mirroring
+    /// `detect::SupervisorReport::black_box`.
+    pub events: Vec<TrainEvent>,
+}
+
+impl Default for TrainReport {
+    fn default() -> Self {
+        TrainReport {
+            epoch_losses: Vec::new(),
+            batches: 0,
+            images_seen: 0,
+            resumed_from_step: None,
+            checkpoints_written: 0,
+            sentry_trips: 0,
+            rollbacks: 0,
+            final_lr_scale: 1.0,
+            final_health: TrainHealth::Healthy,
+            halt_reason: None,
+            events: Vec::new(),
+        }
+    }
 }
 
 impl TrainReport {
@@ -72,11 +185,119 @@ impl TrainReport {
 /// Batch training loop for region-head detection networks.
 ///
 /// Mirrors the paper's training stage: Darknet-style SGD over the vehicle
-/// dataset with the YOLO loss.
+/// dataset with the YOLO loss. Data order and augmentation are derived
+/// per-(seed, epoch, batch) — not from one long-lived RNG — so a run can
+/// be killed at any step and resumed **bit-identically** from a
+/// [`CheckpointStore`] snapshot (see [`Trainer::train_resumable`]).
 #[derive(Debug, Clone)]
 pub struct Trainer {
     config: TrainConfig,
     obs: Registry,
+    tracer: Tracer,
+    sentry: Option<SentryConfig>,
+    fault_plan: Option<TrainFaultPlan>,
+}
+
+/// Mutable state of the loop; exactly what a [`Checkpoint`] captures,
+/// plus run-local bookkeeping that survives rollbacks (budgets, events).
+struct LoopState {
+    step: u64,
+    epoch: usize,
+    batch_in_epoch: usize,
+    images_seen: usize,
+    epoch_losses: Vec<f32>,
+    epoch_loss: f32,
+    epoch_batches: usize,
+    best_loss: f32,
+    lr_scale: f32,
+    rollbacks: u64,
+    trips: u64,
+    health: TrainHealth,
+    clean_streak: u64,
+    checkpoints_written: usize,
+    resumed_from: Option<u64>,
+    events: Vec<TrainEvent>,
+    attempts: u64,
+    halt_reason: Option<String>,
+}
+
+impl LoopState {
+    fn fresh() -> Self {
+        LoopState {
+            step: 0,
+            epoch: 0,
+            batch_in_epoch: 0,
+            images_seen: 0,
+            epoch_losses: Vec::new(),
+            epoch_loss: 0.0,
+            epoch_batches: 0,
+            best_loss: f32::INFINITY,
+            lr_scale: 1.0,
+            rollbacks: 0,
+            trips: 0,
+            health: TrainHealth::Healthy,
+            clean_streak: 0,
+            checkpoints_written: 0,
+            resumed_from: None,
+            events: Vec::new(),
+            attempts: 0,
+            halt_reason: None,
+        }
+    }
+
+    fn push_event(&mut self, step: u64, kind: &'static str, detail: String) {
+        if self.events.len() == TRAIN_EVENT_TAIL {
+            self.events.remove(0);
+        }
+        self.events.push(TrainEvent { step, kind, detail });
+    }
+
+    /// Restores the checkpoint-captured position and history; budgets,
+    /// events and the attempt counter are deliberately left alone (they
+    /// are monotonic across rollbacks).
+    fn restore_position(&mut self, c: &Checkpoint) {
+        self.step = c.step;
+        self.epoch = c.epoch as usize;
+        self.batch_in_epoch = c.batch_in_epoch as usize;
+        self.images_seen = c.images_seen as usize;
+        self.best_loss = c.best_loss;
+        self.epoch_losses = c.epoch_losses.clone();
+        self.epoch_loss = c.epoch_loss_partial;
+        self.epoch_batches = c.epoch_batches_partial as usize;
+    }
+
+    fn into_report(self) -> TrainReport {
+        TrainReport {
+            epoch_losses: self.epoch_losses,
+            batches: self.step as usize,
+            images_seen: self.images_seen,
+            resumed_from_step: self.resumed_from,
+            checkpoints_written: self.checkpoints_written,
+            sentry_trips: self.trips as usize,
+            rollbacks: self.rollbacks as usize,
+            final_lr_scale: self.lr_scale,
+            final_health: self.health,
+            halt_reason: self.halt_reason,
+            events: self.events,
+        }
+    }
+}
+
+/// SplitMix64 finaliser — the stream-derivation mixer behind per-epoch
+/// shuffles and per-batch augmentation seeds.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn epoch_shuffle_seed(seed: u64, epoch: usize) -> u64 {
+    mix(seed ^ mix(epoch as u64 ^ 0x5EED_E50C))
+}
+
+fn batch_augment_seed(seed: u64, epoch: usize, batch_in_epoch: usize) -> u64 {
+    mix(seed ^ mix(((epoch as u64) << 32) | batch_in_epoch as u64) ^ 0xA0A0)
 }
 
 impl Trainer {
@@ -91,16 +312,52 @@ impl Trainer {
         Trainer {
             config,
             obs: Registry::noop(),
+            tracer: Tracer::noop(),
+            sentry: None,
+            fault_plan: None,
         }
     }
 
     /// Attaches telemetry: every run records step/epoch latency histograms
     /// (`train.step`, `train.epoch`), last-value gauges (`train.loss`,
-    /// `train.lr`, `train.grad_norm`) and `train.steps` / `train.images`
-    /// counters into `obs`. The gradient norm is only computed when the
-    /// registry is live, so unobserved training pays nothing for it.
+    /// `train.lr`, `train.grad_norm`, `train.health`) and `train.steps` /
+    /// `train.images` / `train.checkpoints` / `train.sentry.trips` /
+    /// `train.rollbacks` counters into `obs`. The gradient norm is only
+    /// computed when the registry is live or a sentry is armed, so
+    /// unobserved training pays nothing for it.
     pub fn with_observability(mut self, obs: &Registry) -> Self {
         self.obs = obs.clone();
+        self
+    }
+
+    /// Attaches a flight recorder: checkpoints, sentry trips, rollbacks
+    /// and halts emit `train.*` instants carrying the global step.
+    pub fn with_tracing(mut self, tracer: &Tracer) -> Self {
+        self.tracer = tracer.clone();
+        self
+    }
+
+    /// Arms the divergence sentry: non-finite losses/gradients and EWMA
+    /// loss spikes roll the run back to the last good checkpoint with LR
+    /// backoff, under `config.max_rollbacks` budget; the budget exhausted
+    /// (or no [`CheckpointStore`] to roll back to) halts the run with
+    /// [`TrainHealth::Halted`] instead of erroring.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sentry configuration is out of range.
+    pub fn with_sentry(mut self, config: SentryConfig) -> Self {
+        // Validate eagerly so a bad config fails at construction.
+        let _ = DivergenceSentry::new(config.clone());
+        self.sentry = Some(config);
+        self
+    }
+
+    /// Injects a deterministic [`TrainFaultPlan`] (chaos testing): the
+    /// scheduled step attempts observe a poisoned loss or gradient,
+    /// exercising the sentry's trip/rollback machinery on demand.
+    pub fn with_fault_plan(mut self, plan: TrainFaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -139,6 +396,81 @@ impl Trainer {
         dataset: &VehicleDataset,
         mut on_epoch: impl FnMut(usize, f32),
     ) -> Result<TrainReport, NnError> {
+        self.run(net, dataset, None, &mut on_epoch, &mut |_, _| true)
+            .map_err(|e| match e {
+                TrainError::Nn(e) => e,
+                other => unreachable!("no store, no crash hook: {other}"),
+            })
+    }
+
+    /// Crash-safe training: checkpoints into `store` every `every_steps`
+    /// optimizer steps (plus a base snapshot at step 0, a `best.drcp` at
+    /// every improved epoch and a final snapshot), and **resumes** from
+    /// [`CheckpointStore::latest_valid`] when the store already holds an
+    /// intact snapshot. The resumed run replays the remaining steps
+    /// bit-identically to an uninterrupted run of the same total length.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors ([`TrainError::Nn`]) and storage errors
+    /// ([`TrainError::Checkpoint`]); a corrupt snapshot in the store is
+    /// *not* an error (recovery skips it), only an unreadable directory
+    /// or an architecture-mismatched recovered snapshot is.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `every_steps` is zero.
+    pub fn train_resumable(
+        &self,
+        net: &mut Network,
+        dataset: &VehicleDataset,
+        store: &CheckpointStore,
+        every_steps: u64,
+    ) -> Result<TrainReport, TrainError> {
+        self.train_resumable_with(net, dataset, store, every_steps, |_, _| {}, |_, _| true)
+    }
+
+    /// [`Trainer::train_resumable`] with hooks: `on_epoch(epoch, mean)`
+    /// after every epoch, and `on_step(step, loss) -> bool` after every
+    /// accepted optimizer step — returning `false` **simulates a crash**:
+    /// the run returns [`TrainError::Aborted`] immediately without
+    /// checkpointing, exactly as a power loss would leave the store.
+    ///
+    /// # Errors
+    ///
+    /// See [`Trainer::train_resumable`]; plus [`TrainError::Aborted`]
+    /// from the crash hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `every_steps` is zero.
+    pub fn train_resumable_with(
+        &self,
+        net: &mut Network,
+        dataset: &VehicleDataset,
+        store: &CheckpointStore,
+        every_steps: u64,
+        mut on_epoch: impl FnMut(usize, f32),
+        mut on_step: impl FnMut(u64, f32) -> bool,
+    ) -> Result<TrainReport, TrainError> {
+        assert!(every_steps > 0, "checkpoint cadence must be positive");
+        self.run(
+            net,
+            dataset,
+            Some((store, every_steps)),
+            &mut on_epoch,
+            &mut on_step,
+        )
+    }
+
+    fn run(
+        &self,
+        net: &mut Network,
+        dataset: &VehicleDataset,
+        ckpt: Option<(&CheckpointStore, u64)>,
+        on_epoch: &mut dyn FnMut(usize, f32),
+        on_step: &mut dyn FnMut(u64, f32) -> bool,
+    ) -> Result<TrainReport, TrainError> {
         let region_cfg = net
             .layers()
             .last()
@@ -151,16 +483,15 @@ impl Trainer {
         let loss = YoloLoss::new(region_cfg, self.config.loss);
         let (_, in_h, in_w) = net.input_chw();
         if in_h != in_w {
-            return Err(NnError::BadLayerConfig {
+            return Err(TrainError::Nn(NnError::BadLayerConfig {
                 layer: "net",
                 msg: format!("trainer expects square inputs, got {in_h}x{in_w}"),
-            });
+            }));
         }
         let input = in_h;
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
         net.init_weights(&mut rng);
-        let mut augmenter = Augmenter::new(AugmentConfig::default(), self.config.seed ^ 0xA0A0);
         let mut opt = Sgd::with_hyperparams(
             self.config.schedule.lr_at(0).max(1e-9),
             self.config.momentum,
@@ -169,10 +500,10 @@ impl Trainer {
 
         let train_scenes = dataset.train();
         if train_scenes.is_empty() {
-            return Err(NnError::BadLayerConfig {
+            return Err(TrainError::Nn(NnError::BadLayerConfig {
                 layer: "net",
                 msg: "training split is empty".to_string(),
-            });
+            }));
         }
 
         let step_hist = self.obs.histogram("train.step");
@@ -182,20 +513,63 @@ impl Trainer {
         let grad_gauge = self.obs.gauge("train.grad_norm");
         let steps_counter = self.obs.counter("train.steps");
         let images_counter = self.obs.counter("train.images");
+        let health_gauge = self.obs.gauge("train.health");
+        let trips_counter = self.obs.counter("train.sentry.trips");
+        let rollbacks_counter = self.obs.counter("train.rollbacks");
+        let ckpt_counter = self.obs.counter("train.checkpoints");
 
-        let mut report = TrainReport::default();
-        let mut batch_index = 0usize;
-        for epoch in 0..self.config.epochs {
+        let mut sentry = self.sentry.clone().map(DivergenceSentry::new);
+        let mut st = LoopState::fresh();
+        health_gauge.set(st.health.as_metric());
+
+        // --- Resume, or anchor a base snapshot for the sentry. ---
+        if let Some((store, _)) = ckpt {
+            let recovery = store.latest_valid()?;
+            if let Some((path, c)) = recovery.checkpoint {
+                self.restore_from(net, &mut opt, sentry.as_mut(), &c)?;
+                st.restore_position(&c);
+                st.lr_scale = c.lr_scale;
+                st.rollbacks = c.rollbacks;
+                st.trips = c.trips;
+                st.resumed_from = Some(c.step);
+                st.push_event(
+                    c.step,
+                    "resume",
+                    format!(
+                        "from {} ({} corrupt snapshot(s) skipped)",
+                        path.display(),
+                        recovery.rejected.len()
+                    ),
+                );
+                self.tracer.instant_aux("train.resume", c.step as i64);
+            } else {
+                self.write_checkpoint(store, net, &opt, &mut st, sentry.as_ref(), &ckpt_counter)?;
+            }
+        }
+
+        let batch_size = self.config.batch_size;
+        'training: while st.epoch < self.config.epochs {
             let epoch_span = epoch_hist.start();
             let mut order: Vec<usize> = (0..train_scenes.len()).collect();
-            order.shuffle(&mut rng);
-            let mut epoch_loss = 0.0f32;
-            let mut epoch_batches = 0usize;
+            let mut epoch_rng =
+                rand::rngs::StdRng::seed_from_u64(epoch_shuffle_seed(self.config.seed, st.epoch));
+            order.shuffle(&mut epoch_rng);
+            let chunk_count = order.len().div_ceil(batch_size);
 
-            for chunk in order.chunks(self.config.batch_size) {
+            while st.batch_in_epoch < chunk_count {
+                let start = st.batch_in_epoch * batch_size;
+                let end = (start + batch_size).min(order.len());
+                let chunk = &order[start..end];
+
                 let step_span = step_hist.start();
                 let mut images: Vec<Tensor> = Vec::with_capacity(chunk.len());
                 let mut truths: Vec<Vec<(BBox, usize)>> = Vec::with_capacity(chunk.len());
+                let mut augmenter = self.config.augment.then(|| {
+                    Augmenter::new(
+                        AugmentConfig::default(),
+                        batch_augment_seed(self.config.seed, st.epoch, st.batch_in_epoch),
+                    )
+                });
                 for &idx in chunk {
                     let scene = &train_scenes[idx];
                     let annotated: Vec<(BBox, usize)> = scene
@@ -203,9 +577,8 @@ impl Trainer {
                         .iter()
                         .map(|a| (a.bbox, a.class))
                         .collect();
-                    if self.config.augment {
-                        let (img, annotated) =
-                            augmenter.apply_with_classes(&scene.image, &annotated);
+                    if let Some(aug) = augmenter.as_mut() {
+                        let (img, annotated) = aug.apply_with_classes(&scene.image, &annotated);
                         images.push(img.resize(input, input).to_tensor());
                         truths.push(annotated);
                     } else {
@@ -217,38 +590,283 @@ impl Trainer {
                 let output = net.forward_train(&batch)?;
                 let (breakdown, grad) = loss.evaluate_with_classes(&output, &truths)?;
                 net.backward(&grad)?;
-                if self.obs.is_enabled() {
-                    // Post-backward, pre-step: the raw accumulated gradient.
+
+                let fault = self
+                    .fault_plan
+                    .as_ref()
+                    .and_then(|p| p.fault_for(st.attempts as usize));
+                st.attempts += 1;
+                if matches!(fault, Some(TrainFault::NanGrad)) {
+                    let mut poisoned = false;
+                    net.visit_params_mut(|_, g| {
+                        if !poisoned && !g.is_empty() {
+                            g[0] = f32::NAN;
+                            poisoned = true;
+                        }
+                    });
+                }
+
+                // One pass over the gradients serves telemetry, the
+                // sentry's finite check and (optionally) global-norm
+                // clipping; unobserved, sentry-less training skips it.
+                let mut grad_norm = 0.0f64;
+                if self.obs.is_enabled() || sentry.is_some() {
                     let mut sq = 0.0f64;
                     net.visit_params_mut(|_, g| {
                         sq += g.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>();
                     });
-                    grad_gauge.set(sq.sqrt());
+                    grad_norm = sq.sqrt();
+                    grad_gauge.set(grad_norm);
                 }
-                let lr = self.config.schedule.lr_at(batch_index).max(1e-9);
+
+                let mut step_loss = breakdown.total() / chunk.len() as f32;
+                match fault {
+                    Some(TrainFault::NanLoss) => step_loss = f32::NAN,
+                    Some(TrainFault::SpikeLoss(factor)) => step_loss *= factor,
+                    _ => {}
+                }
+
+                if let Some(sentry_ref) = sentry.as_mut() {
+                    let trip = sentry_ref
+                        .check_grad_norm(grad_norm)
+                        .or_else(|| sentry_ref.check_loss(st.step, step_loss));
+                    if let Some(reason) = trip {
+                        step_span.stop();
+                        epoch_span.stop();
+                        trips_counter.inc();
+                        st.trips += 1;
+                        st.push_event(st.step, "trip", reason.to_string());
+                        self.tracer.instant_aux("train.sentry.trip", st.step as i64);
+                        let cfg = sentry_ref.config().clone();
+                        let Some((store, _)) = ckpt else {
+                            self.halt(
+                                &mut st,
+                                &health_gauge,
+                                format!("sentry tripped ({reason}) with no checkpoint store"),
+                            );
+                            return Ok(st.into_report());
+                        };
+                        if st.rollbacks >= u64::from(cfg.max_rollbacks) {
+                            self.halt(
+                                &mut st,
+                                &health_gauge,
+                                format!(
+                                    "rollback budget ({}) exhausted after {reason}",
+                                    cfg.max_rollbacks
+                                ),
+                            );
+                            return Ok(st.into_report());
+                        }
+                        let recovery = store.latest_valid()?;
+                        let Some((_, good)) = recovery.checkpoint else {
+                            self.halt(
+                                &mut st,
+                                &health_gauge,
+                                "no intact checkpoint to roll back to".to_string(),
+                            );
+                            return Ok(st.into_report());
+                        };
+                        self.restore_from(net, &mut opt, sentry.as_mut(), &good)?;
+                        st.restore_position(&good);
+                        st.rollbacks += 1;
+                        rollbacks_counter.inc();
+                        st.lr_scale = (st.lr_scale * cfg.lr_backoff).max(cfg.min_lr_scale);
+                        st.health = TrainHealth::Degraded;
+                        st.clean_streak = 0;
+                        health_gauge.set(st.health.as_metric());
+                        st.push_event(
+                            good.step,
+                            "rollback",
+                            format!("to step {} with lr scale {}", good.step, st.lr_scale),
+                        );
+                        self.tracer.instant_aux("train.rollback", good.step as i64);
+                        net.zero_grads();
+                        continue 'training;
+                    }
+                    if let Some(clip) = sentry_ref.config().grad_clip {
+                        let clip = f64::from(clip);
+                        if grad_norm > clip {
+                            let scale = (clip / grad_norm) as f32;
+                            net.visit_params_mut(|_, g| {
+                                for v in g.iter_mut() {
+                                    *v *= scale;
+                                }
+                            });
+                        }
+                    }
+                }
+
+                let lr = self.config.schedule.lr_at(st.step as usize).max(1e-9) * st.lr_scale;
                 opt.set_learning_rate(lr);
                 opt.step(net, chunk.len());
                 net.zero_grads();
 
-                let step_loss = breakdown.total() / chunk.len() as f32;
                 step_span.stop();
                 loss_gauge.set(f64::from(step_loss));
                 lr_gauge.set(f64::from(lr));
                 steps_counter.inc();
                 images_counter.add(chunk.len() as u64);
 
-                epoch_loss += step_loss;
-                epoch_batches += 1;
-                batch_index += 1;
-                report.images_seen += chunk.len();
+                st.epoch_loss += step_loss;
+                st.epoch_batches += 1;
+                st.step += 1;
+                st.batch_in_epoch += 1;
+                st.images_seen += chunk.len();
+
+                if st.health == TrainHealth::Degraded {
+                    st.clean_streak += 1;
+                    let recover_after = sentry
+                        .as_ref()
+                        .map(|s| s.config().recover_after)
+                        .unwrap_or(u64::MAX);
+                    if st.clean_streak >= recover_after {
+                        st.health = TrainHealth::Healthy;
+                        health_gauge.set(st.health.as_metric());
+                        st.push_event(
+                            st.step,
+                            "recover",
+                            format!("{} clean steps", st.clean_streak),
+                        );
+                    }
+                }
+
+                if let Some((store, every)) = ckpt {
+                    if st.step.is_multiple_of(every) {
+                        self.write_checkpoint(
+                            store,
+                            net,
+                            &opt,
+                            &mut st,
+                            sentry.as_ref(),
+                            &ckpt_counter,
+                        )?;
+                    }
+                }
+
+                if !on_step(st.step, step_loss) {
+                    return Err(TrainError::Aborted { step: st.step });
+                }
             }
-            let mean = epoch_loss / epoch_batches.max(1) as f32;
-            report.epoch_losses.push(mean);
-            report.batches = batch_index;
+
+            let mean = st.epoch_loss / st.epoch_batches.max(1) as f32;
+            st.epoch_losses.push(mean);
+            st.epoch_loss = 0.0;
+            st.epoch_batches = 0;
+            let finished = st.epoch;
+            st.epoch += 1;
+            st.batch_in_epoch = 0;
             epoch_span.stop();
-            on_epoch(epoch, mean);
+            if let Some((store, _)) = ckpt {
+                if mean < st.best_loss {
+                    st.best_loss = mean;
+                    let snapshot = self.capture(net, &opt, &st, sentry.as_ref())?;
+                    store.save_best(&snapshot)?;
+                    st.checkpoints_written += 1;
+                    ckpt_counter.inc();
+                    st.push_event(st.step, "best", format!("epoch mean {mean}"));
+                }
+            }
+            on_epoch(finished, mean);
         }
-        Ok(report)
+
+        // Final snapshot so a completed run's store reflects its end state
+        // (resume-after-completion is a no-op that returns the history).
+        if let Some((store, every)) = ckpt {
+            if !st.step.is_multiple_of(every) || st.step == 0 {
+                self.write_checkpoint(store, net, &opt, &mut st, sentry.as_ref(), &ckpt_counter)?;
+            }
+        }
+        Ok(st.into_report())
+    }
+
+    fn halt(&self, st: &mut LoopState, health_gauge: &dronet_obs::Gauge, reason: String) {
+        st.health = TrainHealth::Halted;
+        health_gauge.set(st.health.as_metric());
+        st.push_event(st.step, "halt", reason.clone());
+        self.tracer.instant_aux("train.halt", st.step as i64);
+        st.halt_reason = Some(reason);
+    }
+
+    fn capture(
+        &self,
+        net: &Network,
+        opt: &Sgd,
+        st: &LoopState,
+        sentry: Option<&DivergenceSentry>,
+    ) -> Result<Checkpoint, CheckpointError> {
+        let mut c = Checkpoint::capture(net, OptimizerState::Sgd(opt.state()))?;
+        c.step = st.step;
+        c.epoch = st.epoch as u64;
+        c.batch_in_epoch = st.batch_in_epoch as u64;
+        c.images_seen = st.images_seen as u64;
+        c.best_loss = st.best_loss;
+        c.lr_scale = st.lr_scale;
+        c.ewma_loss = sentry.and_then(|s| s.ewma());
+        c.rollbacks = st.rollbacks;
+        c.trips = st.trips;
+        c.epoch_losses = st.epoch_losses.clone();
+        c.epoch_loss_partial = st.epoch_loss;
+        c.epoch_batches_partial = st.epoch_batches as u64;
+        Ok(c)
+    }
+
+    fn write_checkpoint(
+        &self,
+        store: &CheckpointStore,
+        net: &Network,
+        opt: &Sgd,
+        st: &mut LoopState,
+        sentry: Option<&DivergenceSentry>,
+        ckpt_counter: &dronet_obs::Counter,
+    ) -> Result<(), CheckpointError> {
+        let snapshot = self.capture(net, opt, st, sentry)?;
+        let path = store.save(&snapshot)?;
+        st.checkpoints_written += 1;
+        ckpt_counter.inc();
+        st.push_event(st.step, "checkpoint", path.display().to_string());
+        self.tracer.instant_aux("train.checkpoint", st.step as i64);
+        Ok(())
+    }
+
+    /// Restores network weights, optimizer state and sentry EWMA from a
+    /// recovered checkpoint, validating the optimizer layout against the
+    /// network before touching anything.
+    fn restore_from(
+        &self,
+        net: &mut Network,
+        opt: &mut Sgd,
+        sentry: Option<&mut DivergenceSentry>,
+        c: &Checkpoint,
+    ) -> Result<(), TrainError> {
+        let state = match &c.optimizer {
+            OptimizerState::Sgd(s) => s.clone(),
+            OptimizerState::None => crate::SgdState::default(),
+            OptimizerState::Adam(_) => {
+                return Err(TrainError::Checkpoint(CheckpointError::Malformed {
+                    section: "OPTIMIZER",
+                    msg: "trainer uses SGD but the checkpoint holds Adam state".to_string(),
+                }))
+            }
+        };
+        if !state.velocity.is_empty() {
+            let mut lens = Vec::new();
+            net.visit_params_mut(|p, _| lens.push(p.len()));
+            let got: Vec<usize> = state.velocity.iter().map(Vec::len).collect();
+            if lens != got {
+                return Err(TrainError::Checkpoint(CheckpointError::Malformed {
+                    section: "OPTIMIZER",
+                    msg: format!(
+                        "momentum layout {got:?} does not match network parameter groups {lens:?}"
+                    ),
+                }));
+            }
+        }
+        c.restore_network(net)?;
+        opt.restore_state(state);
+        if let Some(s) = sentry {
+            s.restore_ewma(c.ewma_loss);
+        }
+        Ok(())
     }
 }
 
@@ -301,6 +919,19 @@ mod tests {
         )
     }
 
+    fn fresh_store(name: &str) -> CheckpointStore {
+        let dir =
+            std::env::temp_dir().join(format!("dronet-trainer-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        CheckpointStore::open(&dir).unwrap()
+    }
+
+    fn weights_bytes(net: &Network) -> Vec<u8> {
+        let mut buf = Vec::new();
+        dronet_nn::weights::save(net, &mut buf).unwrap();
+        buf
+    }
+
     #[test]
     fn training_reduces_loss() {
         let mut net = micro_net(48);
@@ -321,6 +952,9 @@ mod tests {
         );
         assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
         assert_eq!(report.images_seen, 6 * 9);
+        assert_eq!(report.final_health, TrainHealth::Healthy);
+        assert_eq!(report.final_lr_scale, 1.0);
+        assert_eq!(report.resumed_from_step, None);
     }
 
     #[test]
@@ -372,6 +1006,7 @@ mod tests {
         assert!(loss.is_finite() && loss > 0.0);
         assert!(snap.gauge("train.lr").unwrap() > 0.0);
         assert!(snap.gauge("train.grad_norm").unwrap() >= 0.0);
+        assert_eq!(snap.gauge("train.health"), Some(0.0));
     }
 
     #[test]
@@ -412,6 +1047,53 @@ mod tests {
     }
 
     #[test]
+    fn resumable_run_without_crash_matches_plain_run() {
+        let dataset = tiny_dataset();
+        let config = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            augment: true,
+            ..TrainConfig::default()
+        };
+        let mut a = micro_net(48);
+        let ra = Trainer::new(config.clone())
+            .train(&mut a, &dataset)
+            .unwrap();
+        let store = fresh_store("plain-match");
+        let mut b = micro_net(48);
+        let rb = Trainer::new(config)
+            .train_resumable(&mut b, &dataset, &store, 2)
+            .unwrap();
+        assert_eq!(ra.epoch_losses, rb.epoch_losses);
+        assert_eq!(weights_bytes(&a), weights_bytes(&b));
+        assert!(rb.checkpoints_written > 0);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn checkpoints_rotate_and_best_exists() {
+        let dataset = tiny_dataset();
+        let config = TrainConfig {
+            epochs: 3,
+            batch_size: 3,
+            augment: false,
+            schedule: LrSchedule::Constant { lr: 2e-3 },
+            ..TrainConfig::default()
+        };
+        let store = fresh_store("rotation").keep_last(2);
+        let mut net = micro_net(48);
+        let report = Trainer::new(config)
+            .train_resumable(&mut net, &dataset, &store, 2)
+            .unwrap();
+        assert!(report.checkpoints_written >= 3);
+        assert!(store.snapshots().unwrap().len() <= 2);
+        assert!(store.load_best().unwrap().is_some());
+        let rec = store.latest_valid().unwrap();
+        assert_eq!(rec.checkpoint.unwrap().1.step, report.batches as u64);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
     fn network_without_region_head_is_rejected() {
         let mut net = Network::new(3, 48, 48);
         net.push(Layer::conv(
@@ -430,5 +1112,17 @@ mod tests {
             epochs: 0,
             ..TrainConfig::default()
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint cadence")]
+    fn zero_cadence_panics() {
+        let store = fresh_store("zero-cadence");
+        let _ = Trainer::new(TrainConfig::default()).train_resumable(
+            &mut micro_net(48),
+            &tiny_dataset(),
+            &store,
+            0,
+        );
     }
 }
