@@ -8,12 +8,21 @@
 //! ```text
 //! cargo run --release -p dronet-bench --bin bench_report \
 //!     [report.json [trace.json [batched_report.json]]]
+//! cargo run --release -p dronet-bench --bin bench_report -- \
+//!     --alloc-grid [BENCH_PR6.json]
 //! ```
 //!
 //! `DRONET_BENCH_ITERS` overrides the timed iterations per configuration
 //! (default 5); CI smoke runs set it to 1. The schema deliberately uses
 //! only objects, arrays, strings, and numbers — the subset the in-tree
 //! reader supports.
+//!
+//! `--alloc-grid` runs the steady-state-allocation grid instead
+//! (`BENCH_PR6.json`): this binary installs the counting allocator, and
+//! the grid pins `DRONET_THREADS=1` (scoped GEMM threads allocate their
+//! spawn state on the calling thread) before any forward caches the
+//! worker count, then reports allocs/bytes per warm pooled forward for
+//! DroNet-352 at batch 1 and 8 — expected to be exactly zero.
 
 use dronet_bench::{input_image, model};
 use dronet_core::ModelId;
@@ -21,9 +30,12 @@ use dronet_detect::{DetectorBuilder, IterSource, VideoPipeline};
 use dronet_nn::cost::network_cost;
 use dronet_nn::profile::NetworkProfile;
 use dronet_nn::summary::NetworkSummary;
-use dronet_obs::{ChromeTrace, JsonValue, Registry, Tracer};
+use dronet_obs::{AllocScope, ChromeTrace, CountingAlloc, JsonValue, Registry, Tracer};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 /// The schema version stamped into the report; bump when a field changes
 /// meaning so regression tooling can refuse to compare across versions.
@@ -183,6 +195,95 @@ fn num(value: f64) -> String {
     }
 }
 
+/// The steady-state-allocation grid (`BENCH_PR6.json`): batch sizes of
+/// the DroNet-352 pooled forward measured for heap allocations per pass
+/// after warmup.
+const ALLOC_INPUT: usize = 352;
+const ALLOC_BATCHES: [usize; 2] = [1, 8];
+const ALLOC_WARMUP: usize = 3;
+const ALLOC_MEASURED: usize = 5;
+
+struct AllocRow {
+    batch: usize,
+    allocs_per_forward: f64,
+    alloc_bytes_per_forward: f64,
+}
+
+/// Writes the steady-state allocation grid. Must run before any other
+/// forward in the process: it pins `DRONET_THREADS=1` so the GEMM stays
+/// on the calling thread, which [`AllocScope`] measures.
+fn alloc_grid_main(path: &str) {
+    std::env::set_var("DRONET_THREADS", "1");
+    assert!(
+        dronet_obs::alloc::installed(),
+        "bench_report must run under its CountingAlloc"
+    );
+    let mut rows = Vec::new();
+    for batch in ALLOC_BATCHES {
+        eprintln!("measuring DroNet @{ALLOC_INPUT} batch {batch} steady-state allocations...");
+        let mut net = model(ModelId::DroNet, ALLOC_INPUT);
+        let frames: Vec<_> = (0..batch)
+            .map(|i| input_image(ALLOC_INPUT, 7 + i as u64))
+            .collect();
+        let x = dronet_tensor::Tensor::stack_batch(&frames).expect("stack batch");
+        // Warmup populates the activation pool, folds batch-norm
+        // coefficients and sizes conv scratch; recycling each output
+        // mirrors a serving loop returning decoded results.
+        for _ in 0..ALLOC_WARMUP {
+            let y = net.forward(&x).expect("warmup forward");
+            net.recycle(y);
+        }
+        let scope = AllocScope::begin();
+        for _ in 0..ALLOC_MEASURED {
+            let y = net.forward(&x).expect("measured forward");
+            net.recycle(y);
+        }
+        let delta = scope.delta();
+        let row = AllocRow {
+            batch,
+            allocs_per_forward: delta.allocs as f64 / ALLOC_MEASURED as f64,
+            alloc_bytes_per_forward: delta.bytes as f64 / ALLOC_MEASURED as f64,
+        };
+        eprintln!(
+            "  {:.1} allocs/forward, {:.1} bytes/forward over {ALLOC_MEASURED} forwards",
+            row.allocs_per_forward, row.alloc_bytes_per_forward
+        );
+        rows.push(row);
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"dronet-bench-report\",");
+    let _ = writeln!(out, "  \"version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"pr\": \"PR6\",");
+    let _ = writeln!(out, "  \"threads\": 1,");
+    let _ = writeln!(out, "  \"warmup_forwards\": {ALLOC_WARMUP},");
+    let _ = writeln!(out, "  \"measured_forwards\": {ALLOC_MEASURED},");
+    out.push_str("  \"steady_state_alloc\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"model\": \"DroNet\", \"input\": {ALLOC_INPUT}, \"batch\": {}, \
+             \"allocs_per_forward\": {}, \"alloc_bytes_per_forward\": {}}}",
+            row.batch,
+            num(row.allocs_per_forward),
+            num(row.alloc_bytes_per_forward),
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+
+    let parsed = JsonValue::parse(&out).expect("alloc report parses with the in-tree reader");
+    let grid = parsed
+        .get("steady_state_alloc")
+        .and_then(JsonValue::as_array)
+        .expect("steady_state_alloc array");
+    assert_eq!(grid.len(), ALLOC_BATCHES.len());
+
+    std::fs::write(path, &out).expect("write alloc report");
+    eprintln!("wrote {path} ({} alloc rows)", rows.len());
+}
+
 fn main() {
     let iters: usize = std::env::var("DRONET_BENCH_ITERS")
         .ok()
@@ -190,7 +291,13 @@ fn main() {
         .filter(|&n| n > 0)
         .unwrap_or(5);
     let mut args = std::env::args().skip(1);
-    let report_path = args.next().unwrap_or_else(|| "BENCH_PR3.json".to_string());
+    let first = args.next();
+    if first.as_deref() == Some("--alloc-grid") {
+        let path = args.next().unwrap_or_else(|| "BENCH_PR6.json".to_string());
+        alloc_grid_main(&path);
+        return;
+    }
+    let report_path = first.unwrap_or_else(|| "BENCH_PR3.json".to_string());
     let trace_path = args
         .next()
         .unwrap_or_else(|| "bench_trace.json".to_string());

@@ -163,6 +163,7 @@ impl BlackBoxDump {
             &dronet_obs::TraceSnapshot {
                 events: self.events.clone(),
                 dropped: 0,
+                thread_names: Vec::new(),
             }
             .to_text(),
         );

@@ -1,5 +1,6 @@
 use crate::{NnError, Result};
 use dronet_tensor::{ops, Tensor};
+use std::sync::OnceLock;
 
 /// Per-channel batch normalisation, Darknet style.
 ///
@@ -19,6 +20,30 @@ pub struct BatchNorm {
     rolling_var: Vec<f32>,
     scale_grad: Vec<f32>,
     cache: Option<BnCache>,
+    infer_cache: InferCache,
+}
+
+/// Folded inference coefficients (`-mean`, `gamma / sqrt(var + eps)`),
+/// computed lazily on the first [`BatchNorm::forward_infer`] and dropped by
+/// every `&mut` path that can change them. Keeping them here makes the
+/// steady-state inference forward allocation-free.
+///
+/// Derived data only, so cloning starts empty and all values compare equal —
+/// two `BatchNorm`s with identical parameters are identical regardless of
+/// which has warmed its cache.
+#[derive(Debug, Default)]
+struct InferCache(OnceLock<(Vec<f32>, Vec<f32>)>);
+
+impl Clone for InferCache {
+    fn clone(&self) -> Self {
+        InferCache::default()
+    }
+}
+
+impl PartialEq for InferCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +84,7 @@ impl BatchNorm {
             rolling_var: vec![1.0; channels],
             scale_grad: vec![0.0; channels],
             cache: None,
+            infer_cache: InferCache::default(),
         })
     }
 
@@ -74,6 +100,7 @@ impl BatchNorm {
 
     /// Mutable gamma scales, used by weight loading.
     pub fn scales_mut(&mut self) -> &mut [f32] {
+        self.infer_cache.0.take();
         &mut self.scales
     }
 
@@ -84,6 +111,7 @@ impl BatchNorm {
 
     /// Mutable rolling mean, used by weight loading.
     pub fn rolling_mean_mut(&mut self) -> &mut [f32] {
+        self.infer_cache.0.take();
         &mut self.rolling_mean
     }
 
@@ -94,6 +122,7 @@ impl BatchNorm {
 
     /// Mutable rolling variance, used by weight loading.
     pub fn rolling_var_mut(&mut self) -> &mut [f32] {
+        self.infer_cache.0.take();
         &mut self.rolling_var
     }
 
@@ -104,6 +133,7 @@ impl BatchNorm {
 
     /// Trainable parameters and their gradients as parallel mutable slices.
     pub fn params_and_grads_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+        self.infer_cache.0.take();
         (&mut self.scales, &mut self.scale_grad)
     }
 
@@ -124,19 +154,18 @@ impl BatchNorm {
     /// Propagates tensor shape errors when `x` is not NCHW with the
     /// configured channel count.
     pub fn forward_infer(&self, x: &mut Tensor) -> Result<()> {
-        let inv_std: Vec<f32> = self
-            .rolling_var
-            .iter()
-            .map(|&v| 1.0 / (v + self.eps).sqrt())
-            .collect();
-        let neg_mean: Vec<f32> = self.rolling_mean.iter().map(|&m| -m).collect();
-        ops::add_channel_bias(x, &neg_mean)?;
-        let combined: Vec<f32> = inv_std
-            .iter()
-            .zip(&self.scales)
-            .map(|(&i, &g)| i * g)
-            .collect();
-        ops::scale_channels(x, &combined)?;
+        let (neg_mean, combined) = self.infer_cache.0.get_or_init(|| {
+            let neg_mean = self.rolling_mean.iter().map(|&m| -m).collect();
+            let combined = self
+                .rolling_var
+                .iter()
+                .zip(&self.scales)
+                .map(|(&v, &g)| g / (v + self.eps).sqrt())
+                .collect();
+            (neg_mean, combined)
+        });
+        ops::add_channel_bias(x, neg_mean)?;
+        ops::scale_channels(x, combined)?;
         Ok(())
     }
 
@@ -148,6 +177,7 @@ impl BatchNorm {
     /// Propagates tensor shape errors when `x` is not NCHW with the
     /// configured channel count.
     pub fn forward_train(&mut self, x: &mut Tensor) -> Result<()> {
+        self.infer_cache.0.take();
         let mean = ops::channel_mean(x)?;
         let var = ops::channel_variance(x, &mean)?;
         if mean.len() != self.channels {
@@ -193,7 +223,7 @@ impl BatchNorm {
             .cache
             .as_ref()
             .ok_or(NnError::MissingForwardCache { layer_index: 0 })?;
-        let s = grad.shape().clone();
+        let s = *grad.shape();
         let (n, c, h, w) = (s.batch(), s.channels(), s.height(), s.width());
         if c != self.channels {
             return Err(NnError::BadInput {
@@ -207,7 +237,7 @@ impl BatchNorm {
         let x = cache.x.as_slice();
         let x_hat = cache.x_hat.as_slice();
 
-        let mut dx = Tensor::zeros(s.clone());
+        let mut dx = Tensor::zeros(s);
         // Accumulate the per-channel sums needed by the BN gradient.
         for ch in 0..c {
             let mean = cache.mean[ch];
@@ -292,6 +322,23 @@ mod tests {
         for &v in x.as_slice() {
             assert!((v - 3.0).abs() < 1e-3, "{v}");
         }
+    }
+
+    #[test]
+    fn infer_cache_invalidates_on_stat_mutation() {
+        let mut bn = BatchNorm::new(1).unwrap();
+        let mut x = Tensor::full(Shape::nchw(1, 1, 1, 1), 4.0);
+        bn.forward_infer(&mut x).unwrap(); // warms the folded-coefficient cache
+        bn.rolling_mean_mut()[0] = 2.0;
+        bn.rolling_var_mut()[0] = 4.0;
+        bn.scales_mut()[0] = 3.0;
+        let mut y = Tensor::full(Shape::nchw(1, 1, 1, 1), 4.0);
+        bn.forward_infer(&mut y).unwrap();
+        assert!(
+            (y.as_slice()[0] - 3.0).abs() < 1e-3,
+            "stale cache survived mutation: {}",
+            y.as_slice()[0]
+        );
     }
 
     #[test]

@@ -409,7 +409,7 @@ impl Conv2d {
         }
 
         // Through the convolution itself, per batch item.
-        let s = delta.shape().clone();
+        let s = *delta.shape();
         let n = s.batch();
         let plane = s.height() * s.width();
         let mut dx = Tensor::zeros(Shape::nchw(
@@ -701,7 +701,7 @@ mod tests {
         let mut r = rng(5);
         let x = init::uniform(Shape::nchw(4, 2, 6, 6), -1.0, 1.0, &mut r);
         let y = conv.forward_train(&x).unwrap();
-        let g = Tensor::ones(y.shape().clone());
+        let g = Tensor::ones(*y.shape());
         let dx = conv.backward(&g).unwrap();
         assert_eq!(dx.shape(), x.shape());
         assert!(dx.as_slice().iter().all(|v| v.is_finite()));
@@ -713,7 +713,7 @@ mod tests {
         let mut conv = Conv2d::new(1, 2, 3, 1, 1, Activation::Leaky, true).unwrap();
         let x = Tensor::ones(Shape::nchw(1, 1, 4, 4));
         let y = conv.forward_train(&x).unwrap();
-        conv.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        conv.backward(&Tensor::ones(*y.shape())).unwrap();
         conv.zero_grads();
         assert!(conv.weight_grad().as_slice().iter().all(|&v| v == 0.0));
         assert!(conv.bias_grad().iter().all(|&v| v == 0.0));

@@ -110,8 +110,9 @@ impl Layer {
         }
     }
 
-    /// Inference forward pass drawing conv scratch/output memory from a
-    /// recycled [`ActivationPool`] (pass-through for other layer kinds).
+    /// Inference forward pass drawing scratch/output memory from a
+    /// recycled [`ActivationPool`]. Every layer kind participates, so a
+    /// steady-state forward with a warm pool performs no heap allocation.
     ///
     /// # Errors
     ///
@@ -119,8 +120,8 @@ impl Layer {
     pub fn forward_pooled(&mut self, x: &Tensor, pool: &mut ActivationPool) -> Result<Tensor> {
         match self {
             Layer::Conv(c) => c.forward_pooled(x, pool),
-            Layer::MaxPool(p) => p.forward(x),
-            Layer::Region(r) => r.forward(x),
+            Layer::MaxPool(p) => p.forward_pooled(x, pool),
+            Layer::Region(r) => r.forward_pooled(x, pool),
         }
     }
 

@@ -1,4 +1,4 @@
-use crate::{NnError, Result};
+use crate::{ActivationPool, NnError, Result};
 use dronet_tensor::{Shape, Tensor};
 
 /// Max-pooling layer with Darknet's geometry semantics.
@@ -89,14 +89,34 @@ impl MaxPool2d {
         (oh, ow)
     }
 
-    /// Forward pass (inference): no cache is recorded.
+    /// Forward pass (inference): no cache is recorded and no argmax
+    /// indices are tracked.
     ///
     /// # Errors
     ///
     /// Returns [`NnError::BadInput`] for non-NCHW input.
     pub fn forward(&mut self, x: &Tensor) -> Result<Tensor> {
-        let (out, _) = self.pool(x)?;
         self.cache = None;
+        let out_shape = self.checked_output_shape(x)?;
+        let mut out = Tensor::zeros(out_shape);
+        self.pool_into(x, out.as_mut_slice(), None);
+        Ok(out)
+    }
+
+    /// Inference forward pass drawing the output buffer from a recycled
+    /// [`ActivationPool`]. Skips argmax tracking entirely, so the
+    /// steady-state path performs no heap allocation once the pool is warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] for non-NCHW input.
+    pub fn forward_pooled(&mut self, x: &Tensor, pool: &mut ActivationPool) -> Result<Tensor> {
+        self.cache = None;
+        let out_shape = self.checked_output_shape(x)?;
+        // Every output element is assigned below, so stale pool contents
+        // are safe.
+        let mut out = Tensor::from_vec(pool.take(out_shape.len()), out_shape)?;
+        self.pool_into(x, out.as_mut_slice(), None);
         Ok(out)
     }
 
@@ -107,15 +127,18 @@ impl MaxPool2d {
     ///
     /// Returns [`NnError::BadInput`] for non-NCHW input.
     pub fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
-        let (out, argmax) = self.pool(x)?;
+        let out_shape = self.checked_output_shape(x)?;
+        let mut out = Tensor::zeros(out_shape);
+        let mut argmax = vec![usize::MAX; out_shape.len()];
+        self.pool_into(x, out.as_mut_slice(), Some(&mut argmax));
         self.cache = Some(PoolCache {
             argmax,
-            input_shape: x.shape().clone(),
+            input_shape: *x.shape(),
         });
         Ok(out)
     }
 
-    fn pool(&self, x: &Tensor) -> Result<(Tensor, Vec<usize>)> {
+    fn checked_output_shape(&self, x: &Tensor) -> Result<Shape> {
         let s = x.shape();
         if s.rank() != 4 {
             return Err(NnError::BadInput {
@@ -123,13 +146,18 @@ impl MaxPool2d {
                 actual: s.dims().to_vec(),
             });
         }
+        let (oh, ow) = self.output_hw(s.height(), s.width());
+        Ok(Shape::nchw(s.batch(), s.channels(), oh, ow))
+    }
+
+    /// The pooling kernel: writes every element of `dst`, and the winning
+    /// input index of every window into `argmax` when tracking for backward.
+    fn pool_into(&self, x: &Tensor, dst: &mut [f32], mut argmax: Option<&mut [usize]>) {
+        let s = x.shape();
         let (n, c, h, w) = (s.batch(), s.channels(), s.height(), s.width());
         let (oh, ow) = self.output_hw(h, w);
         let offset = -(self.padding as isize / 2);
-        let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
-        let mut argmax = vec![usize::MAX; n * c * oh * ow];
         let src = x.as_slice();
-        let dst = out.as_mut_slice();
         let in_plane = h * w;
         let out_plane = oh * ow;
         for b in 0..n {
@@ -162,12 +190,13 @@ impl MaxPool2d {
                         // happen with Darknet's own geometries, but keep the
                         // kernel total).
                         dst[out_idx] = if best_idx == usize::MAX { 0.0 } else { best };
-                        argmax[out_idx] = best_idx;
+                        if let Some(a) = argmax.as_deref_mut() {
+                            a[out_idx] = best_idx;
+                        }
                     }
                 }
             }
         }
-        Ok((out, argmax))
     }
 
     /// Backward pass: routes each output gradient to the input element that
@@ -189,7 +218,7 @@ impl MaxPool2d {
                 actual: vec![grad_out.len()],
             });
         }
-        let mut dx = Tensor::zeros(cache.input_shape.clone());
+        let mut dx = Tensor::zeros(cache.input_shape);
         let d = dx.as_mut_slice();
         for (g, &idx) in grad_out.as_slice().iter().zip(&cache.argmax) {
             if idx != usize::MAX {

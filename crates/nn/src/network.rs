@@ -1,6 +1,9 @@
-use crate::profile::{backward_metric_name, forward_metric_name, kind_slug};
+use crate::profile::{
+    alloc_bytes_metric_name, alloc_metric_name, backward_metric_name, forward_metric_name,
+    kind_slug,
+};
 use crate::{ActivationPool, Layer, NnError, Result};
-use dronet_obs::{Histogram, Registry, Tracer};
+use dronet_obs::{AllocScope, Counter, Histogram, Registry, Tracer};
 use dronet_tensor::{Shape, Tensor};
 
 /// A sequential CNN: the Darknet network model.
@@ -39,6 +42,11 @@ pub struct Network {
     forward_spans: Vec<Histogram>,
     /// Per-layer backward-pass histograms.
     backward_spans: Vec<Histogram>,
+    /// Per-layer (allocation count, allocated bytes) counters for the
+    /// forward pass. Populated only when observability is enabled *and*
+    /// the instrumented global allocator is installed, so uninstrumented
+    /// builds pay nothing.
+    alloc_spans: Vec<(Counter, Counter)>,
     forward_total: Histogram,
     backward_total: Histogram,
     /// Flight recorder; inert unless [`Network::set_tracing`] is called
@@ -61,6 +69,7 @@ impl Network {
             obs: Registry::noop(),
             forward_spans: Vec::new(),
             backward_spans: Vec::new(),
+            alloc_spans: Vec::new(),
             forward_total: Histogram::default(),
             backward_total: Histogram::default(),
             tracer: Tracer::noop(),
@@ -117,6 +126,7 @@ impl Network {
         if !self.obs.is_enabled() {
             self.forward_spans.clear();
             self.backward_spans.clear();
+            self.alloc_spans.clear();
             self.forward_total = Histogram::default();
             self.backward_total = Histogram::default();
             return;
@@ -135,6 +145,23 @@ impl Network {
             .enumerate()
             .map(|(i, l)| self.obs.histogram(&backward_metric_name(i, l.kind())))
             .collect();
+        // Allocation telemetry is meaningful only under the instrumented
+        // global allocator; without it the deltas would all read zero, so
+        // skip creating the counters at all.
+        self.alloc_spans = if dronet_obs::alloc::installed() {
+            self.layers
+                .iter()
+                .enumerate()
+                .map(|(i, l)| {
+                    (
+                        self.obs.counter(&alloc_metric_name(i, l.kind())),
+                        self.obs.counter(&alloc_bytes_metric_name(i, l.kind())),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
     }
 
     /// The layers in execution order.
@@ -242,6 +269,7 @@ impl Network {
         for (i, layer) in self.layers.iter_mut().enumerate() {
             let span = self.forward_spans.get(i).map(Histogram::start);
             let trace_span = self.tracer.span_aux(kind_slug(layer.kind()), i as i64);
+            let alloc_scope = (!self.alloc_spans.is_empty()).then(AllocScope::begin);
             // The first layer reads the caller's tensor directly — no
             // input clone.
             match layer.forward_pooled(cur.as_ref().unwrap_or(x), &mut pool) {
@@ -253,6 +281,11 @@ impl Network {
                 Err(e) => {
                     failed = Some(at_layer(e, i));
                 }
+            }
+            if let (Some(scope), Some((allocs, bytes))) = (alloc_scope, self.alloc_spans.get(i)) {
+                let delta = scope.delta();
+                allocs.add(delta.allocs);
+                bytes.add(delta.bytes);
             }
             drop(trace_span);
             drop(span);
@@ -267,6 +300,17 @@ impl Network {
         drop(trace_total);
         total.stop();
         Ok(cur.unwrap_or_else(|| x.clone()))
+    }
+
+    /// Returns a consumed forward output to the recycled scratch pool.
+    ///
+    /// [`Network::forward`] draws every activation — including the final
+    /// output it returns — from the pool, but cannot reclaim the output
+    /// itself. A serving loop that recycles each result once decoded makes
+    /// the steady-state forward fully allocation-free (pooled conv path,
+    /// warm pool, single-threaded GEMM).
+    pub fn recycle(&mut self, output: Tensor) {
+        self.scratch.give(output.into_vec());
     }
 
     /// Training forward pass: every layer records the caches backward needs.
@@ -434,7 +478,7 @@ mod tests {
         net.init_weights(&mut rng);
         let x = init::uniform(Shape::nchw(2, 3, 16, 16), 0.0, 1.0, &mut rng);
         let y = net.forward_train(&x).unwrap();
-        let g = Tensor::ones(y.shape().clone());
+        let g = Tensor::ones(*y.shape());
         let dx = net.backward(&g).unwrap();
         assert_eq!(dx.shape(), x.shape());
         assert!(dx.as_slice().iter().all(|v| v.is_finite()));
@@ -468,7 +512,7 @@ mod tests {
         let mut net = tiny_net();
         let x = Tensor::ones(Shape::nchw(1, 3, 16, 16));
         let y = net.forward_train(&x).unwrap();
-        net.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        net.backward(&Tensor::ones(*y.shape())).unwrap();
         net.zero_grads();
         net.visit_params_mut(|_, g| assert!(g.iter().all(|&v| v == 0.0)));
     }
@@ -482,7 +526,7 @@ mod tests {
         let x = Tensor::zeros(Shape::nchw(1, 3, 16, 16));
         net.forward(&x).unwrap();
         let y = net.forward_train(&x).unwrap();
-        net.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        net.backward(&Tensor::ones(*y.shape())).unwrap();
         let snap = obs.snapshot();
         assert_eq!(snap.histogram("nn.forward.total").unwrap().count, 2);
         assert_eq!(snap.histogram("nn.backward.total").unwrap().count, 1);

@@ -1,5 +1,5 @@
-use crate::{NnError, Result};
-use dronet_tensor::{ops, Tensor};
+use crate::{ActivationPool, NnError, Result};
+use dronet_tensor::{ops, Shape, Tensor};
 
 /// Configuration of a YOLOv2-style region (detection) head.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,6 +95,23 @@ impl RegionLayer {
         Ok(out)
     }
 
+    /// Inference forward drawing the output buffer from a recycled
+    /// [`ActivationPool`]: the input is copied into a pooled buffer and
+    /// transformed in place, so the steady-state path performs no heap
+    /// allocation once the pool is warm.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RegionLayer::forward`].
+    pub fn forward_pooled(&mut self, x: &Tensor, pool: &mut ActivationPool) -> Result<Tensor> {
+        self.cache = None;
+        let shape = self.checked_shape(x)?;
+        let mut out = Tensor::from_vec(pool.take(shape.len()), shape)?;
+        out.as_mut_slice().copy_from_slice(x.as_slice());
+        self.transform_in_place(out.as_mut_slice(), &shape);
+        Ok(out)
+    }
+
     /// Training-mode forward: caches the transformed output for
     /// [`RegionLayer::backward`].
     ///
@@ -107,7 +124,7 @@ impl RegionLayer {
         Ok(out)
     }
 
-    fn transform(&self, x: &Tensor) -> Result<Tensor> {
+    fn checked_shape(&self, x: &Tensor) -> Result<Shape> {
         let s = x.shape();
         if s.rank() != 4 || s.channels() != self.config.channels() {
             return Err(NnError::BadInput {
@@ -115,12 +132,21 @@ impl RegionLayer {
                 actual: s.dims().to_vec(),
             });
         }
+        Ok(*s)
+    }
+
+    fn transform(&self, x: &Tensor) -> Result<Tensor> {
+        let shape = self.checked_shape(x)?;
+        let mut out = x.clone();
+        self.transform_in_place(out.as_mut_slice(), &shape);
+        Ok(out)
+    }
+
+    fn transform_in_place(&self, data: &mut [f32], s: &Shape) {
         let (n, h, w) = (s.batch(), s.height(), s.width());
         let plane = h * w;
         let entries = 5 + self.config.classes;
         let a = self.config.num_anchors();
-        let mut out = x.clone();
-        let data = out.as_mut_slice();
         for b in 0..n {
             for anchor in 0..a {
                 let base = (b * a * entries + anchor * entries) * plane;
@@ -156,7 +182,6 @@ impl RegionLayer {
                 }
             }
         }
-        Ok(out)
     }
 
     /// Backward pass under the gradient contract described on the type.

@@ -9,7 +9,10 @@
 //! * spans still open at capture time (crash evidence) become `"ph":"B"`
 //!   events without a matching `"E"` — the viewers render these as
 //!   unterminated slices, which is exactly what they are,
-//! * instants become `"ph":"i"` events with thread scope.
+//! * instants become `"ph":"i"` events with thread scope,
+//! * threads labelled via [`Tracer::name_thread`](crate::Tracer::name_thread)
+//!   become `"ph":"M"` `process_name` / `thread_name` metadata events, so
+//!   Perfetto shows `serve-worker-0` instead of a bare tid.
 //!
 //! Timestamps are microseconds (the format's unit) written with three
 //! decimal places, so the recorder's nanosecond clock survives export →
@@ -23,6 +26,9 @@ use std::io;
 
 /// The process id stamped on every exported event (single-process traces).
 pub const CHROME_TRACE_PID: u64 = 1;
+
+/// The `process_name` stamped on exported traces via an `M` metadata event.
+pub const CHROME_TRACE_PROCESS_NAME: &str = "dronet";
 
 /// Writer/reader for Chrome/Perfetto `trace.json` files.
 pub struct ChromeTrace;
@@ -68,6 +74,27 @@ impl ChromeTrace {
         let mut out = String::with_capacity(snapshot.events.len() * 96 + 16);
         out.push_str("[\n");
         let mut first = true;
+        // Metadata first: one process_name plus a thread_name per labelled
+        // shard, so viewers resolve names before any slice references a tid.
+        if !snapshot.thread_names.is_empty() {
+            let _ = write!(
+                out,
+                "  {{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {CHROME_TRACE_PID}, \
+                 \"tid\": 0, \"ts\": 0.000, \"args\": {{\"name\": \
+                 \"{CHROME_TRACE_PROCESS_NAME}\"}}}}"
+            );
+            first = false;
+            for (tid, name) in &snapshot.thread_names {
+                out.push_str(",\n  {\"name\": \"thread_name\", \"ph\": \"M\", ");
+                let _ = write!(
+                    out,
+                    "\"pid\": {CHROME_TRACE_PID}, \"tid\": {tid}, \"ts\": 0.000, \
+                     \"args\": {{\"name\": \""
+                );
+                crate::export::escape_json(name, &mut out);
+                out.push_str("\"}}");
+            }
+        }
         for e in &snapshot.events {
             let (ph, ts_ns) = match e.kind {
                 TraceKind::End => ("X", e.start_ns()),
@@ -144,14 +171,18 @@ impl ChromeTrace {
                 .and_then(JsonValue::as_str)
                 .ok_or_else(|| bad("event missing 'ph'"))?;
             let ph = match ph_text {
-                "X" | "B" | "E" | "i" => ph_text.chars().next().expect("non-empty"),
+                "X" | "B" | "E" | "i" | "M" => ph_text.chars().next().expect("non-empty"),
                 _ => return Err(bad(&format!("unsupported phase '{ph_text}'"))),
             };
-            let ts_text = match item.get("ts") {
-                Some(JsonValue::Number(text)) => text.as_str(),
+            // Metadata events carry no meaningful timestamp; tolerate its
+            // absence there (other writers omit it entirely).
+            let ts_ns = match item.get("ts") {
+                Some(JsonValue::Number(text)) => {
+                    parse_us_text(text).ok_or_else(|| bad("unparseable 'ts'"))?
+                }
+                _ if ph == 'M' => 0,
                 _ => return Err(bad("event missing 'ts'")),
             };
-            let ts_ns = parse_us_text(ts_text).ok_or_else(|| bad("unparseable 'ts'"))?;
             let dur_ns = match item.get("dur") {
                 Some(JsonValue::Number(text)) => {
                     parse_us_text(text).ok_or_else(|| bad("unparseable 'dur'"))?
@@ -177,6 +208,11 @@ impl ChromeTrace {
                     .get("args")
                     .and_then(|a| a.get("layer"))
                     .and_then(JsonValue::as_i64),
+                arg_name: item
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(JsonValue::as_str)
+                    .map(str::to_string),
             });
         }
         Ok(events)
@@ -188,7 +224,8 @@ impl ChromeTrace {
 pub struct ChromeEvent {
     /// Event name.
     pub name: String,
-    /// Phase: `X` complete span, `B`/`E` open/close, `i` instant.
+    /// Phase: `X` complete span, `B`/`E` open/close, `i` instant, `M`
+    /// metadata (`process_name` / `thread_name`).
     pub ph: char,
     /// Process id.
     pub pid: u64,
@@ -204,6 +241,9 @@ pub struct ChromeEvent {
     pub seq: Option<u64>,
     /// `args.layer` when present.
     pub layer: Option<i64>,
+    /// `args.name` when present (`M` metadata events: the process/thread
+    /// label being assigned).
+    pub arg_name: Option<String>,
 }
 
 #[cfg(test)]
@@ -283,6 +323,41 @@ mod tests {
             snap.events.len() - 20,
             "each closed span collapses B+E into one X"
         );
+    }
+
+    #[test]
+    fn named_threads_export_metadata_events() {
+        let t = Tracer::new();
+        t.name_thread("serve-worker-0");
+        t.instant("tick");
+        let json = ChromeTrace::to_string(&t.snapshot());
+        let events = ChromeTrace::parse(&json).expect("parses own output");
+        let process = events
+            .iter()
+            .find(|e| e.ph == 'M' && e.name == "process_name")
+            .expect("process_name metadata present");
+        assert_eq!(process.arg_name.as_deref(), Some(CHROME_TRACE_PROCESS_NAME));
+        let thread = events
+            .iter()
+            .find(|e| e.ph == 'M' && e.name == "thread_name")
+            .expect("thread_name metadata present");
+        assert_eq!(thread.arg_name.as_deref(), Some("serve-worker-0"));
+        let tick = events.iter().find(|e| e.name == "tick").unwrap();
+        assert_eq!(thread.tid, tick.tid, "label attaches to the slice's tid");
+        assert_eq!(
+            events.iter().filter(|e| e.ph == 'M').count(),
+            2,
+            "one process_name + one thread_name"
+        );
+    }
+
+    #[test]
+    fn metadata_events_tolerate_missing_ts() {
+        let doc = "[{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 7, \
+                   \"args\": {\"name\": \"worker\"}}]";
+        let events = ChromeTrace::parse(doc).expect("M without ts parses");
+        assert_eq!(events[0].ts_ns, 0);
+        assert_eq!(events[0].arg_name.as_deref(), Some("worker"));
     }
 
     #[test]

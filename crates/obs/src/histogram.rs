@@ -1,8 +1,9 @@
 //! Fixed-bucket latency histogram and the RAII span timer.
 
+use crate::window::{mono_now_ns, RollingWindow, WindowStats};
 use crate::{BucketCount, HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Number of buckets: powers of two from 64 ns up to ~68.7 s, plus one
@@ -14,7 +15,7 @@ pub const BUCKET_COUNT: usize = 31;
 const FIRST_BOUND_NS: u64 = 64;
 
 /// Inclusive upper bound of bucket `i` in nanoseconds.
-fn bucket_bound(i: usize) -> u64 {
+pub(crate) fn bucket_bound(i: usize) -> u64 {
     if i + 1 >= BUCKET_COUNT {
         u64::MAX
     } else {
@@ -23,13 +24,47 @@ fn bucket_bound(i: usize) -> u64 {
 }
 
 /// Bucket index for a value in nanoseconds.
-fn bucket_index(ns: u64) -> usize {
+pub(crate) fn bucket_index(ns: u64) -> usize {
     if ns <= FIRST_BOUND_NS {
         return 0;
     }
     // First i with 64 << i >= ns, i.e. ceil(log2(ns / 64)).
     let i = (64 - (ns - 1).leading_zeros()) as usize - FIRST_BOUND_NS.trailing_zeros() as usize;
     i.min(BUCKET_COUNT - 1)
+}
+
+/// Estimated value at percentile `p` in `[0, 100]` (clamped) from a merged
+/// bucket array, in nanoseconds.
+///
+/// Shared by the cumulative [`HistogramCell`] and the rolling-window
+/// aggregation so windowed and lifetime percentiles use identical
+/// estimation: the geometric midpoint of the bucket holding the
+/// rank-`ceil(p/100 * count)` sample, clamped into the observed
+/// `[min, max]` support.
+pub(crate) fn percentile_from_buckets(
+    buckets: &[u64; BUCKET_COUNT],
+    count: u64,
+    min: u64,
+    max: u64,
+    p: f64,
+) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+    let mut cumulative = 0u64;
+    for (i, &bucket) in buckets.iter().enumerate() {
+        cumulative += bucket;
+        if cumulative >= rank {
+            let hi = bucket_bound(i).min(max);
+            let lo = if i == 0 { 0 } else { bucket_bound(i - 1) }.max(min);
+            // Geometric midpoint of the bucket (buckets are log-spaced).
+            let mid = (((lo.max(1) as f64) * (hi.max(1) as f64)).sqrt()) as u64;
+            return mid.clamp(min, max);
+        }
+    }
+    max
 }
 
 #[derive(Debug)]
@@ -40,6 +75,10 @@ pub(crate) struct HistogramCell {
     min_ns: AtomicU64,
     max_ns: AtomicU64,
     buckets: [AtomicU64; BUCKET_COUNT],
+    /// Optional rolling window; attached once via
+    /// [`Registry::enable_windows`](crate::Registry::enable_windows). When
+    /// absent the record-path cost is one `OnceLock` load.
+    window: OnceLock<RollingWindow>,
 }
 
 impl HistogramCell {
@@ -51,6 +90,7 @@ impl HistogramCell {
             min_ns: AtomicU64::new(u64::MAX),
             max_ns: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            window: OnceLock::new(),
         }
     }
 
@@ -60,6 +100,20 @@ impl HistogramCell {
         self.min_ns.fetch_min(ns, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
         self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        if let Some(w) = self.window.get() {
+            w.record_at(mono_now_ns(), ns);
+        }
+    }
+
+    /// Attaches a rolling window (first caller wins; later calls are
+    /// no-ops, so re-enabling with different parameters cannot tear).
+    pub(crate) fn attach_window(&self, window: Duration, sub_buckets: usize) {
+        let _ = self.window.set(RollingWindow::new(window, sub_buckets));
+    }
+
+    /// Windowed aggregate as of now, if a window is attached.
+    pub(crate) fn window_stats(&self) -> Option<WindowStats> {
+        self.window.get().map(|w| w.stats_at(mono_now_ns()))
     }
 
     pub(crate) fn reset(&self) {
@@ -79,25 +133,15 @@ impl HistogramCell {
     /// `[min, max]` range so estimates never leave the observed support.
     fn percentile_ns(&self, p: f64) -> u64 {
         let count = self.count.load(Ordering::Relaxed);
-        if count == 0 {
-            return 0;
-        }
-        let p = p.clamp(0.0, 100.0);
-        let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
-        let min = self.min_ns.load(Ordering::Relaxed);
-        let max = self.max_ns.load(Ordering::Relaxed);
-        let mut cumulative = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            cumulative += bucket.load(Ordering::Relaxed);
-            if cumulative >= rank {
-                let hi = bucket_bound(i).min(max);
-                let lo = if i == 0 { 0 } else { bucket_bound(i - 1) }.max(min);
-                // Geometric midpoint of the bucket (buckets are log-spaced).
-                let mid = (((lo.max(1) as f64) * (hi.max(1) as f64)).sqrt()) as u64;
-                return mid.clamp(min, max);
-            }
-        }
-        max
+        let buckets: [u64; BUCKET_COUNT] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        percentile_from_buckets(
+            &buckets,
+            count,
+            self.min_ns.load(Ordering::Relaxed),
+            self.max_ns.load(Ordering::Relaxed),
+            p,
+        )
     }
 
     pub(crate) fn snapshot(&self) -> HistogramSnapshot {

@@ -44,9 +44,13 @@
 //! assert!(json.contains("stage.nms"));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the allocator module is the one deliberate
+// exception (implementing `GlobalAlloc` requires `unsafe`) and carries its
+// own scoped `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 mod chrome;
 mod diff;
 mod export;
@@ -55,7 +59,9 @@ mod json;
 mod prom;
 mod registry;
 mod trace;
+pub mod window;
 
+pub use alloc::{AllocDelta, AllocScope, AllocStats, CountingAlloc};
 pub use chrome::{ChromeEvent, ChromeTrace, CHROME_TRACE_PID};
 pub use diff::{CounterDelta, HistogramDelta, SnapshotDiff};
 pub use export::{CsvExporter, JsonExporter};
@@ -66,6 +72,7 @@ pub use registry::{Counter, Gauge, Registry};
 pub use trace::{
     TraceEvent, TraceKind, TraceSnapshot, TraceSpan, Tracer, DEFAULT_TRACE_CAPACITY, NO_AUX,
 };
+pub use window::{RollingWindow, WindowSnapshot, WindowStats, WindowedCounter, WindowedHistogram};
 
 use std::time::Duration;
 

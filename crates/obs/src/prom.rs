@@ -7,9 +7,18 @@
 //! `[a-zA-Z_:][a-zA-Z0-9_:]*` alphabet (dots and dashes become
 //! underscores), and histogram nanoseconds are converted to seconds, the
 //! Prometheus base unit.
+//!
+//! [`PromExporter::render`] additionally emits `# HELP` lines for metrics
+//! with a registered description (see
+//! [`Registry::describe`](crate::Registry::describe)) and, for windowed
+//! metrics, per-window gauges next to the cumulative series:
+//! `{name}_window_rate{window="10s"}` plus `_window_p50_seconds` /
+//! `_window_p99_seconds` for histograms.
 
 use crate::export::format_f64;
+use crate::window::WindowSnapshot;
 use crate::Snapshot;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io;
 
@@ -35,26 +44,88 @@ fn seconds(ns: u64) -> String {
     format_f64(ns as f64 / 1e9)
 }
 
+/// Escapes `# HELP` text per the exposition format (backslash and newline).
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Human label for a window length, e.g. `10s` or `250ms`.
+fn window_label(window_ns: u64) -> String {
+    if window_ns.is_multiple_of(1_000_000_000) {
+        format!("{}s", window_ns / 1_000_000_000)
+    } else if window_ns.is_multiple_of(1_000_000) {
+        format!("{}ms", window_ns / 1_000_000)
+    } else {
+        format!("{window_ns}ns")
+    }
+}
+
+fn write_help(out: &mut String, help: &BTreeMap<String, String>, raw: &str, name: &str) {
+    if let Some(text) = help.get(raw) {
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(text));
+    }
+}
+
 impl PromExporter {
     /// The `Content-Type` an HTTP endpoint should advertise for this
     /// format (Prometheus text exposition v0.0.4).
     pub const CONTENT_TYPE: &'static str = "text/plain; version=0.0.4";
 
-    /// Renders the snapshot as exposition-format text.
+    /// Renders the snapshot as exposition-format text without help text or
+    /// windowed series (the registry-free path; see
+    /// [`PromExporter::render`]).
     pub fn to_string(snapshot: &Snapshot) -> String {
+        Self::render(snapshot, &BTreeMap::new(), &WindowSnapshot::default())
+    }
+
+    /// Renders the snapshot with `# HELP` lines (keyed by the *internal*
+    /// metric name, pre-sanitization) and windowed gauges interleaved next
+    /// to their cumulative series.
+    ///
+    /// Typical use:
+    ///
+    /// ```
+    /// use dronet_obs::{PromExporter, Registry};
+    /// let obs = Registry::new();
+    /// obs.describe("frames", "Frames processed since start");
+    /// obs.counter("frames").inc();
+    /// let text = PromExporter::render(
+    ///     &obs.snapshot(),
+    ///     &obs.descriptions(),
+    ///     &obs.window_snapshot(),
+    /// );
+    /// assert!(text.starts_with("# HELP frames Frames processed since start\n"));
+    /// ```
+    pub fn render(
+        snapshot: &Snapshot,
+        help: &BTreeMap<String, String>,
+        windows: &WindowSnapshot,
+    ) -> String {
         let mut out = String::new();
         for c in &snapshot.counters {
             let name = sanitize(&c.name);
+            write_help(&mut out, help, &c.name, &name);
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {}", c.value);
+            if let Some(w) = windows.counter(&c.name) {
+                let label = window_label(w.window_ns);
+                let _ = writeln!(out, "# TYPE {name}_window_rate gauge");
+                let _ = writeln!(
+                    out,
+                    "{name}_window_rate{{window=\"{label}\"}} {}",
+                    format_f64(w.increment_rate_per_sec)
+                );
+            }
         }
         for g in &snapshot.gauges {
             let name = sanitize(&g.name);
+            write_help(&mut out, help, &g.name, &name);
             let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {}", format_f64(g.value));
         }
         for h in &snapshot.histograms {
             let name = sanitize(&h.name);
+            write_help(&mut out, help, &h.name, &format!("{name}_seconds"));
             let _ = writeln!(out, "# TYPE {name}_seconds histogram");
             let mut cumulative = 0u64;
             for b in &h.buckets {
@@ -68,6 +139,27 @@ impl PromExporter {
             let _ = writeln!(out, "{name}_seconds_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "{name}_seconds_sum {}", seconds(h.sum_ns));
             let _ = writeln!(out, "{name}_seconds_count {}", h.count);
+            if let Some(w) = windows.histogram(&h.name) {
+                let label = window_label(w.stats.window_ns);
+                let _ = writeln!(out, "# TYPE {name}_window_rate gauge");
+                let _ = writeln!(
+                    out,
+                    "{name}_window_rate{{window=\"{label}\"}} {}",
+                    format_f64(w.stats.rate_per_sec)
+                );
+                let _ = writeln!(out, "# TYPE {name}_window_p50_seconds gauge");
+                let _ = writeln!(
+                    out,
+                    "{name}_window_p50_seconds{{window=\"{label}\"}} {}",
+                    seconds(w.stats.p50_ns)
+                );
+                let _ = writeln!(out, "# TYPE {name}_window_p99_seconds gauge");
+                let _ = writeln!(
+                    out,
+                    "{name}_window_p99_seconds{{window=\"{label}\"}} {}",
+                    seconds(w.stats.p99_ns)
+                );
+            }
         }
         out
     }
@@ -111,6 +203,52 @@ detect_nms_seconds_sum 0.0000004
 detect_nms_seconds_count 3
 ";
         assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn exposition_format_with_help_and_windows_is_locked() {
+        let r = Registry::new();
+        r.enable_windows(Duration::from_secs(10), 10);
+        r.describe("pipeline.frames", "Frames entering the pipeline");
+        r.describe("detect.nms", "NMS stage latency");
+        r.counter("pipeline.frames").add(12);
+        r.gauge("supervisor.health").set(2.0);
+        let h = r.histogram("detect.nms");
+        h.record(Duration::from_nanos(100)); // bucket le=128ns
+        h.record(Duration::from_nanos(100));
+        h.record(Duration::from_nanos(200)); // bucket le=256ns
+        let text = PromExporter::render(&r.snapshot(), &r.descriptions(), &r.window_snapshot());
+        // Windowed percentiles are geometric bucket midpoints clamped to the
+        // observed range: p50 = sqrt(100*128) = 113 ns, p99 = sqrt(128*200)
+        // = 160 ns. Rates are per-second over the 10 s window.
+        let expected = "\
+# HELP pipeline_frames Frames entering the pipeline
+# TYPE pipeline_frames counter
+pipeline_frames 12
+# TYPE pipeline_frames_window_rate gauge
+pipeline_frames_window_rate{window=\"10s\"} 1.2
+# TYPE supervisor_health gauge
+supervisor_health 2.0
+# HELP detect_nms_seconds NMS stage latency
+# TYPE detect_nms_seconds histogram
+detect_nms_seconds_bucket{le=\"0.000000128\"} 2
+detect_nms_seconds_bucket{le=\"0.000000256\"} 3
+detect_nms_seconds_bucket{le=\"+Inf\"} 3
+detect_nms_seconds_sum 0.0000004
+detect_nms_seconds_count 3
+# TYPE detect_nms_window_rate gauge
+detect_nms_window_rate{window=\"10s\"} 0.3
+# TYPE detect_nms_window_p50_seconds gauge
+detect_nms_window_p50_seconds{window=\"10s\"} 0.000000113
+# TYPE detect_nms_window_p99_seconds gauge
+detect_nms_window_p99_seconds{window=\"10s\"} 0.00000016
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
     }
 
     #[test]

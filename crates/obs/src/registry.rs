@@ -1,23 +1,48 @@
 //! The metric registry and the counter/gauge handle types.
 
 use crate::histogram::{Histogram, HistogramCell, ScopedTimer};
+use crate::window::{
+    mono_now_ns, RollingWindow, WindowSnapshot, WindowedCounter, WindowedHistogram,
+};
 use crate::{CounterSnapshot, GaugeSnapshot, Snapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// Backing storage for one counter: the cumulative value plus an optional
+/// rolling window fed with each increment.
+#[derive(Debug, Default)]
+pub(crate) struct CounterCell {
+    value: AtomicU64,
+    window: OnceLock<RollingWindow>,
+}
+
+impl CounterCell {
+    fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+        if let Some(w) = self.window.get() {
+            w.record_at(mono_now_ns(), n);
+        }
+    }
+
+    fn attach_window(&self, window: Duration, sub_buckets: usize) {
+        let _ = self.window.set(RollingWindow::new(window, sub_buckets));
+    }
+}
 
 /// Handle to a named monotonic counter. Cheap to clone; inert when obtained
 /// from a [`Registry::noop`] registry.
 #[derive(Debug, Clone, Default)]
 pub struct Counter {
-    cell: Option<Arc<AtomicU64>>,
+    cell: Option<Arc<CounterCell>>,
 }
 
 impl Counter {
     /// Adds `n`.
     pub fn add(&self, n: u64) {
         if let Some(cell) = &self.cell {
-            cell.fetch_add(n, Ordering::Relaxed);
+            cell.add(n);
         }
     }
 
@@ -28,7 +53,9 @@ impl Counter {
 
     /// Current value (0 for inert handles).
     pub fn get(&self) -> u64 {
-        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+        self.cell
+            .as_ref()
+            .map_or(0, |c| c.value.load(Ordering::Relaxed))
     }
 }
 
@@ -76,9 +103,14 @@ impl Gauge {
 
 #[derive(Debug, Default)]
 struct RegistryInner {
-    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    counters: RwLock<BTreeMap<String, Arc<CounterCell>>>,
     gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: RwLock<BTreeMap<String, Arc<HistogramCell>>>,
+    /// Optional `# HELP` text per metric name (see [`Registry::describe`]).
+    descriptions: RwLock<BTreeMap<String, String>>,
+    /// Once set, every existing and future counter/histogram gets a rolling
+    /// window with these parameters.
+    window_config: OnceLock<(Duration, usize)>,
 }
 
 /// A clonable handle to a set of named metrics.
@@ -115,14 +147,18 @@ impl Registry {
     pub fn counter(&self, name: &str) -> Counter {
         Counter {
             cell: self.inner.as_ref().map(|inner| {
-                Arc::clone(
+                let cell = Arc::clone(
                     inner
                         .counters
                         .write()
                         .expect("obs registry lock poisoned")
                         .entry(name.to_string())
                         .or_default(),
-                )
+                );
+                if let Some(&(window, sub)) = inner.window_config.get() {
+                    cell.attach_window(window, sub);
+                }
+                cell
             }),
         }
     }
@@ -147,14 +183,18 @@ impl Registry {
     pub fn histogram(&self, name: &str) -> Histogram {
         Histogram {
             cell: self.inner.as_ref().map(|inner| {
-                Arc::clone(
+                let cell = Arc::clone(
                     inner
                         .histograms
                         .write()
                         .expect("obs registry lock poisoned")
                         .entry(name.to_string())
                         .or_insert_with(|| Arc::new(HistogramCell::new(name.to_string()))),
-                )
+                );
+                if let Some(&(window, sub)) = inner.window_config.get() {
+                    cell.attach_window(window, sub);
+                }
+                cell
             }),
         }
     }
@@ -192,7 +232,7 @@ impl Registry {
             .iter()
             .map(|(name, cell)| CounterSnapshot {
                 name: name.clone(),
-                value: cell.load(Ordering::Relaxed),
+                value: cell.value.load(Ordering::Relaxed),
             })
             .collect();
         let gauges = inner
@@ -219,6 +259,112 @@ impl Registry {
         }
     }
 
+    /// Attaches a rolling time window of length `window` (split into
+    /// `sub_buckets` ring buckets) to every existing and future counter and
+    /// histogram in this registry.
+    ///
+    /// Windowed aggregates are read back via [`Registry::window_snapshot`]
+    /// and exported next to the cumulative values by
+    /// [`PromExporter`](crate::PromExporter). The first call wins; later
+    /// calls (and calls on a noop registry) are no-ops. Metrics record into
+    /// their window on the same code path as the cumulative cells, so the
+    /// cost when windows are disabled is a single `OnceLock` load.
+    pub fn enable_windows(&self, window: Duration, sub_buckets: usize) {
+        let Some(inner) = &self.inner else { return };
+        if inner.window_config.set((window, sub_buckets)).is_err() {
+            return;
+        }
+        for cell in inner
+            .counters
+            .read()
+            .expect("obs registry lock poisoned")
+            .values()
+        {
+            cell.attach_window(window, sub_buckets);
+        }
+        for cell in inner
+            .histograms
+            .read()
+            .expect("obs registry lock poisoned")
+            .values()
+        {
+            cell.attach_window(window, sub_buckets);
+        }
+    }
+
+    /// Whether [`Registry::enable_windows`] has been called.
+    pub fn windows_enabled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.window_config.get().is_some())
+    }
+
+    /// Point-in-time windowed aggregates for every windowed metric, sorted
+    /// by name. Empty when windows were never enabled.
+    pub fn window_snapshot(&self) -> WindowSnapshot {
+        let Some(inner) = &self.inner else {
+            return WindowSnapshot::default();
+        };
+        let now = mono_now_ns();
+        let counters = inner
+            .counters
+            .read()
+            .expect("obs registry lock poisoned")
+            .iter()
+            .filter_map(|(name, cell)| {
+                let w = cell.window.get()?;
+                let stats = w.stats_at(now);
+                Some(WindowedCounter {
+                    name: name.clone(),
+                    increment: stats.sum,
+                    increment_rate_per_sec: stats.sum as f64 / (stats.window_ns as f64 / 1e9),
+                    window_ns: stats.window_ns,
+                })
+            })
+            .collect();
+        let histograms = inner
+            .histograms
+            .read()
+            .expect("obs registry lock poisoned")
+            .iter()
+            .filter_map(|(name, cell)| {
+                let stats = cell.window_stats()?;
+                Some(WindowedHistogram {
+                    name: name.clone(),
+                    stats,
+                })
+            })
+            .collect();
+        WindowSnapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Registers `# HELP` text for the metric `name`, rendered by
+    /// [`PromExporter`](crate::PromExporter) ahead of the `# TYPE` line.
+    /// Last write wins; noop registries ignore it.
+    pub fn describe(&self, name: &str, help: &str) {
+        if let Some(inner) = &self.inner {
+            inner
+                .descriptions
+                .write()
+                .expect("obs registry lock poisoned")
+                .insert(name.to_string(), help.to_string());
+        }
+    }
+
+    /// All registered metric descriptions, keyed by metric name.
+    pub fn descriptions(&self) -> BTreeMap<String, String> {
+        self.inner.as_ref().map_or_else(BTreeMap::new, |inner| {
+            inner
+                .descriptions
+                .read()
+                .expect("obs registry lock poisoned")
+                .clone()
+        })
+    }
+
     /// Zeroes every metric, keeping registrations (handles stay valid).
     pub fn reset(&self) {
         let Some(inner) = &self.inner else { return };
@@ -228,7 +374,7 @@ impl Registry {
             .expect("obs registry lock poisoned")
             .values()
         {
-            cell.store(0, Ordering::Relaxed);
+            cell.value.store(0, Ordering::Relaxed);
         }
         for cell in inner
             .gauges

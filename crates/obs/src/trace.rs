@@ -108,6 +108,10 @@ struct Shard {
     current_frame: AtomicU64,
     cursor: AtomicU64,
     buf: Mutex<Vec<TraceEvent>>,
+    /// Human label registered via [`Tracer::name_thread`]; exported as a
+    /// Chrome `thread_name` metadata event so Perfetto shows e.g.
+    /// `serve-worker-0` instead of a bare tid.
+    name: Mutex<Option<String>>,
 }
 
 impl Shard {
@@ -218,6 +222,7 @@ impl Tracer {
                 current_frame: AtomicU64::new(0),
                 cursor: AtomicU64::new(0),
                 buf: Mutex::new(Vec::with_capacity(inner.capacity)),
+                name: Mutex::new(None),
             });
             inner
                 .shards
@@ -227,6 +232,17 @@ impl Tracer {
             cache.push((inner.id, Arc::downgrade(&shard)));
             shard
         })
+    }
+
+    /// Labels the calling thread in trace exports: the Chrome trace gains a
+    /// `thread_name` metadata event for this thread's tid, so Perfetto
+    /// shows `name` instead of a bare thread number. Last write wins; inert
+    /// on a noop tracer.
+    pub fn name_thread(&self, name: &str) {
+        if let Some(inner) = &self.inner {
+            let shard = Self::shard(inner);
+            *shard.name.lock().expect("trace shard name poisoned") = Some(name.to_string());
+        }
     }
 
     /// Sets the calling thread's frame context: subsequent [`Tracer::span`]
@@ -364,13 +380,27 @@ impl Tracer {
             .collect();
         let mut events = Vec::new();
         let mut dropped = 0u64;
+        let mut thread_names = Vec::new();
         for shard in shards {
             let (mut shard_events, shard_dropped) = shard.drain_ordered();
             events.append(&mut shard_events);
             dropped += shard_dropped;
+            if let Some(name) = shard
+                .name
+                .lock()
+                .expect("trace shard name poisoned")
+                .clone()
+            {
+                thread_names.push((shard.tid, name));
+            }
         }
         events.sort_by_key(|e| e.seq);
-        TraceSnapshot { events, dropped }
+        thread_names.sort_by_key(|(tid, _)| *tid);
+        TraceSnapshot {
+            events,
+            dropped,
+            thread_names,
+        }
     }
 }
 
@@ -443,6 +473,8 @@ pub struct TraceSnapshot {
     /// Events the rings overwrote before this snapshot (flight-recorder
     /// wrap, not an error).
     pub dropped: u64,
+    /// Labels registered via [`Tracer::name_thread`], sorted by tid.
+    pub thread_names: Vec<(u64, String)>,
 }
 
 impl TraceSnapshot {
@@ -598,6 +630,31 @@ mod tests {
         assert_eq!(snap.tail(5)[0].frame_id, 9);
         assert_eq!(snap.for_frame(9).len(), 1);
         assert!(snap.for_frame(8).is_empty());
+    }
+
+    #[test]
+    fn thread_names_are_collected_per_shard() {
+        let t = Tracer::new();
+        t.name_thread("main-loop");
+        t.instant("tick");
+        std::thread::scope(|s| {
+            let t2 = t.clone();
+            s.spawn(move || {
+                t2.name_thread("worker-0");
+                t2.instant("tock");
+            });
+        });
+        let snap = t.snapshot();
+        let names: Vec<&str> = snap.thread_names.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(names, vec!["main-loop", "worker-0"]);
+        // Each name's tid matches a shard that actually wrote events.
+        for (tid, _) in &snap.thread_names {
+            assert!(snap.events.iter().any(|e| e.tid == *tid));
+        }
+        // Renaming wins over the first registration.
+        t.name_thread("renamed");
+        assert_eq!(t.snapshot().thread_names[0].1, "renamed");
+        Tracer::noop().name_thread("ignored");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! leans on (percentile bounds, bucket accounting, lossless export,
 //! newest-events-retained wrap-around) must hold for arbitrary inputs.
 
-use dronet_obs::{ChromeTrace, JsonExporter, Registry, Snapshot, TraceKind, Tracer};
+use dronet_obs::{ChromeTrace, JsonExporter, Registry, RollingWindow, Snapshot, TraceKind, Tracer};
 use proptest::prelude::*;
 
 /// Names stressing the JSON escaper: quotes, backslashes, control bytes.
@@ -146,5 +146,145 @@ proptest! {
         // overwritten (the End carries the duration).
         let ends = snap.events.iter().filter(|e| e.kind == TraceKind::End).count();
         prop_assert_eq!(parsed.iter().filter(|e| e.ph == 'X').count(), ends);
+    }
+}
+
+/// Brute-force model of the rolling window's documented semantics: a map
+/// from ring slot to the (newest epoch, samples) pair it holds. Records
+/// for an older epoch than the slot's current occupant are dropped.
+fn window_oracle(
+    sub_buckets: u64,
+    bucket_ns: u64,
+    records: &[(u64, u64)],
+    query_ns: u64,
+) -> (u64, u64) {
+    use std::collections::BTreeMap;
+    let mut slots: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new(); // slot -> (epoch, count, sum)
+    for &(t, v) in records {
+        let epoch = t / bucket_ns;
+        let slot = epoch % sub_buckets;
+        let e = slots.entry(slot).or_insert((epoch, 0, 0));
+        if epoch < e.0 {
+            continue; // older than the slot's occupant: dropped
+        }
+        if epoch > e.0 {
+            *e = (epoch, 0, 0); // recycled in place
+        }
+        e.1 += 1;
+        e.2 += v;
+    }
+    let now_epoch = query_ns / bucket_ns;
+    let oldest = now_epoch.saturating_sub(sub_buckets - 1);
+    let mut count = 0;
+    let mut sum = 0;
+    for (epoch, c, s) in slots.values() {
+        if *epoch >= oldest && *epoch <= now_epoch {
+            count += c;
+            sum += s;
+        }
+    }
+    (count, sum)
+}
+
+proptest! {
+    /// Bucket rotation under arbitrary monotone clocks — including skips
+    /// far past the window and multiple ring wraps — agrees with the
+    /// brute-force oracle on windowed count and sum, and the percentile
+    /// estimates stay inside the window's [min, max].
+    #[test]
+    fn rolling_window_rotation_matches_oracle(
+        sub_buckets in 1usize..12,
+        steps in prop::collection::vec((0u64..3_000_000_000u64, 1u64..1_000_000u64), 1..60),
+    ) {
+        let w = RollingWindow::new(std::time::Duration::from_secs(10), sub_buckets);
+        let b = w.bucket_ns();
+        // Cumulative deltas give a monotone clock; deltas up to 3s on a
+        // 10s/N-bucket window exercise skips and wraps.
+        let mut t = 0u64;
+        let mut records = Vec::with_capacity(steps.len());
+        for &(dt, v) in &steps {
+            t += dt;
+            records.push((t, v));
+            w.record_at(t, v);
+        }
+        let s = w.stats_at(t);
+        let (count, sum) = window_oracle(sub_buckets as u64, b, &records, t);
+        prop_assert_eq!(s.count, count);
+        prop_assert_eq!(s.sum, sum);
+        prop_assert_eq!(s.window_ns, w.window_ns());
+
+        if count == 0 {
+            prop_assert_eq!(s.p50_ns, 0);
+            prop_assert_eq!(s.p99_ns, 0);
+        } else {
+            let oldest = (t / b).saturating_sub(sub_buckets as u64 - 1) * b;
+            let live: Vec<u64> = records
+                .iter()
+                .filter(|(rt, _)| *rt >= oldest)
+                .map(|&(_, v)| v)
+                .collect();
+            let min = *live.iter().min().unwrap();
+            let max = *live.iter().max().unwrap();
+            prop_assert!(s.p50_ns >= min && s.p50_ns <= max);
+            prop_assert!(s.p50_ns <= s.p99_ns && s.p99_ns <= max);
+        }
+    }
+
+    /// Out-of-order and stale writers: records older than what their ring
+    /// slot holds are dropped, never resurrected — the oracle models the
+    /// same rule, and a query never counts more than was recorded.
+    #[test]
+    fn rolling_window_drops_stale_records_like_the_oracle(
+        sub_buckets in 1usize..10,
+        records in prop::collection::vec((0u64..40_000_000_000u64, 1u64..1_000u64), 1..60),
+    ) {
+        let w = RollingWindow::new(std::time::Duration::from_secs(10), sub_buckets);
+        let b = w.bucket_ns();
+        for &(t, v) in &records {
+            w.record_at(t, v);
+        }
+        let query = records.iter().map(|&(t, _)| t).max().unwrap();
+        let s = w.stats_at(query);
+        let (count, sum) = window_oracle(sub_buckets as u64, b, &records, query);
+        prop_assert_eq!(s.count, count);
+        prop_assert_eq!(s.sum, sum);
+        prop_assert!(s.count <= records.len() as u64);
+    }
+
+    /// Concurrent writers all land: when every record carries an in-window
+    /// timestamp, the merged stats equal the sequential sum regardless of
+    /// thread interleaving.
+    #[test]
+    fn rolling_window_concurrent_writers_agree_with_sequential(
+        per_thread in prop::collection::vec(
+            prop::collection::vec((0u64..10_000_000_000u64, 1u64..1_000_000u64), 1..20),
+            1..4,
+        ),
+    ) {
+        let w = std::sync::Arc::new(RollingWindow::new(std::time::Duration::from_secs(10), 10));
+        // All timestamps fall inside one window span ending at `end`, so
+        // nothing can age out or be recycled mid-test.
+        let end = w.window_ns() - 1;
+        let handles: Vec<_> = per_thread
+            .iter()
+            .map(|recs| {
+                let w = std::sync::Arc::clone(&w);
+                let recs: Vec<(u64, u64)> =
+                    recs.iter().map(|&(t, v)| (t.min(end), v)).collect();
+                std::thread::spawn(move || {
+                    for (t, v) in recs {
+                        w.record_at(t, v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        let s = w.stats_at(end);
+        let expect_count: u64 = per_thread.iter().map(|r| r.len() as u64).sum();
+        let expect_sum: u64 = per_thread.iter().flatten().map(|&(_, v)| v).sum();
+        prop_assert_eq!(s.count, expect_count);
+        prop_assert_eq!(s.sum, expect_sum);
     }
 }

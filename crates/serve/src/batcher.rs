@@ -183,6 +183,9 @@ pub(crate) fn spawn_worker(
     thread::Builder::new()
         .name(format!("serve-worker-{index}"))
         .spawn(move || {
+            // Register with the flight recorder so Chrome-trace exports
+            // label this lane ("serve-worker-N") instead of a bare tid.
+            ctx.tracer.name_thread(&format!("serve-worker-{index}"));
             while let Some(batch) = ctx.queue.pop_batch(ctx.max_batch, ctx.max_wait) {
                 if !ctx.dispatch_delay.is_zero() {
                     thread::sleep(ctx.dispatch_delay);

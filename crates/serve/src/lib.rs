@@ -20,10 +20,23 @@
 //!   Batch-1 traffic pays full per-request setup; coalesced traffic
 //!   amortizes it — `BENCH_PR4.json` measures the curve.
 //! * endpoints — `POST /detect` (binary P6 PPM body → JSON detections),
-//!   `GET /metrics` (Prometheus text exposition of queue depth, batch-size
-//!   histogram, admission drops, latency percentiles), `GET /healthz`
-//!   (the supervisor's Healthy/Degraded/Halted machine), plus graceful
-//!   drain on [`Server::shutdown`].
+//!   `GET /metrics` (Prometheus text exposition — `# HELP`/`# TYPE`,
+//!   cumulative series, and rolling 10-second `_window_rate` /
+//!   `_window_p99_seconds` gauges), `GET /healthz` (JSON body with the
+//!   supervisor's Healthy/Degraded/Halted state and live queue depth;
+//!   `503` when halted), plus graceful drain on [`Server::shutdown`].
+//!
+//! A live debug surface rides alongside, bounded by its own admission
+//! budget (at most 2 in flight, excess shed with `503` + `Retry-After`):
+//!
+//! * `GET /debug/vars` — one JSON object holding the full metric
+//!   registry, the rolling-window view, and instrumented-allocator stats.
+//! * `GET /debug/alloc` — the allocator's human-readable report
+//!   (live/peak bytes, size-class histogram, mmap-threshold count).
+//! * `GET /debug/trace?ms=N` — arm the flight recorder for `N` ms
+//!   (default 100, capped at 2000) and return Chrome `trace.json`,
+//!   ready for Perfetto / `chrome://tracing`. Worker threads are
+//!   labelled `serve-worker-N` via trace metadata events.
 //!
 //! Requests are traced end to end when a `Tracer` is attached: each frame
 //! shows up as `serve.parse → serve.queue → serve.batch(n) → nn.forward →

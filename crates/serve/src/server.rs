@@ -11,7 +11,7 @@ use crate::error::ServeError;
 use crate::http::{parse_request, HttpLimits, Method, Request, Response};
 use crate::json::detections_json;
 use dronet_detect::{conform_frame, Detector, Health};
-use dronet_obs::{PromExporter, Registry, Tracer};
+use dronet_obs::{ChromeTrace, JsonExporter, PromExporter, Registry, Tracer};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -99,6 +99,34 @@ struct Shared {
     obs: Registry,
     tracer: Tracer,
     config: ServeConfig,
+    /// In-flight `/debug/*` requests; bounded so a slow trace capture
+    /// cannot pile up connection threads.
+    debug_inflight: AtomicUsize,
+}
+
+/// Most `/debug/*` requests served concurrently; the rest are shed with
+/// `503` + `Retry-After` like any other overload.
+const DEBUG_MAX_INFLIGHT: usize = 2;
+
+/// Longest `/debug/trace` capture window accepted, milliseconds.
+const DEBUG_TRACE_MAX_MS: u64 = 2_000;
+
+/// RAII slot in the debug-endpoint admission budget.
+struct DebugPermit<'a>(&'a AtomicUsize);
+
+impl Drop for DebugPermit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn acquire_debug(shared: &Shared) -> Option<DebugPermit<'_>> {
+    if shared.debug_inflight.fetch_add(1, Ordering::SeqCst) < DEBUG_MAX_INFLIGHT {
+        Some(DebugPermit(&shared.debug_inflight))
+    } else {
+        shared.debug_inflight.fetch_sub(1, Ordering::SeqCst);
+        None
+    }
 }
 
 /// Handle to a running server; dropping it does NOT stop the server — call
@@ -135,6 +163,40 @@ impl Server {
         tracer: &Tracer,
     ) -> Result<Server, ServeError> {
         config.validate()?;
+        if obs.is_enabled() {
+            // Rolling 10-second windows next to every cumulative series
+            // (`/metrics` gains `_window_rate` / `_window_p99_seconds`
+            // gauges), and `# HELP` text for the scrape-facing metrics.
+            obs.enable_windows(Duration::from_secs(10), 10);
+            for (name, help) in [
+                ("serve.requests", "HTTP requests accepted since start"),
+                ("serve.request", "End-to-end request latency"),
+                ("serve.queue_wait", "Time jobs spend in the admission queue"),
+                ("serve.queue_depth", "Jobs waiting in the admission queue"),
+                (
+                    "serve.batch_size",
+                    "Coalesced batch sizes (count encoded as ns)",
+                ),
+                (
+                    "serve.admission_drops",
+                    "Requests shed because the queue was full",
+                ),
+                (
+                    "serve.worker_panics",
+                    "Worker panics survived by detector rebuild",
+                ),
+                (
+                    "serve.health",
+                    "Server health: 0 healthy, 1 degraded, 2 halted",
+                ),
+                ("serve.http_errors", "Malformed or oversized HTTP requests"),
+                ("detect.forward", "Network forward-pass latency"),
+                ("detect.decode", "Region decode latency per image"),
+                ("detect.nms", "Non-max-suppression latency per image"),
+            ] {
+                obs.describe(name, help);
+            }
+        }
         let mut detectors = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
             let mut det = factory()?;
@@ -195,6 +257,7 @@ impl Server {
             obs: obs.clone(),
             tracer: tracer.clone(),
             config,
+            debug_inflight: AtomicUsize::new(0),
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -356,28 +419,116 @@ fn read_request(
 }
 
 fn route(request: &Request, shared: &Shared) -> Response {
-    match (&request.method, request.target.as_str()) {
+    let (path, query) = match request.target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (request.target.as_str(), ""),
+    };
+    match (&request.method, path) {
         (Method::Post, "/detect") => handle_detect(request, shared),
         (Method::Get, "/metrics") => {
-            let text = PromExporter::to_string(&shared.obs.snapshot());
+            let text = PromExporter::render(
+                &shared.obs.snapshot(),
+                &shared.obs.descriptions(),
+                &shared.obs.window_snapshot(),
+            );
             Response::new(200, "OK", PromExporter::CONTENT_TYPE, &text)
         }
-        (Method::Get, "/healthz") => {
-            let health = shared.health.load(Ordering::SeqCst);
-            let (status, reason, body) = match health {
-                h if h == Health::Healthy.as_metric() as u8 => (200, "OK", "healthy\n"),
-                h if h == Health::Degraded.as_metric() as u8 => (200, "OK", "degraded\n"),
-                _ => (503, "Service Unavailable", "halted\n"),
-            };
-            Response::text(status, reason, body.to_string())
-        }
-        (_, "/detect" | "/metrics" | "/healthz") => Response::text(
+        (Method::Get, "/healthz") => handle_healthz(shared),
+        (Method::Get, "/debug/vars") => handle_debug_vars(shared),
+        (Method::Get, "/debug/alloc") => handle_debug_alloc(shared),
+        (Method::Get, "/debug/trace") => handle_debug_trace(shared, query),
+        (
+            _,
+            "/detect" | "/metrics" | "/healthz" | "/debug/vars" | "/debug/alloc" | "/debug/trace",
+        ) => Response::text(
             405,
             "Method Not Allowed",
             "method not allowed\n".to_string(),
         ),
         _ => Response::text(404, "Not Found", "no such endpoint\n".to_string()),
     }
+}
+
+fn handle_healthz(shared: &Shared) -> Response {
+    let health = shared.health.load(Ordering::SeqCst);
+    let (status, reason, state) = match health {
+        h if h == Health::Healthy.as_metric() as u8 => (200, "OK", "healthy"),
+        h if h == Health::Degraded.as_metric() as u8 => (200, "OK", "degraded"),
+        _ => (503, "Service Unavailable", "halted"),
+    };
+    let body = format!(
+        "{{\"health\": \"{state}\", \"queue_depth\": {}}}\n",
+        shared.queue.len()
+    );
+    Response::new(status, reason, "application/json", &body)
+}
+
+/// `503` + `Retry-After` handed out when the debug admission budget
+/// ([`DEBUG_MAX_INFLIGHT`]) is exhausted.
+fn debug_busy(shared: &Shared) -> Response {
+    let mut r = Response::text(
+        503,
+        "Service Unavailable",
+        "too many debug requests in flight\n".to_string(),
+    );
+    r.retry_after = Some(shared.config.retry_after_secs);
+    r
+}
+
+/// `GET /debug/vars` — one JSON object with everything the process knows
+/// about itself: the full metric registry, the rolling-window view, and
+/// the allocator report.
+fn handle_debug_vars(shared: &Shared) -> Response {
+    let Some(_permit) = acquire_debug(shared) else {
+        return debug_busy(shared);
+    };
+    let metrics = JsonExporter::to_string(&shared.obs.snapshot());
+    let windows = shared.obs.window_snapshot().to_json();
+    let alloc = dronet_obs::alloc::stats_json();
+    let body =
+        format!("{{\n\"metrics\": {metrics},\n\"windows\": {windows},\n\"alloc\": {alloc}\n}}\n");
+    Response::json(body)
+}
+
+/// `GET /debug/alloc` — the instrumented allocator's human-readable
+/// report (or a one-line note when the counting allocator is not
+/// installed in this binary).
+fn handle_debug_alloc(shared: &Shared) -> Response {
+    let Some(_permit) = acquire_debug(shared) else {
+        return debug_busy(shared);
+    };
+    Response::text(200, "OK", dronet_obs::alloc::report())
+}
+
+/// `GET /debug/trace?ms=N` — hold the connection for `N` milliseconds
+/// (default 100, capped at [`DEBUG_TRACE_MAX_MS`]) while the flight
+/// recorder keeps running, then return the tracer's ring as Chrome
+/// `trace.json`. Requires the server to have been started with an
+/// enabled [`Tracer`].
+fn handle_debug_trace(shared: &Shared, query: &str) -> Response {
+    let Some(_permit) = acquire_debug(shared) else {
+        return debug_busy(shared);
+    };
+    if !shared.tracer.is_enabled() {
+        return Response::text(
+            503,
+            "Service Unavailable",
+            "tracing is not enabled on this server\n".to_string(),
+        );
+    }
+    let mut ms: u64 = 100;
+    for pair in query.split('&') {
+        if let Some(v) = pair.strip_prefix("ms=") {
+            match v.parse::<u64>() {
+                Ok(n) => ms = n.min(DEBUG_TRACE_MAX_MS),
+                Err(_) => {
+                    return Response::text(400, "Bad Request", format!("bad ms value: {v:?}\n"));
+                }
+            }
+        }
+    }
+    thread::sleep(Duration::from_millis(ms));
+    Response::json(ChromeTrace::to_string(&shared.tracer.snapshot()))
 }
 
 fn handle_detect(request: &Request, shared: &Shared) -> Response {

@@ -152,7 +152,7 @@ pub fn channel_variance(x: &Tensor, means: &[f32]) -> Result<Vec<f32>> {
 /// on malformed input.
 #[allow(clippy::needless_range_loop)] // channel-indexed kernel loop
 pub fn add_channel_bias(x: &mut Tensor, bias: &[f32]) -> Result<()> {
-    let s = x.shape().clone();
+    let s = *x.shape();
     if s.rank() != 4 {
         return Err(TensorError::RankMismatch {
             op: "add_channel_bias",
@@ -190,7 +190,7 @@ pub fn add_channel_bias(x: &mut Tensor, bias: &[f32]) -> Result<()> {
 /// on malformed input.
 #[allow(clippy::needless_range_loop)] // channel-indexed kernel loop
 pub fn scale_channels(x: &mut Tensor, scale: &[f32]) -> Result<()> {
-    let s = x.shape().clone();
+    let s = *x.shape();
     if s.rank() != 4 {
         return Err(TensorError::RankMismatch {
             op: "scale_channels",

@@ -12,18 +12,25 @@
 /// integer; otherwise uses the machine's available parallelism, capped at 8
 /// (the kernels here stop scaling beyond that for the layer sizes DroNet
 /// uses).
+///
+/// The value is resolved once per process and cached: reading an environment
+/// variable allocates a `String`, and this function sits on the per-layer
+/// kernel hot path where steady-state forwards must stay allocation-free.
 pub fn worker_count() -> usize {
-    if let Ok(v) = std::env::var("DRONET_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        if let Ok(v) = std::env::var("DRONET_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
             }
         }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    })
 }
 
 /// Splits `0..len` into at most `workers` contiguous ranges of nearly equal

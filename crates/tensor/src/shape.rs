@@ -1,10 +1,20 @@
 use std::fmt;
 
+/// Maximum number of dimensions a [`Shape`] can describe.
+///
+/// Every tensor in this workspace is at most 4-D (NCHW feature maps);
+/// storing the dimensions inline behind this cap keeps `Shape` construction
+/// allocation-free, which matters because layer forwards build shapes on the
+/// hot path.
+pub const MAX_RANK: usize = 4;
+
 /// Dimensions of a [`crate::Tensor`], stored outermost-first.
 ///
 /// A `Shape` is an inexpensive value type describing row-major (C-order)
 /// layout. For CNN feature maps the convention throughout this workspace is
-/// **NCHW**: `[batch, channels, height, width]`.
+/// **NCHW**: `[batch, channels, height, width]`. Dimensions are stored in a
+/// fixed inline array (see [`MAX_RANK`]), so creating or cloning a `Shape`
+/// never touches the heap.
 ///
 /// # Example
 ///
@@ -15,48 +25,68 @@ use std::fmt;
 /// assert_eq!(s.len(), 519_168);
 /// assert_eq!(s.dims(), &[1, 3, 416, 416]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Shape {
-    dims: Vec<usize>,
+    // Unused trailing slots are always zero so the derived PartialEq/Hash
+    // agree with logical equality (rank is part of the comparison).
+    dims: [usize; MAX_RANK],
+    rank: u8,
 }
 
 impl Shape {
     /// Creates a shape from a slice of dimensions.
     ///
     /// A zero-dimensional shape (`&[]`) describes a scalar with one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` has more than [`MAX_RANK`] dimensions.
     pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.len() <= MAX_RANK,
+            "Shape supports at most {MAX_RANK} dimensions, got {}",
+            dims.len()
+        );
+        let mut inline = [0usize; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
         Shape {
-            dims: dims.to_vec(),
+            dims: inline,
+            rank: dims.len() as u8,
         }
     }
 
     /// Creates the canonical 4-D feature-map shape `[n, c, h, w]`.
     pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
         Shape {
-            dims: vec![n, c, h, w],
+            dims: [n, c, h, w],
+            rank: 4,
         }
     }
 
     /// Creates a 2-D matrix shape `[rows, cols]`.
     pub fn matrix(rows: usize, cols: usize) -> Self {
         Shape {
-            dims: vec![rows, cols],
+            dims: [rows, cols, 0, 0],
+            rank: 2,
         }
     }
 
     /// Creates a 1-D vector shape.
     pub fn vector(len: usize) -> Self {
-        Shape { dims: vec![len] }
+        Shape {
+            dims: [len, 0, 0, 0],
+            rank: 1,
+        }
     }
 
     /// The dimensions, outermost first.
     pub fn dims(&self) -> &[usize] {
-        &self.dims
+        &self.dims[..self.rank as usize]
     }
 
     /// Number of dimensions.
     pub fn rank(&self) -> usize {
-        self.dims.len()
+        self.rank as usize
     }
 
     /// Total number of elements described by this shape.
@@ -64,7 +94,7 @@ impl Shape {
     /// An empty dimension list (scalar) has one element; any zero-sized
     /// dimension makes the whole shape empty.
     pub fn len(&self) -> usize {
-        self.dims.iter().product()
+        self.dims().iter().product()
     }
 
     /// Whether the shape contains no elements.
@@ -74,7 +104,7 @@ impl Shape {
 
     /// Dimension at `axis`, or `None` when out of range.
     pub fn dim(&self, axis: usize) -> Option<usize> {
-        self.dims.get(axis).copied()
+        self.dims().get(axis).copied()
     }
 
     /// Row-major strides, in elements, one per dimension.
@@ -84,9 +114,10 @@ impl Shape {
     /// assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
     /// ```
     pub fn strides(&self) -> Vec<usize> {
-        let mut strides = vec![1usize; self.dims.len()];
-        for i in (0..self.dims.len().saturating_sub(1)).rev() {
-            strides[i] = strides[i + 1] * self.dims[i + 1];
+        let dims = self.dims();
+        let mut strides = vec![1usize; dims.len()];
+        for i in (0..dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * dims[i + 1];
         }
         strides
     }
@@ -96,17 +127,18 @@ impl Shape {
     /// Returns `None` when the index rank differs from the shape rank or any
     /// coordinate is out of bounds.
     pub fn offset(&self, index: &[usize]) -> Option<usize> {
-        if index.len() != self.dims.len() {
+        let dims = self.dims();
+        if index.len() != dims.len() {
             return None;
         }
         let mut off = 0usize;
         let mut stride = 1usize;
-        for axis in (0..self.dims.len()).rev() {
-            if index[axis] >= self.dims[axis] {
+        for axis in (0..dims.len()).rev() {
+            if index[axis] >= dims[axis] {
                 return None;
             }
             off += index[axis] * stride;
-            stride *= self.dims[axis];
+            stride *= dims[axis];
         }
         Some(off)
     }
@@ -118,11 +150,12 @@ impl Shape {
         if offset >= self.len() {
             return None;
         }
+        let dims = self.dims();
         let mut rem = offset;
-        let mut idx = vec![0usize; self.dims.len()];
-        for axis in (0..self.dims.len()).rev() {
-            idx[axis] = rem % self.dims[axis];
-            rem /= self.dims[axis];
+        let mut idx = vec![0usize; dims.len()];
+        for axis in (0..dims.len()).rev() {
+            idx[axis] = rem % dims[axis];
+            rem /= dims[axis];
         }
         Some(idx)
     }
@@ -169,11 +202,11 @@ impl Shape {
 
     fn expect_nchw(&self) {
         assert_eq!(
-            self.dims.len(),
+            self.rank,
             4,
             "NCHW accessor used on rank-{} shape {:?}",
-            self.dims.len(),
-            self.dims
+            self.rank,
+            self.dims()
         );
     }
 }
@@ -181,7 +214,7 @@ impl Shape {
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, d) in self.dims.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, "x")?;
             }
@@ -193,7 +226,7 @@ impl fmt::Display for Shape {
 
 impl From<Vec<usize>> for Shape {
     fn from(dims: Vec<usize>) -> Self {
-        Shape { dims }
+        Shape::new(&dims)
     }
 }
 
@@ -205,9 +238,7 @@ impl From<&[usize]> for Shape {
 
 impl<const N: usize> From<[usize; N]> for Shape {
     fn from(dims: [usize; N]) -> Self {
-        Shape {
-            dims: dims.to_vec(),
-        }
+        Shape::new(&dims)
     }
 }
 
@@ -264,6 +295,18 @@ mod tests {
     #[should_panic(expected = "NCHW accessor")]
     fn nchw_accessor_panics_on_wrong_rank() {
         Shape::matrix(2, 3).channels();
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn over_max_rank_panics() {
+        Shape::new(&[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn rank_distinguishes_zero_padded_shapes() {
+        assert_ne!(Shape::new(&[2, 3]), Shape::new(&[2, 3, 0, 0]));
+        assert_eq!(Shape::matrix(2, 3), Shape::new(&[2, 3]));
     }
 
     #[test]

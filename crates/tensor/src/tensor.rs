@@ -207,7 +207,7 @@ impl Tensor {
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
             data: self.data.iter().map(|&x| f(x)).collect(),
-            shape: self.shape.clone(),
+            shape: self.shape,
         }
     }
 
@@ -238,7 +238,7 @@ impl Tensor {
                 .zip(&other.data)
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
-            shape: self.shape.clone(),
+            shape: self.shape,
         })
     }
 

@@ -26,7 +26,7 @@ proptest! {
     fn reshape_roundtrip(dims in arb_dims(), seed in any::<u64>()) {
         let shape = Shape::new(&dims);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let t = init::uniform(shape.clone(), -10.0, 10.0, &mut rng);
+        let t = init::uniform(shape, -10.0, 10.0, &mut rng);
         let flat = t.clone().reshape(Shape::vector(shape.len())).unwrap();
         prop_assert_eq!(flat.as_slice(), t.as_slice());
         let back = flat.reshape(shape).unwrap();

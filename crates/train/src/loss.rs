@@ -133,7 +133,7 @@ impl YoloLoss {
         let (n, gh, gw) = (s.batch(), s.height(), s.width());
         let plane = gh * gw;
         let out = output.as_slice();
-        let mut grad = Tensor::zeros(s.clone());
+        let mut grad = Tensor::zeros(*s);
         let g = grad.as_mut_slice();
         let mut breakdown = LossBreakdown::default();
         let cfg = &self.config;

@@ -149,6 +149,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let text = dronet::obs::TraceSnapshot {
         events: trace.tail(12).to_vec(),
         dropped: 0,
+        thread_names: Vec::new(),
     }
     .to_text();
     println!("last 12 flight-recorder events:\n{text}");

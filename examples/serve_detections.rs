@@ -109,6 +109,31 @@ fn main() {
         println!("  {line}");
     }
 
+    let (status, health) = request(addr, "GET", "/healthz", &[]);
+    println!("\n/healthz ({status}): {}", health.trim());
+
+    // The live debug surface: full registry JSON, allocator report, and a
+    // short Chrome-trace capture ready for https://ui.perfetto.dev.
+    let (status, vars) = request(addr, "GET", "/debug/vars", &[]);
+    let snippet: String = vars.chars().take(96).collect();
+    println!("/debug/vars ({status}): {snippet}...");
+    let (status, alloc) = request(addr, "GET", "/debug/alloc", &[]);
+    println!(
+        "/debug/alloc ({status}): {}",
+        alloc.lines().next().unwrap_or_default()
+    );
+    let (status, trace) = request(addr, "GET", "/debug/trace?ms=50", &[]);
+    let events = dronet::obs::ChromeTrace::parse(&trace).expect("parse trace");
+    println!(
+        "/debug/trace?ms=50 ({status}): {} events, worker threads {:?}",
+        events.len(),
+        events
+            .iter()
+            .filter(|e| e.ph == 'M' && e.name == "thread_name")
+            .filter_map(|e| e.arg_name.as_deref())
+            .collect::<Vec<_>>()
+    );
+
     let report = server.shutdown();
     println!("\ndrained cleanly: {}", report.drained);
 }

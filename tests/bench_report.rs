@@ -168,3 +168,72 @@ fn batching_amortizes_at_352() {
         "batch-8 throughput ({b8:.2} images/s) fell below batch-1 ({b1:.2})"
     );
 }
+
+fn load_alloc_report() -> JsonValue {
+    load_named("BENCH_PR6.json")
+}
+
+#[test]
+fn alloc_report_is_schema_stable() {
+    let report = load_alloc_report();
+    assert_eq!(
+        report.get("schema").and_then(JsonValue::as_str),
+        Some("dronet-bench-report")
+    );
+    assert_eq!(report.get("version").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(report.get("pr").and_then(JsonValue::as_str), Some("PR6"));
+    assert_eq!(report.get("threads").and_then(JsonValue::as_u64), Some(1));
+    assert!(
+        report
+            .get("warmup_forwards")
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            >= 1
+    );
+    assert!(
+        report
+            .get("measured_forwards")
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            >= 1
+    );
+}
+
+#[test]
+fn steady_state_alloc_grid_is_allocation_flat() {
+    // The acceptance bar for the pooled inference path: after warmup a
+    // DroNet-352 forward performs zero heap allocations, at batch 1 and
+    // at the serving batch of 8. A regressing pool (or a layer quietly
+    // growing a per-forward Vec) shows up here as a nonzero row.
+    let report = load_alloc_report();
+    let rows = report
+        .get("steady_state_alloc")
+        .and_then(JsonValue::as_array)
+        .expect("steady_state_alloc array");
+    let mut batches = std::collections::BTreeSet::new();
+    for row in rows {
+        assert_eq!(row.get("model").and_then(JsonValue::as_str), Some("DroNet"));
+        assert_eq!(row.get("input").and_then(JsonValue::as_u64), Some(352));
+        let batch = row.get("batch").and_then(JsonValue::as_u64).unwrap();
+        batches.insert(batch);
+        let allocs = row
+            .get("allocs_per_forward")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        let bytes = row
+            .get("alloc_bytes_per_forward")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
+        assert_eq!(
+            allocs, 0.0,
+            "batch-{batch} steady-state forward allocates ({allocs}/forward)"
+        );
+        assert_eq!(
+            bytes, 0.0,
+            "batch-{batch} steady-state forward allocates ({bytes} bytes/forward)"
+        );
+    }
+    for batch in [1u64, 8] {
+        assert!(batches.contains(&batch), "missing batch-{batch} row");
+    }
+}

@@ -7,7 +7,7 @@
 //! valid Prometheus text, and graceful drain completes in-flight requests.
 
 use dronet::detect::DetectorBuilder;
-use dronet::obs::{JsonValue, Registry, Tracer};
+use dronet::obs::{ChromeTrace, JsonValue, Registry, Tracer};
 use dronet::serve::{DetectorFactory, ServeConfig, Server};
 use dronet_core::{zoo, ModelId};
 use dronet_data::{ppm, Image};
@@ -173,12 +173,19 @@ fn metrics_endpoint_serves_valid_prometheus_text() {
         "serve_admission_drops",
         "serve_request_seconds_count",
         "serve_health",
+        // Rolling-window gauges ride alongside the cumulative series.
+        "serve_queue_wait_window_rate",
+        "serve_queue_wait_window_p99_seconds",
+        "serve_request_window_rate",
+        // The server registers HELP text for its scrape-facing metrics.
+        "# HELP serve_queue_wait_seconds ",
+        "# HELP serve_health ",
     ] {
         assert!(text.contains(metric), "missing metric {metric}");
     }
     // Structural validation: every line is a comment or `name[{labels}] value`.
     for line in text.lines() {
-        if line.starts_with("# TYPE ") {
+        if line.starts_with("# TYPE ") || line.starts_with("# HELP ") {
             continue;
         }
         let (name, value) = line.rsplit_once(' ').expect("sample line");
@@ -229,14 +236,21 @@ fn routing_health_and_error_paths() {
         Server::start(factory(), ServeConfig::default(), &obs, &Tracer::noop()).expect("start");
     let addr = server.addr();
 
-    let (status, _, body) = http(addr, "GET", "/healthz", b"");
+    let (status, head, body) = http(addr, "GET", "/healthz", b"");
     assert_eq!(status, 200);
-    assert_eq!(String::from_utf8_lossy(&body), "healthy\n");
+    assert!(head.contains("Content-Type: application/json"));
+    let v = JsonValue::parse(&String::from_utf8_lossy(&body)).expect("healthz JSON");
+    assert_eq!(v.get("health").and_then(JsonValue::as_str), Some("healthy"));
+    let depth = v.get("queue_depth").and_then(JsonValue::as_f64).unwrap();
+    assert!(depth >= 0.0);
 
     let (status, _, _) = http(addr, "GET", "/nope", b"");
     assert_eq!(status, 404);
 
     let (status, _, _) = http(addr, "GET", "/detect", b"");
+    assert_eq!(status, 405);
+
+    let (status, _, _) = http(addr, "POST", "/debug/vars", b"");
     assert_eq!(status, 405);
 
     // A non-PPM body is a typed 400, not a hang or a crash.
@@ -251,5 +265,98 @@ fn routing_health_and_error_paths() {
     stream.read_to_end(&mut response).expect("read");
     assert!(String::from_utf8_lossy(&response).starts_with("HTTP/1.1 400"));
 
+    server.shutdown();
+}
+
+#[test]
+fn debug_vars_and_alloc_expose_registry_and_allocator() {
+    let obs = Registry::new();
+    let server =
+        Server::start(factory(), ServeConfig::default(), &obs, &Tracer::noop()).expect("start");
+    let addr = server.addr();
+    let (status, _, _) = post_detect(addr);
+    assert_eq!(status, 200);
+
+    // /debug/vars: one JSON object holding metrics + windows + allocator.
+    let (status, head, body) = http(addr, "GET", "/debug/vars", b"");
+    assert_eq!(status, 200);
+    assert!(head.contains("Content-Type: application/json"));
+    let v = JsonValue::parse(&String::from_utf8_lossy(&body)).expect("vars JSON");
+    let metrics = v.get("metrics").expect("metrics key");
+    let counters = metrics
+        .get("counters")
+        .and_then(JsonValue::as_array)
+        .expect("counters array");
+    assert!(
+        counters
+            .iter()
+            .any(|c| { c.get("name").and_then(JsonValue::as_str) == Some("serve.requests") }),
+        "serve.requests missing from /debug/vars metrics"
+    );
+    let windows = v.get("windows").expect("windows key");
+    assert!(windows.get("histograms").is_some());
+    let alloc = v.get("alloc").expect("alloc key");
+    // This test binary does not install the counting allocator, so the
+    // stats must say so (installed = 0) rather than invent numbers.
+    assert_eq!(
+        alloc.get("installed").and_then(JsonValue::as_f64),
+        Some(0.0)
+    );
+
+    // /debug/alloc: the human-readable report.
+    let (status, _, body) = http(addr, "GET", "/debug/alloc", b"");
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&body).starts_with("allocator:"));
+
+    server.shutdown();
+}
+
+#[test]
+fn debug_trace_returns_parseable_chrome_trace_with_serving_spans() {
+    let obs = Registry::new();
+    let tracer = Tracer::new();
+    let server = Server::start(factory(), ServeConfig::default(), &obs, &tracer).expect("start");
+    let addr = server.addr();
+    let (status, _, _) = post_detect(addr);
+    assert_eq!(status, 200);
+
+    let (status, head, body) = http(addr, "GET", "/debug/trace?ms=50", b"");
+    assert_eq!(status, 200);
+    assert!(head.contains("Content-Type: application/json"));
+    let events =
+        ChromeTrace::parse(&String::from_utf8_lossy(&body)).expect("parseable Chrome trace");
+    for name in ["serve.parse", "serve.queue", "detect.decode", "detect.nms"] {
+        assert!(
+            events.iter().any(|e| e.name == name),
+            "missing span {name} in /debug/trace output"
+        );
+    }
+    // Worker threads announce themselves via metadata events.
+    assert!(
+        events.iter().any(|e| {
+            e.ph == 'M'
+                && e.name == "thread_name"
+                && e.arg_name.as_deref() == Some("serve-worker-0")
+        }),
+        "missing serve-worker-0 thread_name metadata event"
+    );
+
+    // A bad ms value is a typed 400; a missing tracer is exercised in the
+    // noop-server test below.
+    let (status, _, _) = http(addr, "GET", "/debug/trace?ms=abc", b"");
+    assert_eq!(status, 400);
+
+    server.shutdown();
+}
+
+#[test]
+fn debug_trace_without_tracer_is_a_typed_503() {
+    let obs = Registry::new();
+    let server =
+        Server::start(factory(), ServeConfig::default(), &obs, &Tracer::noop()).expect("start");
+    let addr = server.addr();
+    let (status, _, body) = http(addr, "GET", "/debug/trace", b"");
+    assert_eq!(status, 503);
+    assert!(String::from_utf8_lossy(&body).contains("tracing is not enabled"));
     server.shutdown();
 }
