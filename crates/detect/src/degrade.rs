@@ -144,6 +144,10 @@ impl DegradeController {
     /// observation. Returns a shift request at window boundaries when the
     /// hysteresis thresholds are met; the caller must then rebuild the
     /// detector at [`DegradeAction::target`].
+    ///
+    /// The "frame" need not be a camera frame: the serving layer feeds one
+    /// observation per supervisor tick (queue depth + admission-shed delta),
+    /// so `window_frames` becomes ticks-per-window there.
     pub fn observe_frame(&mut self, queue_depth: f64, drops_delta: u64) -> Option<DegradeAction> {
         if drops_delta > 0 || queue_depth >= self.config.overload_queue {
             self.window_hot = true;
@@ -152,9 +156,18 @@ impl DegradeController {
         if self.frames_in_window < self.config.window_frames {
             return None;
         }
-        // Window boundary: fold the window into the streaks.
-        let hot = std::mem::replace(&mut self.window_hot, false);
         self.frames_in_window = 0;
+        let hot = std::mem::replace(&mut self.window_hot, false);
+        self.observe_window(hot)
+    }
+
+    /// Folds one whole pre-aggregated observation window into the
+    /// hysteresis streaks — the seam for callers that do their own
+    /// windowing (the serve-side brownout controller aggregates watchdog
+    /// ticks and hands the boolean verdict here). Equivalent to
+    /// `window_frames` calls to [`DegradeController::observe_frame`] whose
+    /// combined hotness is `hot`.
+    pub fn observe_window(&mut self, hot: bool) -> Option<DegradeAction> {
         if hot {
             self.hot_streak += 1;
             self.calm_streak = 0;
@@ -285,6 +298,29 @@ mod tests {
             2,
             "cooldown limits to one shift per 3 windows"
         );
+    }
+
+    #[test]
+    fn observe_window_is_equivalent_to_a_window_of_frames() {
+        // Drive one controller frame-by-frame and a twin window-by-window
+        // with the same hot/calm sequence; they must stay in lockstep.
+        let mut by_frame = controller(2, 3, 1);
+        let mut by_window = controller(2, 3, 1);
+        let pattern = [
+            true, true, true, false, false, false, false, true, false, false, false, false,
+        ];
+        for &hot in &pattern {
+            let drops = u64::from(hot);
+            let mut frame_action = None;
+            for _ in 0..2 {
+                if let Some(a) = by_frame.observe_frame(0.0, drops) {
+                    frame_action = Some(a);
+                }
+            }
+            let window_action = by_window.observe_window(hot);
+            assert_eq!(frame_action, window_action);
+            assert_eq!(by_frame.current(), by_window.current());
+        }
     }
 
     #[test]

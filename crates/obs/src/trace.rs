@@ -483,6 +483,20 @@ impl TraceSnapshot {
         &self.events[self.events.len().saturating_sub(n)..]
     }
 
+    /// An owned snapshot holding only the last `n` events, with thread
+    /// names and the wrap count preserved — the crash-black-box capture
+    /// shape: small enough to retain per failure, complete enough that
+    /// [`TraceSnapshot::to_text`] and the Chrome exporter still label
+    /// worker lanes.
+    pub fn tail_snapshot(&self, n: usize) -> TraceSnapshot {
+        let kept = self.tail(n);
+        TraceSnapshot {
+            dropped: self.dropped + (self.events.len() - kept.len()) as u64,
+            events: kept.to_vec(),
+            thread_names: self.thread_names.clone(),
+        }
+    }
+
     /// Every event carrying `frame_id`.
     pub fn for_frame(&self, frame_id: u64) -> Vec<&TraceEvent> {
         self.events
@@ -630,6 +644,24 @@ mod tests {
         assert_eq!(snap.tail(5)[0].frame_id, 9);
         assert_eq!(snap.for_frame(9).len(), 1);
         assert!(snap.for_frame(8).is_empty());
+    }
+
+    #[test]
+    fn tail_snapshot_preserves_names_and_accounts_for_truncation() {
+        let t = Tracer::new();
+        t.name_thread("serve-worker-0");
+        for i in 0..10 {
+            t.instant_frame("tick", i);
+        }
+        let snap = t.snapshot();
+        let tail = snap.tail_snapshot(3);
+        assert_eq!(tail.events.len(), 3);
+        assert_eq!(tail.events[0].frame_id, 7, "kept the newest events");
+        assert_eq!(tail.dropped, 7, "truncated events count as dropped");
+        assert_eq!(tail.thread_names, snap.thread_names);
+        // Asking for more than exists is the whole snapshot.
+        let all = snap.tail_snapshot(100);
+        assert_eq!(all, snap);
     }
 
     #[test]

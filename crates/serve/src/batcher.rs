@@ -12,17 +12,40 @@
 //! The queue is strictly bounded: a full queue rejects at push time
 //! ([`ServeError::Overloaded`] → `503` + `Retry-After`) instead of letting
 //! latency grow without bound.
+//!
+//! Self-healing: every worker owns a [`WorkerSlot`] — a heartbeat cell
+//! stamped around each batch forward plus a *takeable* record of the
+//! in-flight jobs. The [`crate::watchdog`] reads the heartbeats; when a
+//! worker wedges past its deadline the watchdog steals the in-flight
+//! record, fails those jobs with typed errors, and spawns a replacement —
+//! the wedged thread, whenever it wakes, finds its slot abandoned and
+//! exits quietly. A failed detector rebuild retires the worker instead of
+//! panicking; losing the last worker flips health to Halted and fails the
+//! backlog rather than hanging it.
 
 use crate::error::ServeError;
-use dronet_detect::{Detection, Detector, Health};
+use crate::watchdog::{BlackBoxStore, HealthCell, Pool};
+use dronet_detect::{resize_frame, Detection, Detector};
 use dronet_obs::{Counter, Gauge, Histogram, Registry, Tracer};
 use dronet_tensor::Tensor;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, inheriting the data after a poisoning panic.
+///
+/// Every shared structure in this module is a plain value store (job
+/// lists, option cells) with no invariant that a panicking writer could
+/// leave half-established, so inheriting the poisoned state is safe —
+/// and vastly better than the default behaviour, where one panic while
+/// holding the queue lock turns into a panic on *every subsequent
+/// request* for the life of the process.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One queued detection request.
 pub struct Job {
@@ -76,7 +99,7 @@ impl BatchQueue {
     /// [`ServeError::Overloaded`] when the queue is at capacity,
     /// [`ServeError::Draining`] once shutdown has begun.
     pub fn push(&self, job: Job) -> Result<(), ServeError> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = lock_recover(&self.state);
         if s.draining || s.closed {
             return Err(ServeError::Draining);
         }
@@ -92,7 +115,7 @@ impl BatchQueue {
 
     /// Current queue depth (tests and metrics).
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().jobs.len()
+        lock_recover(&self.state).jobs.len()
     }
 
     /// Whether the queue is currently empty.
@@ -104,13 +127,13 @@ impl BatchQueue {
     /// to `max_wait` past the head job's arrival — for the batch to fill to
     /// `max_batch`. Returns `None` only when the queue is closed and empty.
     pub fn pop_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<Job>> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = lock_recover(&self.state);
         loop {
             while s.jobs.is_empty() {
                 if s.closed {
                     return None;
                 }
-                s = self.cond.wait(s).unwrap();
+                s = self.cond.wait(s).unwrap_or_else(PoisonError::into_inner);
             }
             // A batch head exists; linger for stragglers to coalesce.
             let deadline = s.jobs.front().map(|j| j.enqueued + max_wait);
@@ -120,7 +143,10 @@ impl BatchQueue {
                 if now >= deadline {
                     break;
                 }
-                let (guard, _) = self.cond.wait_timeout(s, deadline - now).unwrap();
+                let (guard, _) = self
+                    .cond
+                    .wait_timeout(s, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
                 s = guard;
                 if s.jobs.is_empty() {
                     // Another worker took the whole batch; start over.
@@ -143,84 +169,323 @@ impl BatchQueue {
 
     /// Stops admitting new jobs; queued jobs still complete.
     pub fn set_draining(&self) {
-        self.state.lock().unwrap().draining = true;
+        lock_recover(&self.state).draining = true;
     }
 
     /// Stops admitting new jobs AND tells workers to exit once the backlog
     /// is drained.
     pub fn close(&self) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = lock_recover(&self.state);
         s.draining = true;
         s.closed = true;
         self.cond.notify_all();
     }
+
+    /// Fails every queued job with [`ServeError::Halted`] — the last
+    /// resort when no worker remains to drain the backlog. Returns the
+    /// number of jobs failed.
+    pub fn fail_pending(&self) -> usize {
+        let mut s = lock_recover(&self.state);
+        let n = s.jobs.len();
+        for job in s.jobs.drain(..) {
+            let _ = job.reply.send(Err(ServeError::Halted));
+        }
+        self.depth.set(0.0);
+        n
+    }
 }
 
-/// Everything a worker thread needs.
-pub(crate) struct WorkerContext {
+/// Deterministic wedge injection — a chaos/test knob. When armed, the
+/// first batch containing `frame_id` sleeps for `hold` mid-forward,
+/// simulating a stuck kernel so the watchdog path can be exercised
+/// end to end without timing luck.
+#[derive(Debug, Clone)]
+pub struct WedgePlan {
+    /// The frame whose batch wedges.
+    pub frame_id: u64,
+    /// How long the worker holds (should exceed the wedge timeout).
+    pub hold: Duration,
+}
+
+/// The jobs a worker is currently holding: stolen by the watchdog when
+/// the worker wedges, reclaimed by the worker itself on completion —
+/// whoever takes it owns replying to the clients.
+pub(crate) struct InFlight {
+    pub frame_ids: Vec<u64>,
+    pub replies: Vec<mpsc::Sender<Result<Vec<Detection>, ServeError>>>,
+}
+
+/// Per-worker heartbeat + in-flight record, shared with the watchdog.
+pub(crate) struct WorkerSlot {
+    /// Stable worker index (thread name, black-box triggers).
+    pub index: usize,
+    /// Nanoseconds since the pool epoch when the current batch began;
+    /// `0` means idle. Clamped to at least 1 so an instant start is
+    /// never mistaken for idleness.
+    busy_since_ns: AtomicU64,
+    /// Batches completed by this worker (watchdog activity signal).
+    pub batches_done: AtomicU64,
+    /// Set by the watchdog after declaring this worker wedged; the
+    /// worker exits at the next opportunity instead of touching the
+    /// queue again.
+    pub abandoned: AtomicBool,
+    alive: AtomicBool,
+    inflight: Mutex<Option<InFlight>>,
+}
+
+impl WorkerSlot {
+    pub fn new(index: usize) -> Arc<Self> {
+        Arc::new(WorkerSlot {
+            index,
+            busy_since_ns: AtomicU64::new(0),
+            batches_done: AtomicU64::new(0),
+            abandoned: AtomicBool::new(false),
+            alive: AtomicBool::new(true),
+            inflight: Mutex::new(None),
+        })
+    }
+
+    /// Stamps the heartbeat and deposits the in-flight record.
+    pub fn begin_batch(&self, epoch: Instant, inflight: InFlight) {
+        *lock_recover(&self.inflight) = Some(inflight);
+        let ns = epoch.elapsed().as_nanos() as u64;
+        self.busy_since_ns.store(ns.max(1), Ordering::SeqCst);
+    }
+
+    /// Takes the in-flight record — `None` means the other side (worker
+    /// or watchdog) already claimed it and owns the replies.
+    pub fn take_inflight(&self) -> Option<InFlight> {
+        lock_recover(&self.inflight).take()
+    }
+
+    /// Clears the heartbeat (batch finished or failed).
+    pub fn finish_batch(&self) {
+        self.busy_since_ns.store(0, Ordering::SeqCst);
+    }
+
+    /// How long the current batch has been running, or `None` when idle.
+    pub fn busy_for(&self, epoch: Instant) -> Option<Duration> {
+        let ns = self.busy_since_ns.load(Ordering::SeqCst);
+        if ns == 0 {
+            return None;
+        }
+        Some(epoch.elapsed().saturating_sub(Duration::from_nanos(ns)))
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Marks the worker dead; returns `true` exactly once (whoever wins
+    /// the race — worker death path or watchdog — does the pool
+    /// accounting).
+    pub fn retire(&self) -> bool {
+        self.alive.swap(false, Ordering::SeqCst)
+    }
+}
+
+/// Everything shared between the worker pool, the watchdog, and the
+/// server front end.
+pub(crate) struct WorkerShared {
     pub queue: Arc<BatchQueue>,
     pub factory: Arc<dyn Fn() -> dronet_detect::Result<Detector> + Send + Sync>,
+    /// Resolution-aware factory: present when the server was started via
+    /// `start_scalable`, enabling brownout rebuilds at ladder rungs.
+    pub sized_factory: Option<Arc<dyn Fn(usize) -> dronet_detect::Result<Detector> + Send + Sync>>,
     pub max_batch: usize,
     pub max_wait: Duration,
     /// Artificial pre-forward delay — a chaos/test knob that holds the
     /// queue full so load shedding can be exercised deterministically.
     pub dispatch_delay: Duration,
-    pub health: Arc<AtomicU8>,
-    pub health_gauge: Gauge,
+    /// Pool-wide monotonic origin for heartbeat timestamps.
+    pub epoch: Instant,
+    pub pool: Pool,
+    pub health: HealthCell,
+    /// Brownout target input size; `0` means "fixed resolution" (no
+    /// brownout, workers never rebuild for size).
+    pub target_input: AtomicUsize,
+    /// Gauge mirroring `target_input` (or the fixed size) for `/metrics`.
+    pub resolution_gauge: Gauge,
+    pub wedge: Option<WedgePlan>,
+    /// One-shot arming latch for the wedge plan.
+    pub wedge_armed: AtomicBool,
+    pub black_box: BlackBoxStore,
     pub batch_size_hist: Histogram,
     pub queue_wait_hist: Histogram,
     pub panics: Counter,
+    pub worker_deaths: Counter,
     pub obs: Registry,
     pub tracer: Tracer,
 }
 
 /// Spawns the worker loop on a new thread, moving `detector` into it.
 pub(crate) fn spawn_worker(
-    index: usize,
-    mut detector: Detector,
-    ctx: WorkerContext,
+    shared: Arc<WorkerShared>,
+    slot: Arc<WorkerSlot>,
+    detector: Detector,
 ) -> thread::JoinHandle<()> {
+    let index = slot.index;
     thread::Builder::new()
         .name(format!("serve-worker-{index}"))
         .spawn(move || {
             // Register with the flight recorder so Chrome-trace exports
             // label this lane ("serve-worker-N") instead of a bare tid.
-            ctx.tracer.name_thread(&format!("serve-worker-{index}"));
-            while let Some(batch) = ctx.queue.pop_batch(ctx.max_batch, ctx.max_wait) {
-                if !ctx.dispatch_delay.is_zero() {
-                    thread::sleep(ctx.dispatch_delay);
+            shared.tracer.name_thread(&format!("serve-worker-{index}"));
+            let mut detector = detector;
+            loop {
+                if slot.abandoned.load(Ordering::SeqCst) {
+                    // The watchdog already declared us wedged, failed our
+                    // jobs, and spawned a replacement: vanish quietly.
+                    return;
                 }
-                detector = run_batch(detector, batch, &ctx);
+                let Some(batch) = shared.queue.pop_batch(shared.max_batch, shared.max_wait) else {
+                    // Clean shutdown: the queue closed and drained.
+                    slot.retire();
+                    return;
+                };
+                match run_batch(detector, batch, &shared, &slot) {
+                    Some(d) => detector = d,
+                    None => return, // superseded by the watchdog, or dead
+                }
             }
         })
         .expect("spawn worker thread")
 }
 
-/// Processes one batch, returning the (possibly rebuilt) detector.
-fn run_batch(mut detector: Detector, batch: Vec<Job>, ctx: &WorkerContext) -> Detector {
+/// Builds a fresh detector (at `target` when a sized factory exists and
+/// `target != 0`) and attaches the server's registry and tracer.
+pub(crate) fn rebuild_detector(shared: &WorkerShared, target: usize) -> Result<Detector, String> {
+    let built = match (&shared.sized_factory, target) {
+        (Some(sized), t) if t != 0 => sized(t),
+        _ => (shared.factory)(),
+    };
+    match built {
+        Ok(mut d) => {
+            if shared.obs.is_enabled() {
+                d.set_observability(&shared.obs);
+            }
+            if shared.tracer.is_enabled() {
+                d.set_tracing(&shared.tracer);
+            }
+            Ok(d)
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// The typed replacement for the old `panic!` on rebuild failure: fails
+/// any jobs still held by the slot, retires the worker, and — when it
+/// was the last one — flips health to Halted, closes the queue, and
+/// fails the backlog so nothing hangs. Returns `None` (the worker loop's
+/// exit signal).
+fn worker_dies(shared: &WorkerShared, slot: &WorkerSlot, reason: &str) -> Option<Detector> {
+    shared.worker_deaths.inc();
+    if let Some(inflight) = slot.take_inflight() {
+        shared.black_box.capture(
+            &shared.tracer,
+            &format!("worker {} died: {reason}", slot.index),
+            &inflight.frame_ids,
+        );
+        let msg = format!("worker died: {reason}");
+        for reply in &inflight.replies {
+            let _ = reply.send(Err(ServeError::WorkerFailed(msg.clone())));
+        }
+    } else {
+        shared.black_box.capture(
+            &shared.tracer,
+            &format!("worker {} died: {reason}", slot.index),
+            &[],
+        );
+    }
+    slot.finish_batch();
+    if slot.retire() {
+        if shared.pool.worker_gone() == 0 {
+            shared.health.halt();
+            shared.queue.close();
+            shared.queue.fail_pending();
+        } else {
+            shared.health.degrade();
+        }
+    }
+    None
+}
+
+/// Processes one batch. Returns the (possibly rebuilt) detector, or
+/// `None` when this worker must exit (wedged-and-superseded, or dead).
+fn run_batch(
+    mut detector: Detector,
+    batch: Vec<Job>,
+    shared: &WorkerShared,
+    slot: &WorkerSlot,
+) -> Option<Detector> {
     let n = batch.len();
     // The batch-size histogram encodes *counts* as nanoseconds: the log2
     // buckets keep 1/2/4/8 distinct and `max_ns` records the exact largest
     // batch, which is what the coalescing tests assert on.
-    ctx.batch_size_hist.record(Duration::from_nanos(n as u64));
+    shared
+        .batch_size_hist
+        .record(Duration::from_nanos(n as u64));
     let mut frames = Vec::with_capacity(n);
     let mut ids = Vec::with_capacity(n);
     let mut replies = Vec::with_capacity(n);
     for job in batch {
-        ctx.queue_wait_hist.record(job.enqueued.elapsed());
+        shared.queue_wait_hist.record(job.enqueued.elapsed());
         frames.push(job.frame);
         ids.push(job.frame_id);
         replies.push(job.reply);
     }
-    let trace = ctx.tracer.span_aux("serve.batch", n as i64);
+    // From here the watchdog co-owns the jobs: if this thread wedges, the
+    // watchdog takes the record and replies on our behalf.
+    slot.begin_batch(
+        shared.epoch,
+        InFlight {
+            frame_ids: ids.clone(),
+            replies,
+        },
+    );
+
+    // Brownout: the controller moved the ladder since our last batch —
+    // rebuild at the new rung before forwarding.
+    let target = shared.target_input.load(Ordering::SeqCst);
+    if target != 0 && detector.input_chw().1 != target {
+        match rebuild_detector(shared, target) {
+            Ok(fresh) => detector = fresh,
+            Err(e) => return worker_dies(shared, slot, &format!("brownout rebuild failed: {e}")),
+        }
+    }
+
+    if !shared.dispatch_delay.is_zero() {
+        thread::sleep(shared.dispatch_delay);
+    }
+    if let Some(plan) = &shared.wedge {
+        if ids.contains(&plan.frame_id) && shared.wedge_armed.swap(false, Ordering::SeqCst) {
+            thread::sleep(plan.hold);
+        }
+    }
+
+    // Frames conformed before a resolution shift may not match the
+    // detector any more; resample stragglers at the door.
+    let (_, want_h, want_w) = detector.input_chw();
+    for frame in &mut frames {
+        let s = frame.shape();
+        if s.height() != want_h || s.width() != want_w {
+            *frame = resize_frame(frame, want_h, want_w);
+        }
+    }
+
+    let trace = shared.tracer.span_aux("serve.batch", n as i64);
     let stacked = match Tensor::stack_batch(&frames) {
         Ok(t) => t,
         Err(e) => {
-            let msg = format!("stacking batch failed: {e}");
-            for reply in &replies {
-                let _ = reply.send(Err(ServeError::WorkerFailed(msg.clone())));
+            drop(trace);
+            if let Some(inflight) = slot.take_inflight() {
+                let msg = format!("stacking batch failed: {e}");
+                for reply in &inflight.replies {
+                    let _ = reply.send(Err(ServeError::WorkerFailed(msg.clone())));
+                }
             }
-            return detector;
+            slot.finish_batch();
+            return Some(detector);
         }
     };
     let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -228,48 +493,48 @@ fn run_batch(mut detector: Detector, batch: Vec<Job>, ctx: &WorkerContext) -> De
         (detector, result)
     }));
     drop(trace);
+
+    let Some(inflight) = slot.take_inflight() else {
+        // The watchdog declared us wedged while we ran and already
+        // failed the jobs and spawned a successor. It also did the pool
+        // accounting; just disappear.
+        slot.finish_batch();
+        return None;
+    };
+
     match outcome {
         Ok((det, Ok(all))) => {
-            for (reply, dets) in replies.iter().zip(all) {
+            for (reply, dets) in inflight.replies.iter().zip(all) {
                 let _ = reply.send(Ok(dets));
             }
-            det
+            slot.finish_batch();
+            slot.batches_done.fetch_add(1, Ordering::SeqCst);
+            Some(det)
         }
         Ok((det, Err(e))) => {
             let msg = e.to_string();
-            for reply in &replies {
+            for reply in &inflight.replies {
                 let _ = reply.send(Err(ServeError::WorkerFailed(msg.clone())));
             }
-            det
+            slot.finish_batch();
+            slot.batches_done.fetch_add(1, Ordering::SeqCst);
+            Some(det)
         }
         Err(_) => {
             // The detector may hold poisoned state after a panic: isolate
             // the blast radius, mark the server degraded, rebuild.
-            ctx.panics.inc();
-            ctx.health
-                .store(Health::Degraded.as_metric() as u8, Ordering::Relaxed);
-            ctx.health_gauge.set(Health::Degraded.as_metric());
-            for reply in &replies {
+            shared.panics.inc();
+            shared.health.degrade();
+            for reply in &inflight.replies {
                 let _ = reply.send(Err(ServeError::WorkerFailed(
                     "worker panicked during batch".to_string(),
                 )));
             }
-            match (ctx.factory)() {
-                Ok(mut fresh) => {
-                    if ctx.obs.is_enabled() {
-                        fresh.set_observability(&ctx.obs);
-                    }
-                    if ctx.tracer.is_enabled() {
-                        fresh.set_tracing(&ctx.tracer);
-                    }
-                    fresh
-                }
-                Err(e) => {
-                    // Without a detector this worker is useless; close the
-                    // queue so the server fails loudly instead of hanging.
-                    ctx.queue.close();
-                    panic!("worker detector rebuild failed: {e}");
-                }
+            slot.finish_batch();
+            let target = shared.target_input.load(Ordering::SeqCst);
+            match rebuild_detector(shared, target) {
+                Ok(fresh) => Some(fresh),
+                Err(e) => worker_dies(shared, slot, &format!("post-panic rebuild failed: {e}")),
             }
         }
     }
@@ -350,5 +615,67 @@ mod tests {
         let batch = q.pop_batch(2, Duration::from_secs(5)).expect("batch");
         assert_eq!(batch.len(), 2);
         pusher.join().unwrap();
+    }
+
+    #[test]
+    fn queue_survives_a_poisoning_panic() {
+        let obs = Registry::new();
+        let q = BatchQueue::new(4, &obs);
+        let (tx, _rx) = mpsc::channel();
+        q.push(job(1, &tx)).unwrap();
+        // Panic while holding the state lock: the mutex is now poisoned.
+        let q2 = Arc::clone(&q);
+        let poisoner = thread::spawn(move || {
+            let _guard = q2.state.lock().unwrap();
+            panic!("poison the queue lock");
+        });
+        assert!(poisoner.join().is_err());
+        assert!(q.state.is_poisoned(), "precondition: lock is poisoned");
+        // Every operation still works on the inherited state.
+        q.push(job(2, &tx)).unwrap();
+        assert_eq!(q.len(), 2);
+        let batch = q.pop_batch(8, Duration::ZERO).expect("batch");
+        assert_eq!(batch.len(), 2);
+        q.close();
+        assert!(q.pop_batch(8, Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn fail_pending_flushes_the_backlog_with_halted() {
+        let obs = Registry::new();
+        let q = BatchQueue::new(4, &obs);
+        let (tx, rx) = mpsc::channel();
+        q.push(job(1, &tx)).unwrap();
+        q.push(job(2, &tx)).unwrap();
+        assert_eq!(q.fail_pending(), 2);
+        assert!(q.is_empty());
+        for _ in 0..2 {
+            assert!(matches!(rx.recv().unwrap(), Err(ServeError::Halted)));
+        }
+        assert_eq!(obs.snapshot().gauge("serve.queue_depth"), Some(0.0));
+    }
+
+    #[test]
+    fn worker_slot_heartbeat_and_single_retirement() {
+        let slot = WorkerSlot::new(3);
+        let epoch = Instant::now() - Duration::from_secs(1);
+        assert!(slot.busy_for(epoch).is_none(), "idle at birth");
+        let (tx, _rx) = mpsc::channel::<Result<Vec<Detection>, ServeError>>();
+        slot.begin_batch(
+            epoch,
+            InFlight {
+                frame_ids: vec![7],
+                replies: vec![tx],
+            },
+        );
+        assert!(slot.busy_for(epoch).is_some(), "heartbeat stamped");
+        let taken = slot.take_inflight().expect("first take wins");
+        assert_eq!(taken.frame_ids, vec![7]);
+        assert!(slot.take_inflight().is_none(), "second take loses");
+        slot.finish_batch();
+        assert!(slot.busy_for(epoch).is_none(), "idle again");
+        assert!(slot.retire(), "first retire reports prior liveness");
+        assert!(!slot.retire(), "second retire is a no-op");
+        assert!(!slot.is_alive());
     }
 }

@@ -1,0 +1,452 @@
+//! Seeded socket-level chaos: deterministic adversarial client schedules
+//! for hammering a live server over real TCP.
+//!
+//! The unit-level fault machinery (`detect::fault`, the batcher's
+//! `dispatch_delay`, [`crate::batcher::WedgePlan`]) injects failures
+//! *inside* the process; this module attacks from the *wire*, the way a
+//! hostile or broken network peer would: byte-at-a-time header drips
+//! (slowloris), torn half-written bodies, mid-body disconnects, garbage
+//! bytes, pipelined request bursts, and clients that send but never
+//! read. A [`ChaosPlan`] is generated from a seed — same seed, same
+//! plan, byte for byte — so a failing storm replays exactly under
+//! `RUST_BACKTRACE=1`.
+//!
+//! The invariants the storm asserts live in `tests/serve_chaos.rs`: no
+//! panic, every accepted request is answered with a well-formed response
+//! or the connection is closed cleanly, metrics stay consistent, and the
+//! server returns to Healthy once the storm passes.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// SplitMix64 — the repo's standard tiny deterministic generator (same
+/// recurrence the trainer uses for shuffling). Not cryptographic; just
+/// stable across platforms and dependency-free.
+#[derive(Debug, Clone)]
+pub struct ChaosRng(u64);
+
+impl ChaosRng {
+    /// A generator seeded for one plan.
+    pub fn new(seed: u64) -> Self {
+        ChaosRng(seed)
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn gen_range(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// Fills `buf` with pseudo-random bytes.
+    pub fn fill(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// One step of an adversarial client's schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosOp {
+    /// Write these bytes in one call.
+    Send(Vec<u8>),
+    /// Write these bytes one at a time, pausing between each.
+    Drip {
+        /// The bytes to drip.
+        bytes: Vec<u8>,
+        /// Pause between consecutive bytes.
+        pause: Duration,
+    },
+    /// Do nothing for a while (mid-request stall).
+    Sleep(Duration),
+    /// Half-close: shut down the write side, leaving reads open.
+    CloseWrite,
+    /// Drain whatever the server sends until EOF or the timeout.
+    ReadToEnd {
+        /// Give up reading after this long.
+        timeout: Duration,
+    },
+    /// Keep the socket open without reading or writing, then drop it.
+    HoldOpen(Duration),
+}
+
+/// A named adversarial client: a connection plus its schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientScript {
+    /// Scenario label (drives artifact naming and assertions).
+    pub name: String,
+    /// The steps, run in order over one TCP connection.
+    pub ops: Vec<ChaosOp>,
+}
+
+/// Knobs for plan generation.
+#[derive(Debug, Clone)]
+pub struct ChaosPlanConfig {
+    /// Clients generated per scenario.
+    pub clients_per_scenario: usize,
+    /// A valid PPM frame body for well-formed `POST /detect` requests.
+    pub frame: Vec<u8>,
+    /// Pause between dripped bytes (slowloris cadence).
+    pub drip_pause: Duration,
+    /// Mid-body stall length (should exceed the server's `read_timeout`
+    /// to exercise the `408` path).
+    pub body_stall: Duration,
+    /// How long never-reading clients hold their socket open.
+    pub hold: Duration,
+    /// Read budget for clients that drain responses.
+    pub read_timeout: Duration,
+    /// Requests per pipelined burst.
+    pub burst: usize,
+}
+
+impl Default for ChaosPlanConfig {
+    fn default() -> Self {
+        ChaosPlanConfig {
+            clients_per_scenario: 2,
+            frame: Vec::new(),
+            drip_pause: Duration::from_millis(2),
+            body_stall: Duration::from_millis(400),
+            hold: Duration::from_millis(300),
+            read_timeout: Duration::from_secs(5),
+            burst: 4,
+        }
+    }
+}
+
+/// A full storm: every scenario's clients, generated deterministically
+/// from `seed`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The seed that produced this plan (replay key).
+    pub seed: u64,
+    /// Every client schedule in the storm.
+    pub clients: Vec<ClientScript>,
+}
+
+/// A well-formed `POST /detect` request carrying `frame` as its body.
+pub fn detect_request(frame: &[u8], close: bool) -> Vec<u8> {
+    let connection = if close { "close" } else { "keep-alive" };
+    let mut req = format!(
+        "POST /detect HTTP/1.1\r\nHost: chaos\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n",
+        frame.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(frame);
+    req
+}
+
+impl ChaosPlan {
+    /// Generates the storm for `seed`: seven scenario families, each
+    /// contributing `clients_per_scenario` clients with seeded
+    /// per-client variation. Same seed + config → identical plan.
+    pub fn generate(seed: u64, cfg: &ChaosPlanConfig) -> ChaosPlan {
+        let mut rng = ChaosRng::new(seed);
+        let mut clients = Vec::new();
+        let request = detect_request(&cfg.frame, true);
+        for i in 0..cfg.clients_per_scenario {
+            // 1. Slowloris: drip the whole request one byte at a time.
+            clients.push(ClientScript {
+                name: format!("drip_header_{i}"),
+                ops: vec![
+                    ChaosOp::Drip {
+                        bytes: request.clone(),
+                        pause: cfg.drip_pause,
+                    },
+                    ChaosOp::ReadToEnd {
+                        timeout: cfg.read_timeout,
+                    },
+                ],
+            });
+            // 2. Torn write: most of the body, then half-close.
+            let keep =
+                request.len() - 1 - rng.gen_range(cfg.frame.len().max(2) as u64 / 2) as usize;
+            clients.push(ClientScript {
+                name: format!("torn_write_{i}"),
+                ops: vec![
+                    ChaosOp::Send(request[..keep].to_vec()),
+                    ChaosOp::CloseWrite,
+                    ChaosOp::ReadToEnd {
+                        timeout: cfg.read_timeout,
+                    },
+                ],
+            });
+            // 3. Mid-body disconnect: partial request, then vanish.
+            let cut = request.len() / 2 + rng.gen_range((request.len() / 4).max(1) as u64) as usize;
+            clients.push(ClientScript {
+                name: format!("mid_body_disconnect_{i}"),
+                ops: vec![ChaosOp::Send(request[..cut].to_vec())],
+            });
+            // 4. Garbage: random bytes that are not HTTP.
+            let mut garbage = vec![0u8; 64 + rng.gen_range(192) as usize];
+            rng.fill(&mut garbage);
+            garbage[0] = 0x01; // never a valid method byte
+            clients.push(ClientScript {
+                name: format!("garbage_{i}"),
+                ops: vec![
+                    ChaosOp::Send(garbage),
+                    ChaosOp::ReadToEnd {
+                        timeout: cfg.read_timeout,
+                    },
+                ],
+            });
+            // 5. Pipelined burst: back-to-back health checks on one
+            // connection, last one asking to close.
+            let mut burst = Vec::new();
+            for k in 0..cfg.burst {
+                let connection = if k + 1 == cfg.burst {
+                    "close"
+                } else {
+                    "keep-alive"
+                };
+                burst.extend_from_slice(
+                    format!(
+                        "GET /healthz HTTP/1.1\r\nHost: chaos\r\nConnection: {connection}\r\n\r\n"
+                    )
+                    .as_bytes(),
+                );
+            }
+            clients.push(ClientScript {
+                name: format!("pipelined_burst_{i}"),
+                ops: vec![
+                    ChaosOp::Send(burst),
+                    ChaosOp::ReadToEnd {
+                        timeout: cfg.read_timeout,
+                    },
+                ],
+            });
+            // 6. Never-reading receiver: full request, then silence.
+            clients.push(ClientScript {
+                name: format!("never_read_{i}"),
+                ops: vec![ChaosOp::Send(request.clone()), ChaosOp::HoldOpen(cfg.hold)],
+            });
+            // 7. Slow body: header fast, then stall past the body
+            // deadline before finishing.
+            let split = request.len() - cfg.frame.len().min(request.len()) / 2 - 1;
+            clients.push(ClientScript {
+                name: format!("slow_body_{i}"),
+                ops: vec![
+                    ChaosOp::Send(request[..split].to_vec()),
+                    ChaosOp::Sleep(cfg.body_stall),
+                    ChaosOp::Send(request[split..].to_vec()),
+                    ChaosOp::ReadToEnd {
+                        timeout: cfg.read_timeout,
+                    },
+                ],
+            });
+        }
+        ChaosPlan { seed, clients }
+    }
+}
+
+/// What one chaos client observed.
+#[derive(Debug, Clone)]
+pub struct ClientOutcome {
+    /// The scenario label.
+    pub name: String,
+    /// Status codes of every well-formed response received.
+    pub statuses: Vec<u16>,
+    /// Total bytes read off the socket.
+    pub bytes_read: usize,
+    /// Whether everything read parsed as complete HTTP responses (an
+    /// empty read is clean: a close with no bytes is a legal outcome
+    /// for a client that never completed a request).
+    pub clean: bool,
+    /// Parse failure or I/O note, for diagnostics.
+    pub detail: String,
+}
+
+/// Runs one client schedule against `addr`, collecting everything the
+/// server sent back. I/O errors mid-schedule are expected (the server
+/// may close on us — that is the point) and end the schedule early.
+pub fn run_script(addr: SocketAddr, script: &ClientScript) -> ClientOutcome {
+    let mut received = Vec::new();
+    let mut detail = String::new();
+    match TcpStream::connect(addr) {
+        Ok(mut stream) => {
+            let _ = stream.set_nodelay(true);
+            for op in &script.ops {
+                match op {
+                    ChaosOp::Send(bytes) => {
+                        if let Err(e) = stream.write_all(bytes) {
+                            detail = format!("send ended early: {e}");
+                            break;
+                        }
+                    }
+                    ChaosOp::Drip { bytes, pause } => {
+                        let mut failed = false;
+                        for b in bytes {
+                            if stream.write_all(std::slice::from_ref(b)).is_err() {
+                                detail = "drip ended early".to_string();
+                                failed = true;
+                                break;
+                            }
+                            thread::sleep(*pause);
+                        }
+                        if failed {
+                            break;
+                        }
+                    }
+                    ChaosOp::Sleep(d) => thread::sleep(*d),
+                    ChaosOp::CloseWrite => {
+                        let _ = stream.shutdown(Shutdown::Write);
+                    }
+                    ChaosOp::ReadToEnd { timeout } => {
+                        read_until_close(&mut stream, *timeout, &mut received);
+                    }
+                    ChaosOp::HoldOpen(d) => thread::sleep(*d),
+                }
+            }
+        }
+        Err(e) => detail = format!("connect failed: {e}"),
+    }
+    let (statuses, clean) = match parse_responses(&received) {
+        Ok(statuses) => (statuses, true),
+        Err(e) => {
+            detail = e;
+            (Vec::new(), false)
+        }
+    };
+    ClientOutcome {
+        name: script.name.clone(),
+        statuses,
+        bytes_read: received.len(),
+        clean,
+        detail,
+    }
+}
+
+fn read_until_close(stream: &mut TcpStream, timeout: Duration, out: &mut Vec<u8>) {
+    let deadline = Instant::now() + timeout;
+    let mut chunk = [0u8; 4096];
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let slice = (deadline - now).min(Duration::from_millis(100));
+        let _ = stream.set_read_timeout(Some(slice));
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => out.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Walks a byte stream of concatenated HTTP/1.1 responses, returning
+/// their status codes. Responses must be `Content-Length`-framed (ours
+/// always are).
+///
+/// # Errors
+///
+/// A human-readable description of the first framing violation: a
+/// non-HTTP prefix, a missing `Content-Length`, or a truncated head or
+/// body. A trailing *partial* response is an error too — the server
+/// must never half-write.
+pub fn parse_responses(bytes: &[u8]) -> Result<Vec<u16>, String> {
+    let mut statuses = Vec::new();
+    let mut rest = bytes;
+    while !rest.is_empty() {
+        let head_end = rest
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .ok_or_else(|| format!("truncated response head: {} bytes left", rest.len()))?;
+        let head = std::str::from_utf8(&rest[..head_end])
+            .map_err(|_| "response head is not UTF-8".to_string())?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let mut parts = status_line.splitn(3, ' ');
+        let version = parts.next().unwrap_or("");
+        if version != "HTTP/1.1" {
+            return Err(format!("bad status line: {status_line:?}"));
+        }
+        let code: u16 = parts
+            .next()
+            .unwrap_or("")
+            .parse()
+            .map_err(|_| format!("bad status code in {status_line:?}"))?;
+        let mut content_length: Option<usize> = None;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().ok();
+                }
+            }
+        }
+        let len =
+            content_length.ok_or_else(|| format!("response {code} without Content-Length"))?;
+        let body_start = head_end + 4;
+        if rest.len() < body_start + len {
+            return Err(format!(
+                "truncated response body: want {len}, have {}",
+                rest.len() - body_start
+            ));
+        }
+        statuses.push(code);
+        rest = &rest[body_start + len..];
+    }
+    Ok(statuses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        let cfg = ChaosPlanConfig {
+            frame: b"P6 2 2 255 0123456789ab".to_vec(),
+            ..ChaosPlanConfig::default()
+        };
+        let a = ChaosPlan::generate(42, &cfg);
+        let b = ChaosPlan::generate(42, &cfg);
+        assert_eq!(a, b, "same seed, same plan");
+        let c = ChaosPlan::generate(43, &cfg);
+        assert_ne!(a, c, "different seed, different plan");
+        assert_eq!(a.clients.len(), 7 * cfg.clients_per_scenario);
+    }
+
+    #[test]
+    fn parse_responses_walks_framed_responses_and_rejects_torn_ones() {
+        let two = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok\
+                    HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n";
+        assert_eq!(parse_responses(two).unwrap(), vec![200, 503]);
+        assert_eq!(parse_responses(b"").unwrap(), Vec::<u16>::new());
+        assert!(
+            parse_responses(b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nok")
+                .unwrap_err()
+                .contains("truncated response body")
+        );
+        assert!(parse_responses(b"garbage").is_err());
+        assert!(parse_responses(b"HTTP/1.1 200 OK\r\n\r\n")
+            .unwrap_err()
+            .contains("without Content-Length"));
+    }
+
+    #[test]
+    fn chaos_rng_is_deterministic_and_fills_buffers() {
+        let mut a = ChaosRng::new(7);
+        let mut b = ChaosRng::new(7);
+        let seq_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let seq_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(seq_a, seq_b);
+        let mut buf = [0u8; 13];
+        a.fill(&mut buf);
+        assert!(buf.iter().any(|&x| x != 0));
+        for _ in 0..100 {
+            assert!(a.gen_range(5) < 5);
+        }
+    }
+}

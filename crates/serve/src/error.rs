@@ -22,6 +22,12 @@ pub enum ServeError {
     /// A worker crashed (or its response channel died) while the request
     /// was in flight.
     WorkerFailed(String),
+    /// The watchdog declared the worker processing this request wedged
+    /// (stuck past its deadline) and failed its in-flight batch.
+    WorkerWedged(String),
+    /// The server is halted: every worker is dead and the rebuild budget
+    /// is exhausted. Terminal until restart.
+    Halted,
     /// The server did not produce a response within the deadline.
     ResponseTimeout,
     /// The [`crate::ServeConfig`] was invalid (zero workers, zero batch…).
@@ -38,6 +44,8 @@ impl fmt::Display for ServeError {
             ServeError::Overloaded => write!(f, "admission queue full"),
             ServeError::Draining => write!(f, "server draining"),
             ServeError::WorkerFailed(msg) => write!(f, "worker failed: {msg}"),
+            ServeError::WorkerWedged(msg) => write!(f, "worker wedged: {msg}"),
+            ServeError::Halted => write!(f, "server halted: no live workers remain"),
             ServeError::ResponseTimeout => write!(f, "response deadline exceeded"),
             ServeError::Config(msg) => write!(f, "bad server config: {msg}"),
         }

@@ -38,6 +38,16 @@ impl Method {
     }
 }
 
+/// HTTP version of a parsed request. Only the two 1.x versions are
+/// accepted; they differ in their keep-alive default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// `HTTP/1.0` — connections close by default.
+    Http10,
+    /// `HTTP/1.1` — connections persist by default.
+    Http11,
+}
+
 /// A parsed request: method, target path, headers, raw body.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -45,6 +55,8 @@ pub struct Request {
     pub method: Method,
     /// The request target as sent (e.g. `/detect`).
     pub target: String,
+    /// The HTTP version (governs the keep-alive default).
+    pub version: Version,
     /// Header name/value pairs in arrival order, names lower-cased.
     pub headers: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length`).
@@ -59,6 +71,20 @@ impl Request {
             .iter()
             .find(|(n, _)| *n == lower)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether this request asks the connection to close after the
+    /// response: an explicit `Connection: close` token, or HTTP/1.0
+    /// without an explicit `keep-alive`.
+    pub fn wants_close(&self) -> bool {
+        let token = |t: &str| {
+            self.header("connection")
+                .is_some_and(|v| v.split(',').any(|part| part.trim().eq_ignore_ascii_case(t)))
+        };
+        match self.version {
+            Version::Http11 => token("close"),
+            Version::Http10 => !token("keep-alive"),
+        }
     }
 }
 
@@ -236,9 +262,11 @@ pub fn parse_request(
     {
         return Err(HttpError::BadTarget);
     }
-    if version != b"HTTP/1.1" && version != b"HTTP/1.0" {
-        return Err(HttpError::BadVersion);
-    }
+    let version = match version {
+        b"HTTP/1.1" => Version::Http11,
+        b"HTTP/1.0" => Version::Http10,
+        _ => return Err(HttpError::BadVersion),
+    };
 
     // Header fields.
     let mut headers = Vec::new();
@@ -298,6 +326,7 @@ pub fn parse_request(
     let request = Request {
         method: Method::from_token(&String::from_utf8_lossy(method)),
         target: String::from_utf8_lossy(target).to_string(),
+        version,
         headers,
         body: buf[head_end + 4..total].to_vec(),
     };
@@ -317,6 +346,10 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Optional `Retry-After` header (seconds), for `503` load shedding.
     pub retry_after: Option<u64>,
+    /// Whether the connection closes after this response. Defaults to
+    /// `true`; the connection loop clears it when the request (and the
+    /// server's keep-alive budget) allow the connection to persist.
+    pub close: bool,
 }
 
 impl Response {
@@ -328,6 +361,7 @@ impl Response {
             content_type,
             body: body.as_bytes().to_vec(),
             retry_after: None,
+            close: true,
         }
     }
 
@@ -339,6 +373,7 @@ impl Response {
             content_type: "application/json",
             body: body.into_bytes(),
             retry_after: None,
+            close: true,
         }
     }
 
@@ -350,6 +385,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into_bytes(),
             retry_after: None,
+            close: true,
         }
     }
 
@@ -364,9 +400,10 @@ impl Response {
         r
     }
 
-    /// Serializes the response, always with `Content-Length` and
-    /// `Connection: close` (the server is strictly one request per
-    /// connection — simple, and immune to pipelining ambiguity).
+    /// Serializes the response, always with an explicit `Content-Length`
+    /// and `Connection` header — framing is never left ambiguous. The
+    /// connection header follows [`Response::close`]: `close` (the
+    /// default, and forced on every error path) or `keep-alive`.
     ///
     /// # Errors
     ///
@@ -374,11 +411,12 @@ impl Response {
     pub fn write_to(&self, writer: &mut dyn Write) -> io::Result<()> {
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             self.reason,
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if self.close { "close" } else { "keep-alive" },
         )?;
         if let Some(secs) = self.retry_after {
             write!(writer, "Retry-After: {secs}\r\n")?;
@@ -454,8 +492,33 @@ mod tests {
                 b"POST / HTTP/1.1\r\nContent-Length: 1e3\r\n\r\n",
                 HttpError::BadContentLength,
             ),
+            // Smuggling raw material: sign prefixes, embedded lists, hex.
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: +5\r\n\r\n",
+                HttpError::BadContentLength,
+            ),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: 4, 4\r\n\r\n",
+                HttpError::BadContentLength,
+            ),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: 0x10\r\n\r\n",
+                HttpError::BadContentLength,
+            ),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length:\r\n\r\n",
+                HttpError::BadContentLength,
+            ),
             (
                 b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\n",
+                HttpError::ConflictingContentLength,
+            ),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 9\r\n\r\n",
+                HttpError::ConflictingContentLength,
+            ),
+            (
+                b"POST / HTTP/1.1\r\ncontent-length: 2\r\nCONTENT-LENGTH: 2\r\n\r\n",
                 HttpError::ConflictingContentLength,
             ),
             (
@@ -504,6 +567,27 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        let close: &[(&[u8], bool)] = &[
+            (b"GET / HTTP/1.1\r\n\r\n", false),
+            (b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", true),
+            (b"GET / HTTP/1.1\r\nConnection: TE, Close\r\n\r\n", true),
+            (b"GET / HTTP/1.1\r\nConnection: keep-alive\r\n\r\n", false),
+            (b"GET / HTTP/1.0\r\n\r\n", true),
+            (b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n", false),
+        ];
+        for (bytes, want) in close {
+            let (req, _) = parse_ok(bytes);
+            assert_eq!(
+                req.wants_close(),
+                *want,
+                "input {:?}",
+                String::from_utf8_lossy(bytes)
+            );
+        }
+    }
+
+    #[test]
     fn response_serialization_is_locked() {
         let mut out = Vec::new();
         Response::json("{\"ok\":true}".to_string())
@@ -521,5 +605,14 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
+
+        // Clearing `close` switches the connection header, nothing else.
+        let mut keep = Response::json("{}".to_string());
+        keep.close = false;
+        let mut out = Vec::new();
+        keep.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Connection: close"));
     }
 }

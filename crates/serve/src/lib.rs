@@ -42,6 +42,26 @@
 //! shows up as `serve.parse → serve.queue → serve.batch(n) → nn.forward →
 //! detect.decode → detect.nms` spans under its own frame id.
 //!
+//! # Self-healing
+//!
+//! The serve path supervises itself the way the detect pipeline does:
+//!
+//! * **Connection hardening** — keep-alive with idle reaping, a header
+//!   deadline (slowloris defense), a body deadline, write timeouts, and
+//!   a global connection cap shedding `503` + `Retry-After` at accept.
+//! * **Wedge watchdog** ([`watchdog`]) — workers stamp heartbeats around
+//!   each batch; a worker stuck past `wedge_timeout` has its jobs failed
+//!   with typed `500`s, its trace tail captured as a [`ServeBlackBox`]
+//!   (also served at `GET /debug/blackbox`), and a replacement spawned
+//!   under a bounded restart budget. Losing the last worker flips health
+//!   to Halted and fails the backlog — never a hang, never a panic.
+//! * **Brownout** ([`Server::start_scalable`] + [`BrownoutConfig`]) —
+//!   sustained queue pressure walks the input-resolution ladder down
+//!   (the paper's 608→352 accuracy-vs-FPS sweep as a runtime knob) and
+//!   back up after calm, tracked by the `serve.input_resolution` gauge.
+//! * **Chaos harness** ([`chaos`]) — seeded, deterministic adversarial
+//!   TCP clients for proving all of the above from the wire.
+//!
 //! # Example
 //!
 //! ```
@@ -72,14 +92,20 @@
 #![warn(missing_docs)]
 
 pub mod batcher;
+pub mod chaos;
 mod error;
 pub mod http;
 pub mod json;
 mod server;
+pub mod watchdog;
 
+pub use batcher::WedgePlan;
 pub use error::ServeError;
-pub use http::{HttpError, HttpLimits, Method, Request, Response};
-pub use server::{DetectorFactory, DrainReport, ServeConfig, Server};
+pub use http::{HttpError, HttpLimits, Method, Request, Response, Version};
+pub use server::{
+    BrownoutConfig, DetectorFactory, DrainReport, ServeConfig, Server, SizedDetectorFactory,
+};
+pub use watchdog::ServeBlackBox;
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,20 +1,29 @@
 //! The HTTP front end: accept loop, admission control, routing, drain.
 //!
 //! Threading model — deliberately boring: one accept thread, one OS thread
-//! per connection (each strictly one request, `Connection: close`), and a
-//! small worker pool that owns the detectors. Connections never touch a
-//! network; they parse, enqueue, and block on a reply channel. All
-//! cleverness lives in the [`crate::batcher`].
+//! per connection (keep-alive, bounded requests per connection), a small
+//! worker pool that owns the detectors, and one watchdog thread
+//! supervising the pool ([`crate::watchdog`]). Connections never touch a
+//! detector; they parse, enqueue, and block on a reply channel. All
+//! batching cleverness lives in the [`crate::batcher`].
+//!
+//! The front door defends itself: a global connection cap sheds at accept
+//! time with `503` + `Retry-After`, per-connection deadlines bound the
+//! header crawl (slowloris), the body read, and keep-alive idleness, and
+//! write timeouts stop a never-reading client from pinning a thread.
 
-use crate::batcher::{spawn_worker, BatchQueue, Job, WorkerContext};
+use crate::batcher::{BatchQueue, Job, WedgePlan, WorkerShared, WorkerSlot};
 use crate::error::ServeError;
 use crate::http::{parse_request, HttpLimits, Method, Request, Response};
 use crate::json::detections_json;
-use dronet_detect::{conform_frame, Detector, Health};
+use crate::watchdog::{
+    spawn_watchdog, BlackBoxStore, HealthCell, Pool, ServeBlackBox, WatchdogConfig,
+};
+use dronet_detect::{conform_frame, DegradeConfig, DegradeController, Detector, Health};
 use dronet_obs::{ChromeTrace, JsonExporter, PromExporter, Registry, Tracer};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -22,6 +31,44 @@ use std::time::{Duration, Instant};
 /// A detector constructor: each worker builds (and after a panic, rebuilds)
 /// its own [`Detector`] from this.
 pub type DetectorFactory = Arc<dyn Fn() -> dronet_detect::Result<Detector> + Send + Sync>;
+
+/// A resolution-aware detector constructor: builds a detector at the given
+/// square input size. Required for brownout, which rebuilds workers at
+/// smaller ladder rungs under sustained load.
+pub type SizedDetectorFactory = Arc<dyn Fn(usize) -> dronet_detect::Result<Detector> + Send + Sync>;
+
+/// Brownout (adaptive-resolution) tuning. The ladder is the paper's
+/// 352–608 sweep; under sustained queue pressure the server walks down
+/// one rung at a time — answering every request a little coarser beats
+/// shedding them — and walks back up after a calm cooldown.
+#[derive(Debug, Clone)]
+pub struct BrownoutConfig {
+    /// Ascending input-size ladder; serving starts at the top rung.
+    pub ladder: Vec<usize>,
+    /// Queue depth at or above which a watchdog tick counts as overloaded.
+    pub overload_queue: f64,
+    /// Watchdog ticks per observation window.
+    pub window_ticks: u32,
+    /// Consecutive overloaded windows before a downshift.
+    pub overload_windows: u32,
+    /// Consecutive calm windows before an upshift.
+    pub calm_windows: u32,
+    /// Windows to hold still after any shift.
+    pub cooldown_windows: u32,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            ladder: vec![352, 416, 480, 544, 608],
+            overload_queue: 1.0,
+            window_ticks: 4,
+            overload_windows: 2,
+            calm_windows: 4,
+            cooldown_windows: 1,
+        }
+    }
+}
 
 /// Server tuning knobs. The defaults favour a small embedded host: tight
 /// limits, a short coalescing window, shallow queue.
@@ -37,10 +84,20 @@ pub struct ServeConfig {
     pub max_wait: Duration,
     /// Admission queue capacity; beyond it requests are shed with `503`.
     pub queue_capacity: usize,
-    /// Per-connection socket read deadline.
+    /// Deadline for completing a request's body once its header is in.
     pub read_timeout: Duration,
-    /// Per-connection socket write deadline.
+    /// Per-connection socket write deadline (slow-reader defense).
     pub write_timeout: Duration,
+    /// Deadline for receiving a complete request *header* (slowloris
+    /// defense: a drip-feeding client gets `408`, not a parked thread).
+    pub header_timeout: Duration,
+    /// How long an idle keep-alive connection is held before reaping.
+    pub keep_alive_timeout: Duration,
+    /// Requests served per connection before `Connection: close`.
+    pub max_requests_per_connection: usize,
+    /// Simultaneous connections; beyond this, accept sheds with `503` +
+    /// `Retry-After` before spawning a thread.
+    pub max_connections: usize,
     /// How long a connection waits for its detections before giving up.
     pub response_timeout: Duration,
     /// `Retry-After` seconds advertised when shedding load.
@@ -52,6 +109,22 @@ pub struct ServeConfig {
     pub dispatch_delay: Duration,
     /// Upper bound on waiting for in-flight connections during shutdown.
     pub drain_timeout: Duration,
+    /// Watchdog tick period.
+    pub watchdog_interval: Duration,
+    /// A worker busy past this is declared wedged: its jobs fail with
+    /// typed `500`s and a replacement is spawned.
+    pub wedge_timeout: Duration,
+    /// Replacement workers the watchdog may spawn over the server's life;
+    /// exhausting the budget with no worker left halts the server.
+    pub max_worker_restarts: usize,
+    /// Quiet watchdog ticks before Degraded health recovers to Healthy.
+    pub recovery_ticks: u32,
+    /// Flight-recorder events retained per crash black box.
+    pub black_box_events: usize,
+    /// Adaptive-resolution brownout; requires [`Server::start_scalable`].
+    pub brownout: Option<BrownoutConfig>,
+    /// Deterministic wedge injection — chaos/test knob.
+    pub wedge_chaos: Option<WedgePlan>,
 }
 
 impl Default for ServeConfig {
@@ -64,11 +137,22 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            header_timeout: Duration::from_secs(2),
+            keep_alive_timeout: Duration::from_secs(2),
+            max_requests_per_connection: 64,
+            max_connections: 256,
             response_timeout: Duration::from_secs(30),
             retry_after_secs: 1,
             limits: HttpLimits::default(),
             dispatch_delay: Duration::ZERO,
             drain_timeout: Duration::from_secs(10),
+            watchdog_interval: Duration::from_millis(25),
+            wedge_timeout: Duration::from_secs(10),
+            max_worker_restarts: 4,
+            recovery_ticks: 20,
+            black_box_events: 64,
+            brownout: None,
+            wedge_chaos: None,
         }
     }
 }
@@ -79,9 +163,21 @@ impl ServeConfig {
             ("workers", self.workers),
             ("max_batch", self.max_batch),
             ("queue_capacity", self.queue_capacity),
+            ("max_connections", self.max_connections),
+            (
+                "max_requests_per_connection",
+                self.max_requests_per_connection,
+            ),
         ] {
             if v == 0 {
                 return Err(ServeError::Config(format!("{name} must be >= 1")));
+            }
+        }
+        if let Some(b) = &self.brownout {
+            if b.ladder.is_empty() {
+                return Err(ServeError::Config(
+                    "brownout ladder must not be empty".to_string(),
+                ));
             }
         }
         Ok(())
@@ -91,17 +187,28 @@ impl ServeConfig {
 /// State shared by the accept loop and every connection thread.
 struct Shared {
     queue: Arc<BatchQueue>,
-    shutdown: AtomicBool,
+    worker: Arc<WorkerShared>,
+    shutdown: Arc<AtomicBool>,
     active_connections: AtomicUsize,
-    health: Arc<AtomicU8>,
     next_frame_id: AtomicU64,
-    input_chw: (usize, usize, usize),
+    /// The detector's native input `(c, h, w)` at the ladder top.
+    base_chw: (usize, usize, usize),
     obs: Registry,
     tracer: Tracer,
     config: ServeConfig,
     /// In-flight `/debug/*` requests; bounded so a slow trace capture
     /// cannot pile up connection threads.
     debug_inflight: AtomicUsize,
+}
+
+impl Shared {
+    /// The input size requests are currently conformed to.
+    fn current_input(&self) -> usize {
+        match self.worker.target_input.load(Ordering::SeqCst) {
+            0 => self.base_chw.1,
+            t => t,
+        }
+    }
 }
 
 /// Most `/debug/*` requests served concurrently; the rest are shed with
@@ -135,7 +242,7 @@ pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     accept_handle: thread::JoinHandle<()>,
-    worker_handles: Vec<thread::JoinHandle<()>>,
+    watchdog_handle: thread::JoinHandle<()>,
 }
 
 /// What a graceful shutdown accomplished.
@@ -149,11 +256,12 @@ pub struct DrainReport {
 
 impl Server {
     /// Binds, builds one detector per worker (failing fast on a broken
-    /// factory), and starts the accept loop.
+    /// factory), and starts the accept loop, worker pool, and watchdog.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Config`] for nonsensical knobs,
+    /// [`ServeError::Config`] for nonsensical knobs (including a brownout
+    /// config, which needs [`Server::start_scalable`]),
     /// [`ServeError::Detect`] when the factory cannot build a detector, and
     /// [`ServeError::Io`] when the address cannot be bound.
     pub fn start(
@@ -162,7 +270,72 @@ impl Server {
         obs: &Registry,
         tracer: &Tracer,
     ) -> Result<Server, ServeError> {
+        Server::start_inner(factory, None, config, obs, tracer)
+    }
+
+    /// Like [`Server::start`], but with a resolution-aware factory so the
+    /// brownout controller can rebuild workers at smaller ladder rungs
+    /// under load. Requires `config.brownout`; serving starts at the
+    /// ladder's top rung.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Server::start`] returns, plus [`ServeError::Config`]
+    /// when `config.brownout` is missing or its ladder is invalid.
+    pub fn start_scalable(
+        sized: SizedDetectorFactory,
+        config: ServeConfig,
+        obs: &Registry,
+        tracer: &Tracer,
+    ) -> Result<Server, ServeError> {
+        let Some(brownout) = &config.brownout else {
+            return Err(ServeError::Config(
+                "start_scalable requires ServeConfig::brownout".to_string(),
+            ));
+        };
+        let Some(&initial) = brownout.ladder.last() else {
+            return Err(ServeError::Config(
+                "brownout ladder must not be empty".to_string(),
+            ));
+        };
+        let sized_for_plain = Arc::clone(&sized);
+        let factory: DetectorFactory = Arc::new(move || sized_for_plain(initial));
+        Server::start_inner(factory, Some(sized), config, obs, tracer)
+    }
+
+    fn start_inner(
+        factory: DetectorFactory,
+        sized: Option<SizedDetectorFactory>,
+        config: ServeConfig,
+        obs: &Registry,
+        tracer: &Tracer,
+    ) -> Result<Server, ServeError> {
         config.validate()?;
+        let brownout_ctrl = match (&config.brownout, &sized) {
+            (Some(b), Some(_)) => {
+                let initial = *b.ladder.last().expect("validated non-empty");
+                Some(
+                    DegradeController::new(DegradeConfig {
+                        ladder: b.ladder.clone(),
+                        initial,
+                        overload_queue: b.overload_queue,
+                        overload_windows: b.overload_windows,
+                        calm_windows: b.calm_windows,
+                        cooldown_windows: b.cooldown_windows,
+                        window_frames: b.window_ticks,
+                    })
+                    .map_err(|e| ServeError::Config(e.to_string()))?,
+                )
+            }
+            (Some(_), None) => {
+                return Err(ServeError::Config(
+                    "brownout requires a resolution-aware factory; start the server with \
+                     Server::start_scalable"
+                        .to_string(),
+                ))
+            }
+            (None, _) => None,
+        };
         if obs.is_enabled() {
             // Rolling 10-second windows next to every cumulative series
             // (`/metrics` gains `_window_rate` / `_window_p99_seconds`
@@ -186,8 +359,45 @@ impl Server {
                     "Worker panics survived by detector rebuild",
                 ),
                 (
+                    "serve.worker_wedges",
+                    "Workers declared stuck by the watchdog",
+                ),
+                (
+                    "serve.worker_restarts",
+                    "Replacement workers spawned by the watchdog",
+                ),
+                (
+                    "serve.worker_deaths",
+                    "Workers retired after unrecoverable failures",
+                ),
+                (
                     "serve.health",
                     "Server health: 0 healthy, 1 degraded, 2 halted",
+                ),
+                ("serve.connections", "Connections currently open"),
+                (
+                    "serve.conn_rejected",
+                    "Connections shed at accept by the connection cap",
+                ),
+                (
+                    "serve.keepalive_reaped",
+                    "Idle keep-alive connections reaped by their deadline",
+                ),
+                (
+                    "serve.input_resolution",
+                    "Current detector input size (brownout ladder rung)",
+                ),
+                (
+                    "serve.brownout_downshifts",
+                    "Brownout resolution downshifts under load",
+                ),
+                (
+                    "serve.brownout_upshifts",
+                    "Brownout resolution recoveries after calm",
+                ),
+                (
+                    "serve.black_box_captures",
+                    "Crash black boxes captured by the watchdog",
                 ),
                 ("serve.http_errors", "Malformed or oversized HTTP requests"),
                 ("detect.forward", "Network forward-pass latency"),
@@ -211,49 +421,68 @@ impl Server {
             }
             detectors.push(det);
         }
-        let input_chw = detectors[0].input_chw();
+        let base_chw = detectors[0].input_chw();
 
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
         let queue = BatchQueue::new(config.queue_capacity, obs);
-        let health = Arc::new(AtomicU8::new(Health::Healthy.as_metric() as u8));
-        let health_gauge = obs.gauge("serve.health");
-        health_gauge.set(Health::Healthy.as_metric());
+        let initial_target = brownout_ctrl.as_ref().map_or(0, |c| c.current());
+        let resolution_gauge = obs.gauge("serve.input_resolution");
+        resolution_gauge.set(base_chw.1 as f64);
 
-        let worker_handles = detectors
-            .into_iter()
-            .enumerate()
-            .map(|(i, det)| {
-                spawn_worker(
-                    i,
-                    det,
-                    WorkerContext {
-                        queue: Arc::clone(&queue),
-                        factory: Arc::clone(&factory),
-                        max_batch: config.max_batch,
-                        max_wait: config.max_wait,
-                        dispatch_delay: config.dispatch_delay,
-                        health: Arc::clone(&health),
-                        health_gauge: health_gauge.clone(),
-                        batch_size_hist: obs.histogram("serve.batch_size"),
-                        queue_wait_hist: obs.histogram("serve.queue_wait"),
-                        panics: obs.counter("serve.worker_panics"),
-                        obs: obs.clone(),
-                        tracer: tracer.clone(),
-                    },
-                )
-            })
-            .collect();
+        let worker = Arc::new(WorkerShared {
+            queue: Arc::clone(&queue),
+            factory,
+            sized_factory: sized,
+            max_batch: config.max_batch,
+            max_wait: config.max_wait,
+            dispatch_delay: config.dispatch_delay,
+            epoch: Instant::now(),
+            pool: Pool::new(),
+            health: HealthCell::new(obs.gauge("serve.health")),
+            target_input: AtomicUsize::new(initial_target),
+            resolution_gauge,
+            wedge: config.wedge_chaos.clone(),
+            wedge_armed: AtomicBool::new(config.wedge_chaos.is_some()),
+            black_box: BlackBoxStore::new(
+                obs.counter("serve.black_box_captures"),
+                config.black_box_events,
+            ),
+            batch_size_hist: obs.histogram("serve.batch_size"),
+            queue_wait_hist: obs.histogram("serve.queue_wait"),
+            panics: obs.counter("serve.worker_panics"),
+            worker_deaths: obs.counter("serve.worker_deaths"),
+            obs: obs.clone(),
+            tracer: tracer.clone(),
+        });
+        for det in detectors {
+            let slot = WorkerSlot::new(worker.pool.next_index());
+            let handle = crate::batcher::spawn_worker(Arc::clone(&worker), Arc::clone(&slot), det);
+            worker.pool.register(slot, handle);
+        }
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let watchdog_handle = spawn_watchdog(
+            Arc::clone(&worker),
+            WatchdogConfig {
+                interval: config.watchdog_interval,
+                wedge_timeout: config.wedge_timeout,
+                max_restarts: config.max_worker_restarts,
+                recovery_ticks: config.recovery_ticks,
+            },
+            Arc::clone(&shutdown),
+            brownout_ctrl,
+        );
 
         let shared = Arc::new(Shared {
             queue,
-            shutdown: AtomicBool::new(false),
+            worker,
+            shutdown,
             active_connections: AtomicUsize::new(0),
-            health,
             next_frame_id: AtomicU64::new(0),
-            input_chw,
+            base_chw,
             obs: obs.clone(),
             tracer: tracer.clone(),
             config,
@@ -270,13 +499,23 @@ impl Server {
             shared,
             local_addr,
             accept_handle,
-            worker_handles,
+            watchdog_handle,
         })
     }
 
     /// The bound address (with the resolved ephemeral port).
     pub fn addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Current server health (the `serve.health` gauge's source of truth).
+    pub fn health(&self) -> Health {
+        self.shared.worker.health.get()
+    }
+
+    /// Crash black boxes captured so far, oldest first.
+    pub fn black_boxes(&self) -> Vec<ServeBlackBox> {
+        self.shared.worker.black_box.all()
     }
 
     /// Graceful drain: stop accepting, let every in-flight connection
@@ -295,19 +534,17 @@ impl Server {
         }
         let abandoned = self.shared.active_connections.load(Ordering::SeqCst);
 
+        // Stop the watchdog before closing the queue so it cannot spawn a
+        // replacement worker mid-teardown.
+        let _ = self.watchdog_handle.join();
+
         // No connection can enqueue any more (or we stopped waiting for
         // it): drain the backlog and retire the workers.
         self.shared.queue.close();
-        for h in self.worker_handles {
+        for h in self.shared.worker.pool.take_handles() {
             let _ = h.join();
         }
-        self.shared
-            .health
-            .store(Health::Halted.as_metric() as u8, Ordering::SeqCst);
-        self.shared
-            .obs
-            .gauge("serve.health")
-            .set(Health::Halted.as_metric());
+        self.shared.worker.health.halt();
         DrainReport {
             drained: abandoned == 0,
             abandoned_connections: abandoned,
@@ -316,14 +553,24 @@ impl Server {
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let connections = shared.obs.gauge("serve.connections");
+    let rejected = shared.obs.counter("serve.conn_rejected");
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return; // drops the listener → port closes
         }
         match listener.accept() {
             Ok((stream, _)) => {
+                if shared.active_connections.load(Ordering::SeqCst) >= shared.config.max_connections
+                {
+                    rejected.inc();
+                    shed_connection(stream, &shared);
+                    continue;
+                }
                 shared.active_connections.fetch_add(1, Ordering::SeqCst);
+                connections.set(shared.active_connections.load(Ordering::SeqCst) as f64);
                 let conn_shared = Arc::clone(&shared);
+                let conn_gauge = connections.clone();
                 let spawned =
                     thread::Builder::new()
                         .name("serve-conn".to_string())
@@ -332,9 +579,12 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                             conn_shared
                                 .active_connections
                                 .fetch_sub(1, Ordering::SeqCst);
+                            conn_gauge
+                                .set(conn_shared.active_connections.load(Ordering::SeqCst) as f64);
                         });
                 if spawned.is_err() {
                     shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                    connections.set(shared.active_connections.load(Ordering::SeqCst) as f64);
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -345,75 +595,149 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-/// Reads one request off the socket (incremental parse under the limits),
-/// routes it, writes one response, closes.
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    let started = Instant::now();
-    let cfg = &shared.config;
-    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
-    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
-    shared.obs.counter("serve.requests").inc();
-
-    let request = match read_request(&mut stream, &cfg.limits, cfg.read_timeout) {
-        Ok(Some(req)) => req,
-        Ok(None) => return, // peer closed before completing a request
-        Err(response) => {
-            shared.obs.counter("serve.http_errors").inc();
-            let _ = response.write_to(&mut stream);
-            return;
-        }
-    };
-
-    let response = route(&request, shared);
+/// Sheds a connection at accept time: best-effort `503` + `Retry-After`
+/// written without blocking the accept loop, then close.
+fn shed_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let response = Response::overloaded(shared.config.retry_after_secs);
     let _ = response.write_to(&mut stream);
-    let _ = stream.flush();
-    shared
-        .obs
-        .histogram("serve.request")
-        .record(started.elapsed());
 }
 
-/// Drives the incremental parser against the socket. Returns `Ok(None)`
-/// when the peer hangs up cleanly before a full request, and a ready-made
-/// error [`Response`] for malformed or oversized input.
+/// What one attempt to read a request off the wire produced.
+enum ReadOutcome {
+    /// A complete, well-formed request.
+    Request(Box<Request>),
+    /// The peer closed (or errored) — nothing to answer.
+    Closed,
+    /// An idle keep-alive connection outlived its deadline.
+    IdleReaped,
+    /// Malformed/oversized/slow input, with the response to send.
+    Error(Box<Response>),
+}
+
+/// Reads requests off the socket in a keep-alive loop: parse, route,
+/// respond, repeat — until the peer closes, a deadline fires, the
+/// request budget is spent, or the client asks to close.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let cfg = &shared.config;
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    // Residual buffer across requests: pipelined bytes after one request
+    // are the start of the next.
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut served = 0usize;
+    loop {
+        let request = match read_request(&mut stream, shared, &mut buf, served == 0) {
+            ReadOutcome::Request(req) => req,
+            ReadOutcome::Closed => return,
+            ReadOutcome::IdleReaped => {
+                shared.obs.counter("serve.keepalive_reaped").inc();
+                return;
+            }
+            ReadOutcome::Error(response) => {
+                shared.obs.counter("serve.http_errors").inc();
+                let _ = response.write_to(&mut stream);
+                return;
+            }
+        };
+        let started = Instant::now();
+        shared.obs.counter("serve.requests").inc();
+        served += 1;
+        let mut response = route(&request, shared);
+        let close = request.wants_close()
+            || served >= cfg.max_requests_per_connection
+            || shared.shutdown.load(Ordering::SeqCst);
+        response.close = close;
+        if response.write_to(&mut stream).is_err() {
+            return;
+        }
+        let _ = stream.flush();
+        shared
+            .obs
+            .histogram("serve.request")
+            .record(started.elapsed());
+        if close {
+            return;
+        }
+    }
+}
+
+/// Drives the incremental parser against the socket under the deadline
+/// ladder: keep-alive idle → reap; header crawl → `408` after
+/// `header_timeout`; body crawl → `408` after `read_timeout` past the
+/// header. Reads poll in short slices so shutdown is noticed promptly.
 fn read_request(
     stream: &mut TcpStream,
-    limits: &HttpLimits,
-    read_timeout: Duration,
-) -> Result<Option<Request>, Box<Response>> {
-    let mut buf = Vec::with_capacity(4096);
+    shared: &Shared,
+    buf: &mut Vec<u8>,
+    first: bool,
+) -> ReadOutcome {
+    let cfg = &shared.config;
+    let conn_start = Instant::now();
+    let mut first_byte_at: Option<Instant> = if buf.is_empty() {
+        None
+    } else {
+        Some(conn_start)
+    };
+    let mut head_done_at: Option<Instant> = None;
     let mut chunk = [0u8; 16 * 1024];
-    let deadline = Instant::now() + read_timeout;
     loop {
-        match parse_request(&buf, limits) {
-            Ok(Some((req, _consumed))) => return Ok(Some(req)),
+        match parse_request(buf, &cfg.limits) {
+            Ok(Some((req, consumed))) => {
+                buf.drain(..consumed);
+                return ReadOutcome::Request(Box::new(req));
+            }
             Ok(None) => {}
             Err(e) => {
-                return Err(Box::new(Response::text(
+                return ReadOutcome::Error(Box::new(Response::text(
                     400,
                     "Bad Request",
                     format!("{e}\n"),
                 )));
             }
         }
-        if Instant::now() >= deadline {
-            return Err(Box::new(Response::text(
-                408,
-                "Request Timeout",
-                "request not completed in time\n".to_string(),
-            )));
+        if head_done_at.is_none() && buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            head_done_at = Some(Instant::now());
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => return Ok(None),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                return Err(Box::new(Response::text(
+        // The deadline ladder, most-advanced state first.
+        let (deadline, idle) = if let Some(t) = head_done_at {
+            (t + cfg.read_timeout, false)
+        } else if let Some(t) = first_byte_at {
+            (t + cfg.header_timeout, false)
+        } else if first {
+            (conn_start + cfg.header_timeout, false)
+        } else {
+            (conn_start + cfg.keep_alive_timeout, true)
+        };
+        let now = Instant::now();
+        if now >= deadline {
+            return if idle {
+                ReadOutcome::IdleReaped
+            } else {
+                ReadOutcome::Error(Box::new(Response::text(
                     408,
                     "Request Timeout",
                     "request not completed in time\n".to_string(),
-                )));
+                )))
+            };
+        }
+        if idle && shared.shutdown.load(Ordering::SeqCst) {
+            // Drain in progress and nothing started on this connection.
+            return ReadOutcome::Closed;
+        }
+        let slice = (deadline - now).min(Duration::from_millis(100));
+        let _ = stream.set_read_timeout(Some(slice.max(Duration::from_millis(1))));
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => {
+                if first_byte_at.is_none() {
+                    first_byte_at = Some(Instant::now());
+                }
+                buf.extend_from_slice(&chunk[..n]);
             }
-            Err(_) => return Ok(None),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Poll slice elapsed; loop re-checks deadlines/shutdown.
+            }
+            Err(_) => return ReadOutcome::Closed,
         }
     }
 }
@@ -437,9 +761,11 @@ fn route(request: &Request, shared: &Shared) -> Response {
         (Method::Get, "/debug/vars") => handle_debug_vars(shared),
         (Method::Get, "/debug/alloc") => handle_debug_alloc(shared),
         (Method::Get, "/debug/trace") => handle_debug_trace(shared, query),
+        (Method::Get, "/debug/blackbox") => handle_debug_blackbox(shared),
         (
             _,
-            "/detect" | "/metrics" | "/healthz" | "/debug/vars" | "/debug/alloc" | "/debug/trace",
+            "/detect" | "/metrics" | "/healthz" | "/debug/vars" | "/debug/alloc" | "/debug/trace"
+            | "/debug/blackbox",
         ) => Response::text(
             405,
             "Method Not Allowed",
@@ -450,15 +776,18 @@ fn route(request: &Request, shared: &Shared) -> Response {
 }
 
 fn handle_healthz(shared: &Shared) -> Response {
-    let health = shared.health.load(Ordering::SeqCst);
-    let (status, reason, state) = match health {
-        h if h == Health::Healthy.as_metric() as u8 => (200, "OK", "healthy"),
-        h if h == Health::Degraded.as_metric() as u8 => (200, "OK", "degraded"),
-        _ => (503, "Service Unavailable", "halted"),
+    let (status, reason, state) = match shared.worker.health.get() {
+        Health::Healthy => (200, "OK", "healthy"),
+        Health::Degraded => (200, "OK", "degraded"),
+        Health::Halted => (503, "Service Unavailable", "halted"),
     };
     let body = format!(
-        "{{\"health\": \"{state}\", \"queue_depth\": {}}}\n",
-        shared.queue.len()
+        "{{\"health\": \"{state}\", \"queue_depth\": {}, \"workers_alive\": {}, \
+         \"input_resolution\": {}, \"black_boxes\": {}}}\n",
+        shared.queue.len(),
+        shared.worker.pool.alive_count(),
+        shared.current_input(),
+        shared.worker.black_box.all().len(),
     );
     Response::new(status, reason, "application/json", &body)
 }
@@ -500,6 +829,25 @@ fn handle_debug_alloc(shared: &Shared) -> Response {
     Response::text(200, "OK", dronet_obs::alloc::report())
 }
 
+/// `GET /debug/blackbox` — every crash black box the watchdog has
+/// captured, rendered as plain text (`404` when none exist — the happy
+/// case).
+fn handle_debug_blackbox(shared: &Shared) -> Response {
+    let Some(_permit) = acquire_debug(shared) else {
+        return debug_busy(shared);
+    };
+    let boxes = shared.worker.black_box.all();
+    if boxes.is_empty() {
+        return Response::text(404, "Not Found", "no black boxes captured\n".to_string());
+    }
+    let mut body = String::new();
+    for b in &boxes {
+        body.push_str(&b.to_text());
+        body.push('\n');
+    }
+    Response::text(200, "OK", body)
+}
+
 /// `GET /debug/trace?ms=N` — hold the connection for `N` milliseconds
 /// (default 100, capped at [`DEBUG_TRACE_MAX_MS`]) while the flight
 /// recorder keeps running, then return the tracer's ring as Chrome
@@ -532,6 +880,15 @@ fn handle_debug_trace(shared: &Shared, query: &str) -> Response {
 }
 
 fn handle_detect(request: &Request, shared: &Shared) -> Response {
+    if matches!(shared.worker.health.get(), Health::Halted) {
+        let mut r = Response::text(
+            503,
+            "Service Unavailable",
+            format!("{}\n", ServeError::Halted),
+        );
+        r.retry_after = Some(shared.config.retry_after_secs);
+        return r;
+    }
     let frame_id = shared.next_frame_id.fetch_add(1, Ordering::SeqCst) + 1;
 
     // serve.parse: body bytes → validated, conformed [1, c, h, w] frame.
@@ -543,7 +900,11 @@ fn handle_detect(request: &Request, shared: &Shared) -> Response {
             return Response::text(400, "Bad Request", format!("bad PPM body: {e}\n"));
         }
     };
-    let frame = match conform_frame(image.to_tensor(), shared.input_chw, frame_id as usize) {
+    // Conform to the brownout ladder's current rung (workers re-resize
+    // stragglers if the ladder moves between here and dispatch).
+    let size = shared.current_input();
+    let chw = (shared.base_chw.0, size, size);
+    let frame = match conform_frame(image.to_tensor(), chw, frame_id as usize) {
         Ok(t) => t,
         Err(e) => {
             drop(parse_span);
@@ -582,6 +943,11 @@ fn handle_detect(request: &Request, shared: &Shared) -> Response {
     drop(queue_span);
     match outcome {
         Ok(Ok(detections)) => Response::json(detections_json(frame_id, &detections)),
+        Ok(Err(e @ (ServeError::Halted | ServeError::Overloaded | ServeError::Draining))) => {
+            let mut r = Response::text(503, "Service Unavailable", format!("{e}\n"));
+            r.retry_after = Some(shared.config.retry_after_secs);
+            r
+        }
         Ok(Err(e)) => Response::text(500, "Internal Server Error", format!("{e}\n")),
         Err(_) => Response::text(
             504,

@@ -1,0 +1,454 @@
+//! The serve-side supervisor: wedge detection, bounded worker restarts,
+//! brownout resolution control, and crash black boxes.
+//!
+//! One lightweight thread ticks every `interval`, doing three jobs:
+//!
+//! 1. **Wedge watch** — each worker stamps a heartbeat around its batch
+//!    forward ([`crate::batcher::WorkerSlot`]). A worker busy past
+//!    `wedge_timeout` is declared wedged: the watchdog *steals* its
+//!    in-flight job record, fails those requests with
+//!    [`crate::ServeError::WorkerWedged`] (typed `500`s instead of
+//!    hung connections), captures the flight-recorder tail as a
+//!    [`ServeBlackBox`], and — under a bounded restart budget — spawns a
+//!    replacement worker with a fresh detector. The wedged thread finds
+//!    its slot abandoned whenever it wakes and exits silently.
+//! 2. **Brownout control** — when configured, a
+//!    [`dronet_detect::DegradeController`] is fed one observation per
+//!    tick (queue depth + admission-shed delta). Sustained pressure
+//!    walks the input-resolution ladder down (the paper's 608→352
+//!    accuracy-vs-FPS knob, applied as load shedding that still
+//!    answers); sustained calm walks it back up.
+//! 3. **Recovery** — after `recovery_ticks` ticks with no new panics,
+//!    deaths, or wedges, and with the brownout ladder back at the top,
+//!    health returns Degraded → Healthy.
+//!
+//! Losing the last worker (restart budget exhausted, or a rebuild
+//! failure) flips health to Halted, closes the queue, and fails the
+//! backlog — loud, typed, and recoverable by a process restart, never a
+//! silent hang or a panic.
+
+use crate::batcher::{lock_recover, spawn_worker, WorkerShared, WorkerSlot};
+use crate::error::ServeError;
+use dronet_detect::{DegradeAction, DegradeController, Health};
+use dronet_obs::{Counter, TraceSnapshot, Tracer};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Most black boxes retained; older captures are dropped first.
+const MAX_BLACK_BOXES: usize = 16;
+
+/// Lock-free health cell mirrored into the `serve.health` gauge.
+pub(crate) struct HealthCell {
+    state: AtomicU8,
+    gauge: dronet_obs::Gauge,
+}
+
+impl HealthCell {
+    pub fn new(gauge: dronet_obs::Gauge) -> Self {
+        gauge.set(Health::Healthy.as_metric());
+        HealthCell {
+            state: AtomicU8::new(Health::Healthy.as_metric() as u8),
+            gauge,
+        }
+    }
+
+    pub fn get(&self) -> Health {
+        match self.state.load(Ordering::SeqCst) {
+            0 => Health::Healthy,
+            1 => Health::Degraded,
+            _ => Health::Halted,
+        }
+    }
+
+    fn set(&self, h: Health) {
+        self.state.store(h.as_metric() as u8, Ordering::SeqCst);
+        self.gauge.set(h.as_metric());
+    }
+
+    /// Healthy → Degraded (never un-halts).
+    pub fn degrade(&self) {
+        if self
+            .state
+            .compare_exchange(
+                Health::Healthy.as_metric() as u8,
+                Health::Degraded.as_metric() as u8,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            self.gauge.set(Health::Degraded.as_metric());
+        }
+    }
+
+    /// Degraded → Healthy (never un-halts).
+    pub fn recover(&self) {
+        if self
+            .state
+            .compare_exchange(
+                Health::Degraded.as_metric() as u8,
+                Health::Healthy.as_metric() as u8,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            self.gauge.set(Health::Healthy.as_metric());
+        }
+    }
+
+    /// Terminal: the server no longer serves detections.
+    pub fn halt(&self) {
+        self.set(Health::Halted);
+    }
+}
+
+/// The live worker registry: slots for the watchdog to scan, handles for
+/// shutdown to join, and the count of workers still alive.
+pub(crate) struct Pool {
+    slots: Mutex<Vec<Arc<WorkerSlot>>>,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+    alive: AtomicUsize,
+    next_index: AtomicUsize,
+}
+
+impl Pool {
+    pub fn new() -> Self {
+        Pool {
+            slots: Mutex::new(Vec::new()),
+            handles: Mutex::new(Vec::new()),
+            alive: AtomicUsize::new(0),
+            next_index: AtomicUsize::new(0),
+        }
+    }
+
+    /// A fresh, unique worker index.
+    pub fn next_index(&self) -> usize {
+        self.next_index.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Adds a live worker (initial spawn or watchdog replacement).
+    pub fn register(&self, slot: Arc<WorkerSlot>, handle: thread::JoinHandle<()>) {
+        lock_recover(&self.slots).push(slot);
+        lock_recover(&self.handles).push(handle);
+        self.alive.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Accounts one worker's death; returns how many remain alive.
+    pub fn worker_gone(&self) -> usize {
+        self.alive.fetch_sub(1, Ordering::SeqCst).saturating_sub(1)
+    }
+
+    pub fn alive_count(&self) -> usize {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// A point-in-time copy of every slot ever registered (dead slots
+    /// included; callers filter on liveness).
+    pub fn slots_snapshot(&self) -> Vec<Arc<WorkerSlot>> {
+        lock_recover(&self.slots).clone()
+    }
+
+    /// Takes every join handle (shutdown joins them after queue close).
+    pub fn take_handles(&self) -> Vec<thread::JoinHandle<()>> {
+        std::mem::take(&mut lock_recover(&self.handles))
+    }
+}
+
+/// A crash black box captured when a worker wedges or dies: the trigger,
+/// the frame ids it was holding, and the flight-recorder tail — enough
+/// to reconstruct the last moments without a debugger on the drone.
+#[derive(Debug, Clone)]
+pub struct ServeBlackBox {
+    /// Why the capture fired (e.g. `"worker 0 wedged after 210ms …"`).
+    pub trigger: String,
+    /// Frame ids in flight when the capture fired.
+    pub frame_ids: Vec<u64>,
+    /// The flight recorder's final events at capture time.
+    pub tail: TraceSnapshot,
+}
+
+impl ServeBlackBox {
+    /// Renders the black box as greppable plain text.
+    pub fn to_text(&self) -> String {
+        format!(
+            "=== serve black box ===\ntrigger: {}\nframes in flight: {:?}\n{}",
+            self.trigger,
+            self.frame_ids,
+            self.tail.to_text()
+        )
+    }
+}
+
+/// Bounded retention of [`ServeBlackBox`] captures plus the
+/// `serve.black_box_captures` counter.
+pub(crate) struct BlackBoxStore {
+    boxes: Mutex<Vec<ServeBlackBox>>,
+    captures: Counter,
+    /// Flight-recorder events kept per capture.
+    events: usize,
+}
+
+impl BlackBoxStore {
+    pub fn new(captures: Counter, events: usize) -> Self {
+        BlackBoxStore {
+            boxes: Mutex::new(Vec::new()),
+            captures,
+            events,
+        }
+    }
+
+    /// Snapshots the tracer tail and retains it under `trigger`.
+    pub fn capture(&self, tracer: &Tracer, trigger: &str, frame_ids: &[u64]) {
+        let tail = tracer.snapshot().tail_snapshot(self.events);
+        let mut boxes = lock_recover(&self.boxes);
+        if boxes.len() >= MAX_BLACK_BOXES {
+            boxes.remove(0);
+        }
+        boxes.push(ServeBlackBox {
+            trigger: trigger.to_string(),
+            frame_ids: frame_ids.to_vec(),
+            tail,
+        });
+        self.captures.inc();
+    }
+
+    /// Every retained capture, oldest first.
+    pub fn all(&self) -> Vec<ServeBlackBox> {
+        lock_recover(&self.boxes).clone()
+    }
+}
+
+/// Watchdog tuning, derived from [`crate::ServeConfig`].
+#[derive(Debug, Clone)]
+pub(crate) struct WatchdogConfig {
+    /// Tick period.
+    pub interval: Duration,
+    /// A worker busy past this is declared wedged.
+    pub wedge_timeout: Duration,
+    /// Replacement workers the watchdog may spawn over the server's life.
+    pub max_restarts: usize,
+    /// Quiet ticks (no panics/deaths/wedges, ladder at top) before
+    /// Degraded recovers to Healthy.
+    pub recovery_ticks: u32,
+}
+
+/// Spawns the supervisor thread.
+pub(crate) fn spawn_watchdog(
+    shared: Arc<WorkerShared>,
+    cfg: WatchdogConfig,
+    shutdown: Arc<AtomicBool>,
+    mut brownout: Option<DegradeController>,
+) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name("serve-watchdog".to_string())
+        .spawn(move || {
+            shared.tracer.name_thread("serve-watchdog");
+            let wedges = shared.obs.counter("serve.worker_wedges");
+            let restarts = shared.obs.counter("serve.worker_restarts");
+            let downshifts = shared.obs.counter("serve.brownout_downshifts");
+            let upshifts = shared.obs.counter("serve.brownout_upshifts");
+            let drops = shared.obs.counter("serve.admission_drops");
+            let mut restarts_used = 0usize;
+            let mut last_drops = drops.get();
+            let mut last_activity = 0u64;
+            let mut quiet_ticks = 0u32;
+            while !shutdown.load(Ordering::SeqCst) {
+                thread::sleep(cfg.interval);
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+
+                // 1. Wedge scan.
+                for slot in shared.pool.slots_snapshot() {
+                    if !slot.is_alive() || slot.abandoned.load(Ordering::SeqCst) {
+                        continue;
+                    }
+                    if let Some(busy) = slot.busy_for(shared.epoch) {
+                        if busy >= cfg.wedge_timeout {
+                            handle_wedge(
+                                &shared,
+                                &slot,
+                                busy,
+                                &cfg,
+                                &mut restarts_used,
+                                &wedges,
+                                &restarts,
+                            );
+                        }
+                    }
+                }
+
+                // 2. Brownout: one load observation per tick.
+                if let Some(ctrl) = brownout.as_mut() {
+                    let now_drops = drops.get();
+                    let delta = now_drops.saturating_sub(last_drops);
+                    last_drops = now_drops;
+                    if let Some(action) = ctrl.observe_frame(shared.queue.len() as f64, delta) {
+                        let target = action.target();
+                        shared.target_input.store(target, Ordering::SeqCst);
+                        shared.resolution_gauge.set(target as f64);
+                        match action {
+                            DegradeAction::Downshift(_) => {
+                                downshifts.inc();
+                                shared.health.degrade();
+                            }
+                            DegradeAction::Upshift(_) => upshifts.inc(),
+                        }
+                    }
+                }
+
+                // 3. Recovery: quiet for long enough, ladder at the top.
+                let activity = shared.panics.get() + shared.worker_deaths.get() + wedges.get();
+                if activity == last_activity {
+                    quiet_ticks = quiet_ticks.saturating_add(1);
+                } else {
+                    quiet_ticks = 0;
+                    last_activity = activity;
+                }
+                let still_degraded_by_brownout = brownout.as_ref().is_some_and(|c| c.is_degraded());
+                if quiet_ticks >= cfg.recovery_ticks
+                    && !still_degraded_by_brownout
+                    && matches!(shared.health.get(), Health::Degraded)
+                {
+                    shared.health.recover();
+                }
+            }
+        })
+        .expect("spawn watchdog thread")
+}
+
+/// Declares `slot` wedged: steal its jobs, answer them with typed
+/// errors, black-box the trace tail, and spawn a replacement under the
+/// restart budget.
+#[allow(clippy::too_many_arguments)]
+fn handle_wedge(
+    shared: &Arc<WorkerShared>,
+    slot: &WorkerSlot,
+    busy: Duration,
+    cfg: &WatchdogConfig,
+    restarts_used: &mut usize,
+    wedges: &Counter,
+    restarts: &Counter,
+) {
+    slot.abandoned.store(true, Ordering::SeqCst);
+    let Some(inflight) = slot.take_inflight() else {
+        // The worker finished between our busy check and the steal: it
+        // holds the replies and will keep looping — un-abandon it.
+        slot.abandoned.store(false, Ordering::SeqCst);
+        return;
+    };
+    wedges.inc();
+    shared.black_box.capture(
+        &shared.tracer,
+        &format!(
+            "worker {} wedged after {:.0?} holding {} job(s)",
+            slot.index,
+            busy,
+            inflight.frame_ids.len()
+        ),
+        &inflight.frame_ids,
+    );
+    let msg = format!(
+        "worker {} stuck past {:.0?} deadline",
+        slot.index, cfg.wedge_timeout
+    );
+    for reply in &inflight.replies {
+        let _ = reply.send(Err(ServeError::WorkerWedged(msg.clone())));
+    }
+    if !slot.retire() {
+        return; // the worker's own death path already did the accounting
+    }
+    shared.pool.worker_gone();
+    shared.health.degrade();
+    if *restarts_used < cfg.max_restarts {
+        let target = shared.target_input.load(Ordering::SeqCst);
+        match crate::batcher::rebuild_detector(shared, target) {
+            Ok(det) => {
+                *restarts_used += 1;
+                restarts.inc();
+                let new_slot = WorkerSlot::new(shared.pool.next_index());
+                let handle = spawn_worker(Arc::clone(shared), Arc::clone(&new_slot), det);
+                shared.pool.register(new_slot, handle);
+            }
+            Err(e) => {
+                shared.black_box.capture(
+                    &shared.tracer,
+                    &format!("replacement rebuild failed: {e}"),
+                    &[],
+                );
+            }
+        }
+    }
+    if shared.pool.alive_count() == 0 {
+        // No replacement and nobody left: fail loudly instead of hanging.
+        shared.health.halt();
+        shared.queue.close();
+        shared.queue.fail_pending();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dronet_obs::Registry;
+
+    #[test]
+    fn health_cell_transitions_are_one_way_ratchets() {
+        let obs = Registry::new();
+        let cell = HealthCell::new(obs.gauge("serve.health"));
+        assert!(matches!(cell.get(), Health::Healthy));
+        cell.recover(); // no-op from Healthy
+        assert!(matches!(cell.get(), Health::Healthy));
+        cell.degrade();
+        assert!(matches!(cell.get(), Health::Degraded));
+        assert_eq!(obs.snapshot().gauge("serve.health"), Some(1.0));
+        cell.recover();
+        assert!(matches!(cell.get(), Health::Healthy));
+        cell.halt();
+        assert!(matches!(cell.get(), Health::Halted));
+        cell.degrade(); // halted is terminal
+        cell.recover();
+        assert!(matches!(cell.get(), Health::Halted));
+        assert_eq!(obs.snapshot().gauge("serve.health"), Some(2.0));
+    }
+
+    #[test]
+    fn black_box_store_caps_retention_and_counts_captures() {
+        let obs = Registry::new();
+        let tracer = Tracer::noop();
+        let store = BlackBoxStore::new(obs.counter("serve.black_box_captures"), 8);
+        for i in 0..(MAX_BLACK_BOXES + 3) {
+            store.capture(&tracer, &format!("trigger {i}"), &[i as u64]);
+        }
+        let boxes = store.all();
+        assert_eq!(boxes.len(), MAX_BLACK_BOXES, "oldest captures dropped");
+        assert_eq!(boxes[0].trigger, "trigger 3");
+        assert!(boxes.last().unwrap().to_text().contains("trigger 18"));
+        assert_eq!(
+            obs.snapshot().counter("serve.black_box_captures"),
+            Some((MAX_BLACK_BOXES + 3) as u64)
+        );
+    }
+
+    #[test]
+    fn pool_accounting_tracks_alive_workers() {
+        let pool = Pool::new();
+        assert_eq!(pool.alive_count(), 0);
+        let i0 = pool.next_index();
+        let i1 = pool.next_index();
+        assert_ne!(i0, i1, "indices are unique");
+        let slot = WorkerSlot::new(i0);
+        pool.register(Arc::clone(&slot), thread::spawn(|| {}));
+        assert_eq!(pool.alive_count(), 1);
+        assert_eq!(pool.slots_snapshot().len(), 1);
+        assert_eq!(pool.worker_gone(), 0);
+        assert_eq!(pool.alive_count(), 0);
+        for h in pool.take_handles() {
+            h.join().unwrap();
+        }
+        assert!(pool.take_handles().is_empty(), "handles taken once");
+    }
+}

@@ -98,4 +98,48 @@ proptest! {
         prop_assert_eq!(req.body.len(), body_len);
         prop_assert_eq!(consumed, full.len());
     }
+
+    /// Incremental-parse equivalence: feeding a valid request split at ANY
+    /// byte boundary, every strict prefix must say "need more data" and the
+    /// first complete parse must match the one-shot parse exactly. This is
+    /// the invariant the keep-alive connection loop leans on: reads arrive
+    /// in arbitrary fragments (the chaos drip clients make sure of it) and
+    /// the parse outcome must not depend on the fragmentation.
+    #[test]
+    fn incremental_parse_is_equivalent_to_one_shot(body_len in 0usize..96) {
+        let full = valid_request(body_len);
+        let limits = HttpLimits::default();
+        let (oneshot, oneshot_consumed) = parse_request(&full, &limits)
+            .expect("valid request")
+            .expect("complete request");
+        for cut in 0..full.len() {
+            match parse_request(&full[..cut], &limits) {
+                Ok(None) => {}
+                other => prop_assert!(false, "prefix of {cut} bytes parsed as {other:?}"),
+            }
+        }
+        let (req, consumed) = parse_request(&full, &limits)
+            .expect("valid request")
+            .expect("complete request");
+        prop_assert_eq!(req.method, oneshot.method);
+        prop_assert_eq!(req.target, oneshot.target);
+        prop_assert_eq!(req.body, oneshot.body);
+        prop_assert_eq!(consumed, oneshot_consumed);
+    }
+
+    /// Request smuggling: two `Content-Length` headers are ALWAYS rejected
+    /// with a typed error — agreeing or not, whatever the values.
+    #[test]
+    fn duplicate_content_length_is_always_rejected(
+        body_len in 0usize..32,
+        second in 0usize..64,
+    ) {
+        let req = format!(
+            "POST /detect HTTP/1.1\r\nHost: x\r\nContent-Length: {body_len}\r\n\
+             Content-Length: {second}\r\n\r\n"
+        );
+        let mut bytes = req.into_bytes();
+        bytes.extend(std::iter::repeat_n(0xAB, body_len.max(second)));
+        prop_assert!(parse_request(&bytes, &HttpLimits::default()).is_err());
+    }
 }

@@ -25,8 +25,10 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, Str
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .expect("read timeout");
+    // `Connection: close` — the server defaults to keep-alive, and this
+    // client reads to EOF.
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: example\r\nContent-Length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: example\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes()).expect("write head");
@@ -111,6 +113,7 @@ fn main() {
 
     let (status, health) = request(addr, "GET", "/healthz", &[]);
     println!("\n/healthz ({status}): {}", health.trim());
+    println!("server health: {:?}", server.health());
 
     // The live debug surface: full registry JSON, allocator report, and a
     // short Chrome-trace capture ready for https://ui.perfetto.dev.

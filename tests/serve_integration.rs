@@ -31,14 +31,15 @@ fn frame_bytes() -> Vec<u8> {
     bytes
 }
 
-/// Minimal one-shot HTTP client: returns (status, head, body).
+/// Minimal one-shot HTTP client (`Connection: close` — the server keeps
+/// connections alive by default): returns (status, head, body).
 fn http(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String, Vec<u8>) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes()).expect("write head");
@@ -56,6 +57,39 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String
         .and_then(|s| s.parse().ok())
         .expect("status code");
     (status, head, response[split + 4..].to_vec())
+}
+
+/// Reads exactly one `Content-Length`-framed response off a keep-alive
+/// stream: returns (status, head, body).
+fn read_one_response(stream: &mut TcpStream) -> (u16, String, Vec<u8>) {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read response");
+        assert!(n > 0, "connection closed before a full response head");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Content-Length header");
+    while buf.len() < head_end + 4 + content_length {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "connection closed before a full response body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = buf[head_end + 4..head_end + 4 + content_length].to_vec();
+    (status, head, body)
 }
 
 fn post_detect(addr: SocketAddr) -> (u16, String, Vec<u8>) {
@@ -346,6 +380,129 @@ fn debug_trace_returns_parseable_chrome_trace_with_serving_spans() {
     let (status, _, _) = http(addr, "GET", "/debug/trace?ms=abc", b"");
     assert_eq!(status, 400);
 
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_then_reaps_idle_connections() {
+    let obs = Registry::new();
+    let config = ServeConfig {
+        keep_alive_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(factory(), config, &obs, &Tracer::noop()).expect("start");
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Three requests down one connection.
+    for _ in 0..3 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n")
+            .expect("write request");
+        let (status, head, _) = read_one_response(&mut stream);
+        assert_eq!(status, 200);
+        assert!(
+            head.contains("Connection: keep-alive"),
+            "keep-alive must persist: {head}"
+        );
+    }
+    // Now go idle: the server reaps the connection at its deadline.
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("read after idle");
+    assert!(
+        rest.is_empty(),
+        "idle reap is a silent close, not a response"
+    );
+    let snap = obs.snapshot();
+    assert_eq!(snap.counter("serve.requests"), Some(3));
+    assert!(
+        snap.counter("serve.keepalive_reaped").unwrap_or(0) >= 1,
+        "the reap must be counted"
+    );
+
+    // An explicit `Connection: close` still closes immediately.
+    let (status, head, _) = http(addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"));
+
+    assert!(server.shutdown().drained);
+}
+
+#[test]
+fn connection_cap_sheds_at_accept_with_503_and_retry_after() {
+    let obs = Registry::new();
+    let config = ServeConfig {
+        max_connections: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(factory(), config, &obs, &Tracer::noop()).expect("start");
+    let addr = server.addr();
+
+    // Two idle connections occupy the whole budget.
+    let _idle_a = TcpStream::connect(addr).expect("connect a");
+    let _idle_b = TcpStream::connect(addr).expect("connect b");
+    // Give the accept loop time to register both.
+    thread::sleep(Duration::from_millis(150));
+
+    // The third is shed at accept time: 503 + Retry-After, then close.
+    let mut third = TcpStream::connect(addr).expect("connect c");
+    third
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut response = Vec::new();
+    third
+        .read_to_end(&mut response)
+        .expect("read shed response");
+    let text = String::from_utf8_lossy(&response);
+    assert!(text.starts_with("HTTP/1.1 503"), "got: {text}");
+    assert!(text.contains("Retry-After:"), "503 without Retry-After");
+    assert!(
+        obs.snapshot().counter("serve.conn_rejected").unwrap_or(0) >= 1,
+        "the shed must be counted"
+    );
+
+    // Freeing a slot restores service.
+    drop(_idle_a);
+    thread::sleep(Duration::from_millis(100));
+    let (status, _, _) = http(addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+
+    server.shutdown();
+}
+
+#[test]
+fn slow_reading_client_does_not_stall_other_connections() {
+    let obs = Registry::new();
+    let config = ServeConfig {
+        write_timeout: Duration::from_millis(500),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(factory(), config, &obs, &Tracer::noop()).expect("start");
+    let addr = server.addr();
+
+    // A client that posts a frame and then never reads its response.
+    let mut never_reader = TcpStream::connect(addr).expect("connect slow");
+    let body = frame_bytes();
+    let head = format!(
+        "POST /detect HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    never_reader.write_all(head.as_bytes()).expect("write head");
+    never_reader.write_all(&body).expect("write body");
+
+    // Meanwhile a well-behaved client must be served promptly.
+    let start = std::time::Instant::now();
+    let (status, _, _) = post_detect(addr);
+    assert_eq!(status, 200);
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "slow reader stalled an unrelated connection for {:?}",
+        start.elapsed()
+    );
+    drop(never_reader);
     server.shutdown();
 }
 
