@@ -10,12 +10,23 @@
 //!     [report.json [trace.json [batched_report.json]]]
 //! cargo run --release -p dronet-bench --bin bench_report -- \
 //!     --alloc-grid [BENCH_PR6.json]
+//! cargo run --release -p dronet-bench --bin bench_report -- \
+//!     --serve-grid [BENCH_PR8.json]
 //! ```
 //!
 //! `DRONET_BENCH_ITERS` overrides the timed iterations per configuration
 //! (default 5); CI smoke runs set it to 1. The schema deliberately uses
 //! only objects, arrays, strings, and numbers — the subset the in-tree
 //! reader supports.
+//!
+//! `--serve-grid` runs the serving-SLO grid (`BENCH_PR8.json`): for each
+//! input size × `max_batch`, an in-process server is driven by the
+//! open-loop load generator at three offered-load levels (fractions and
+//! multiples of the measured forward capacity), reporting
+//! coordinated-omission-corrected latency quantiles, goodput, the
+//! shed/timeout/drop breakdown, and the server's own SLO verdicts from
+//! `GET /debug/slo`. `DRONET_LOADGEN_SECS` / `DRONET_LOADGEN_CONNS`
+//! shrink rows for CI smoke runs.
 //!
 //! `--alloc-grid` runs the steady-state-allocation grid instead
 //! (`BENCH_PR6.json`): this binary installs the counting allocator, and
@@ -24,6 +35,7 @@
 //! worker count, then reports allocs/bytes per warm pooled forward for
 //! DroNet-352 at batch 1 and 8 — expected to be exactly zero.
 
+use dronet_bench::loadgen::{frame_corpus, run_plan, ArrivalPlan, LoadgenConfig, Phase};
 use dronet_bench::{input_image, model};
 use dronet_core::ModelId;
 use dronet_detect::{DetectorBuilder, IterSource, VideoPipeline};
@@ -31,8 +43,12 @@ use dronet_nn::cost::network_cost;
 use dronet_nn::profile::NetworkProfile;
 use dronet_nn::summary::NetworkSummary;
 use dronet_obs::{AllocScope, ChromeTrace, CountingAlloc, JsonValue, Registry, Tracer};
+use dronet_serve::{DetectorFactory, ServeConfig, Server};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc::new();
@@ -284,6 +300,233 @@ fn alloc_grid_main(path: &str) {
     eprintln!("wrote {path} ({} alloc rows)", rows.len());
 }
 
+/// The serving grid (`BENCH_PR8.json`): input sizes × batch configs ×
+/// offered-load levels, each row driven by the open-loop load generator.
+const SERVE_INPUTS: [usize; 2] = [64, 96];
+const SERVE_BATCHES: [usize; 2] = [1, 8];
+/// Offered load as a multiple of the measured single-worker forward
+/// capacity: comfortable, busy, and deliberately impossible. 6× (not 2×)
+/// because max_batch=8 coalescing can amortize most of the per-forward
+/// cost — the overload row must overwhelm the *batched* service rate.
+const SERVE_LOADS: [(&str, f64); 3] = [("low", 0.2), ("mid", 0.6), ("overload", 6.0)];
+
+struct ServeGridRow {
+    input: usize,
+    max_batch: usize,
+    load: &'static str,
+    rate_hz: f64,
+    offered: u64,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    timeouts: u64,
+    dropped: u64,
+    goodput_rps: f64,
+    ok_p50_ms: f64,
+    ok_p99_ms: f64,
+    ok_p999_ms: f64,
+    slo_latency_breached: u8,
+    slo_availability_breached: u8,
+}
+
+/// One-shot `GET` against the spawned server; returns the body.
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect for GET");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let head = format!("GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n");
+    stream.write_all(head.as_bytes()).expect("write GET");
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .expect("read GET response");
+    let split = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head terminator");
+    String::from_utf8_lossy(&response[split + 4..]).into_owned()
+}
+
+/// Measures one worker's un-batched service capacity at `input`, in
+/// forwards per second — the grid's load levels are multiples of this.
+fn measure_capacity_rps(input: usize, iters: usize) -> f64 {
+    let mut net = model(ModelId::DroNet, input);
+    let x = input_image(input, 42);
+    net.forward(&x).expect("warmup forward");
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(net.forward(&x).expect("timed forward").len());
+    }
+    iters as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn serve_grid_main(path: &str) {
+    let secs: f64 = std::env::var("DRONET_LOADGEN_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(4.0);
+    let connections: usize = std::env::var("DRONET_LOADGEN_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(128);
+
+    let mut rows: Vec<ServeGridRow> = Vec::new();
+    for (ii, &input) in SERVE_INPUTS.iter().enumerate() {
+        let capacity = measure_capacity_rps(input, 10);
+        eprintln!("DroNet @{input}: ~{capacity:.0} forwards/s single-worker capacity");
+        let frames = frame_corpus(input);
+        for (bi, &max_batch) in SERVE_BATCHES.iter().enumerate() {
+            for (li, &(load, factor)) in SERVE_LOADS.iter().enumerate() {
+                let rate_hz = (capacity * factor).max(5.0);
+                let factory: DetectorFactory = Arc::new(move || {
+                    let net = dronet_core::zoo::build(dronet_core::ModelId::DroNet, input)?;
+                    DetectorBuilder::new(net).confidence_threshold(0.3).build()
+                });
+                let config = ServeConfig {
+                    workers: 1,
+                    max_batch,
+                    // Must sit below the connection count: the server
+                    // admits at most one in-flight request per connection,
+                    // so with queue_capacity >= connections the queue can
+                    // never overflow and overload would show up only as
+                    // latency, never as 503s.
+                    queue_capacity: (connections / 2).max(8),
+                    // Loadgen connections live for the whole row: no
+                    // request budget, no idle reaping mid-run.
+                    max_requests_per_connection: 1_000_000,
+                    keep_alive_timeout: Duration::from_secs(30),
+                    max_connections: 2048,
+                    response_timeout: Duration::from_secs(10),
+                    ..ServeConfig::default()
+                };
+                let server = Server::start(factory, config, &Registry::new(), &Tracer::noop())
+                    .expect("spawn grid server");
+                // One deterministic seed per row: replayable, and distinct
+                // rows see distinct (but fixed) arrival noise.
+                let seed = 0xC0FFEE + (ii * 100 + bi * 10 + li) as u64;
+                let cfg = LoadgenConfig {
+                    seed,
+                    connections,
+                    phases: vec![Phase::new(rate_hz, secs)],
+                    frames: frames.clone(),
+                    drain_timeout: Duration::from_secs(15),
+                };
+                let plan = ArrivalPlan::generate(cfg.seed, &cfg.phases);
+                let report = run_plan(server.addr(), &cfg, &plan);
+                let slo_body = http_get(server.addr(), "/debug/slo");
+                let _ = server.shutdown();
+
+                let slo = JsonValue::parse(&slo_body).expect("/debug/slo parses");
+                let breached = |name: &str| -> u8 {
+                    slo.get("slos")
+                        .and_then(JsonValue::as_array)
+                        .and_then(|slos| {
+                            slos.iter()
+                                .find(|s| s.get("name").and_then(JsonValue::as_str) == Some(name))
+                        })
+                        .and_then(|s| s.get("breached"))
+                        .and_then(JsonValue::as_u64)
+                        .map_or(0, |b| (b != 0) as u8)
+                };
+                let row = ServeGridRow {
+                    input,
+                    max_batch,
+                    load,
+                    rate_hz,
+                    offered: report.offered,
+                    ok: report.ok,
+                    shed: report.shed,
+                    errors: report.errors,
+                    timeouts: report.timeouts,
+                    dropped: report.dropped,
+                    goodput_rps: report.goodput(),
+                    ok_p50_ms: report.ok_quantile_ns(0.50) as f64 / 1e6,
+                    ok_p99_ms: report.ok_quantile_ns(0.99) as f64 / 1e6,
+                    ok_p999_ms: report.ok_quantile_ns(0.999) as f64 / 1e6,
+                    slo_latency_breached: breached("detect_latency"),
+                    slo_availability_breached: breached("detect_availability"),
+                };
+                eprintln!(
+                    "  @{input} batch {max_batch} {load} ({rate_hz:.0} Hz): \
+                     ok={} shed={} timeouts={} dropped={} goodput={:.1}/s p99={:.1}ms \
+                     slo_lat={} slo_avail={}",
+                    row.ok,
+                    row.shed,
+                    row.timeouts,
+                    row.dropped,
+                    row.goodput_rps,
+                    row.ok_p99_ms,
+                    row.slo_latency_breached,
+                    row.slo_availability_breached,
+                );
+                // The grid's headline claims, self-asserted: every row
+                // keeps serving, and overload sheds instead of collapsing.
+                assert!(row.ok > 0, "row @{input}/{max_batch}/{load} served nothing");
+                if load == "overload" {
+                    assert!(
+                        row.shed > 0,
+                        "overload row @{input}/{max_batch} shed nothing — raise the factor"
+                    );
+                }
+                rows.push(row);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"dronet-bench-report\",");
+    let _ = writeln!(out, "  \"version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"pr\": \"PR8\",");
+    let _ = writeln!(out, "  \"secs_per_row\": {},", num(secs));
+    let _ = writeln!(out, "  \"connections\": {connections},");
+    out.push_str("  \"serve_grid\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"model\": \"DroNet\", \"input\": {}, \"max_batch\": {}, \"load\": \"{}\", \
+             \"rate_hz\": {}, \"offered\": {}, \"ok\": {}, \"shed\": {}, \"errors\": {}, \
+             \"timeouts\": {}, \"dropped\": {}, \"goodput_rps\": {}, \"ok_p50_ms\": {}, \
+             \"ok_p99_ms\": {}, \"ok_p999_ms\": {}, \"slo_latency_breached\": {}, \
+             \"slo_availability_breached\": {}}}",
+            r.input,
+            r.max_batch,
+            r.load,
+            num(r.rate_hz),
+            r.offered,
+            r.ok,
+            r.shed,
+            r.errors,
+            r.timeouts,
+            r.dropped,
+            num(r.goodput_rps),
+            num(r.ok_p50_ms),
+            num(r.ok_p99_ms),
+            num(r.ok_p999_ms),
+            r.slo_latency_breached,
+            r.slo_availability_breached,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+
+    let parsed = JsonValue::parse(&out).expect("serve grid parses with the in-tree reader");
+    let grid = parsed
+        .get("serve_grid")
+        .and_then(JsonValue::as_array)
+        .expect("serve_grid array");
+    assert_eq!(
+        grid.len(),
+        SERVE_INPUTS.len() * SERVE_BATCHES.len() * SERVE_LOADS.len()
+    );
+
+    std::fs::write(path, &out).expect("write serve grid report");
+    eprintln!("wrote {path} ({} serve rows)", rows.len());
+}
+
 fn main() {
     let iters: usize = std::env::var("DRONET_BENCH_ITERS")
         .ok()
@@ -295,6 +538,11 @@ fn main() {
     if first.as_deref() == Some("--alloc-grid") {
         let path = args.next().unwrap_or_else(|| "BENCH_PR6.json".to_string());
         alloc_grid_main(&path);
+        return;
+    }
+    if first.as_deref() == Some("--serve-grid") {
+        let path = args.next().unwrap_or_else(|| "BENCH_PR8.json".to_string());
+        serve_grid_main(&path);
         return;
     }
     let report_path = first.unwrap_or_else(|| "BENCH_PR3.json".to_string());

@@ -1,0 +1,149 @@
+//! CLI for the open-loop load generator (`crates/bench/src/loadgen.rs`).
+//!
+//! Drives a running detection server — or spawns one in-process with
+//! `--spawn` — with a seeded Poisson arrival schedule and prints a
+//! coordinated-omission-corrected JSON report.
+//!
+//! ```text
+//! loadgen --spawn --seed 42 --rate 50 --secs 5 --connections 64
+//! loadgen --addr 127.0.0.1:8080 --rate 200 --secs 10 --burst 800:2 --out report.json
+//! ```
+
+use dronet_bench::loadgen::{frame_corpus, run, LoadgenConfig, Phase};
+use dronet_detect::DetectorBuilder;
+use dronet_obs::{Registry, Tracer};
+use dronet_serve::{DetectorFactory, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT | --spawn] [--seed N] [--rate HZ] [--secs S]\n\
+         \x20              [--burst RATE:SECS] [--connections N] [--size PX] [--out PATH]\n\
+         \n\
+         --addr        target server (default: --spawn)\n\
+         --spawn       spawn an in-process DroNet server and load it\n\
+         --seed        arrival-schedule seed (default 42)\n\
+         --rate        steady arrival rate in Hz (default 50)\n\
+         --secs        steady-phase duration in seconds (default 5)\n\
+         --burst       append a burst phase, e.g. 400:2 = 400 Hz for 2 s\n\
+         --connections concurrent keep-alive connections (default 64)\n\
+         --size        frame edge in pixels for the PPM corpus (default 64)\n\
+         --out         write the JSON report here instead of stdout"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("bad or missing value for {flag}");
+        usage()
+    })
+}
+
+fn spawn_server(size: usize) -> Server {
+    let factory: DetectorFactory = Arc::new(move || {
+        let net = dronet_core::zoo::build(dronet_core::ModelId::DroNet, size)?;
+        DetectorBuilder::new(net).confidence_threshold(0.3).build()
+    });
+    let config = ServeConfig {
+        workers: 2,
+        // Long-lived loadgen connections: don't let the per-connection
+        // request budget or idle reaper churn them mid-run.
+        max_requests_per_connection: 1_000_000,
+        keep_alive_timeout: Duration::from_secs(30),
+        max_connections: 2048,
+        response_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
+    };
+    Server::start(factory, config, &Registry::new(), &Tracer::noop()).expect("spawn server")
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut addr: Option<SocketAddr> = None;
+    let mut spawn = false;
+    let mut seed = 42u64;
+    let mut rate = 50.0f64;
+    let mut secs = 5.0f64;
+    let mut bursts: Vec<Phase> = Vec::new();
+    let mut connections = 64usize;
+    let mut size = 64usize;
+    let mut out: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(parse("--addr", args.next())),
+            "--spawn" => spawn = true,
+            "--seed" => seed = parse("--seed", args.next()),
+            "--rate" => rate = parse("--rate", args.next()),
+            "--secs" => secs = parse("--secs", args.next()),
+            "--burst" => {
+                let v: String = parse("--burst", args.next());
+                let Some((r, s)) = v.split_once(':') else {
+                    eprintln!("--burst wants RATE:SECS, got {v:?}");
+                    usage();
+                };
+                bursts.push(Phase::new(
+                    parse("--burst rate", Some(r.to_string())),
+                    parse("--burst secs", Some(s.to_string())),
+                ));
+            }
+            "--connections" => connections = parse("--connections", args.next()),
+            "--size" => size = parse("--size", args.next()),
+            "--out" => out = args.next().or_else(|| usage()),
+            _ => {
+                eprintln!("unknown flag {arg:?}");
+                usage();
+            }
+        }
+    }
+
+    let server = if addr.is_none() || spawn {
+        Some(spawn_server(size))
+    } else {
+        None
+    };
+    let target = server.as_ref().map(|s| s.addr()).or(addr).unwrap();
+
+    let mut phases = vec![Phase::new(rate, secs)];
+    phases.extend(bursts);
+    let cfg = LoadgenConfig {
+        seed,
+        connections,
+        phases,
+        frames: frame_corpus(size),
+        drain_timeout: Duration::from_secs(15),
+    };
+    eprintln!(
+        "loadgen: target={target} seed={seed} connections={} phases={:?}",
+        cfg.connections, cfg.phases
+    );
+    let report = run(target, &cfg);
+    let json = format!("{}\n", report.to_json());
+    match &out {
+        Some(path) => std::fs::write(path, &json).expect("write report"),
+        None => print!("{json}"),
+    }
+    eprintln!(
+        "loadgen: offered={} ok={} shed={} errors={} timeouts={} dropped={} p99={:.1}ms",
+        report.offered,
+        report.ok,
+        report.shed,
+        report.errors,
+        report.timeouts,
+        report.dropped,
+        report.ok_quantile_ns(0.99) as f64 / 1e6,
+    );
+    if let Some(server) = server {
+        let _ = server.shutdown();
+    }
+    // A run where nothing completed is a failed run, whatever the report
+    // says — make CI smoke jobs fail loudly.
+    if report.ok == 0 {
+        eprintln!("loadgen: no successful responses");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

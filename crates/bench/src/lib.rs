@@ -20,6 +20,8 @@
 //! Benches print the regenerated tables once (via `eprintln!`) before
 //! measuring, so `cargo bench` output doubles as the reproduction log.
 
+pub mod loadgen;
+
 use dronet_core::zoo;
 use dronet_data::dataset::VehicleDataset;
 use dronet_data::scene::SceneConfig;

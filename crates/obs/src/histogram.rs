@@ -67,6 +67,50 @@ pub(crate) fn percentile_from_buckets(
     max
 }
 
+/// Estimated value at quantile `q` in `[0, 1]` (clamped) from a merged
+/// bucket array, in nanoseconds — with **within-bucket linear
+/// interpolation**.
+///
+/// [`percentile_from_buckets`] answers at bucket granularity (the
+/// geometric midpoint of the rank's bucket), which is fine for p50/p99
+/// dashboards but useless for tail quantiles like p99.9: every estimate
+/// inside one log2 bucket collapses to the same value. Here the bucket
+/// holding the rank-`ceil(q * count)` sample is located the same way,
+/// then the estimate walks linearly from the bucket's lower bound to its
+/// upper bound according to the rank's position among the bucket's own
+/// samples. Bounds are clamped into the observed `[min, max]` support, so
+/// a fully-populated bucket interpolates across exactly the range that
+/// was recorded.
+pub(crate) fn quantile_from_buckets(
+    buckets: &[u64; BUCKET_COUNT],
+    count: u64,
+    min: u64,
+    max: u64,
+    q: f64,
+) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * count as f64).ceil().max(1.0) as u64;
+    let mut before = 0u64;
+    for (i, &bucket) in buckets.iter().enumerate() {
+        if bucket == 0 {
+            continue;
+        }
+        if before + bucket >= rank {
+            let lo = (if i == 0 { 0 } else { bucket_bound(i - 1) }).clamp(min, max);
+            let hi = bucket_bound(i).clamp(lo, max);
+            // Rank position among this bucket's samples, in (0, 1].
+            let frac = (rank - before) as f64 / bucket as f64;
+            let est = lo as f64 + frac * (hi - lo) as f64;
+            return (est as u64).clamp(min, max);
+        }
+        before += bucket;
+    }
+    max
+}
+
 #[derive(Debug)]
 pub(crate) struct HistogramCell {
     pub(crate) name: String,
@@ -141,6 +185,21 @@ impl HistogramCell {
             self.min_ns.load(Ordering::Relaxed),
             self.max_ns.load(Ordering::Relaxed),
             p,
+        )
+    }
+
+    /// Estimated value at quantile `q` in `[0, 1]` (clamped), in ns, with
+    /// within-bucket linear interpolation — see [`quantile_from_buckets`].
+    fn quantile_ns(&self, q: f64) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets: [u64; BUCKET_COUNT] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        quantile_from_buckets(
+            &buckets,
+            count,
+            self.min_ns.load(Ordering::Relaxed),
+            self.max_ns.load(Ordering::Relaxed),
+            q,
         )
     }
 
@@ -237,6 +296,30 @@ impl Histogram {
             .map_or(Duration::ZERO, |c| Duration::from_nanos(c.percentile_ns(p)))
     }
 
+    /// Estimated duration at quantile `q` in `[0, 1]` (clamped), using
+    /// within-bucket linear interpolation.
+    ///
+    /// Unlike [`Histogram::percentile`] — which answers at bucket
+    /// granularity and therefore cannot distinguish p99 from p99.9 once
+    /// both ranks land in the same log2 bucket — this walks linearly
+    /// through the target bucket, so deep-tail quantiles move smoothly
+    /// with the data. Returns zero for empty or inert histograms.
+    pub fn quantile(&self, q: f64) -> Duration {
+        self.cell
+            .as_ref()
+            .map_or(Duration::ZERO, |c| Duration::from_nanos(c.quantile_ns(q)))
+    }
+
+    /// Estimated durations at each quantile in `qs` (each clamped to
+    /// `[0, 1]`), using within-bucket linear interpolation.
+    ///
+    /// The caller picks the quantile set — e.g. `&[0.5, 0.99, 0.999]` for
+    /// an SLO dashboard — instead of being limited to the hard-coded
+    /// p50/p90/p99 of [`HistogramSnapshot`](crate::HistogramSnapshot).
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<Duration> {
+        qs.iter().map(|&q| self.quantile(q)).collect()
+    }
+
     /// Whether this handle records anywhere.
     pub fn is_active(&self) -> bool {
         self.cell.is_some()
@@ -308,6 +391,96 @@ mod tests {
         assert!(snap.p50_ns >= snap.min_ns && snap.p50_ns <= snap.max_ns);
         assert!(snap.p90_ns >= snap.p50_ns);
         assert!(snap.p99_ns >= snap.p90_ns);
+    }
+
+    /// Exact quantile of a sorted sample set by the same nearest-rank
+    /// convention the estimator targets: the rank-`ceil(q * n)` sample.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize).min(sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn interpolated_quantiles_track_an_exact_sorted_oracle() {
+        // Deterministic LCG samples spanning several log2 buckets.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut samples: Vec<u64> = (0..4096)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                1_000 + (state >> 40) % 4_000_000
+            })
+            .collect();
+        let cell = HistogramCell::new("t".into());
+        for &s in &samples {
+            cell.record_ns(s);
+        }
+        samples.sort_unstable();
+        let h = Histogram {
+            cell: Some(Arc::new(HistogramCell::new("h".into()))),
+        };
+        for &s in &samples {
+            h.record_ns(s);
+        }
+        let mut prev = 0u64;
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&samples, q);
+            let est = cell.quantile_ns(q);
+            // Log2 buckets bound the within-bucket error to a factor of 2
+            // of the exact order statistic.
+            assert!(
+                est >= exact / 2 && est <= exact.saturating_mul(2),
+                "q={q}: estimate {est} not within 2x of exact {exact}"
+            );
+            assert!(est >= prev, "quantiles must be monotone in q");
+            assert_eq!(h.quantile(q).as_nanos() as u64, est);
+            prev = est;
+        }
+        assert_eq!(
+            cell.quantile_ns(1.0),
+            *samples.last().unwrap(),
+            "q=1.0 must clamp to the observed max"
+        );
+        let multi = h.quantiles(&[0.5, 0.99, 0.999]);
+        assert_eq!(multi.len(), 3);
+        assert!(multi[0] <= multi[1] && multi[1] <= multi[2]);
+    }
+
+    #[test]
+    fn interpolation_resolves_within_a_single_bucket() {
+        // 1024 samples uniformly filling one bucket: (1024, 2048].
+        let cell = HistogramCell::new("t".into());
+        for ns in 1025..=2048u64 {
+            cell.record_ns(ns);
+        }
+        // Exact nearest-rank p50 is sample #512 = 1536. Linear
+        // interpolation lands within rounding of it; the old geometric
+        // bucket midpoint (~1448) cannot.
+        let p50 = cell.quantile_ns(0.5);
+        assert!((1534..=1538).contains(&p50), "p50 estimate {p50} off");
+        // p99.9: rank 1023 of 1024 → exact 2047; interpolation stays in
+        // the top of the bucket instead of collapsing to the midpoint.
+        let p999 = cell.quantile_ns(0.999);
+        assert!((2045..=2048).contains(&p999), "p99.9 estimate {p999} off");
+        // The bucket-granularity estimator cannot tell p60 from p90 here;
+        // the interpolated one must separate them.
+        assert!(cell.quantile_ns(0.9) > cell.quantile_ns(0.6));
+        assert_eq!(cell.percentile_ns(90.0), cell.percentile_ns(60.0));
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = HistogramCell::new("t".into());
+        assert_eq!(empty.quantile_ns(0.5), 0);
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert!(h.quantiles(&[0.5, 0.999]).iter().all(|d| d.is_zero()));
+        let one = HistogramCell::new("t".into());
+        one.record_ns(777);
+        for q in [0.0, 0.5, 1.0, 7.0, -3.0] {
+            assert_eq!(one.quantile_ns(q), 777, "single sample at q={q}");
+        }
     }
 
     #[test]

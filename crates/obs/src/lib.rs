@@ -58,6 +58,7 @@ mod histogram;
 mod json;
 mod prom;
 mod registry;
+pub mod slo;
 mod trace;
 pub mod window;
 
@@ -69,6 +70,7 @@ pub use histogram::{Histogram, ScopedTimer, BUCKET_COUNT};
 pub use json::{JsonParseError, JsonValue};
 pub use prom::PromExporter;
 pub use registry::{Counter, Gauge, Registry};
+pub use slo::{BurnWindow, SloObjective, SloSet, SloSpec, SloStatus};
 pub use trace::{
     TraceEvent, TraceKind, TraceSnapshot, TraceSpan, Tracer, DEFAULT_TRACE_CAPACITY, NO_AUX,
 };
@@ -132,6 +134,18 @@ impl HistogramSnapshot {
         self.sum_ns
             .checked_div(self.count)
             .map_or(Duration::ZERO, Duration::from_nanos)
+    }
+
+    /// Estimated value at quantile `q` in `[0, 1]` (clamped), nanoseconds,
+    /// with within-bucket linear interpolation — the snapshot-side
+    /// counterpart of [`Histogram::quantile`], usable on parsed or
+    /// round-tripped snapshots where the live cell is gone.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let mut dense = [0u64; BUCKET_COUNT];
+        for b in &self.buckets {
+            dense[histogram::bucket_index(b.le_ns)] += b.count;
+        }
+        histogram::quantile_from_buckets(&dense, self.count, self.min_ns, self.max_ns, q)
     }
 }
 

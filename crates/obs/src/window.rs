@@ -18,7 +18,7 @@
 //! skips and out-of-order writers, and compare against a brute-force
 //! oracle.
 
-use crate::histogram::{bucket_index, percentile_from_buckets};
+use crate::histogram::{bucket_index, percentile_from_buckets, quantile_from_buckets};
 use crate::BUCKET_COUNT;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -149,9 +149,9 @@ impl RollingWindow {
         bucket.record(value);
     }
 
-    /// Windowed aggregate as of `now_ns`: merges every bucket whose epoch is
-    /// inside `(now_epoch - sub_buckets, now_epoch]`.
-    pub fn stats_at(&self, now_ns: u64) -> WindowStats {
+    /// Merges every bucket whose epoch is inside
+    /// `(now_epoch - sub_buckets, now_epoch]` into one aggregate.
+    fn merge_at(&self, now_ns: u64) -> (u64, u64, u64, u64, [u64; BUCKET_COUNT]) {
         let now_epoch = now_ns / self.bucket_ns;
         let ring = self.ring.lock().expect("rolling window lock poisoned");
         let n = ring.len() as u64;
@@ -173,7 +173,13 @@ impl RollingWindow {
                 *acc += *b;
             }
         }
-        drop(ring);
+        (count, sum, min, max, hist)
+    }
+
+    /// Windowed aggregate as of `now_ns`: merges every bucket whose epoch is
+    /// inside `(now_epoch - sub_buckets, now_epoch]`.
+    pub fn stats_at(&self, now_ns: u64) -> WindowStats {
+        let (count, sum, min, max, hist) = self.merge_at(now_ns);
         let secs = self.window_ns as f64 / 1e9;
         WindowStats {
             window_ns: self.window_ns,
@@ -183,6 +189,18 @@ impl RollingWindow {
             p50_ns: percentile_from_buckets(&hist, count, min, max, 50.0),
             p99_ns: percentile_from_buckets(&hist, count, min, max, 99.0),
         }
+    }
+
+    /// Windowed quantile estimates as of `now_ns`, one per `q ∈ [0, 1]` in
+    /// `qs`, nanoseconds, with within-bucket linear interpolation (see
+    /// [`Histogram::quantile`](crate::Histogram::quantile)). Unlike the
+    /// fixed p50/p99 of [`WindowStats`] the quantile set is caller-chosen,
+    /// so deep-tail objectives (p99.9) can be evaluated over the window.
+    pub fn quantiles_at(&self, now_ns: u64, qs: &[f64]) -> Vec<u64> {
+        let (count, _sum, min, max, hist) = self.merge_at(now_ns);
+        qs.iter()
+            .map(|&q| quantile_from_buckets(&hist, count, min, max, q))
+            .collect()
     }
 
     /// Sub-bucket width, nanoseconds (exposed for tests).
@@ -352,6 +370,92 @@ mod tests {
         // A huge forward skip ages out every bucket at query time even
         // though no record has recycled them yet.
         assert_eq!(w.stats_at(1_000_000 * b).count, 0);
+    }
+
+    #[test]
+    fn record_far_past_last_epoch_restarts_cleanly() {
+        // A loadgen run that stalls (VM pause, debugger, suspend) resumes
+        // with `record_at` timestamps thousands of epochs past the last
+        // write. The first record after the gap must not drag any pre-gap
+        // bucket back into view.
+        let w = RollingWindow::new(Duration::from_secs(10), 10);
+        let b = w.bucket_ns();
+        for e in 0..10u64 {
+            w.record_at(e * b, 1_000 * (e + 1));
+        }
+        assert_eq!(w.stats_at(9 * b).count, 10);
+        let far = 1_000_000_007u64 * b;
+        w.record_at(far, 42);
+        let s = w.stats_at(far);
+        assert_eq!(s.count, 1, "only the post-gap record may be visible");
+        assert_eq!(s.sum, 42);
+        assert_eq!(s.p50_ns, 42);
+        assert_eq!(s.p99_ns, 42);
+        // A write stamped before the gap must stay outside the live view,
+        // not resurrect stale data.
+        w.record_at(5 * b, 9_999);
+        assert_eq!(w.stats_at(far).sum, 42);
+    }
+
+    #[test]
+    fn empty_window_stats_after_full_idle_rotation() {
+        let w = RollingWindow::new(Duration::from_secs(10), 10);
+        let b = w.bucket_ns();
+        for e in 0..10u64 {
+            w.record_at(e * b, (e + 1) * 100);
+        }
+        // Idle for exactly one full window after the last write: every
+        // bucket has aged out, and the empty aggregate must be all-zero
+        // (not u64::MAX min artifacts or stale percentiles).
+        let idle = 9 * b + w.window_ns();
+        let s = w.stats_at(idle);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.rate_per_sec, 0.0);
+        assert_eq!(s.p50_ns, 0);
+        assert_eq!(s.p99_ns, 0);
+        assert_eq!(w.quantiles_at(idle, &[0.5, 0.999]), vec![0, 0]);
+        // The ring must accept fresh records immediately after the idle
+        // rotation.
+        w.record_at(idle, 7);
+        let s = w.stats_at(idle);
+        assert_eq!((s.count, s.sum), (1, 7));
+    }
+
+    #[test]
+    fn backwards_timestamp_within_window_still_counts() {
+        // Writers race: a thread preempted between reading the clock and
+        // recording lands a timestamp a few buckets behind the newest
+        // write. As long as its epoch is still inside the window it must
+        // be kept.
+        let w = RollingWindow::new(Duration::from_secs(10), 10);
+        let b = w.bucket_ns();
+        w.record_at(5 * b, 500);
+        w.record_at(3 * b, 300); // older epoch, same ring generation
+        let s = w.stats_at(5 * b);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 800);
+    }
+
+    #[test]
+    fn windowed_quantiles_interpolate_within_buckets() {
+        let w = RollingWindow::new(Duration::from_secs(10), 10);
+        let b = w.bucket_ns();
+        // Uniformly fill one log2 bucket: (1024, 2048].
+        for ns in 1025..=2048u64 {
+            w.record_at(b, ns);
+        }
+        let qs = w.quantiles_at(b, &[0.5, 0.9, 0.999]);
+        assert!((1534..=1538).contains(&qs[0]), "windowed p50 {} off", qs[0]);
+        assert!(
+            qs[1] > qs[0] && qs[2] > qs[1],
+            "tail quantiles must resolve"
+        );
+        assert!(
+            (2045..=2048).contains(&qs[2]),
+            "windowed p99.9 {} off",
+            qs[2]
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use crate::error::ServeError;
 use crate::watchdog::{BlackBoxStore, HealthCell, Pool};
 use dronet_detect::{resize_frame, Detection, Detector};
+use dronet_obs::window::{mono_now_ns, RollingWindow};
 use dronet_obs::{Counter, Gauge, Histogram, Registry, Tracer};
 use dronet_tensor::Tensor;
 use std::collections::VecDeque;
@@ -67,6 +68,10 @@ struct QueueState {
     closed: bool,
 }
 
+/// Rolling window the drain-rate estimate looks back over.
+const DRAIN_WINDOW: Duration = Duration::from_secs(5);
+const DRAIN_SUB_BUCKETS: usize = 10;
+
 /// The bounded, condvar-signalled admission queue.
 pub struct BatchQueue {
     state: Mutex<QueueState>,
@@ -74,6 +79,9 @@ pub struct BatchQueue {
     capacity: usize,
     depth: Gauge,
     drops: Counter,
+    /// Jobs handed to workers recently; feeds the drain-rate estimate
+    /// behind load-aware `Retry-After` hints.
+    drained: RollingWindow,
 }
 
 impl BatchQueue {
@@ -89,6 +97,7 @@ impl BatchQueue {
             capacity,
             depth: obs.gauge("serve.queue_depth"),
             drops: obs.counter("serve.admission_drops"),
+            drained: RollingWindow::new(DRAIN_WINDOW, DRAIN_SUB_BUCKETS),
         })
     }
 
@@ -158,6 +167,7 @@ impl BatchQueue {
             }
             let n = s.jobs.len().min(max_batch);
             let batch: Vec<Job> = s.jobs.drain(..n).collect();
+            self.drained.record_at(mono_now_ns(), n as u64);
             self.depth.set(s.jobs.len() as f64);
             if !s.jobs.is_empty() {
                 // Leftovers form the next batch head; wake another worker.
@@ -165,6 +175,35 @@ impl BatchQueue {
             }
             return Some(batch);
         }
+    }
+
+    /// Jobs per second handed to workers over the recent drain window
+    /// (zero when nothing has drained recently).
+    pub fn drain_rate_per_sec(&self) -> f64 {
+        let stats = self.drained.stats_at(mono_now_ns());
+        stats.sum as f64 / (stats.window_ns as f64 / 1e9)
+    }
+
+    /// Load-aware `Retry-After` in seconds: at the current drain rate, how
+    /// long until today's backlog has cleared, clamped to
+    /// `[base_secs, max_secs]` (floor at least 1 s).
+    ///
+    /// A constant `Retry-After` teaches every shed client to come back in
+    /// lockstep after the same pause — exactly wrong under overload, when
+    /// the queue needs *longer* to clear. Deriving the hint from the
+    /// observed drain rate makes the advice scale with how wedged the
+    /// server actually is; with no recent drains (cold start, or a fully
+    /// wedged pool still inside its watchdog deadline) there is no
+    /// evidence either way, so the base hint is returned unchanged.
+    pub fn retry_after_hint(&self, base_secs: u64, max_secs: u64) -> u64 {
+        let floor = base_secs.max(1);
+        let cap = max_secs.max(floor);
+        let rate = self.drain_rate_per_sec();
+        if rate <= 0.0 {
+            return floor;
+        }
+        let secs = (self.len() as f64 / rate).ceil() as u64;
+        secs.clamp(floor, cap)
     }
 
     /// Stops admitting new jobs; queued jobs still complete.
@@ -312,6 +351,10 @@ pub(crate) struct WorkerShared {
     pub black_box: BlackBoxStore,
     pub batch_size_hist: Histogram,
     pub queue_wait_hist: Histogram,
+    /// Wall time of the shared batch forward, recorded once per request in
+    /// the batch (every rider experiences the full forward) — the middle
+    /// leg of the queue-wait / forward / serialization latency split.
+    pub forward_hist: Histogram,
     pub panics: Counter,
     pub worker_deaths: Counter,
     pub obs: Registry,
@@ -488,10 +531,12 @@ fn run_batch(
             return Some(detector);
         }
     };
+    let forward_started = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let result = detector.detect_batch_frames(&stacked, Some(&ids));
         (detector, result)
     }));
+    let forward_elapsed = forward_started.elapsed();
     drop(trace);
 
     let Some(inflight) = slot.take_inflight() else {
@@ -501,6 +546,10 @@ fn run_batch(
         slot.finish_batch();
         return None;
     };
+
+    for _ in 0..inflight.replies.len() {
+        shared.forward_hist.record(forward_elapsed);
+    }
 
     match outcome {
         Ok((det, Ok(all))) => {
@@ -653,6 +702,35 @@ mod tests {
             assert!(matches!(rx.recv().unwrap(), Err(ServeError::Halted)));
         }
         assert_eq!(obs.snapshot().gauge("serve.queue_depth"), Some(0.0));
+    }
+
+    #[test]
+    fn retry_after_hint_is_load_aware() {
+        let obs = Registry::new();
+        let q = BatchQueue::new(8, &obs);
+        let (tx, _rx) = mpsc::channel();
+        // Cold start: no drains yet → no evidence, base hint unchanged.
+        assert_eq!(q.retry_after_hint(1, 30), 1);
+        assert_eq!(q.retry_after_hint(0, 30), 1, "floor is clamped to 1 s");
+        // One job drains; the window now knows the rate is ~0.2/s (1 job
+        // per 5 s window). Six queued jobs at that rate need ~30 s.
+        q.push(job(0, &tx)).unwrap();
+        q.pop_batch(1, Duration::ZERO).unwrap();
+        assert!(q.drain_rate_per_sec() > 0.0);
+        for i in 1..=6 {
+            q.push(job(i, &tx)).unwrap();
+        }
+        let hint = q.retry_after_hint(1, 120);
+        assert!(
+            (hint > 1) && (hint <= 120),
+            "hint {hint} must exceed the constant base under backlog"
+        );
+        // The cap wins when the backlog estimate is enormous.
+        assert_eq!(q.retry_after_hint(1, 3), 3);
+        // Draining the backlog raises the observed rate and the hint
+        // falls back to the floor once the queue is empty.
+        q.pop_batch(16, Duration::ZERO).unwrap();
+        assert_eq!(q.retry_after_hint(1, 120), 1, "empty queue needs no wait");
     }
 
     #[test]

@@ -359,45 +359,87 @@ pub fn parse_responses(bytes: &[u8]) -> Result<Vec<u16>, String> {
     let mut statuses = Vec::new();
     let mut rest = bytes;
     while !rest.is_empty() {
-        let head_end = rest
-            .windows(4)
-            .position(|w| w == b"\r\n\r\n")
-            .ok_or_else(|| format!("truncated response head: {} bytes left", rest.len()))?;
-        let head = std::str::from_utf8(&rest[..head_end])
-            .map_err(|_| "response head is not UTF-8".to_string())?;
-        let mut lines = head.split("\r\n");
-        let status_line = lines.next().unwrap_or("");
-        let mut parts = status_line.splitn(3, ' ');
-        let version = parts.next().unwrap_or("");
-        if version != "HTTP/1.1" {
-            return Err(format!("bad status line: {status_line:?}"));
-        }
-        let code: u16 = parts
-            .next()
-            .unwrap_or("")
-            .parse()
-            .map_err(|_| format!("bad status code in {status_line:?}"))?;
-        let mut content_length: Option<usize> = None;
-        for line in lines {
-            if let Some((name, value)) = line.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().ok();
-                }
+        match parse_one_response(rest)? {
+            Some((code, consumed)) => {
+                statuses.push(code);
+                rest = &rest[consumed..];
+            }
+            None => {
+                // Incomplete trailing data: reconstruct the precise
+                // truncation diagnosis for the report.
+                return Err(match rest.windows(4).position(|w| w == b"\r\n\r\n") {
+                    None => format!("truncated response head: {} bytes left", rest.len()),
+                    Some(head_end) => {
+                        let (_, len) = parse_response_head(&rest[..head_end])?;
+                        format!(
+                            "truncated response body: want {len}, have {}",
+                            rest.len() - head_end - 4
+                        )
+                    }
+                });
             }
         }
-        let len =
-            content_length.ok_or_else(|| format!("response {code} without Content-Length"))?;
-        let body_start = head_end + 4;
-        if rest.len() < body_start + len {
-            return Err(format!(
-                "truncated response body: want {len}, have {}",
-                rest.len() - body_start
-            ));
-        }
-        statuses.push(code);
-        rest = &rest[body_start + len..];
     }
     Ok(statuses)
+}
+
+/// Tries to split one complete `Content-Length`-framed HTTP/1.1 response
+/// off the front of `bytes`.
+///
+/// Returns `Ok(Some((status, consumed)))` when a whole response (head +
+/// body) is present, and `Ok(None)` when more bytes are needed — the
+/// incremental counterpart of [`parse_responses`] for keep-alive readers
+/// (the load generator) that harvest responses as they stream in.
+///
+/// # Errors
+///
+/// A human-readable description of a framing violation that no amount of
+/// further bytes can repair: a non-HTTP prefix, a bad status code, or a
+/// complete head without `Content-Length`.
+pub fn parse_one_response(bytes: &[u8]) -> Result<Option<(u16, usize)>, String> {
+    let Some(head_end) = bytes.windows(4).position(|w| w == b"\r\n\r\n") else {
+        // Bytes that can no longer grow into an HTTP/1.1 head are a hard
+        // error even before the terminator arrives.
+        if !b"HTTP/1.1 ".starts_with(&bytes[..bytes.len().min(9)]) {
+            let prefix = String::from_utf8_lossy(&bytes[..bytes.len().min(16)]).into_owned();
+            return Err(format!("bad status line: {prefix:?}"));
+        }
+        return Ok(None);
+    };
+    let (code, len) = parse_response_head(&bytes[..head_end])?;
+    let total = head_end + 4 + len;
+    if bytes.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((code, total)))
+}
+
+/// Parses a complete response head (no trailing `\r\n\r\n`) into its
+/// status code and `Content-Length`.
+fn parse_response_head(head: &[u8]) -> Result<(u16, usize), String> {
+    let head = std::str::from_utf8(head).map_err(|_| "response head is not UTF-8".to_string())?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if version != "HTTP/1.1" {
+        return Err(format!("bad status line: {status_line:?}"));
+    }
+    let code: u16 = parts
+        .next()
+        .unwrap_or("")
+        .parse()
+        .map_err(|_| format!("bad status code in {status_line:?}"))?;
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let len = content_length.ok_or_else(|| format!("response {code} without Content-Length"))?;
+    Ok((code, len))
 }
 
 #[cfg(test)]
@@ -433,6 +475,31 @@ mod tests {
         assert!(parse_responses(b"HTTP/1.1 200 OK\r\n\r\n")
             .unwrap_err()
             .contains("without Content-Length"));
+    }
+
+    #[test]
+    fn parse_one_response_is_incremental() {
+        let full = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nokHTTP/1.1 503 X\r\nContent-Length: 0\r\n\r\n";
+        // Feeding ever-longer prefixes: each must be "incomplete" until
+        // the first response's final body byte arrives.
+        let first_len = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok".len();
+        for cut in 0..full.len() {
+            let parsed = parse_one_response(&full[..cut]).expect("prefixes never hard-error");
+            if cut < first_len {
+                assert_eq!(parsed, None, "cut={cut} should be incomplete");
+            } else {
+                assert_eq!(parsed, Some((200, first_len)), "cut={cut}");
+            }
+        }
+        // After consuming the first, the second parses from the remainder.
+        let (_, consumed) = parse_one_response(full).unwrap().unwrap();
+        assert_eq!(
+            parse_one_response(&full[consumed..]).unwrap(),
+            Some((503, full.len() - consumed))
+        );
+        // Non-HTTP bytes are a hard error even without a head terminator.
+        assert!(parse_one_response(b"SPAM").is_err());
+        assert_eq!(parse_one_response(b"HTTP/1.").unwrap(), None);
     }
 
     #[test]

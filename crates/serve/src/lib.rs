@@ -30,7 +30,12 @@
 //! budget (at most 2 in flight, excess shed with `503` + `Retry-After`):
 //!
 //! * `GET /debug/vars` — one JSON object holding the full metric
-//!   registry, the rolling-window view, and instrumented-allocator stats.
+//!   registry, the rolling-window view, the SLO verdicts, and
+//!   instrumented-allocator stats.
+//! * `GET /debug/slo` — the declared service-level objectives (default:
+//!   p99 detect latency and detect availability) with multi-window burn
+//!   rates and breach verdicts, computed over the same rolling windows
+//!   that feed `/metrics`.
 //! * `GET /debug/alloc` — the allocator's human-readable report
 //!   (live/peak bytes, size-class histogram, mmap-threshold count).
 //! * `GET /debug/trace?ms=N` — arm the flight recorder for `N` ms
@@ -61,6 +66,25 @@
 //!   back up after calm, tracked by the `serve.input_resolution` gauge.
 //! * **Chaos harness** ([`chaos`]) — seeded, deterministic adversarial
 //!   TCP clients for proving all of the above from the wire.
+//!
+//! # SLOs and load shedding
+//!
+//! Every `POST /detect` outcome feeds a set of declared objectives
+//! ([`ServeConfig::slos`], a [`dronet_obs::SloSet`]): a latency SLO
+//! (p-fraction of successful requests under a threshold) and an
+//! availability SLO (non-5xx fraction). Burn rates over a short and a
+//! long rolling window are exported as `slo.*` gauges on `/metrics`, and
+//! `GET /debug/slo` returns the full verdicts as JSON. Breach requires
+//! *both* windows to burn, so a one-second blip doesn't page anyone and
+//! a sustained burn can't hide behind an old, healthy average.
+//!
+//! Sheds are taxonomized (`serve.shed.queue_full` / `.draining` /
+//! `.halted` / `.debug_busy`, plus `serve.timeout.*` and
+//! `serve.error.worker`), and every `503` carries a *load-aware*
+//! `Retry-After`: backlog depth over the queue's recent drain rate,
+//! clamped to `[retry_after_secs, retry_after_max_secs]` — clients are
+//! told to come back when the queue will plausibly have space, not after
+//! a constant guess.
 //!
 //! # Example
 //!

@@ -20,7 +20,7 @@ use crate::watchdog::{
     spawn_watchdog, BlackBoxStore, HealthCell, Pool, ServeBlackBox, WatchdogConfig,
 };
 use dronet_detect::{conform_frame, DegradeConfig, DegradeController, Detector, Health};
-use dronet_obs::{ChromeTrace, JsonExporter, PromExporter, Registry, Tracer};
+use dronet_obs::{ChromeTrace, JsonExporter, PromExporter, Registry, SloSet, SloSpec, Tracer};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -100,8 +100,17 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// How long a connection waits for its detections before giving up.
     pub response_timeout: Duration,
-    /// `Retry-After` seconds advertised when shedding load.
+    /// Floor (and cold-start fallback) for the `Retry-After` advertised
+    /// when shedding load. The actual hint is load-aware: derived from the
+    /// queue's recent drain rate and backlog depth, clamped to
+    /// `[retry_after_secs, retry_after_max_secs]`.
     pub retry_after_secs: u64,
+    /// Upper bound for the load-aware `Retry-After` hint.
+    pub retry_after_max_secs: u64,
+    /// Service-level objectives evaluated over `POST /detect` outcomes and
+    /// surfaced on `/metrics` (burn-rate gauges) and `GET /debug/slo`.
+    /// Empty disables the SLO layer.
+    pub slos: Vec<SloSpec>,
     /// HTTP parser limits.
     pub limits: HttpLimits,
     /// Artificial pre-forward worker delay — test/chaos knob that holds the
@@ -143,6 +152,11 @@ impl Default for ServeConfig {
             max_connections: 256,
             response_timeout: Duration::from_secs(30),
             retry_after_secs: 1,
+            retry_after_max_secs: 30,
+            slos: vec![
+                SloSpec::latency("detect_latency", Duration::from_millis(250), 0.99),
+                SloSpec::availability("detect_availability", 0.999),
+            ],
             limits: HttpLimits::default(),
             dispatch_delay: Duration::ZERO,
             drain_timeout: Duration::from_secs(10),
@@ -196,6 +210,8 @@ struct Shared {
     obs: Registry,
     tracer: Tracer,
     config: ServeConfig,
+    /// Declared objectives, fed from `POST /detect` outcomes.
+    slo: SloSet,
     /// In-flight `/debug/*` requests; bounded so a slow trace capture
     /// cannot pile up connection threads.
     debug_inflight: AtomicUsize,
@@ -208,6 +224,14 @@ impl Shared {
             0 => self.base_chw.1,
             t => t,
         }
+    }
+
+    /// Load-aware `Retry-After` for every 503 this server hands out.
+    fn retry_after(&self) -> u64 {
+        self.queue.retry_after_hint(
+            self.config.retry_after_secs,
+            self.config.retry_after_max_secs,
+        )
     }
 }
 
@@ -400,6 +424,52 @@ impl Server {
                     "Crash black boxes captured by the watchdog",
                 ),
                 ("serve.http_errors", "Malformed or oversized HTTP requests"),
+                (
+                    "serve.forward",
+                    "Batch forward wall time, recorded per request",
+                ),
+                (
+                    "serve.write",
+                    "Response serialization + socket write latency",
+                ),
+                (
+                    "serve.shed.queue_full",
+                    "Detect requests shed with 503: admission queue full",
+                ),
+                (
+                    "serve.shed.draining",
+                    "Detect requests shed with 503: server draining",
+                ),
+                (
+                    "serve.shed.halted",
+                    "Detect requests shed with 503: no workers left",
+                ),
+                (
+                    "serve.shed.debug_busy",
+                    "Debug requests shed with 503: debug budget exhausted",
+                ),
+                (
+                    "serve.timeout.response",
+                    "Detect requests that timed out waiting for a worker (504)",
+                ),
+                (
+                    "serve.timeout.request",
+                    "Requests that missed a header/body deadline (408)",
+                ),
+                (
+                    "serve.error.worker",
+                    "Detect requests failed by a worker error (500)",
+                ),
+                ("serve.responses.2xx", "Responses by status class: success"),
+                ("serve.responses.3xx", "Responses by status class: redirect"),
+                (
+                    "serve.responses.4xx",
+                    "Responses by status class: client error",
+                ),
+                (
+                    "serve.responses.5xx",
+                    "Responses by status class: server error",
+                ),
                 ("detect.forward", "Network forward-pass latency"),
                 ("detect.decode", "Region decode latency per image"),
                 ("detect.nms", "Non-max-suppression latency per image"),
@@ -452,6 +522,7 @@ impl Server {
             ),
             batch_size_hist: obs.histogram("serve.batch_size"),
             queue_wait_hist: obs.histogram("serve.queue_wait"),
+            forward_hist: obs.histogram("serve.forward"),
             panics: obs.counter("serve.worker_panics"),
             worker_deaths: obs.counter("serve.worker_deaths"),
             obs: obs.clone(),
@@ -476,6 +547,7 @@ impl Server {
             brownout_ctrl,
         );
 
+        let slo = SloSet::new(config.slos.clone());
         let shared = Arc::new(Shared {
             queue,
             worker,
@@ -486,6 +558,7 @@ impl Server {
             obs: obs.clone(),
             tracer: tracer.clone(),
             config,
+            slo,
             debug_inflight: AtomicUsize::new(0),
         });
 
@@ -599,7 +672,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 /// written without blocking the accept loop, then close.
 fn shed_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
-    let response = Response::overloaded(shared.config.retry_after_secs);
+    let response = Response::overloaded(shared.retry_after());
     let _ = response.write_to(&mut stream);
 }
 
@@ -635,6 +708,9 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             }
             ReadOutcome::Error(response) => {
                 shared.obs.counter("serve.http_errors").inc();
+                if response.status == 408 {
+                    shared.obs.counter("serve.timeout.request").inc();
+                }
                 let _ = response.write_to(&mut stream);
                 return;
             }
@@ -647,17 +723,60 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             || served >= cfg.max_requests_per_connection
             || shared.shutdown.load(Ordering::SeqCst);
         response.close = close;
+        let status = response.status;
+        let write_started = Instant::now();
         if response.write_to(&mut stream).is_err() {
             return;
         }
         let _ = stream.flush();
         shared
             .obs
-            .histogram("serve.request")
-            .record(started.elapsed());
+            .histogram("serve.write")
+            .record(write_started.elapsed());
+        let latency = started.elapsed();
+        shared.obs.histogram("serve.request").record(latency);
+        record_outcome(shared, &request.target, status, latency);
         if close {
             return;
         }
+    }
+}
+
+/// Per-endpoint and per-status-class response accounting, plus the SLO
+/// feed. Only `/detect` outcomes count against the declared objectives;
+/// a shed (`503`) or worker failure burns availability budget, while
+/// client errors (`4xx`) do not — a malformed PPM is not our outage.
+fn record_outcome(shared: &Shared, target: &str, status: u16, latency: Duration) {
+    let class = match status {
+        200..=299 => "2xx",
+        300..=399 => "3xx",
+        400..=499 => "4xx",
+        _ => "5xx",
+    };
+    let endpoint = endpoint_label(target);
+    shared
+        .obs
+        .counter(&format!("serve.responses.{class}"))
+        .inc();
+    shared
+        .obs
+        .counter(&format!("serve.endpoint.{endpoint}.{class}"))
+        .inc();
+    if endpoint == "detect" {
+        shared.slo.record(latency, status < 500);
+    }
+}
+
+/// Collapses a request target into a bounded endpoint label so the
+/// per-endpoint counter space cannot be grown by arbitrary paths.
+fn endpoint_label(target: &str) -> &'static str {
+    let path = target.split('?').next().unwrap_or(target);
+    match path {
+        "/detect" => "detect",
+        "/metrics" => "metrics",
+        "/healthz" => "healthz",
+        p if p.starts_with("/debug/") => "debug",
+        _ => "other",
     }
 }
 
@@ -750,6 +869,9 @@ fn route(request: &Request, shared: &Shared) -> Response {
     match (&request.method, path) {
         (Method::Post, "/detect") => handle_detect(request, shared),
         (Method::Get, "/metrics") => {
+            // Burn-rate gauges are computed on demand: a scrape sees the
+            // rolling windows as of this instant, not a stale publish.
+            shared.slo.publish(&shared.obs);
             let text = PromExporter::render(
                 &shared.obs.snapshot(),
                 &shared.obs.descriptions(),
@@ -759,13 +881,14 @@ fn route(request: &Request, shared: &Shared) -> Response {
         }
         (Method::Get, "/healthz") => handle_healthz(shared),
         (Method::Get, "/debug/vars") => handle_debug_vars(shared),
+        (Method::Get, "/debug/slo") => handle_debug_slo(shared),
         (Method::Get, "/debug/alloc") => handle_debug_alloc(shared),
         (Method::Get, "/debug/trace") => handle_debug_trace(shared, query),
         (Method::Get, "/debug/blackbox") => handle_debug_blackbox(shared),
         (
             _,
-            "/detect" | "/metrics" | "/healthz" | "/debug/vars" | "/debug/alloc" | "/debug/trace"
-            | "/debug/blackbox",
+            "/detect" | "/metrics" | "/healthz" | "/debug/vars" | "/debug/slo" | "/debug/alloc"
+            | "/debug/trace" | "/debug/blackbox",
         ) => Response::text(
             405,
             "Method Not Allowed",
@@ -795,12 +918,13 @@ fn handle_healthz(shared: &Shared) -> Response {
 /// `503` + `Retry-After` handed out when the debug admission budget
 /// ([`DEBUG_MAX_INFLIGHT`]) is exhausted.
 fn debug_busy(shared: &Shared) -> Response {
+    shared.obs.counter("serve.shed.debug_busy").inc();
     let mut r = Response::text(
         503,
         "Service Unavailable",
         "too many debug requests in flight\n".to_string(),
     );
-    r.retry_after = Some(shared.config.retry_after_secs);
+    r.retry_after = Some(shared.retry_after());
     r
 }
 
@@ -811,11 +935,29 @@ fn handle_debug_vars(shared: &Shared) -> Response {
     let Some(_permit) = acquire_debug(shared) else {
         return debug_busy(shared);
     };
+    shared.slo.publish(&shared.obs);
     let metrics = JsonExporter::to_string(&shared.obs.snapshot());
     let windows = shared.obs.window_snapshot().to_json();
+    let slo = shared.slo.to_json();
     let alloc = dronet_obs::alloc::stats_json();
-    let body =
-        format!("{{\n\"metrics\": {metrics},\n\"windows\": {windows},\n\"alloc\": {alloc}\n}}\n");
+    let body = format!(
+        "{{\n\"metrics\": {metrics},\n\"windows\": {windows},\n\"slo\": {slo},\n\"alloc\": {alloc}\n}}\n"
+    );
+    Response::json(body)
+}
+
+/// `GET /debug/slo` — every declared objective with its target, error
+/// budget, short/long burn-rate windows, and breach verdict as JSON
+/// (booleans encoded as `0`/`1` — the in-tree parser has no literals).
+/// Also refreshes the `slo.*` gauges so a scrape right after sees the
+/// same numbers.
+fn handle_debug_slo(shared: &Shared) -> Response {
+    let Some(_permit) = acquire_debug(shared) else {
+        return debug_busy(shared);
+    };
+    shared.slo.publish(&shared.obs);
+    let mut body = shared.slo.to_json();
+    body.push('\n');
     Response::json(body)
 }
 
@@ -881,12 +1023,13 @@ fn handle_debug_trace(shared: &Shared, query: &str) -> Response {
 
 fn handle_detect(request: &Request, shared: &Shared) -> Response {
     if matches!(shared.worker.health.get(), Health::Halted) {
+        shared.obs.counter("serve.shed.halted").inc();
         let mut r = Response::text(
             503,
             "Service Unavailable",
             format!("{}\n", ServeError::Halted),
         );
-        r.retry_after = Some(shared.config.retry_after_secs);
+        r.retry_after = Some(shared.retry_after());
         return r;
     }
     let frame_id = shared.next_frame_id.fetch_add(1, Ordering::SeqCst) + 1;
@@ -926,16 +1069,18 @@ fn handle_detect(request: &Request, shared: &Shared) -> Response {
         Ok(()) => {}
         Err(ServeError::Overloaded) => {
             drop(queue_span);
-            return Response::overloaded(shared.config.retry_after_secs);
+            shared.obs.counter("serve.shed.queue_full").inc();
+            return Response::overloaded(shared.retry_after());
         }
         Err(_) => {
             drop(queue_span);
+            shared.obs.counter("serve.shed.draining").inc();
             let mut r = Response::text(
                 503,
                 "Service Unavailable",
                 "server is draining\n".to_string(),
             );
-            r.retry_after = Some(shared.config.retry_after_secs);
+            r.retry_after = Some(shared.retry_after());
             return r;
         }
     }
@@ -944,15 +1089,27 @@ fn handle_detect(request: &Request, shared: &Shared) -> Response {
     match outcome {
         Ok(Ok(detections)) => Response::json(detections_json(frame_id, &detections)),
         Ok(Err(e @ (ServeError::Halted | ServeError::Overloaded | ServeError::Draining))) => {
+            let reason = match e {
+                ServeError::Halted => "halted",
+                ServeError::Overloaded => "queue_full",
+                _ => "draining",
+            };
+            shared.obs.counter(&format!("serve.shed.{reason}")).inc();
             let mut r = Response::text(503, "Service Unavailable", format!("{e}\n"));
-            r.retry_after = Some(shared.config.retry_after_secs);
+            r.retry_after = Some(shared.retry_after());
             r
         }
-        Ok(Err(e)) => Response::text(500, "Internal Server Error", format!("{e}\n")),
-        Err(_) => Response::text(
-            504,
-            "Gateway Timeout",
-            "detection did not complete in time\n".to_string(),
-        ),
+        Ok(Err(e)) => {
+            shared.obs.counter("serve.error.worker").inc();
+            Response::text(500, "Internal Server Error", format!("{e}\n"))
+        }
+        Err(_) => {
+            shared.obs.counter("serve.timeout.response").inc();
+            Response::text(
+                504,
+                "Gateway Timeout",
+                "detection did not complete in time\n".to_string(),
+            )
+        }
     }
 }

@@ -237,3 +237,97 @@ fn steady_state_alloc_grid_is_allocation_flat() {
         assert!(batches.contains(&batch), "missing batch-{batch} row");
     }
 }
+
+fn load_serve_report() -> JsonValue {
+    load_named("BENCH_PR8.json")
+}
+
+#[test]
+fn serve_report_is_schema_stable() {
+    let report = load_serve_report();
+    assert_eq!(
+        report.get("schema").and_then(JsonValue::as_str),
+        Some("dronet-bench-report")
+    );
+    assert_eq!(report.get("version").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(report.get("pr").and_then(JsonValue::as_str), Some("PR8"));
+    assert!(
+        report
+            .get("secs_per_row")
+            .and_then(JsonValue::as_f64)
+            .unwrap()
+            > 0.0
+    );
+    assert!(
+        report
+            .get("connections")
+            .and_then(JsonValue::as_u64)
+            .unwrap()
+            >= 1
+    );
+}
+
+#[test]
+fn serve_grid_covers_loads_and_stays_consistent() {
+    let report = load_serve_report();
+    let rows = report
+        .get("serve_grid")
+        .and_then(JsonValue::as_array)
+        .expect("serve_grid array");
+    let mut loads = std::collections::BTreeSet::new();
+    let mut rates = std::collections::BTreeSet::new();
+    for row in rows {
+        assert_eq!(row.get("model").and_then(JsonValue::as_str), Some("DroNet"));
+        let input = row.get("input").and_then(JsonValue::as_u64).unwrap();
+        let batch = row.get("max_batch").and_then(JsonValue::as_u64).unwrap();
+        let load = row.get("load").and_then(JsonValue::as_str).unwrap();
+        loads.insert(load.to_string());
+        rates.insert(format!(
+            "{}",
+            row.get("rate_hz").and_then(JsonValue::as_f64).unwrap()
+        ));
+        let ctx = format!("@{input}/batch{batch}/{load}");
+        // Conservation: every scheduled arrival is accounted for once.
+        let offered = row.get("offered").and_then(JsonValue::as_u64).unwrap();
+        let ok = row.get("ok").and_then(JsonValue::as_u64).unwrap();
+        let shed = row.get("shed").and_then(JsonValue::as_u64).unwrap();
+        let errors = row.get("errors").and_then(JsonValue::as_u64).unwrap();
+        let timeouts = row.get("timeouts").and_then(JsonValue::as_u64).unwrap();
+        let dropped = row.get("dropped").and_then(JsonValue::as_u64).unwrap();
+        assert_eq!(
+            ok + shed + errors + timeouts + dropped,
+            offered,
+            "{ctx}: outcome counts must partition the offered load"
+        );
+        assert!(ok > 0, "{ctx}: no successful responses");
+        // Quantiles are ordered and flags are 0/1 (the in-tree JSON
+        // subset has no booleans).
+        let p50 = row.get("ok_p50_ms").and_then(JsonValue::as_f64).unwrap();
+        let p99 = row.get("ok_p99_ms").and_then(JsonValue::as_f64).unwrap();
+        let p999 = row.get("ok_p999_ms").and_then(JsonValue::as_f64).unwrap();
+        assert!(p50 > 0.0 && p50 <= p99 && p99 <= p999, "{ctx}: quantiles");
+        for flag in ["slo_latency_breached", "slo_availability_breached"] {
+            let v = row.get(flag).and_then(JsonValue::as_u64).unwrap();
+            assert!(v <= 1, "{ctx}: {flag} must be 0/1, got {v}");
+        }
+        if load == "overload" {
+            assert!(shed > 0, "{ctx}: overload must shed, not just queue");
+            assert_eq!(
+                row.get("slo_availability_breached")
+                    .and_then(JsonValue::as_u64),
+                Some(1),
+                "{ctx}: sustained shedding must breach the availability SLO"
+            );
+        }
+        if load == "low" {
+            assert_eq!(shed, 0, "{ctx}: comfortable load must not shed");
+        }
+    }
+    for load in ["low", "mid", "overload"] {
+        assert!(loads.contains(load), "missing {load} rows");
+    }
+    assert!(
+        rates.len() >= 3,
+        "the grid needs at least three distinct arrival rates: {rates:?}"
+    );
+}

@@ -517,3 +517,135 @@ fn debug_trace_without_tracer_is_a_typed_503() {
     assert!(String::from_utf8_lossy(&body).contains("tracing is not enabled"));
     server.shutdown();
 }
+
+#[test]
+fn debug_slo_and_metrics_expose_burn_rate_gauges() {
+    let obs = Registry::new();
+    let server =
+        Server::start(factory(), ServeConfig::default(), &obs, &Tracer::noop()).expect("start");
+    let addr = server.addr();
+    for _ in 0..3 {
+        let (status, _, _) = post_detect(addr);
+        assert_eq!(status, 200);
+    }
+
+    // GET /debug/slo: both default objectives, healthy, with burn windows.
+    let (status, _, body) = http(addr, "GET", "/debug/slo", b"");
+    assert_eq!(status, 200);
+    let v = JsonValue::parse(&String::from_utf8_lossy(&body)).expect("/debug/slo JSON");
+    let slos = v.get("slos").and_then(JsonValue::as_array).expect("slos");
+    assert_eq!(slos.len(), 2);
+    for slo in slos {
+        let name = slo.get("name").and_then(JsonValue::as_str).unwrap();
+        assert!(
+            ["detect_latency", "detect_availability"].contains(&name),
+            "unexpected SLO {name}"
+        );
+        assert_eq!(
+            slo.get("breached").and_then(JsonValue::as_u64),
+            Some(0),
+            "{name} breached on healthy traffic"
+        );
+        for window in ["short", "long"] {
+            let w = slo.get(window).expect("burn window");
+            assert!(
+                w.get("events").and_then(JsonValue::as_u64).unwrap() >= 3,
+                "{name}.{window} must have seen the requests"
+            );
+            assert_eq!(
+                w.get("burn_rate").and_then(JsonValue::as_f64),
+                Some(0.0),
+                "{name}.{window} burning on healthy traffic"
+            );
+        }
+    }
+
+    // /metrics: burn-rate gauges rendered as Prometheus gauges, plus the
+    // per-endpoint and status-class counters from this very traffic.
+    let (status, _, body) = http(addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    let text = String::from_utf8_lossy(&body);
+    for gauge in [
+        "slo_detect_latency_burn_rate_short",
+        "slo_detect_latency_burn_rate_long",
+        "slo_detect_latency_breached",
+        "slo_detect_availability_burn_rate_short",
+        "slo_detect_availability_burn_rate_long",
+        "slo_detect_availability_breached",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {gauge} gauge")),
+            "missing TYPE line for {gauge}"
+        );
+        assert!(
+            text.lines().any(|l| l.starts_with(&format!("{gauge} "))),
+            "missing sample for {gauge}"
+        );
+    }
+    let snap = obs.snapshot();
+    assert!(snap.counter("serve.responses.2xx").unwrap_or(0) >= 3);
+    assert!(snap.counter("serve.endpoint.detect.2xx").unwrap_or(0) >= 3);
+    assert!(snap.counter("serve.endpoint.debug.2xx").unwrap_or(0) >= 1);
+    assert!(
+        snap.histogram("serve.write").map_or(0, |h| h.count) >= 3,
+        "serialization+write latency must be measured"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn retry_after_hint_tracks_queue_drain_rate() {
+    // One worker with a 300 ms artificial service time and a 3-deep
+    // queue. After ~1 s of draining, the drain-rate window knows service
+    // is slow; a shed request must then be told to come back when the
+    // backlog will plausibly have cleared (depth / drain rate), not the
+    // constant 1 s floor.
+    let obs = Registry::new();
+    let config = ServeConfig {
+        workers: 1,
+        max_batch: 1,
+        max_wait: Duration::ZERO,
+        queue_capacity: 3,
+        dispatch_delay: Duration::from_millis(300),
+        retry_after_secs: 1,
+        retry_after_max_secs: 30,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(factory(), config, &obs, &Tracer::noop()).expect("start");
+    let addr = server.addr();
+
+    // Wave A: fill service + queue, then let the worker drain for ~1 s so
+    // the drain-rate window has samples.
+    let wave_a: Vec<_> = (0..4)
+        .map(|_| thread::spawn(move || post_detect(addr)))
+        .collect();
+    thread::sleep(Duration::from_secs(1));
+
+    // Wave B: refill past capacity; the overflow must carry a load-aware
+    // Retry-After strictly above the floor.
+    let wave_b: Vec<_> = (0..6)
+        .map(|_| thread::spawn(move || post_detect(addr)))
+        .collect();
+    let mut hints = Vec::new();
+    for c in wave_b.into_iter().chain(wave_a) {
+        let (status, head, _body) = c.join().expect("client thread");
+        if status == 503 {
+            let hint: u64 = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Retry-After: "))
+                .and_then(|v| v.trim().parse().ok())
+                .expect("503 without a parseable Retry-After");
+            hints.push(hint);
+        }
+    }
+    assert!(!hints.is_empty(), "overflow wave produced no 503s");
+    assert!(
+        hints.iter().any(|&h| h >= 2),
+        "a drained-for-1s backlog at ~3 jobs/s must hint above the 1 s floor: {hints:?}"
+    );
+    assert!(
+        hints.iter().all(|&h| (1..=30).contains(&h)),
+        "hints must stay clamped to [retry_after_secs, retry_after_max_secs]: {hints:?}"
+    );
+    server.shutdown();
+}
