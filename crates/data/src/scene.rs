@@ -361,9 +361,7 @@ impl SceneGenerator {
         None
     }
 
-    /// Draws one structured vehicle sprite: shadow, body, cabin,
-    /// windshield. The internal structure gives the CNN real sub-features
-    /// to key on, like real top-view vehicles have.
+    /// Draws one structured vehicle sprite; see [`draw_vehicle_sprite`].
     #[allow(clippy::too_many_arguments)] // sprite pose + dimensions, all scalar
     fn draw_vehicle(
         &mut self,
@@ -375,28 +373,7 @@ impl SceneGenerator {
         angle: f32,
         color: Color,
     ) {
-        // Soft shadow offset by the (global) sun direction.
-        let shadow_dx = len * 0.10;
-        let shadow_dy = len * 0.12;
-        image.blend_rotated_rect(
-            cx + shadow_dx,
-            cy + shadow_dy,
-            len,
-            wid,
-            angle,
-            [0.05, 0.05, 0.05],
-            0.45,
-        );
-        // Body.
-        image.fill_rotated_rect(cx, cy, len, wid, angle, color);
-        // Cabin: slightly darker inset block over the middle.
-        let cabin = [color[0] * 0.75, color[1] * 0.75, color[2] * 0.75];
-        image.fill_rotated_rect(cx, cy, len * 0.55, wid * 0.82, angle, cabin);
-        // Windshield: dark band towards the front of the cabin.
-        let (sin, cos) = angle.sin_cos();
-        let wx = cx + cos * len * 0.22;
-        let wy = cy + sin * len * 0.22;
-        image.fill_rotated_rect(wx, wy, len * 0.10, wid * 0.75, angle, [0.08, 0.09, 0.12]);
+        draw_vehicle_sprite(image, cx, cy, len, wid, angle, color);
     }
 
     fn render_road_background(&mut self) -> Image {
@@ -494,6 +471,374 @@ impl SceneGenerator {
         }
         out
     }
+}
+
+/// Configuration for [`LargeSceneGenerator`] — the wide-area frame mode
+/// that gives selective tile processing structure to exploit: a big
+/// mostly-static canvas, a handful of vehicle clusters that drift
+/// coherently, and per-vehicle wander inside each cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LargeSceneConfig {
+    /// Canvas width in pixels (64..=[`LargeSceneConfig::MAX_DIM`]).
+    pub width: usize,
+    /// Canvas height in pixels (64..=[`LargeSceneConfig::MAX_DIM`]).
+    pub height: usize,
+    /// Number of vehicle clusters.
+    pub clusters: usize,
+    /// Vehicles per cluster.
+    pub vehicles_per_cluster: usize,
+    /// Cluster radius as a fraction of the smaller canvas dimension.
+    pub cluster_radius_frac: f32,
+    /// Vehicle length range in *pixels* (not canvas-relative): vehicles
+    /// stay detector-scale small no matter how large the frame grows —
+    /// the whole point of tiling.
+    pub vehicle_len_px: (f32, f32),
+    /// Per-frame cluster drift speed in pixels.
+    pub speed_px: f32,
+    /// Per-frame per-vehicle random wander amplitude in pixels.
+    pub wander_px: f32,
+    /// Background speckle density per megapixel.
+    pub speckle_per_mpx: usize,
+    /// Standard deviation of per-frame additive sensor noise. Defaults to
+    /// zero: frame-difference saliency should respond to *motion*, and a
+    /// caller enabling noise is deliberately stress-testing that.
+    pub noise_std: f32,
+}
+
+impl Default for LargeSceneConfig {
+    fn default() -> Self {
+        LargeSceneConfig {
+            width: 1408,
+            height: 1408,
+            clusters: 2,
+            vehicles_per_cluster: 6,
+            cluster_radius_frac: 0.06,
+            vehicle_len_px: (11.0, 18.0),
+            speed_px: 6.0,
+            wander_px: 1.5,
+            speckle_per_mpx: 1500,
+            noise_std: 0.0,
+        }
+    }
+}
+
+impl LargeSceneConfig {
+    /// Largest accepted canvas dimension. Keeps the pixel count bounded
+    /// (≤ 67 Mpx) so placement and allocation arithmetic cannot overflow.
+    pub const MAX_DIM: usize = 8192;
+
+    /// Checks the configuration without panicking — extreme values come
+    /// back as `Err`, never as an arithmetic overflow mid-render.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.width < 64 || self.height < 64 {
+            return Err(format!(
+                "canvas {}x{} below the 64x64 minimum",
+                self.width, self.height
+            ));
+        }
+        if self.width > Self::MAX_DIM || self.height > Self::MAX_DIM {
+            return Err(format!(
+                "canvas {}x{} exceeds the {max}x{max} maximum",
+                self.width,
+                self.height,
+                max = Self::MAX_DIM
+            ));
+        }
+        // Everything downstream multiplies these; prove it cannot
+        // overflow once here, with checked arithmetic.
+        let area = self
+            .width
+            .checked_mul(self.height)
+            .ok_or_else(|| "canvas area overflows usize".to_string())?;
+        self.speckle_per_mpx
+            .checked_mul(area.div_ceil(1_000_000).max(1))
+            .ok_or_else(|| "speckle count overflows usize".to_string())?;
+        let total_vehicles = self
+            .clusters
+            .checked_mul(self.vehicles_per_cluster)
+            .ok_or_else(|| "vehicle count overflows usize".to_string())?;
+        if total_vehicles > 4096 {
+            return Err(format!("{total_vehicles} vehicles exceeds the 4096 cap"));
+        }
+        let (lo, hi) = self.vehicle_len_px;
+        if !(lo.is_finite() && hi.is_finite()) || lo <= 0.0 || lo > hi {
+            return Err(format!(
+                "invalid vehicle length range {:?}",
+                self.vehicle_len_px
+            ));
+        }
+        if hi > self.width.min(self.height) as f32 / 2.0 {
+            return Err(format!("vehicle length {hi} too large for the canvas"));
+        }
+        if !self.cluster_radius_frac.is_finite()
+            || self.cluster_radius_frac <= 0.0
+            || self.cluster_radius_frac > 0.5
+        {
+            return Err(format!(
+                "cluster radius fraction {} outside (0, 0.5]",
+                self.cluster_radius_frac
+            ));
+        }
+        for (name, v) in [
+            ("speed_px", self.speed_px),
+            ("wander_px", self.wander_px),
+            ("noise_std", self.noise_std),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} {v} must be finite and >= 0"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One vehicle's persistent state inside a cluster.
+#[derive(Debug, Clone)]
+struct ClusterVehicle {
+    /// Offset from the cluster centre, in pixels.
+    dx: f32,
+    dy: f32,
+    len: f32,
+    wid: f32,
+    angle: f32,
+    color: Color,
+}
+
+/// One drifting cluster of vehicles.
+#[derive(Debug, Clone)]
+struct Cluster {
+    cx: f32,
+    cy: f32,
+    vx: f32,
+    vy: f32,
+    vehicles: Vec<ClusterVehicle>,
+}
+
+/// Seeded wide-area frame-sequence generator.
+///
+/// Unlike [`SceneGenerator`] (independent scenes for training), this
+/// produces a *temporally coherent* sequence: the background is rendered
+/// once and stays fixed, clusters of vehicles drift across the canvas and
+/// bounce off its edges, and individual vehicles wander within their
+/// cluster. Frame differencing therefore sees motion exactly where the
+/// vehicles are — the workload selective tile processing is built for.
+///
+/// # Example
+///
+/// ```
+/// use dronet_data::scene::{LargeSceneConfig, LargeSceneGenerator};
+/// let config = LargeSceneConfig { width: 256, height: 256, ..LargeSceneConfig::default() };
+/// let mut gen = LargeSceneGenerator::new(config, 7).unwrap();
+/// let frame = gen.next_frame();
+/// assert!(!frame.annotations.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LargeSceneGenerator {
+    config: LargeSceneConfig,
+    rng: StdRng,
+    background: Image,
+    clusters: Vec<Cluster>,
+    frame_index: u64,
+}
+
+impl LargeSceneGenerator {
+    /// Creates a generator, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`LargeSceneConfig::validate`] message for degenerate
+    /// configurations; never panics on extreme sizes.
+    pub fn new(config: LargeSceneConfig, seed: u64) -> Result<Self, String> {
+        config.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (w, h) = (config.width as f32, config.height as f32);
+        let min_dim = w.min(h);
+        let radius = min_dim * config.cluster_radius_frac;
+
+        // Static terrain background, rendered once: per-frame differences
+        // come only from the vehicles (and optional sensor noise).
+        let base = [0.30, 0.40, 0.22];
+        let mut background = Image::new(config.width, config.height, base);
+        let area_mpx = (config.width * config.height).div_ceil(1_000_000).max(1);
+        let speckles = config.speckle_per_mpx * area_mpx;
+        let dark = [base[0] * 0.8, base[1] * 0.8, base[2] * 0.8];
+        for _ in 0..speckles {
+            let x = rng.gen_range(0.0..w);
+            let y = rng.gen_range(0.0..h);
+            let r = rng.gen_range(0.5..2.5f32);
+            background.fill_circle(x, y, r, dark);
+        }
+
+        // Clusters spawn away from the border by one radius so a cluster
+        // is initially fully on-canvas; drift can still carry vehicles to
+        // (and past) the edge, which is what the edge-churn fixes handle.
+        let margin = (radius + config.vehicle_len_px.1).min(min_dim / 2.0 - 1.0);
+        let mut clusters = Vec::with_capacity(config.clusters);
+        for _ in 0..config.clusters {
+            let cx = rng.gen_range(margin..(w - margin).max(margin + 1.0));
+            let cy = rng.gen_range(margin..(h - margin).max(margin + 1.0));
+            let heading = rng.gen_range(0.0..std::f32::consts::TAU);
+            let (sin, cos) = heading.sin_cos();
+            let mut vehicles = Vec::with_capacity(config.vehicles_per_cluster);
+            for _ in 0..config.vehicles_per_cluster {
+                let ang = rng.gen_range(0.0..std::f32::consts::TAU);
+                let dist = radius * rng.gen::<f32>().sqrt(); // uniform in disc
+                let len = rng.gen_range(config.vehicle_len_px.0..=config.vehicle_len_px.1);
+                vehicles.push(ClusterVehicle {
+                    dx: dist * ang.cos(),
+                    dy: dist * ang.sin(),
+                    len,
+                    wid: len * rng.gen_range(0.42..0.52),
+                    angle: heading + rng.gen_range(-0.3..0.3),
+                    color: VEHICLE_COLORS[rng.gen_range(0..VEHICLE_COLORS.len())],
+                });
+            }
+            clusters.push(Cluster {
+                cx,
+                cy,
+                vx: cos * config.speed_px,
+                vy: sin * config.speed_px,
+                vehicles,
+            });
+        }
+
+        Ok(LargeSceneGenerator {
+            config,
+            rng,
+            background,
+            clusters,
+            frame_index: 0,
+        })
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &LargeSceneConfig {
+        &self.config
+    }
+
+    /// Frames generated so far.
+    pub fn frame_index(&self) -> u64 {
+        self.frame_index
+    }
+
+    /// Advances the world one step and renders the next frame.
+    pub fn next_frame(&mut self) -> Scene {
+        let (w, h) = (self.config.width as f32, self.config.height as f32);
+
+        // World update: clusters drift and bounce, vehicles wander.
+        for cluster in &mut self.clusters {
+            cluster.cx += cluster.vx;
+            cluster.cy += cluster.vy;
+            if cluster.cx < 0.0 || cluster.cx > w {
+                cluster.vx = -cluster.vx;
+                cluster.cx = cluster.cx.clamp(0.0, w);
+            }
+            if cluster.cy < 0.0 || cluster.cy > h {
+                cluster.vy = -cluster.vy;
+                cluster.cy = cluster.cy.clamp(0.0, h);
+            }
+            let wander = self.config.wander_px;
+            if wander > 0.0 {
+                for v in &mut cluster.vehicles {
+                    v.dx += self.rng.gen_range(-wander..=wander);
+                    v.dy += self.rng.gen_range(-wander..=wander);
+                }
+            }
+        }
+
+        // Render onto a copy of the static background.
+        let mut image = self.background.clone();
+        let mut all_objects = Vec::new();
+        for cluster in &self.clusters {
+            for v in &cluster.vehicles {
+                let cx = cluster.cx + v.dx;
+                let cy = cluster.cy + v.dy;
+                // Cull sprites entirely off-canvas (plus shadow margin).
+                if cx < -2.0 * v.len
+                    || cx > w + 2.0 * v.len
+                    || cy < -2.0 * v.len
+                    || cy > h + 2.0 * v.len
+                {
+                    continue;
+                }
+                draw_vehicle_sprite(&mut image, cx, cy, v.len, v.wid, v.angle, v.color);
+                let (sin, cos) = v.angle.sin_cos();
+                let bw = (v.len * cos.abs() + v.wid * sin.abs()) / w;
+                let bh = (v.len * sin.abs() + v.wid * cos.abs()) / h;
+                let bbox = BBox::new(cx / w, cy / h, bw, bh);
+                let visibility = bbox.visible_fraction();
+                if visibility <= 0.0 {
+                    continue;
+                }
+                all_objects.push(Annotation {
+                    bbox: bbox.clamp_unit(),
+                    class: 0,
+                    visibility,
+                });
+            }
+        }
+
+        if self.config.noise_std > 0.0 {
+            let std = self.config.noise_std;
+            let rng = &mut self.rng;
+            image.add_noise_with(|| (rng.gen::<f32>() + rng.gen::<f32>() - 1.0) * std * 2.0);
+        }
+
+        self.frame_index += 1;
+        let annotations = all_objects
+            .iter()
+            .copied()
+            .filter(Annotation::is_annotatable)
+            .collect();
+        Scene {
+            image,
+            annotations,
+            all_objects,
+            kind: SceneKind::Terrain,
+        }
+    }
+}
+
+/// Draws one structured vehicle sprite: shadow, body, cabin, windshield.
+/// The internal structure gives the CNN real sub-features to key on, like
+/// real top-view vehicles have. Shared by [`SceneGenerator`] and
+/// [`LargeSceneGenerator`] so both render identical vehicles.
+#[allow(clippy::too_many_arguments)] // sprite pose + dimensions, all scalar
+fn draw_vehicle_sprite(
+    image: &mut Image,
+    cx: f32,
+    cy: f32,
+    len: f32,
+    wid: f32,
+    angle: f32,
+    color: Color,
+) {
+    // Soft shadow offset by the (global) sun direction.
+    let shadow_dx = len * 0.10;
+    let shadow_dy = len * 0.12;
+    image.blend_rotated_rect(
+        cx + shadow_dx,
+        cy + shadow_dy,
+        len,
+        wid,
+        angle,
+        [0.05, 0.05, 0.05],
+        0.45,
+    );
+    // Body.
+    image.fill_rotated_rect(cx, cy, len, wid, angle, color);
+    // Cabin: slightly darker inset block over the middle.
+    let cabin = [color[0] * 0.75, color[1] * 0.75, color[2] * 0.75];
+    image.fill_rotated_rect(cx, cy, len * 0.55, wid * 0.82, angle, cabin);
+    // Windshield: dark band towards the front of the cabin.
+    let (sin, cos) = angle.sin_cos();
+    let wx = cx + cos * len * 0.22;
+    let wy = cy + sin * len * 0.22;
+    image.fill_rotated_rect(wx, wy, len * 0.10, wid * 0.75, angle, [0.08, 0.09, 0.12]);
 }
 
 /// Rough fraction of `bbox` covered by an ellipse centred at `(ox, oy)`
@@ -613,6 +958,85 @@ mod tests {
         // Half-plane-ish occluder covers part.
         let partial = occluded_fraction(&b, 0.4, 0.5, 0.1, 0.2);
         assert!(partial > 0.1 && partial < 0.9, "{partial}");
+    }
+
+    fn small_large_config() -> LargeSceneConfig {
+        LargeSceneConfig {
+            width: 256,
+            height: 256,
+            ..LargeSceneConfig::default()
+        }
+    }
+
+    #[test]
+    fn large_scene_is_deterministic_and_coherent() {
+        let mut a = LargeSceneGenerator::new(small_large_config(), 11).unwrap();
+        let mut b = LargeSceneGenerator::new(small_large_config(), 11).unwrap();
+        let (a0, a1) = (a.next_frame(), a.next_frame());
+        let (b0, b1) = (b.next_frame(), b.next_frame());
+        assert_eq!(a0.image, b0.image);
+        assert_eq!(a1.image, b1.image);
+        assert_eq!(a0.annotations, b0.annotations);
+        // The world moves: consecutive frames differ.
+        assert_ne!(a0.image, a1.image);
+        assert_eq!(a.frame_index(), 2);
+    }
+
+    #[test]
+    fn large_scene_vehicles_are_small_and_clustered() {
+        let mut gen = LargeSceneGenerator::new(small_large_config(), 3).unwrap();
+        let scene = gen.next_frame();
+        assert!(!scene.annotations.is_empty());
+        for ann in &scene.annotations {
+            // Pixel-sized vehicles stay small relative to the canvas.
+            assert!(ann.bbox.w * 256.0 < 40.0, "vehicle too large: {ann:?}");
+            ann.bbox.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn large_scene_rejects_extremes_without_panicking() {
+        // Each of these used to be a potential overflow/allocation panic;
+        // validation turns them into typed errors.
+        let huge = LargeSceneConfig {
+            width: usize::MAX,
+            height: usize::MAX,
+            ..LargeSceneConfig::default()
+        };
+        assert!(LargeSceneGenerator::new(huge, 0).is_err());
+        let too_many = LargeSceneConfig {
+            clusters: usize::MAX,
+            vehicles_per_cluster: 2,
+            ..small_large_config()
+        };
+        assert!(LargeSceneGenerator::new(too_many, 0).is_err());
+        let nan_speed = LargeSceneConfig {
+            speed_px: f32::NAN,
+            ..small_large_config()
+        };
+        assert!(LargeSceneGenerator::new(nan_speed, 0).is_err());
+        let bad_len = LargeSceneConfig {
+            vehicle_len_px: (10.0, 5.0),
+            ..small_large_config()
+        };
+        assert!(LargeSceneGenerator::new(bad_len, 0).is_err());
+        let giant_vehicle = LargeSceneConfig {
+            vehicle_len_px: (10.0, 1e9),
+            ..small_large_config()
+        };
+        assert!(LargeSceneGenerator::new(giant_vehicle, 0).is_err());
+    }
+
+    #[test]
+    fn large_scene_zero_clusters_is_valid_and_empty() {
+        let config = LargeSceneConfig {
+            clusters: 0,
+            ..small_large_config()
+        };
+        let mut gen = LargeSceneGenerator::new(config, 0).unwrap();
+        let scene = gen.next_frame();
+        assert!(scene.annotations.is_empty());
+        assert!(scene.all_objects.is_empty());
     }
 
     #[test]

@@ -2,7 +2,9 @@
 
 use dronet_data::augment::{color_shift, hflip, translate, vflip};
 use dronet_data::ppm;
-use dronet_data::scene::{SceneConfig, SceneGenerator, SceneKind};
+use dronet_data::scene::{
+    LargeSceneConfig, LargeSceneGenerator, SceneConfig, SceneGenerator, SceneKind,
+};
 use dronet_data::{Annotation, Image};
 use proptest::prelude::*;
 
@@ -74,6 +76,63 @@ proptest! {
             prop_assert!((0.0..=1.0).contains(v), "pixel {v} out of range");
         }
         prop_assert!(scene.annotations.len() <= scene.all_objects.len());
+    }
+
+    /// Degenerate large-scene configurations are rejected with `Err`,
+    /// never a panic or an overflow — whatever the dimensions, counts or
+    /// scalar knobs.
+    #[test]
+    fn large_scene_degenerate_configs_never_panic(
+        wsel in 0usize..5, hsel in 0usize..5,
+        csel in 0usize..4, vsel in 0usize..4,
+        rsel in 0usize..5, ssel in 0usize..4,
+        dim in 64usize..400,
+    ) {
+        // Index-selected extremes: plain ranges cannot express value sets
+        // like {0, 1, sane, usize::MAX} in the proptest shim.
+        let dims = [0usize, 1, dim, usize::MAX / 2, usize::MAX];
+        let counts = [0usize, 2, 64, usize::MAX];
+        let radii = [-1.0f32, 0.0, 0.08, 10.0, f32::NAN];
+        let speeds = [0.0f32, 4.0, -5.0, f32::INFINITY];
+        let config = LargeSceneConfig {
+            width: dims[wsel],
+            height: dims[hsel],
+            clusters: counts[csel],
+            vehicles_per_cluster: counts[vsel],
+            cluster_radius_frac: radii[rsel],
+            speed_px: speeds[ssel],
+            ..LargeSceneConfig::default()
+        };
+        // Ok or Err are both fine; what must never happen is a panic.
+        if let Ok(mut gen) = LargeSceneGenerator::new(config, 1) {
+            let scene = gen.next_frame();
+            prop_assert!(scene.annotations.len() <= scene.all_objects.len());
+        }
+    }
+
+    /// Valid large-scene sequences are bit-deterministic per seed and
+    /// keep their structural invariants over time.
+    #[test]
+    fn large_scene_sequences_deterministic(seed in any::<u64>()) {
+        let config = LargeSceneConfig {
+            width: 192,
+            height: 128,
+            clusters: 1,
+            vehicles_per_cluster: 3,
+            ..LargeSceneConfig::default()
+        };
+        let mut a = LargeSceneGenerator::new(config.clone(), seed).unwrap();
+        let mut b = LargeSceneGenerator::new(config, seed).unwrap();
+        for _ in 0..3 {
+            let fa = a.next_frame();
+            let fb = b.next_frame();
+            prop_assert_eq!(&fa.image, &fb.image);
+            prop_assert_eq!(&fa.annotations, &fb.annotations);
+            for ann in &fa.annotations {
+                prop_assert!(ann.bbox.validate().is_ok());
+                prop_assert!(ann.visibility >= Annotation::MIN_VISIBILITY);
+            }
+        }
     }
 
     /// Resizing preserves value bounds for any target size.

@@ -64,7 +64,10 @@ pub use detector::{DetectStage, Detector, DetectorBuilder};
 pub use error::DetectError;
 pub use fault::{FaultConfig, FaultKind, FaultPlan, FaultyDetector, FaultyFrameSource};
 pub use pipeline::{FrameResult, PipelineReport, VideoPipeline};
-pub use source::{conform_frame, resize_frame, FrameSource, IterSource};
+pub use source::{
+    conform_frame, resize_frame, resize_frame_bilinear, resize_frame_with, FrameSource, IterSource,
+    ResizeFilter,
+};
 pub use supervisor::{
     BlackBoxDump, FaultEvent, Health, StageFactory, Supervisor, SupervisorConfig, SupervisorReport,
 };

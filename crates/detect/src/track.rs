@@ -42,6 +42,17 @@ pub struct TrackerConfig {
     pub max_missed: usize,
     /// Hits needed before a track is reported.
     pub min_hits: usize,
+    /// Detections smaller than this (normalised area) do not *spawn* new
+    /// tracks — they can still extend existing ones. Clipped slivers at a
+    /// tile or frame boundary otherwise birth a fresh ID every time an
+    /// object straddles an edge. `0.0` (the default) disables the gate.
+    pub min_box_area: f32,
+    /// Fractional IoU-gate relaxation applied when either box touches the
+    /// frame boundary: the effective association threshold becomes
+    /// `iou_threshold * (1 - boundary_slack)`. A box clipped by the edge
+    /// shrinks, diluting its IoU with the unclipped track; slack keeps the
+    /// association alive. `0.0` (the default) preserves old behaviour.
+    pub boundary_slack: f32,
 }
 
 impl Default for TrackerConfig {
@@ -50,8 +61,19 @@ impl Default for TrackerConfig {
             iou_threshold: 0.3,
             max_missed: 3,
             min_hits: 2,
+            min_box_area: 0.0,
+            boundary_slack: 0.0,
         }
     }
+}
+
+/// How close (normalised) a box edge must be to the frame border to count
+/// as boundary-touching for [`TrackerConfig::boundary_slack`].
+const EDGE_EPS: f32 = 5e-3;
+
+/// Whether any edge of `b` lies on (or hangs past) the frame border.
+fn touches_boundary(b: &BBox) -> bool {
+    b.x0() <= EDGE_EPS || b.y0() <= EDGE_EPS || b.x1() >= 1.0 - EDGE_EPS || b.y1() >= 1.0 - EDGE_EPS
 }
 
 /// Greedy IoU tracker.
@@ -70,7 +92,7 @@ impl Default for TrackerConfig {
 ///     class: 0,
 ///     class_prob: 1.0,
 /// };
-/// tracker.update(&[det.clone()]);
+/// tracker.update(std::slice::from_ref(&det));
 /// tracker.update(&[det]);
 /// assert_eq!(tracker.confirmed_tracks().count(), 1);
 /// ```
@@ -111,7 +133,13 @@ impl Tracker {
                     continue;
                 }
                 let iou = dbox.iou(&track.bbox);
-                if iou >= self.config.iou_threshold && best.is_none_or(|(_, b)| iou > b) {
+                let mut gate = self.config.iou_threshold;
+                if self.config.boundary_slack > 0.0
+                    && (touches_boundary(dbox) || touches_boundary(&track.bbox))
+                {
+                    gate *= 1.0 - self.config.boundary_slack;
+                }
+                if iou >= gate && best.is_none_or(|(_, b)| iou > b) {
                     best = Some((ti, iou));
                 }
             }
@@ -139,9 +167,15 @@ impl Tracker {
         let max_missed = self.config.max_missed;
         self.tracks.retain(|t| t.missed <= max_missed);
 
-        // Spawn new tracks for unmatched detections.
+        // Spawn new tracks for unmatched detections. Boxes below the
+        // area floor are assumed to be boundary-clipped fragments of an
+        // object some other track already owns: extending a track is
+        // fine, founding one is not.
         for (di, det) in detections.iter().enumerate() {
             if !det_assigned[di] {
+                if det.bbox.area() < self.config.min_box_area {
+                    continue;
+                }
                 let confirmed_at_birth = self.config.min_hits <= 1;
                 self.tracks.push(Track {
                     id: self.next_id,
@@ -261,6 +295,85 @@ mod tests {
         }
         assert_eq!(tracker.total_count(), 0);
         assert!(tracker.tracks().is_empty());
+    }
+
+    fn det_box(cx: f32, cy: f32, w: f32, h: f32) -> Detection {
+        Detection {
+            bbox: BBox::new(cx, cy, w, h),
+            objectness: 0.9,
+            class: 0,
+            class_prob: 1.0,
+        }
+    }
+
+    #[test]
+    fn edge_clipped_box_churns_without_slack() {
+        // Regression for ID churn at frame edges: a vehicle leaving the
+        // frame gets clipped, its box shrinks, and the IoU with the
+        // full-box track (0.25 here) drops below the 0.3 gate — so the
+        // default config births a second ID for the same object.
+        let full = det_box(0.10, 0.5, 0.20, 0.12); // x: [0.0, 0.20]
+        let clipped = det_box(0.025, 0.5, 0.05, 0.12); // x: [0.0, 0.05]
+        assert!(full.bbox.iou(&clipped.bbox) < 0.3);
+
+        let mut churny = Tracker::new(TrackerConfig::default());
+        churny.update(std::slice::from_ref(&full));
+        churny.update(std::slice::from_ref(&full));
+        churny.update(std::slice::from_ref(&clipped));
+        assert_eq!(churny.tracks().len(), 2, "expected the old behaviour");
+
+        // Boundary slack relaxes the gate to 0.3 * 0.75 = 0.225 ≤ 0.25
+        // for edge-touching boxes: the clipped detection keeps its ID.
+        let mut slack = Tracker::new(TrackerConfig {
+            boundary_slack: 0.25,
+            ..TrackerConfig::default()
+        });
+        slack.update(std::slice::from_ref(&full));
+        slack.update(&[full]);
+        let confirmed = slack.update(&[clipped]);
+        assert_eq!(slack.tracks().len(), 1, "slack should prevent churn");
+        assert_eq!(confirmed[0].id, 0);
+        assert_eq!(slack.total_count(), 1);
+    }
+
+    #[test]
+    fn slack_does_not_relax_interior_matching() {
+        // Two interior boxes with IoU ≈ 0.25: slack must NOT make them
+        // associate, because neither touches the frame boundary.
+        let a = det_box(0.50, 0.5, 0.20, 0.12);
+        let b = det_box(0.425, 0.5, 0.05, 0.12);
+        assert!(a.bbox.iou(&b.bbox) < 0.3);
+        let mut tracker = Tracker::new(TrackerConfig {
+            boundary_slack: 0.25,
+            ..TrackerConfig::default()
+        });
+        tracker.update(std::slice::from_ref(&a));
+        tracker.update(&[a]);
+        tracker.update(&[b]);
+        assert_eq!(tracker.tracks().len(), 2);
+    }
+
+    #[test]
+    fn min_box_area_blocks_sliver_spawns_but_not_matches() {
+        let mut tracker = Tracker::new(TrackerConfig {
+            min_box_area: 1e-3,
+            boundary_slack: 0.5,
+            ..TrackerConfig::default()
+        });
+        // A clipped sliver (area 6e-4 < 1e-3) never founds a track…
+        let sliver = det_box(0.0025, 0.5, 0.005, 0.12);
+        tracker.update(std::slice::from_ref(&sliver));
+        assert!(tracker.tracks().is_empty());
+        // …but a full-size object does, and a later sliver overlapping it
+        // can still extend that track instead of being dropped.
+        let full = det_box(0.03, 0.5, 0.06, 0.12);
+        tracker.update(std::slice::from_ref(&full));
+        tracker.update(&[full]);
+        let before = tracker.tracks()[0].hits;
+        let overlapping_sliver = det_box(0.01, 0.5, 0.02, 0.12);
+        tracker.update(&[overlapping_sliver]);
+        assert_eq!(tracker.tracks().len(), 1);
+        assert_eq!(tracker.tracks()[0].hits, before + 1);
     }
 
     #[test]

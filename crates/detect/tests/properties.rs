@@ -2,7 +2,7 @@
 
 use dronet_detect::fault::{FaultConfig, FaultPlan};
 use dronet_detect::nms::non_max_suppression;
-use dronet_detect::source::resize_frame;
+use dronet_detect::source::{resize_frame, resize_frame_bilinear};
 use dronet_detect::track::{Tracker, TrackerConfig};
 use dronet_detect::Detection;
 use dronet_metrics::BBox;
@@ -110,6 +110,47 @@ proptest! {
         let src = frame.as_slice();
         for v in out.as_slice() {
             prop_assert!(src.contains(v), "resampled value {v} not in source");
+        }
+    }
+
+    /// Bilinear resize survives hostile inputs: for finite pixels of any
+    /// sign and magnitude (up to ±1e38, near the f32 limit), every output
+    /// is finite and inside the source value range, at any geometry
+    /// combination including extreme up/downscales.
+    #[test]
+    fn bilinear_resize_finite_and_in_range(
+        ih in 1usize..12, iw in 1usize..12,
+        oh in 1usize..24, ow in 1usize..24,
+        seed in any::<u64>(),
+        scale_exp in -3i32..39,
+    ) {
+        let mut frame = Tensor::zeros(Shape::nchw(1, 2, ih, iw));
+        // Deterministic hostile fill: alternating-sign values scaled up
+        // to ±1e38, from a cheap SplitMix64 stream.
+        let mut state = seed;
+        let magnitude = 10.0f64.powi(scale_exp) as f32;
+        for v in frame.as_mut_slice() {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let unit = (z >> 40) as f32 / (1u64 << 24) as f32; // [0, 1)
+            *v = (unit * 2.0 - 1.0) * magnitude;
+        }
+        let (lo, hi) = frame.as_slice().iter().fold(
+            (f32::INFINITY, f32::NEG_INFINITY),
+            |(lo, hi), &v| (lo.min(v), hi.max(v)),
+        );
+        let out = resize_frame_bilinear(&frame, oh, ow);
+        prop_assert_eq!(out.shape().dims(), &[1, 2, oh, ow]);
+        // Tolerance of a few ulps at the range edges for interpolation
+        // rounding.
+        let span = (hi - lo).max(1.0);
+        let tol = span * 1e-5;
+        for &v in out.as_slice() {
+            prop_assert!(v.is_finite(), "non-finite output {v}");
+            prop_assert!(v >= lo - tol && v <= hi + tol, "{v} outside [{lo}, {hi}]");
         }
     }
 

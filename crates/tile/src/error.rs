@@ -1,0 +1,69 @@
+use dronet_detect::DetectError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the tiling subsystem.
+#[derive(Debug)]
+pub enum TileError {
+    /// A configuration value was out of range.
+    BadConfig {
+        /// Name of the offending parameter.
+        param: &'static str,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A frame does not match the grid's expected geometry.
+    BadFrame {
+        /// Description of the mismatch.
+        msg: String,
+    },
+    /// The wrapped detector failed.
+    Detect(DetectError),
+}
+
+impl fmt::Display for TileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileError::BadConfig { param, msg } => {
+                write!(f, "bad tile configuration ({param}): {msg}")
+            }
+            TileError::BadFrame { msg } => write!(f, "frame incompatible with tile grid: {msg}"),
+            TileError::Detect(e) => write!(f, "tile detection failed: {e}"),
+        }
+    }
+}
+
+impl Error for TileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TileError::Detect(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DetectError> for TileError {
+    fn from(e: DetectError) -> Self {
+        TileError::Detect(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = TileError::BadConfig {
+            param: "overlap",
+            msg: "overlap 64 >= tile 32".to_string(),
+        };
+        assert!(e.to_string().contains("overlap"));
+        assert!(e.source().is_none());
+
+        let inner = DetectError::MissingRegionHead;
+        let wrapped = TileError::from(inner);
+        assert!(wrapped.source().is_some());
+        assert!(wrapped.to_string().contains("tile detection failed"));
+    }
+}

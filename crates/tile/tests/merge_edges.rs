@@ -1,0 +1,134 @@
+//! Cross-tile merge edge cases on full grids: seam splits across two and
+//! four tiles, duplicate suppression inside overlap bands, and
+//! empty-selection frames. These complement the unit tests in
+//! `src/merge.rs` by exercising the merge over realistic multi-tile
+//! layouts rather than minimal two-tile fixtures.
+
+use dronet_detect::Detection;
+use dronet_metrics::BBox;
+use dronet_tile::{MergeConfig, TileGrid, TileMerger};
+
+fn det(cx: f32, cy: f32, w: f32, h: f32, score: f32) -> Detection {
+    Detection {
+        bbox: BBox::new(cx, cy, w, h),
+        objectness: score,
+        class: 0,
+        class_prob: 1.0,
+    }
+}
+
+/// A box straddling a *corner* — split into quarters by one vertical and
+/// one horizontal seam — reassembles into a single box covering the
+/// original extent: the stitch fixed point goes quarters → halves →
+/// whole, and containment sweeps up the leftover quarter.
+#[test]
+fn four_tile_corner_split_reassembles() {
+    // 2×2 grid of 100-px tiles, seams at x=100 and y=100.
+    let grid = TileGrid::new(100, 0, 200, 200).unwrap();
+    let merger = TileMerger::new(MergeConfig::default()).unwrap();
+    // One object spanning px [80, 120] × [85, 115]: every tile sees only
+    // its quarter, clipped at the seams.
+    let per_tile = vec![
+        (0, vec![det(0.90, 0.925, 0.2, 0.15, 0.80)]), // [80,100]×[85,100]
+        (1, vec![det(0.10, 0.925, 0.2, 0.15, 0.78)]), // [100,120]×[85,100]
+        (2, vec![det(0.90, 0.075, 0.2, 0.15, 0.76)]), // [80,100]×[100,115]
+        (3, vec![det(0.10, 0.075, 0.2, 0.15, 0.74)]), // [100,120]×[100,115]
+    ];
+    let out = merger.merge(&grid, &per_tile);
+    assert_eq!(out.len(), 1, "quarters did not reassemble: {out:?}");
+    let b = &out[0].bbox;
+    assert!((b.x0() * 200.0 - 80.0).abs() < 1.0, "left edge {}", b.x0());
+    assert!(
+        (b.x1() * 200.0 - 120.0).abs() < 1.0,
+        "right edge {}",
+        b.x1()
+    );
+    assert!((b.y0() * 200.0 - 85.0).abs() < 1.0, "top edge {}", b.y0());
+    assert!(
+        (b.y1() * 200.0 - 115.0).abs() < 1.0,
+        "bottom edge {}",
+        b.y1()
+    );
+    // The reassembled box carries the best fragment's confidence.
+    assert!((out[0].objectness - 0.80).abs() < 1e-6);
+}
+
+/// The same reassembly works for a purely vertical split (the unit tests
+/// cover the horizontal case).
+#[test]
+fn two_tile_vertical_split_reassembles() {
+    let grid = TileGrid::new(100, 0, 100, 200).unwrap(); // seam at y=100
+    let merger = TileMerger::new(MergeConfig::default()).unwrap();
+    // Object spanning py [80, 120]: top/bottom halves.
+    let per_tile = vec![
+        (0, vec![det(0.5, 0.90, 0.3, 0.2, 0.8)]),  // py [80,100]
+        (1, vec![det(0.5, 0.10, 0.3, 0.2, 0.75)]), // py [100,120]
+    ];
+    let out = merger.merge(&grid, &per_tile);
+    assert_eq!(out.len(), 1, "halves did not stitch: {out:?}");
+    let b = &out[0].bbox;
+    assert!((b.y0() * 200.0 - 80.0).abs() < 1.0);
+    assert!((b.y1() * 200.0 - 120.0).abs() < 1.0);
+}
+
+/// An object sitting in the four-way overlap region of an overlapping
+/// grid is seen whole by all four surrounding tiles; the merge must emit
+/// exactly one detection, keeping the most confident copy.
+#[test]
+fn overlap_band_quadruplicates_collapse_to_one() {
+    // 2×2 grid of 100-px tiles with 40-px overlap: origins {0, 60}².
+    let grid = TileGrid::new(100, 40, 160, 160).unwrap();
+    assert_eq!(grid.len(), 4);
+    let merger = TileMerger::new(MergeConfig::default()).unwrap();
+    // Object at frame px (75, 75), 20 px square — inside every tile.
+    let copies: Vec<(usize, Vec<Detection>)> = grid
+        .tiles()
+        .map(|tile| {
+            let local = |v: f32, o: usize| (v - o as f32) / 100.0;
+            let score = 0.9 - 0.02 * tile.index as f32;
+            (
+                tile.index,
+                vec![det(
+                    local(75.0, tile.x0),
+                    local(75.0, tile.y0),
+                    0.2,
+                    0.2,
+                    score,
+                )],
+            )
+        })
+        .collect();
+    let out = merger.merge(&grid, &copies);
+    assert_eq!(out.len(), 1, "duplicates survived: {out:?}");
+    assert!((out[0].objectness - 0.9).abs() < 1e-6, "best copy wins");
+    assert!((out[0].bbox.cx * 160.0 - 75.0).abs() < 0.5);
+}
+
+/// Frames where selection came up empty — no tiles, or tiles with no
+/// detections — merge to a clean empty result on any grid shape.
+#[test]
+fn empty_selection_frames_merge_to_nothing() {
+    let grid = TileGrid::new(100, 40, 380, 220).unwrap();
+    let merger = TileMerger::new(MergeConfig::default()).unwrap();
+    assert!(merger.merge(&grid, &[]).is_empty());
+    let empties: Vec<(usize, Vec<Detection>)> = (0..grid.len()).map(|i| (i, Vec::new())).collect();
+    assert!(merger.merge(&grid, &empties).is_empty());
+}
+
+/// Determinism across repeated merges: identical inputs produce
+/// bit-identical outputs regardless of how many times the merger runs
+/// (the merger holds no state between calls).
+#[test]
+fn merge_is_stateless_and_deterministic() {
+    let grid = TileGrid::new(100, 0, 200, 200).unwrap();
+    let merger = TileMerger::new(MergeConfig::default()).unwrap();
+    let per_tile = vec![
+        (0, vec![det(0.90, 0.925, 0.2, 0.15, 0.80)]),
+        (1, vec![det(0.10, 0.925, 0.2, 0.15, 0.78)]),
+        (2, vec![det(0.5, 0.5, 0.1, 0.1, 0.6)]),
+    ];
+    let first = merger.merge(&grid, &per_tile);
+    for _ in 0..3 {
+        assert_eq!(merger.merge(&grid, &per_tile), first);
+    }
+}

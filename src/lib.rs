@@ -57,5 +57,7 @@ pub use dronet_platform as platform;
 pub use dronet_serve as serve;
 /// Tensor kernels (`dronet-tensor`).
 pub use dronet_tensor as tensor;
+/// Selective tile processing for large aerial frames (`dronet-tile`).
+pub use dronet_tile as tile;
 /// YOLO loss, SGD and the training loop (`dronet-train`).
 pub use dronet_train as train;
