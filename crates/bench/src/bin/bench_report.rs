@@ -14,6 +14,8 @@
 //!     --serve-grid [BENCH_PR8.json]
 //! cargo run --release -p dronet-bench --bin bench_report -- \
 //!     --tile-grid [BENCH_PR9.json]
+//! cargo run --release -p dronet-bench --bin bench_report -- \
+//!     --replica-grid [BENCH_PR10.json]
 //! ```
 //!
 //! `DRONET_BENCH_ITERS` overrides the timed iterations per configuration
@@ -29,6 +31,21 @@
 //! shed/timeout/drop breakdown, and the server's own SLO verdicts from
 //! `GET /debug/slo`. `DRONET_LOADGEN_SECS` / `DRONET_LOADGEN_CONNS`
 //! shrink rows for CI smoke runs.
+//!
+//! `--replica-grid` runs the replica-kill chaos grid (`BENCH_PR10.json`):
+//! the same storm of open-loop load is driven at a single-replica server,
+//! a 3-replica server, and a 3-replica server whose seeded
+//! [`ReplicaChaosPlan`] kills one replica mid-storm (panic or wedge
+//! injection, healed in the second half). Each row reports goodput, the
+//! hedge and quarantine counters, and the worst service health observed
+//! by an in-process sampler. The grid self-asserts its headline claims —
+//! the kill row holds ≥ [`REPLICA_GOODPUT_MIN_RATIO`] of baseline
+//! goodput, degrades without ever halting, and re-admits the killed
+//! replica through the canary gate (one forced canary failure first) —
+//! and `tests/bench_report.rs` locks the committed report. Seeded end to
+//! end: same `DRONET_REPLICA_SEED` → same kill schedule and arrival
+//! plan. `DRONET_REPLICA_SECS` / `DRONET_REPLICA_CONNS` /
+//! `DRONET_REPLICA_RATE` shrink rows for CI smoke runs.
 //!
 //! `--tile-grid` runs the selective-tiling accuracy-vs-FLOPs grid
 //! (`BENCH_PR9.json`): synthetic large aerial frames are processed three
@@ -61,7 +78,7 @@ use dronet_nn::cost::network_cost;
 use dronet_nn::profile::NetworkProfile;
 use dronet_nn::summary::NetworkSummary;
 use dronet_obs::{AllocScope, ChromeTrace, CountingAlloc, JsonValue, Registry, Tracer};
-use dronet_serve::{DetectorFactory, ServeConfig, Server};
+use dronet_serve::{DetectorFactory, ReplicaChaosPlan, ServeConfig, Server};
 use dronet_tile::{
     MergeConfig, SelectorConfig, TileGrid, TileMerger, TileSelector, TiledDetector,
     TiledDetectorConfig,
@@ -463,7 +480,11 @@ fn serve_grid_main(path: &str) {
                     shed: report.shed,
                     errors: report.errors,
                     timeouts: report.timeouts,
-                    dropped: report.dropped,
+                    // Schema stability: the serve grid predates the
+                    // distinct mid-stream `reset` class, so fold it back
+                    // into `dropped` here. The replica grid reports it
+                    // separately.
+                    dropped: report.dropped + report.reset,
                     goodput_rps: report.goodput(),
                     ok_p50_ms: report.ok_quantile_ns(0.50) as f64 / 1e6,
                     ok_p99_ms: report.ok_quantile_ns(0.99) as f64 / 1e6,
@@ -547,6 +568,346 @@ fn serve_grid_main(path: &str) {
 
     std::fs::write(path, &out).expect("write serve grid report");
     eprintln!("wrote {path} ({} serve rows)", rows.len());
+}
+
+/// The replica grid's detector input: small enough that a 3-replica
+/// server plus the load generator fit comfortably in a CI runner.
+const REPLICA_INPUT: usize = 64;
+/// Offered load as a multiple of single-worker forward capacity: above
+/// what one replica can serve alone, well under the 3-replica aggregate,
+/// so losing one replica hurts but must not collapse goodput.
+const REPLICA_LOAD_FACTOR: f64 = 1.5;
+/// The headline claim: killing 1 of 3 replicas mid-storm keeps goodput
+/// at or above this fraction of the unkilled 3-replica baseline.
+const REPLICA_GOODPUT_MIN_RATIO: f64 = 0.6;
+
+/// One row of the replica-kill grid.
+struct ReplicaRow {
+    scenario: &'static str,
+    replicas: usize,
+    rate_hz: f64,
+    offered: u64,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    timeouts: u64,
+    dropped: u64,
+    reset: u64,
+    goodput_rps: f64,
+    ok_p50_ms: f64,
+    ok_p99_ms: f64,
+    /// Worst service health the sampler saw: 0 Healthy, 1 Degraded,
+    /// 2 Halted.
+    worst_health: u8,
+    hedge_issued: u64,
+    hedge_won: u64,
+    hedge_wasted: u64,
+    quarantine_entered: u64,
+    quarantine_readmitted: u64,
+    canary_failed: u64,
+}
+
+/// The storm every replica-grid scenario shares: one seeded open-loop
+/// arrival schedule, replayed identically against each server shape.
+struct ReplicaStorm<'a> {
+    rate_hz: f64,
+    secs: f64,
+    connections: usize,
+    frames: &'a [Vec<u8>],
+    seed: u64,
+}
+
+/// Drives one replica-grid scenario: spawns a server (`replicas`
+/// replicas, optional seeded kill schedule), storms it with the open-loop
+/// load generator, and samples service health throughout.
+fn run_replica_row(
+    scenario: &'static str,
+    replicas: usize,
+    chaos: Option<ReplicaChaosPlan>,
+    canary_chaos_failures: usize,
+    storm: &ReplicaStorm,
+) -> ReplicaRow {
+    let &ReplicaStorm {
+        rate_hz,
+        secs,
+        connections,
+        frames,
+        seed,
+    } = storm;
+    let factory: DetectorFactory = Arc::new(move || {
+        let net = dronet_core::zoo::build(dronet_core::ModelId::DroNet, REPLICA_INPUT)?;
+        DetectorBuilder::new(net).confidence_threshold(0.3).build()
+    });
+    let config = ServeConfig {
+        replicas,
+        workers: 1,
+        max_batch: 4,
+        queue_capacity: (connections / 2).max(8),
+        max_requests_per_connection: 1_000_000,
+        keep_alive_timeout: Duration::from_secs(30),
+        max_connections: 2048,
+        response_timeout: Duration::from_secs(5),
+        // Hedge stranded requests quickly: far above healthy p99 at this
+        // input size, far below the wedge timeout.
+        hedge_delay: (replicas > 1).then_some(Duration::from_millis(100)),
+        // Tight supervision so kill → quarantine → canary → readmission
+        // all complete within a CI-smoke-sized storm.
+        watchdog_interval: Duration::from_millis(50),
+        wedge_timeout: Duration::from_millis(250),
+        chaos_wedge_hold: Duration::from_secs(2),
+        quarantine_faults: 3,
+        canary_chaos_failures,
+        replica_chaos: chaos,
+        ..ServeConfig::default()
+    };
+    let obs = Registry::new();
+    let server =
+        Server::start(factory, config, &obs, &Tracer::noop()).expect("spawn replica grid server");
+    let cfg = LoadgenConfig {
+        seed,
+        connections,
+        phases: vec![Phase::new(rate_hz, secs)],
+        frames: frames.to_vec(),
+        drain_timeout: Duration::from_secs(15),
+    };
+    let plan = ArrivalPlan::generate(cfg.seed, &cfg.phases);
+
+    // Sample service health while the storm runs: the claim is about the
+    // worst state ever reached, not the final state.
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let (report, worst_health) = std::thread::scope(|scope| {
+        let sampler = scope.spawn(|| {
+            let mut worst = 0u8;
+            while !done.load(std::sync::atomic::Ordering::SeqCst) {
+                let h = match server.health() {
+                    dronet_detect::Health::Healthy => 0,
+                    dronet_detect::Health::Degraded => 1,
+                    dronet_detect::Health::Halted => 2,
+                };
+                worst = worst.max(h);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            worst
+        });
+        let report = run_plan(server.addr(), &cfg, &plan);
+        done.store(true, std::sync::atomic::Ordering::SeqCst);
+        (report, sampler.join().expect("health sampler"))
+    });
+    let _ = server.shutdown();
+
+    let counter = |name: &str| obs.counter(name).get();
+    ReplicaRow {
+        scenario,
+        replicas,
+        rate_hz,
+        offered: report.offered,
+        ok: report.ok,
+        shed: report.shed,
+        errors: report.errors,
+        timeouts: report.timeouts,
+        dropped: report.dropped,
+        reset: report.reset,
+        goodput_rps: report.goodput(),
+        ok_p50_ms: report.ok_quantile_ns(0.50) as f64 / 1e6,
+        ok_p99_ms: report.ok_quantile_ns(0.99) as f64 / 1e6,
+        worst_health,
+        hedge_issued: counter("serve.hedge.issued"),
+        hedge_won: counter("serve.hedge.won"),
+        hedge_wasted: counter("serve.hedge.wasted"),
+        quarantine_entered: counter("serve.quarantine.entered"),
+        quarantine_readmitted: counter("serve.quarantine.readmitted"),
+        canary_failed: counter("serve.quarantine.canary_failed"),
+    }
+}
+
+fn replica_grid_main(path: &str) {
+    let secs: f64 = std::env::var("DRONET_REPLICA_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(6.0);
+    let connections: usize = std::env::var("DRONET_REPLICA_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(64);
+    let seed: u64 = std::env::var("DRONET_REPLICA_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xD0_0DCA4A);
+
+    let capacity = measure_capacity_rps(REPLICA_INPUT, 10);
+    let rate_hz: f64 = std::env::var("DRONET_REPLICA_RATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0.0)
+        .unwrap_or((capacity * REPLICA_LOAD_FACTOR).max(10.0));
+    eprintln!(
+        "DroNet @{REPLICA_INPUT}: ~{capacity:.0} forwards/s single-worker capacity, \
+         storming at {rate_hz:.0} Hz for {secs}s per row"
+    );
+    let frames = frame_corpus(REPLICA_INPUT);
+
+    // One kill (wedge or panic, seed's choice) in the storm's first half,
+    // healed in the second half — the replica must quarantine, pass the
+    // canary (after one forced failure), and rejoin.
+    let window = Duration::from_secs_f64(secs * 0.9);
+    let kill_plan = ReplicaChaosPlan::generate(seed, 3, 1, window);
+    for k in &kill_plan.kills {
+        eprintln!(
+            "  kill plan: {:?} replica {} at {:?}",
+            k.kind, k.replica, k.at
+        );
+    }
+
+    let storm = ReplicaStorm {
+        rate_hz,
+        secs,
+        connections,
+        frames: &frames,
+        seed,
+    };
+    let rows = [
+        run_replica_row("single", 1, None, 0, &storm),
+        run_replica_row("baseline", 3, None, 0, &storm),
+        run_replica_row("kill_one", 3, Some(kill_plan), 1, &storm),
+    ];
+    for r in &rows {
+        eprintln!(
+            "  {} (replicas={}): ok={} shed={} errors={} timeouts={} goodput={:.1}/s \
+             p99={:.1}ms worst_health={} hedge={}({}won/{}wasted) quarantine={}:{}readmit \
+             canary_failed={}",
+            r.scenario,
+            r.replicas,
+            r.ok,
+            r.shed,
+            r.errors,
+            r.timeouts,
+            r.goodput_rps,
+            r.ok_p99_ms,
+            r.worst_health,
+            r.hedge_issued,
+            r.hedge_won,
+            r.hedge_wasted,
+            r.quarantine_entered,
+            r.quarantine_readmitted,
+            r.canary_failed,
+        );
+    }
+
+    let baseline = &rows[1];
+    let killed = &rows[2];
+    let goodput_ratio = if baseline.goodput_rps > 0.0 {
+        killed.goodput_rps / baseline.goodput_rps
+    } else {
+        0.0
+    };
+
+    // The grid's headline claims, self-asserted before anything is
+    // written: a report that fails its own claims must not exist.
+    for r in &rows {
+        assert!(r.ok > 0, "replica row {} served nothing", r.scenario);
+    }
+    assert!(
+        goodput_ratio >= REPLICA_GOODPUT_MIN_RATIO,
+        "kill row goodput {:.1}/s is below {REPLICA_GOODPUT_MIN_RATIO} of baseline {:.1}/s",
+        killed.goodput_rps,
+        baseline.goodput_rps,
+    );
+    assert!(
+        killed.worst_health <= 1,
+        "kill row reached Halted — losing 1 of 3 replicas must only degrade"
+    );
+    assert!(
+        killed.quarantine_entered >= 1 && killed.quarantine_readmitted >= 1,
+        "kill row must quarantine the killed replica and re-admit it \
+         (entered={}, readmitted={})",
+        killed.quarantine_entered,
+        killed.quarantine_readmitted,
+    );
+    assert!(
+        killed.canary_failed >= 1,
+        "kill row forced one canary failure; the counter must show it"
+    );
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"dronet-bench-report\",");
+    let _ = writeln!(out, "  \"version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"pr\": \"PR10\",");
+    let _ = writeln!(out, "  \"secs_per_row\": {},", num(secs));
+    let _ = writeln!(out, "  \"connections\": {connections},");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"input\": {REPLICA_INPUT},");
+    let _ = writeln!(out, "  \"rate_hz\": {},", num(rate_hz));
+    out.push_str("  \"replica_grid\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"scenario\": \"{}\", \"replicas\": {}, \"rate_hz\": {}, \
+             \"offered\": {}, \"ok\": {}, \"shed\": {}, \"errors\": {}, \"timeouts\": {}, \
+             \"dropped\": {}, \"reset\": {}, \"goodput_rps\": {}, \"ok_p50_ms\": {}, \
+             \"ok_p99_ms\": {}, \"worst_health\": {}, \"hedge_issued\": {}, \
+             \"hedge_won\": {}, \"hedge_wasted\": {}, \"quarantine_entered\": {}, \
+             \"quarantine_readmitted\": {}, \"canary_failed\": {}}}",
+            r.scenario,
+            r.replicas,
+            num(r.rate_hz),
+            r.offered,
+            r.ok,
+            r.shed,
+            r.errors,
+            r.timeouts,
+            r.dropped,
+            r.reset,
+            num(r.goodput_rps),
+            num(r.ok_p50_ms),
+            num(r.ok_p99_ms),
+            r.worst_health,
+            r.hedge_issued,
+            r.hedge_won,
+            r.hedge_wasted,
+            r.quarantine_entered,
+            r.quarantine_readmitted,
+            r.canary_failed,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"claims\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"goodput_ratio_kill_vs_baseline\": {},",
+        num(goodput_ratio)
+    );
+    let _ = writeln!(
+        out,
+        "    \"goodput_ratio_min\": {},",
+        num(REPLICA_GOODPUT_MIN_RATIO)
+    );
+    let _ = writeln!(out, "    \"kill_halted_observed\": 0,");
+    let _ = writeln!(
+        out,
+        "    \"kill_quarantine_entered\": {},",
+        killed.quarantine_entered
+    );
+    let _ = writeln!(
+        out,
+        "    \"kill_quarantine_readmitted\": {},",
+        killed.quarantine_readmitted
+    );
+    let _ = writeln!(out, "    \"kill_canary_failed\": {}", killed.canary_failed);
+    out.push_str("  }\n}\n");
+
+    let parsed = JsonValue::parse(&out).expect("replica grid parses with the in-tree reader");
+    let grid = parsed
+        .get("replica_grid")
+        .and_then(JsonValue::as_array)
+        .expect("replica_grid array");
+    assert_eq!(grid.len(), 3);
+
+    std::fs::write(path, &out).expect("write replica grid report");
+    eprintln!("wrote {path} ({} replica rows)", rows.len());
 }
 
 /// The selective-tiling grid (`BENCH_PR9.json`): frame sizes × processing
@@ -994,6 +1355,11 @@ fn main() {
     if first.as_deref() == Some("--serve-grid") {
         let path = args.next().unwrap_or_else(|| "BENCH_PR8.json".to_string());
         serve_grid_main(&path);
+        return;
+    }
+    if first.as_deref() == Some("--replica-grid") {
+        let path = args.next().unwrap_or_else(|| "BENCH_PR10.json".to_string());
+        replica_grid_main(&path);
         return;
     }
     if first.as_deref() == Some("--tile-grid") {

@@ -127,13 +127,14 @@ fn main() -> ExitCode {
         None => print!("{json}"),
     }
     eprintln!(
-        "loadgen: offered={} ok={} shed={} errors={} timeouts={} dropped={} p99={:.1}ms",
+        "loadgen: offered={} ok={} shed={} errors={} timeouts={} dropped={} reset={} p99={:.1}ms",
         report.offered,
         report.ok,
         report.shed,
         report.errors,
         report.timeouts,
         report.dropped,
+        report.reset,
         report.ok_quantile_ns(0.99) as f64 / 1e6,
     );
     if let Some(server) = server {

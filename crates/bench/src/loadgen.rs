@@ -149,8 +149,15 @@ pub struct LoadgenReport {
     pub errors: u64,
     /// Requests still pending when the drain deadline fired.
     pub timeouts: u64,
-    /// Requests lost to connection failures (EOF / reset mid-flight).
+    /// Requests lost to clean connection failures: EOF between responses,
+    /// failed writes, or an unparseable stream.
     pub dropped: u64,
+    /// Requests lost to a *mid-stream* connection reset: a hard read error
+    /// (ECONNRESET and friends) or an EOF that tore a partially received
+    /// response. Replica kills produce exactly these; keeping them apart
+    /// from `dropped` lets the grids tell a killed backend from an
+    /// orderly keep-alive reap or parse bug.
+    pub reset: u64,
     /// Reconnections performed across all connections.
     pub reconnects: u64,
     /// Wall-clock run duration, seconds.
@@ -194,7 +201,8 @@ impl LoadgenReport {
         format!(
             concat!(
                 "{{\"offered\": {}, \"completed\": {}, \"ok\": {}, \"shed\": {}, ",
-                "\"errors\": {}, \"timeouts\": {}, \"dropped\": {}, \"reconnects\": {}, ",
+                "\"errors\": {}, \"timeouts\": {}, \"dropped\": {}, \"reset\": {}, ",
+                "\"reconnects\": {}, ",
                 "\"duration_secs\": {:.3}, \"goodput_rps\": {:.2}, ",
                 "\"ok_p50_ms\": {:.3}, \"ok_p99_ms\": {:.3}, \"ok_p999_ms\": {:.3}}}"
             ),
@@ -205,6 +213,7 @@ impl LoadgenReport {
             self.errors,
             self.timeouts,
             self.dropped,
+            self.reset,
             self.reconnects,
             self.duration_secs,
             self.goodput(),
@@ -221,13 +230,14 @@ struct ConnStats {
     completed: Vec<(u16, u64)>,
     timeouts: u64,
     dropped: u64,
+    reset: u64,
     reconnects: u64,
 }
 
 /// Runs the configured load against `addr` and reports what happened.
 ///
 /// Every scheduled arrival is accounted for exactly once:
-/// `completed + timeouts + dropped == offered`.
+/// `completed + timeouts + dropped + reset == offered`.
 ///
 /// # Panics
 ///
@@ -287,6 +297,7 @@ pub fn run_plan(addr: SocketAddr, cfg: &LoadgenConfig, plan: &ArrivalPlan) -> Lo
     for s in stats {
         report.timeouts += s.timeouts;
         report.dropped += s.dropped;
+        report.reset += s.reset;
         report.reconnects += s.reconnects;
         for (status, latency_ns) in s.completed {
             report.completed += 1;
@@ -304,7 +315,7 @@ pub fn run_plan(addr: SocketAddr, cfg: &LoadgenConfig, plan: &ArrivalPlan) -> Lo
     report.latencies_ns.sort_unstable();
     report.ok_latencies_ns.sort_unstable();
     debug_assert_eq!(
-        report.completed + report.timeouts + report.dropped,
+        report.completed + report.timeouts + report.dropped + report.reset,
         report.offered
     );
     report
@@ -406,8 +417,15 @@ fn drive_connection(
         let _ = stream.set_read_timeout(Some(wait.max(Duration::from_millis(1))));
         match stream.read(&mut chunk) {
             Ok(0) => {
-                // Keep-alive reaped or request budget exhausted server-side.
-                stats.dropped += pending.len() as u64;
+                // EOF between whole responses is a clean close (keep-alive
+                // reaped, request budget exhausted). EOF with a torn
+                // response in the buffer is a mid-stream reset: the peer
+                // died while answering.
+                if buf.is_empty() {
+                    stats.dropped += pending.len() as u64;
+                } else {
+                    stats.reset += pending.len() as u64;
+                }
                 pending.clear();
                 buf.clear();
                 if next >= schedule.len() {
@@ -455,7 +473,9 @@ fn drive_connection(
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
             Err(_) => {
-                stats.dropped += pending.len() as u64;
+                // Hard read error (ECONNRESET and friends): everything in
+                // flight was torn mid-stream.
+                stats.reset += pending.len() as u64;
                 pending.clear();
                 buf.clear();
                 match connect(addr) {
@@ -544,6 +564,7 @@ mod tests {
             shed: 2,
             timeouts: 1,
             dropped: 1,
+            reset: 1,
             duration_secs: 2.0,
             ok_latencies_ns: vec![1_000_000, 2_000_000, 3_000_000],
             ..LoadgenReport::default()
@@ -552,6 +573,46 @@ mod tests {
         let v = dronet_obs::JsonValue::parse(&json).expect("report JSON parses");
         assert_eq!(v.get("offered").and_then(|x| x.as_u64()), Some(10));
         assert_eq!(v.get("shed").and_then(|x| x.as_u64()), Some(2));
+        assert_eq!(v.get("reset").and_then(|x| x.as_u64()), Some(1));
         assert!(v.get("goodput_rps").and_then(|x| x.as_f64()).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn mid_stream_tears_are_classified_as_resets() {
+        use std::net::TcpListener;
+
+        // A rogue backend: answers the first request with a *partial*
+        // response head, then slams the connection. The generator must
+        // classify the in-flight request as `reset`, not `dropped`, and
+        // still conserve the offered count.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let rogue = thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut sock, _) = match listener.accept() {
+                    Ok(x) => x,
+                    Err(_) => return,
+                };
+                let mut chunk = [0u8; 4096];
+                let _ = sock.read(&mut chunk);
+                let _ = sock.write_all(b"HTTP/1.1 200 OK\r\nContent-Le");
+                // Dropping the socket here tears the response mid-head.
+            }
+        });
+        let cfg = LoadgenConfig {
+            seed: 9,
+            connections: 1,
+            phases: vec![Phase::new(40.0, 0.25)],
+            frames: frame_corpus(8),
+            drain_timeout: Duration::from_millis(400),
+        };
+        let report = run(addr, &cfg);
+        rogue.join().unwrap();
+        assert!(report.reset >= 1, "torn response must count as reset");
+        assert_eq!(
+            report.completed + report.timeouts + report.dropped + report.reset,
+            report.offered,
+            "conservation must hold with resets"
+        );
     }
 }

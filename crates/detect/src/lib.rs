@@ -49,6 +49,7 @@ mod detector;
 mod error;
 
 pub mod altitude;
+pub mod canary;
 pub mod decode;
 pub mod degrade;
 pub mod fault;
@@ -58,6 +59,7 @@ pub mod source;
 pub mod supervisor;
 pub mod track;
 
+pub use canary::{canary_frame, check_canary, detections_bit_equal, CanaryVerdict};
 pub use decode::Detection;
 pub use degrade::{DegradeAction, DegradeConfig, DegradeController};
 pub use detector::{DetectStage, Detector, DetectorBuilder};

@@ -31,7 +31,7 @@ use dronet_obs::{Counter, Gauge, Histogram, Registry, Tracer};
 use dronet_tensor::Tensor;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -48,6 +48,62 @@ pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Leg id for the first dispatch of a request (its primary replica).
+pub const PRIMARY_LEG: u8 = 1;
+/// Leg id for a hedged re-dispatch on a peer replica.
+pub const HEDGE_LEG: u8 = 2;
+
+/// First-wins coordination between a request's dispatch legs.
+///
+/// A hedged request enqueues the same frame on two replicas; both legs
+/// share one `HedgeState` and one reply channel. The first leg to produce
+/// a *success* claims the win with a CAS and delivers; the loser's result
+/// is discarded. Typed errors never claim — the connection collects them
+/// and only answers with an error once every leg has failed, so a wedged
+/// primary cannot veto a healthy hedge. `settle` is the connection's
+/// cancellation signal: once the final answer is taken, a still-queued
+/// loser is dropped at the batcher's door instead of burning a forward.
+pub struct HedgeState {
+    /// `0` = unclaimed, else the winning leg id.
+    winner: AtomicU8,
+    /// The connection has taken its final answer; queued losers may be
+    /// dropped unprocessed.
+    settled: AtomicBool,
+}
+
+impl HedgeState {
+    /// Fresh, unclaimed state shared by a request's legs.
+    pub fn new() -> Arc<Self> {
+        Arc::new(HedgeState {
+            winner: AtomicU8::new(0),
+            settled: AtomicBool::new(false),
+        })
+    }
+
+    /// Claims the win for `leg`; `true` exactly once across all legs.
+    pub fn try_claim(&self, leg: u8) -> bool {
+        self.winner
+            .compare_exchange(0, leg, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// The winning leg id, or `0` while unclaimed.
+    pub fn winner(&self) -> u8 {
+        self.winner.load(Ordering::SeqCst)
+    }
+
+    /// Marks the request answered (cancellation signal for queued losers).
+    pub fn settle(&self) {
+        self.settled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether this request no longer needs work: a leg won, or the
+    /// connection already took its final answer.
+    pub fn finished(&self) -> bool {
+        self.settled.load(Ordering::SeqCst) || self.winner() != 0
+    }
+}
+
 /// One queued detection request.
 pub struct Job {
     /// Server-assigned frame id (trace correlation + response body).
@@ -58,6 +114,11 @@ pub struct Job {
     pub enqueued: Instant,
     /// Where the worker sends this frame's detections.
     pub reply: mpsc::Sender<Result<Vec<Detection>, ServeError>>,
+    /// First-wins state shared with this request's other dispatch leg;
+    /// `None` for plain (unhedged) requests.
+    pub hedge: Option<Arc<HedgeState>>,
+    /// Which dispatch leg this job is ([`PRIMARY_LEG`] / [`HEDGE_LEG`]).
+    pub leg: u8,
 }
 
 struct QueueState {
@@ -79,6 +140,10 @@ pub struct BatchQueue {
     capacity: usize,
     depth: Gauge,
     drops: Counter,
+    /// Admission drops on *this* queue alone. The `drops` counter is a
+    /// registry name shared by every replica's queue; brownout needs a
+    /// per-replica signal, so each queue also keeps its own tally.
+    local_drops: AtomicU64,
     /// Jobs handed to workers recently; feeds the drain-rate estimate
     /// behind load-aware `Retry-After` hints.
     drained: RollingWindow,
@@ -97,6 +162,7 @@ impl BatchQueue {
             capacity,
             depth: obs.gauge("serve.queue_depth"),
             drops: obs.counter("serve.admission_drops"),
+            local_drops: AtomicU64::new(0),
             drained: RollingWindow::new(DRAIN_WINDOW, DRAIN_SUB_BUCKETS),
         })
     }
@@ -114,12 +180,19 @@ impl BatchQueue {
         }
         if s.jobs.len() >= self.capacity {
             self.drops.inc();
+            self.local_drops.fetch_add(1, Ordering::SeqCst);
             return Err(ServeError::Overloaded);
         }
         s.jobs.push_back(job);
         self.depth.set(s.jobs.len() as f64);
         self.cond.notify_one();
         Ok(())
+    }
+
+    /// Total admission drops on this queue since birth (monotonic) — the
+    /// per-replica brownout pressure signal.
+    pub fn local_drops(&self) -> u64 {
+        self.local_drops.load(Ordering::SeqCst)
     }
 
     /// Current queue depth (tests and metrics).
@@ -220,6 +293,11 @@ impl BatchQueue {
         self.cond.notify_all();
     }
 
+    /// Whether [`close`](Self::close) was called — teardown in progress.
+    pub fn is_closed(&self) -> bool {
+        lock_recover(&self.state).closed
+    }
+
     /// Fails every queued job with [`ServeError::Halted`] — the last
     /// resort when no worker remains to drain the backlog. Returns the
     /// number of jobs failed.
@@ -246,12 +324,36 @@ pub struct WedgePlan {
     pub hold: Duration,
 }
 
+/// A job's reply route plus its hedge coordination, carried through the
+/// in-flight record so both the worker and the watchdog deliver through
+/// the same first-wins gate.
+pub(crate) struct Reply {
+    pub sender: mpsc::Sender<Result<Vec<Detection>, ServeError>>,
+    pub hedge: Option<Arc<HedgeState>>,
+    pub leg: u8,
+}
+
+impl Reply {
+    /// Delivers a result honouring hedge semantics: a success must win the
+    /// claim first (a losing leg's output is discarded so the connection
+    /// never sees two answers); typed errors always flow — the connection
+    /// counts them and only errors out once every leg has failed.
+    pub fn deliver(&self, result: Result<Vec<Detection>, ServeError>) {
+        match (&self.hedge, &result) {
+            (Some(h), Ok(_)) if !h.try_claim(self.leg) => {}
+            _ => {
+                let _ = self.sender.send(result);
+            }
+        }
+    }
+}
+
 /// The jobs a worker is currently holding: stolen by the watchdog when
 /// the worker wedges, reclaimed by the worker itself on completion —
 /// whoever takes it owns replying to the clients.
 pub(crate) struct InFlight {
     pub frame_ids: Vec<u64>,
-    pub replies: Vec<mpsc::Sender<Result<Vec<Detection>, ServeError>>>,
+    pub replies: Vec<Reply>,
 }
 
 /// Per-worker heartbeat + in-flight record, shared with the watchdog.
@@ -357,6 +459,19 @@ pub(crate) struct WorkerShared {
     pub forward_hist: Histogram,
     pub panics: Counter,
     pub worker_deaths: Counter,
+    /// Monotonic count of fault events in this pool (panics, deaths,
+    /// wedges). The replica supervisor reads deltas to decide quarantine —
+    /// a per-pool signal, unlike the name-shared registry counters.
+    pub fault_events: AtomicU64,
+    /// Replica-kill chaos: while set, every batch forward wedges for
+    /// `chaos_wedge_hold` — the supervisor flips this to simulate a
+    /// replica whose kernels stopped returning.
+    pub chaos_wedge: AtomicBool,
+    /// Replica-kill chaos: while set, every batch forward panics inside
+    /// the catch_unwind boundary.
+    pub chaos_panic: AtomicBool,
+    /// How long a chaos-wedged batch holds before proceeding.
+    pub chaos_wedge_hold: Duration,
     pub obs: Registry,
     pub tracer: Tracer,
 }
@@ -423,6 +538,7 @@ pub(crate) fn rebuild_detector(shared: &WorkerShared, target: usize) -> Result<D
 /// exit signal).
 fn worker_dies(shared: &WorkerShared, slot: &WorkerSlot, reason: &str) -> Option<Detector> {
     shared.worker_deaths.inc();
+    shared.fault_events.fetch_add(1, Ordering::SeqCst);
     if let Some(inflight) = slot.take_inflight() {
         shared.black_box.capture(
             &shared.tracer,
@@ -431,7 +547,7 @@ fn worker_dies(shared: &WorkerShared, slot: &WorkerSlot, reason: &str) -> Option
         );
         let msg = format!("worker died: {reason}");
         for reply in &inflight.replies {
-            let _ = reply.send(Err(ServeError::WorkerFailed(msg.clone())));
+            reply.deliver(Err(ServeError::WorkerFailed(msg.clone())));
         }
     } else {
         shared.black_box.capture(
@@ -457,10 +573,17 @@ fn worker_dies(shared: &WorkerShared, slot: &WorkerSlot, reason: &str) -> Option
 /// `None` when this worker must exit (wedged-and-superseded, or dead).
 fn run_batch(
     mut detector: Detector,
-    batch: Vec<Job>,
+    mut batch: Vec<Job>,
     shared: &WorkerShared,
     slot: &WorkerSlot,
 ) -> Option<Detector> {
+    // Hedge cancellation: a leg whose request already got its answer
+    // (the peer won, or the connection timed out and settled) is dead
+    // weight — drop it at the door instead of burning a forward on it.
+    batch.retain(|j| j.hedge.as_ref().is_none_or(|h| !h.finished()));
+    if batch.is_empty() {
+        return Some(detector);
+    }
     let n = batch.len();
     // The batch-size histogram encodes *counts* as nanoseconds: the log2
     // buckets keep 1/2/4/8 distinct and `max_ns` records the exact largest
@@ -475,7 +598,11 @@ fn run_batch(
         shared.queue_wait_hist.record(job.enqueued.elapsed());
         frames.push(job.frame);
         ids.push(job.frame_id);
-        replies.push(job.reply);
+        replies.push(Reply {
+            sender: job.reply,
+            hedge: job.hedge,
+            leg: job.leg,
+        });
     }
     // From here the watchdog co-owns the jobs: if this thread wedges, the
     // watchdog takes the record and replies on our behalf.
@@ -505,6 +632,18 @@ fn run_batch(
             thread::sleep(plan.hold);
         }
     }
+    if shared.chaos_wedge.load(Ordering::SeqCst) {
+        // Replica-kill chaos: hold mid-batch like a stuck kernel. The
+        // watchdog (or, below the wedge timeout, brownout pressure) takes
+        // it from here. Sliced so teardown never waits out the hold.
+        let held = Instant::now();
+        while held.elapsed() < shared.chaos_wedge_hold
+            && shared.chaos_wedge.load(Ordering::SeqCst)
+            && !shared.queue.is_closed()
+        {
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
 
     // Frames conformed before a resolution shift may not match the
     // detector any more; resample stragglers at the door.
@@ -524,7 +663,7 @@ fn run_batch(
             if let Some(inflight) = slot.take_inflight() {
                 let msg = format!("stacking batch failed: {e}");
                 for reply in &inflight.replies {
-                    let _ = reply.send(Err(ServeError::WorkerFailed(msg.clone())));
+                    reply.deliver(Err(ServeError::WorkerFailed(msg.clone())));
                 }
             }
             slot.finish_batch();
@@ -533,6 +672,9 @@ fn run_batch(
     };
     let forward_started = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if shared.chaos_panic.load(Ordering::SeqCst) {
+            panic!("chaos: injected replica panic");
+        }
         let result = detector.detect_batch_frames(&stacked, Some(&ids));
         (detector, result)
     }));
@@ -554,7 +696,7 @@ fn run_batch(
     match outcome {
         Ok((det, Ok(all))) => {
             for (reply, dets) in inflight.replies.iter().zip(all) {
-                let _ = reply.send(Ok(dets));
+                reply.deliver(Ok(dets));
             }
             slot.finish_batch();
             slot.batches_done.fetch_add(1, Ordering::SeqCst);
@@ -563,7 +705,7 @@ fn run_batch(
         Ok((det, Err(e))) => {
             let msg = e.to_string();
             for reply in &inflight.replies {
-                let _ = reply.send(Err(ServeError::WorkerFailed(msg.clone())));
+                reply.deliver(Err(ServeError::WorkerFailed(msg.clone())));
             }
             slot.finish_batch();
             slot.batches_done.fetch_add(1, Ordering::SeqCst);
@@ -573,9 +715,10 @@ fn run_batch(
             // The detector may hold poisoned state after a panic: isolate
             // the blast radius, mark the server degraded, rebuild.
             shared.panics.inc();
+            shared.fault_events.fetch_add(1, Ordering::SeqCst);
             shared.health.degrade();
             for reply in &inflight.replies {
-                let _ = reply.send(Err(ServeError::WorkerFailed(
+                reply.deliver(Err(ServeError::WorkerFailed(
                     "worker panicked during batch".to_string(),
                 )));
             }
@@ -600,6 +743,8 @@ mod tests {
             frame: Tensor::zeros(Shape::nchw(1, 3, 8, 8)),
             enqueued: Instant::now(),
             reply: reply.clone(),
+            hedge: None,
+            leg: PRIMARY_LEG,
         }
     }
 
@@ -734,6 +879,60 @@ mod tests {
     }
 
     #[test]
+    fn hedge_first_success_wins_and_loser_is_discarded() {
+        let h = HedgeState::new();
+        assert!(!h.finished());
+        let (tx, rx) = mpsc::channel::<Result<Vec<Detection>, ServeError>>();
+        let primary = Reply {
+            sender: tx.clone(),
+            hedge: Some(Arc::clone(&h)),
+            leg: PRIMARY_LEG,
+        };
+        let hedged = Reply {
+            sender: tx,
+            hedge: Some(Arc::clone(&h)),
+            leg: HEDGE_LEG,
+        };
+        hedged.deliver(Ok(vec![]));
+        primary.deliver(Ok(vec![])); // loses the claim, discarded
+        assert_eq!(h.winner(), HEDGE_LEG);
+        assert!(rx.recv().unwrap().is_ok(), "winner's answer arrives");
+        assert!(
+            rx.try_recv().is_err(),
+            "losing leg's success must be discarded"
+        );
+        // Errors always flow, even after a winner exists.
+        primary.deliver(Err(ServeError::Halted));
+        assert!(rx.recv().unwrap().is_err());
+    }
+
+    #[test]
+    fn settled_hedge_jobs_are_finished_without_a_winner() {
+        let h = HedgeState::new();
+        h.settle();
+        assert!(h.finished(), "settle alone finishes the request");
+        assert_eq!(h.winner(), 0);
+        // A late claim after settling still records a winner (the
+        // connection has gone; nothing reads it, but counters may).
+        assert!(h.try_claim(PRIMARY_LEG));
+        assert!(!h.try_claim(HEDGE_LEG), "claim is exactly-once");
+    }
+
+    #[test]
+    fn local_drops_counts_only_this_queue() {
+        let obs = Registry::new();
+        let a = BatchQueue::new(1, &obs);
+        let b = BatchQueue::new(1, &obs);
+        let (tx, _rx) = mpsc::channel();
+        a.push(job(1, &tx)).unwrap();
+        assert!(a.push(job(2, &tx)).is_err());
+        assert_eq!(a.local_drops(), 1, "a saw its own drop");
+        assert_eq!(b.local_drops(), 0, "b saw nothing");
+        // The shared registry counter aggregates across queues.
+        assert_eq!(obs.snapshot().counter("serve.admission_drops"), Some(1));
+    }
+
+    #[test]
     fn worker_slot_heartbeat_and_single_retirement() {
         let slot = WorkerSlot::new(3);
         let epoch = Instant::now() - Duration::from_secs(1);
@@ -743,7 +942,11 @@ mod tests {
             epoch,
             InFlight {
                 frame_ids: vec![7],
-                replies: vec![tx],
+                replies: vec![Reply {
+                    sender: tx,
+                    hedge: None,
+                    leg: PRIMARY_LEG,
+                }],
             },
         );
         assert!(slot.busy_for(epoch).is_some(), "heartbeat stamped");

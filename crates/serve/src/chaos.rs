@@ -249,6 +249,85 @@ impl ChaosPlan {
     }
 }
 
+/// What a replica-kill event does to its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaKillKind {
+    /// Every batch forward on the replica wedges (stuck-kernel model);
+    /// the watchdog eventually declares the workers wedged, or — with a
+    /// hold below the wedge timeout — the replica just turns slow and
+    /// brownout pressure builds.
+    Wedge,
+    /// Every batch forward on the replica panics inside the worker's
+    /// `catch_unwind` boundary (poisoned-detector model).
+    Panic,
+    /// Clears any active injection on the replica (storm passes).
+    Heal,
+}
+
+/// One scheduled replica-kill event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaKill {
+    /// When the event fires, measured from serving start.
+    pub at: Duration,
+    /// Which replica it targets.
+    pub replica: usize,
+    /// What it does.
+    pub kind: ReplicaKillKind,
+}
+
+/// A seeded schedule of replica-kill events, applied by the replica
+/// supervisor. Same seed → same schedule, so a failing kill storm
+/// replays exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaChaosPlan {
+    /// The events, sorted by fire time.
+    pub kills: Vec<ReplicaKill>,
+}
+
+impl ReplicaChaosPlan {
+    /// A fixed schedule (tests that need precise timing).
+    pub fn from_events(mut kills: Vec<ReplicaKill>) -> ReplicaChaosPlan {
+        kills.sort_by_key(|k| k.at);
+        ReplicaChaosPlan { kills }
+    }
+
+    /// Generates `count` kill events over `window`, targeting replicas
+    /// `0..replicas` uniformly, each Wedge or Panic followed by a Heal
+    /// halfway to the window's end. Deterministic in `seed`.
+    pub fn generate(
+        seed: u64,
+        replicas: usize,
+        count: usize,
+        window: Duration,
+    ) -> ReplicaChaosPlan {
+        let mut rng = ChaosRng::new(seed);
+        let mut kills = Vec::with_capacity(count * 2);
+        let window_ms = window.as_millis().max(2) as u64;
+        for _ in 0..count {
+            let at_ms = rng.gen_range(window_ms / 2);
+            let replica = rng.gen_range(replicas.max(1) as u64) as usize;
+            let kind = if rng.gen_range(2) == 0 {
+                ReplicaKillKind::Wedge
+            } else {
+                ReplicaKillKind::Panic
+            };
+            kills.push(ReplicaKill {
+                at: Duration::from_millis(at_ms),
+                replica,
+                kind,
+            });
+            // Heal in the second half so the storm always passes.
+            let heal_ms = window_ms / 2 + rng.gen_range(window_ms / 2);
+            kills.push(ReplicaKill {
+                at: Duration::from_millis(heal_ms),
+                replica,
+                kind: ReplicaKillKind::Heal,
+            });
+        }
+        Self::from_events(kills)
+    }
+}
+
 /// What one chaos client observed.
 #[derive(Debug, Clone)]
 pub struct ClientOutcome {
@@ -458,6 +537,24 @@ mod tests {
         let c = ChaosPlan::generate(43, &cfg);
         assert_ne!(a, c, "different seed, different plan");
         assert_eq!(a.clients.len(), 7 * cfg.clients_per_scenario);
+    }
+
+    #[test]
+    fn replica_kill_plans_are_seed_deterministic_and_sorted() {
+        let a = ReplicaChaosPlan::generate(9, 3, 4, Duration::from_secs(2));
+        let b = ReplicaChaosPlan::generate(9, 3, 4, Duration::from_secs(2));
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = ReplicaChaosPlan::generate(10, 3, 4, Duration::from_secs(2));
+        assert_ne!(a, c, "different seed, different schedule");
+        assert_eq!(a.kills.len(), 8, "each kill pairs with a heal");
+        assert!(a.kills.windows(2).all(|w| w[0].at <= w[1].at), "sorted");
+        assert!(a.kills.iter().all(|k| k.replica < 3));
+        let heals = a
+            .kills
+            .iter()
+            .filter(|k| k.kind == ReplicaKillKind::Heal)
+            .count();
+        assert_eq!(heals, 4);
     }
 
     #[test]

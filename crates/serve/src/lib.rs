@@ -120,10 +120,12 @@ pub mod chaos;
 mod error;
 pub mod http;
 pub mod json;
+mod replica;
 mod server;
 pub mod watchdog;
 
-pub use batcher::WedgePlan;
+pub use batcher::{HedgeState, WedgePlan, HEDGE_LEG, PRIMARY_LEG};
+pub use chaos::{ReplicaChaosPlan, ReplicaKill, ReplicaKillKind};
 pub use error::ServeError;
 pub use http::{HttpError, HttpLimits, Method, Request, Response, Version};
 pub use server::{

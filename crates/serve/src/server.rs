@@ -12,14 +12,14 @@
 //! header crawl (slowloris), the body read, and keep-alive idleness, and
 //! write timeouts stop a never-reading client from pinning a thread.
 
-use crate::batcher::{BatchQueue, Job, WedgePlan, WorkerShared, WorkerSlot};
+use crate::batcher::{HedgeState, Job, WedgePlan, HEDGE_LEG, PRIMARY_LEG};
+use crate::chaos::ReplicaChaosPlan;
 use crate::error::ServeError;
-use crate::http::{parse_request, HttpLimits, Method, Request, Response};
+use crate::http::{parse_request, HttpError, HttpLimits, Method, Request, Response};
 use crate::json::detections_json;
-use crate::watchdog::{
-    spawn_watchdog, BlackBoxStore, HealthCell, Pool, ServeBlackBox, WatchdogConfig,
-};
-use dronet_detect::{conform_frame, DegradeConfig, DegradeController, Detector, Health};
+use crate::replica::{spawn_supervisor, ReplicaBuilder, ReplicaCore, ReplicaPolicy, ReplicaSet};
+use crate::watchdog::{ServeBlackBox, WatchdogConfig};
+use dronet_detect::{conform_frame, Detection, Detector, Health};
 use dronet_obs::{ChromeTrace, JsonExporter, PromExporter, Registry, SloSet, SloSpec, Tracer};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -131,9 +131,32 @@ pub struct ServeConfig {
     /// Flight-recorder events retained per crash black box.
     pub black_box_events: usize,
     /// Adaptive-resolution brownout; requires [`Server::start_scalable`].
+    /// With multiple replicas, each replica runs its *own* controller —
+    /// an overloaded replica browns out alone.
     pub brownout: Option<BrownoutConfig>,
     /// Deterministic wedge injection — chaos/test knob.
     pub wedge_chaos: Option<WedgePlan>,
+    /// Independent detector replicas. `1` (the default) keeps the
+    /// original single-pool behaviour exactly; more adds health-aware
+    /// dispatch, hedging, and quarantine with canary re-admission.
+    pub replicas: usize,
+    /// Hedged dispatch: when a `/detect` reply is still outstanding
+    /// after this long, the frame is re-enqueued on the least-loaded
+    /// healthy peer and the first success wins. `None` disables hedging.
+    pub hedge_delay: Option<Duration>,
+    /// Fault events (panics + deaths + wedges) accumulated over
+    /// consecutive supervisor ticks at which a replica is quarantined.
+    pub quarantine_faults: u64,
+    /// Factory failures tolerated per quarantined slot before the slot
+    /// is abandoned; all slots abandoned ⇒ service Halted.
+    pub max_rebuild_failures: usize,
+    /// Chaos knob: force this many canary probes to fail before
+    /// re-admission succeeds (proves the canary gate gates).
+    pub canary_chaos_failures: usize,
+    /// Seeded replica-kill schedule — chaos/test knob.
+    pub replica_chaos: Option<ReplicaChaosPlan>,
+    /// How long a chaos-wedged batch holds (replica-kill `Wedge` events).
+    pub chaos_wedge_hold: Duration,
 }
 
 impl Default for ServeConfig {
@@ -167,6 +190,13 @@ impl Default for ServeConfig {
             black_box_events: 64,
             brownout: None,
             wedge_chaos: None,
+            replicas: 1,
+            hedge_delay: None,
+            quarantine_faults: 3,
+            max_rebuild_failures: 8,
+            canary_chaos_failures: 0,
+            replica_chaos: None,
+            chaos_wedge_hold: Duration::from_secs(30),
         }
     }
 }
@@ -182,6 +212,7 @@ impl ServeConfig {
                 "max_requests_per_connection",
                 self.max_requests_per_connection,
             ),
+            ("replicas", self.replicas),
         ] {
             if v == 0 {
                 return Err(ServeError::Config(format!("{name} must be >= 1")));
@@ -200,8 +231,8 @@ impl ServeConfig {
 
 /// State shared by the accept loop and every connection thread.
 struct Shared {
-    queue: Arc<BatchQueue>,
-    worker: Arc<WorkerShared>,
+    /// The replicated detector pools and their supervisor-facing state.
+    replicas: Arc<ReplicaSet>,
     shutdown: Arc<AtomicBool>,
     active_connections: AtomicUsize,
     next_frame_id: AtomicU64,
@@ -218,17 +249,9 @@ struct Shared {
 }
 
 impl Shared {
-    /// The input size requests are currently conformed to.
-    fn current_input(&self) -> usize {
-        match self.worker.target_input.load(Ordering::SeqCst) {
-            0 => self.base_chw.1,
-            t => t,
-        }
-    }
-
     /// Load-aware `Retry-After` for every 503 this server hands out.
     fn retry_after(&self) -> u64 {
-        self.queue.retry_after_hint(
+        self.replicas.retry_after_hint(
             self.config.retry_after_secs,
             self.config.retry_after_max_secs,
         )
@@ -266,7 +289,7 @@ pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     accept_handle: thread::JoinHandle<()>,
-    watchdog_handle: thread::JoinHandle<()>,
+    supervisor_handle: thread::JoinHandle<()>,
 }
 
 /// What a graceful shutdown accomplished.
@@ -335,31 +358,13 @@ impl Server {
         tracer: &Tracer,
     ) -> Result<Server, ServeError> {
         config.validate()?;
-        let brownout_ctrl = match (&config.brownout, &sized) {
-            (Some(b), Some(_)) => {
-                let initial = *b.ladder.last().expect("validated non-empty");
-                Some(
-                    DegradeController::new(DegradeConfig {
-                        ladder: b.ladder.clone(),
-                        initial,
-                        overload_queue: b.overload_queue,
-                        overload_windows: b.overload_windows,
-                        calm_windows: b.calm_windows,
-                        cooldown_windows: b.cooldown_windows,
-                        window_frames: b.window_ticks,
-                    })
-                    .map_err(|e| ServeError::Config(e.to_string()))?,
-                )
-            }
-            (Some(_), None) => {
-                return Err(ServeError::Config(
-                    "brownout requires a resolution-aware factory; start the server with \
-                     Server::start_scalable"
-                        .to_string(),
-                ))
-            }
-            (None, _) => None,
-        };
+        if config.brownout.is_some() && sized.is_none() {
+            return Err(ServeError::Config(
+                "brownout requires a resolution-aware factory; start the server with \
+                 Server::start_scalable"
+                    .to_string(),
+            ));
+        }
         if obs.is_enabled() {
             // Rolling 10-second windows next to every cumulative series
             // (`/metrics` gains `_window_rate` / `_window_p99_seconds`
@@ -470,6 +475,34 @@ impl Server {
                     "serve.responses.5xx",
                     "Responses by status class: server error",
                 ),
+                (
+                    "serve.replicas_active",
+                    "Replicas currently in rotation and serviceable",
+                ),
+                (
+                    "serve.hedge.issued",
+                    "Hedged dispatches issued to a peer replica",
+                ),
+                (
+                    "serve.hedge.won",
+                    "Hedged dispatches whose hedge leg answered first",
+                ),
+                (
+                    "serve.hedge.wasted",
+                    "Hedged dispatches whose primary leg still won",
+                ),
+                (
+                    "serve.quarantine.entered",
+                    "Replicas pulled out of rotation by the supervisor",
+                ),
+                (
+                    "serve.quarantine.readmitted",
+                    "Replicas re-admitted after passing the canary",
+                ),
+                (
+                    "serve.quarantine.canary_failed",
+                    "Rebuilt replicas rejected by the canary gate",
+                ),
                 ("detect.forward", "Network forward-pass latency"),
                 ("detect.decode", "Region decode latency per image"),
                 ("detect.nms", "Non-max-suppression latency per image"),
@@ -477,80 +510,50 @@ impl Server {
                 obs.describe(name, help);
             }
         }
-        let mut detectors = Vec::with_capacity(config.workers);
-        for _ in 0..config.workers {
-            let mut det = factory()?;
-            // The server's registry and tracer win over whatever the
-            // factory attached: /metrics and the flight recorder must see
-            // every worker's detect.* stages.
-            if obs.is_enabled() {
-                det.set_observability(obs);
-            }
-            if tracer.is_enabled() {
-                det.set_tracing(tracer);
-            }
-            detectors.push(det);
-        }
-        let base_chw = detectors[0].input_chw();
-
-        let listener = TcpListener::bind(&config.addr)?;
-        let local_addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-
-        let queue = BatchQueue::new(config.queue_capacity, obs);
-        let initial_target = brownout_ctrl.as_ref().map_or(0, |c| c.current());
-        let resolution_gauge = obs.gauge("serve.input_resolution");
-        resolution_gauge.set(base_chw.1 as f64);
-
-        let worker = Arc::new(WorkerShared {
-            queue: Arc::clone(&queue),
+        let builder = ReplicaBuilder {
             factory,
             sized_factory: sized,
+            workers: config.workers,
             max_batch: config.max_batch,
             max_wait: config.max_wait,
             dispatch_delay: config.dispatch_delay,
-            epoch: Instant::now(),
-            pool: Pool::new(),
-            health: HealthCell::new(obs.gauge("serve.health")),
-            target_input: AtomicUsize::new(initial_target),
-            resolution_gauge,
-            wedge: config.wedge_chaos.clone(),
-            wedge_armed: AtomicBool::new(config.wedge_chaos.is_some()),
-            black_box: BlackBoxStore::new(
-                obs.counter("serve.black_box_captures"),
-                config.black_box_events,
-            ),
-            batch_size_hist: obs.histogram("serve.batch_size"),
-            queue_wait_hist: obs.histogram("serve.queue_wait"),
-            forward_hist: obs.histogram("serve.forward"),
-            panics: obs.counter("serve.worker_panics"),
-            worker_deaths: obs.counter("serve.worker_deaths"),
-            obs: obs.clone(),
-            tracer: tracer.clone(),
-        });
-        for det in detectors {
-            let slot = WorkerSlot::new(worker.pool.next_index());
-            let handle = crate::batcher::spawn_worker(Arc::clone(&worker), Arc::clone(&slot), det);
-            worker.pool.register(slot, handle);
-        }
-
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let watchdog_handle = spawn_watchdog(
-            Arc::clone(&worker),
-            WatchdogConfig {
+            queue_capacity: config.queue_capacity,
+            black_box_events: config.black_box_events,
+            wedge_chaos: config.wedge_chaos.clone(),
+            chaos_wedge_hold: config.chaos_wedge_hold,
+            watchdog_cfg: WatchdogConfig {
                 interval: config.watchdog_interval,
                 wedge_timeout: config.wedge_timeout,
                 max_restarts: config.max_worker_restarts,
                 recovery_ticks: config.recovery_ticks,
             },
+            brownout: config.brownout.clone(),
+            obs: obs.clone(),
+            tracer: tracer.clone(),
+        };
+        let policy = ReplicaPolicy {
+            replicas: config.replicas,
+            quarantine_faults: config.quarantine_faults,
+            max_rebuild_failures: config.max_rebuild_failures,
+            canary_chaos: AtomicUsize::new(config.canary_chaos_failures),
+        };
+        let replicas = ReplicaSet::new(builder, policy, config.replica_chaos.clone())?;
+        let base_chw = replicas.base_chw;
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let supervisor_handle = spawn_supervisor(
+            Arc::clone(&replicas),
+            config.watchdog_interval,
             Arc::clone(&shutdown),
-            brownout_ctrl,
         );
 
         let slo = SloSet::new(config.slos.clone());
         let shared = Arc::new(Shared {
-            queue,
-            worker,
+            replicas,
             shutdown,
             active_connections: AtomicUsize::new(0),
             next_frame_id: AtomicU64::new(0),
@@ -572,7 +575,7 @@ impl Server {
             shared,
             local_addr,
             accept_handle,
-            watchdog_handle,
+            supervisor_handle,
         })
     }
 
@@ -581,14 +584,16 @@ impl Server {
         self.local_addr
     }
 
-    /// Current server health (the `serve.health` gauge's source of truth).
+    /// Current service health (the `serve.health` gauge's source of
+    /// truth). With replicas this is the *service* view: replica loss
+    /// reads Degraded, total loss Halted.
     pub fn health(&self) -> Health {
-        self.shared.worker.health.get()
+        self.shared.replicas.service_health.get()
     }
 
-    /// Crash black boxes captured so far, oldest first.
+    /// Crash black boxes captured so far, in replica order.
     pub fn black_boxes(&self) -> Vec<ServeBlackBox> {
-        self.shared.worker.black_box.all()
+        self.shared.replicas.black_boxes()
     }
 
     /// Graceful drain: stop accepting, let every in-flight connection
@@ -607,17 +612,13 @@ impl Server {
         }
         let abandoned = self.shared.active_connections.load(Ordering::SeqCst);
 
-        // Stop the watchdog before closing the queue so it cannot spawn a
-        // replacement worker mid-teardown.
-        let _ = self.watchdog_handle.join();
+        // Stop the replica supervisor before tearing down the cores so it
+        // cannot quarantine or rebuild mid-teardown.
+        let _ = self.supervisor_handle.join();
 
         // No connection can enqueue any more (or we stopped waiting for
-        // it): drain the backlog and retire the workers.
-        self.shared.queue.close();
-        for h in self.shared.worker.pool.take_handles() {
-            let _ = h.join();
-        }
-        self.shared.worker.health.halt();
+        // it): drain every replica's backlog and retire its workers.
+        self.shared.replicas.shutdown();
         DrainReport {
             drained: abandoned == 0,
             abandoned_connections: abandoned,
@@ -807,9 +808,18 @@ fn read_request(
             }
             Ok(None) => {}
             Err(e) => {
+                // Transfer-Encoding is a capability we genuinely lack, not
+                // a malformed request: RFC 9112 §6.1 says an origin server
+                // that does not understand the transfer coding responds
+                // 501, which also tells smugglers the framing is dead on
+                // arrival rather than inviting a reformatted retry.
+                let (status, reason) = match e {
+                    HttpError::UnsupportedTransferEncoding => (501, "Not Implemented"),
+                    _ => (400, "Bad Request"),
+                };
                 return ReadOutcome::Error(Box::new(Response::text(
-                    400,
-                    "Bad Request",
+                    status,
+                    reason,
                     format!("{e}\n"),
                 )));
             }
@@ -885,10 +895,11 @@ fn route(request: &Request, shared: &Shared) -> Response {
         (Method::Get, "/debug/alloc") => handle_debug_alloc(shared),
         (Method::Get, "/debug/trace") => handle_debug_trace(shared, query),
         (Method::Get, "/debug/blackbox") => handle_debug_blackbox(shared),
+        (Method::Get, "/debug/replicas") => handle_debug_replicas(shared),
         (
             _,
             "/detect" | "/metrics" | "/healthz" | "/debug/vars" | "/debug/slo" | "/debug/alloc"
-            | "/debug/trace" | "/debug/blackbox",
+            | "/debug/trace" | "/debug/blackbox" | "/debug/replicas",
         ) => Response::text(
             405,
             "Method Not Allowed",
@@ -899,18 +910,21 @@ fn route(request: &Request, shared: &Shared) -> Response {
 }
 
 fn handle_healthz(shared: &Shared) -> Response {
-    let (status, reason, state) = match shared.worker.health.get() {
+    let (status, reason, state) = match shared.replicas.service_health.get() {
         Health::Healthy => (200, "OK", "healthy"),
         Health::Degraded => (200, "OK", "degraded"),
         Health::Halted => (503, "Service Unavailable", "halted"),
     };
     let body = format!(
         "{{\"health\": \"{state}\", \"queue_depth\": {}, \"workers_alive\": {}, \
-         \"input_resolution\": {}, \"black_boxes\": {}}}\n",
-        shared.queue.len(),
-        shared.worker.pool.alive_count(),
-        shared.current_input(),
-        shared.worker.black_box.all().len(),
+         \"input_resolution\": {}, \"black_boxes\": {}, \
+         \"replicas_active\": {}, \"replicas_total\": {}}}\n",
+        shared.replicas.queue_depth_total(),
+        shared.replicas.workers_alive_total(),
+        shared.replicas.current_input(),
+        shared.replicas.black_boxes().len(),
+        shared.replicas.active_count(),
+        shared.config.replicas,
     );
     Response::new(status, reason, "application/json", &body)
 }
@@ -978,7 +992,7 @@ fn handle_debug_blackbox(shared: &Shared) -> Response {
     let Some(_permit) = acquire_debug(shared) else {
         return debug_busy(shared);
     };
-    let boxes = shared.worker.black_box.all();
+    let boxes = shared.replicas.black_boxes();
     if boxes.is_empty() {
         return Response::text(404, "Not Found", "no black boxes captured\n".to_string());
     }
@@ -988,6 +1002,15 @@ fn handle_debug_blackbox(shared: &Shared) -> Response {
         body.push('\n');
     }
     Response::text(200, "OK", body)
+}
+
+/// `GET /debug/replicas` — per-replica rotation status, health, queue
+/// depth, rolling p99, and quarantine history as JSON.
+fn handle_debug_replicas(shared: &Shared) -> Response {
+    let Some(_permit) = acquire_debug(shared) else {
+        return debug_busy(shared);
+    };
+    Response::json(shared.replicas.debug_json())
 }
 
 /// `GET /debug/trace?ms=N` — hold the connection for `N` milliseconds
@@ -1022,7 +1045,9 @@ fn handle_debug_trace(shared: &Shared, query: &str) -> Response {
 }
 
 fn handle_detect(request: &Request, shared: &Shared) -> Response {
-    if matches!(shared.worker.health.get(), Health::Halted) {
+    // Health-aware dispatch: shallowest active queue, p99 tie-break. No
+    // serviceable replica at all means the service is down.
+    let Some(primary) = shared.replicas.pick_primary() else {
         shared.obs.counter("serve.shed.halted").inc();
         let mut r = Response::text(
             503,
@@ -1031,7 +1056,7 @@ fn handle_detect(request: &Request, shared: &Shared) -> Response {
         );
         r.retry_after = Some(shared.retry_after());
         return r;
-    }
+    };
     let frame_id = shared.next_frame_id.fetch_add(1, Ordering::SeqCst) + 1;
 
     // serve.parse: body bytes → validated, conformed [1, c, h, w] frame.
@@ -1043,9 +1068,9 @@ fn handle_detect(request: &Request, shared: &Shared) -> Response {
             return Response::text(400, "Bad Request", format!("bad PPM body: {e}\n"));
         }
     };
-    // Conform to the brownout ladder's current rung (workers re-resize
+    // Conform to the primary's brownout rung (workers re-resize
     // stragglers if the ladder moves between here and dispatch).
-    let size = shared.current_input();
+    let size = primary.current_input(shared.base_chw.1);
     let chw = (shared.base_chw.0, size, size);
     let frame = match conform_frame(image.to_tensor(), chw, frame_id as usize) {
         Ok(t) => t,
@@ -1056,16 +1081,28 @@ fn handle_detect(request: &Request, shared: &Shared) -> Response {
     };
     drop(parse_span);
 
+    // Hedging is worth arming only when a peer exists to hedge onto.
+    let can_hedge = shared.config.hedge_delay.is_some() && shared.replicas.active_count() > 1;
+    let hedge_state = if can_hedge {
+        Some(HedgeState::new())
+    } else {
+        None
+    };
+    let mut hedge_frame = if can_hedge { Some(frame.clone()) } else { None };
+
     // serve.queue: admission → detections handed back by a worker.
     let queue_span = shared.tracer.frame_span("serve.queue", frame_id);
     let (reply, receiver) = mpsc::channel();
+    let started = Instant::now();
     let job = Job {
         frame_id,
         frame,
-        enqueued: Instant::now(),
-        reply,
+        enqueued: started,
+        reply: reply.clone(),
+        hedge: hedge_state.clone(),
+        leg: PRIMARY_LEG,
     };
-    match shared.queue.push(job) {
+    match primary.queue.push(job) {
         Ok(()) => {}
         Err(ServeError::Overloaded) => {
             drop(queue_span);
@@ -1084,11 +1121,94 @@ fn handle_detect(request: &Request, shared: &Shared) -> Response {
             return r;
         }
     }
-    let outcome = receiver.recv_timeout(shared.config.response_timeout);
+
+    // Wait for the first winning answer, firing at most one hedge when
+    // the primary is at deadline risk. The connection keeps one sender
+    // alive, so the receiver never disconnects spuriously.
+    let deadline = started + shared.config.response_timeout;
+    let hedge_at = shared.config.hedge_delay.map(|d| started + d);
+    let mut hedged_to: Option<Arc<ReplicaCore>> = None;
+    let mut hedge_spent = !can_hedge;
+    let mut errors: Vec<ServeError> = Vec::new();
+    let mut outcome: Option<Result<Vec<Detection>, ServeError>> = None;
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let wait_until = match hedge_at {
+            Some(h) if !hedge_spent && h < deadline => h.max(now),
+            _ => deadline,
+        };
+        match receiver.recv_timeout(wait_until - now) {
+            Ok(Ok(dets)) => {
+                outcome = Some(Ok(dets));
+                break;
+            }
+            Ok(Err(e)) => {
+                // A leg failed with a typed error. With another leg still
+                // in flight, hold out for it; otherwise this is the
+                // answer.
+                errors.push(e);
+                let legs = if hedged_to.is_some() { 2 } else { 1 };
+                if errors.len() >= legs {
+                    outcome = Some(Err(errors.swap_remove(0)));
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if !hedge_spent && hedge_at.is_some_and(|h| Instant::now() >= h) {
+                    hedge_spent = true;
+                    if let (Some(peer), Some(hf)) =
+                        (shared.replicas.pick_hedge(primary.id), hedge_frame.take())
+                    {
+                        let hedge_job = Job {
+                            frame_id,
+                            frame: hf,
+                            enqueued: Instant::now(),
+                            reply: reply.clone(),
+                            hedge: hedge_state.clone(),
+                            leg: HEDGE_LEG,
+                        };
+                        if peer.queue.push(hedge_job).is_ok() {
+                            shared.replicas.hedge_issued.inc();
+                            hedged_to = Some(peer);
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                outcome = Some(Err(ServeError::Halted));
+                break;
+            }
+        }
+    }
     drop(queue_span);
+    // Settle the request: a still-queued losing leg is dropped at the
+    // batcher's door instead of burning a forward.
+    if let Some(hs) = &hedge_state {
+        hs.settle();
+        if hedged_to.is_some() {
+            if hs.winner() == HEDGE_LEG {
+                shared.replicas.hedge_won.inc();
+            } else {
+                shared.replicas.hedge_wasted.inc();
+            }
+        }
+    }
+    let elapsed = started.elapsed();
     match outcome {
-        Ok(Ok(detections)) => Response::json(detections_json(frame_id, &detections)),
-        Ok(Err(e @ (ServeError::Halted | ServeError::Overloaded | ServeError::Draining))) => {
+        Some(Ok(detections)) => {
+            // Credit the leg that actually answered, so the dispatcher's
+            // p99 view tracks per-replica reality.
+            let winner = match (&hedge_state, &hedged_to) {
+                (Some(hs), Some(peer)) if hs.winner() == HEDGE_LEG => peer,
+                _ => &primary,
+            };
+            winner.latency.record(elapsed);
+            Response::json(detections_json(frame_id, &detections))
+        }
+        Some(Err(e @ (ServeError::Halted | ServeError::Overloaded | ServeError::Draining))) => {
             let reason = match e {
                 ServeError::Halted => "halted",
                 ServeError::Overloaded => "queue_full",
@@ -1099,11 +1219,14 @@ fn handle_detect(request: &Request, shared: &Shared) -> Response {
             r.retry_after = Some(shared.retry_after());
             r
         }
-        Ok(Err(e)) => {
+        Some(Err(e)) => {
             shared.obs.counter("serve.error.worker").inc();
             Response::text(500, "Internal Server Error", format!("{e}\n"))
         }
-        Err(_) => {
+        None => {
+            // Deadline passed with no answer: charge the timeout to the
+            // primary so routing steers away from it.
+            primary.latency.record(elapsed);
             shared.obs.counter("serve.timeout.response").inc();
             Response::text(
                 504,

@@ -250,9 +250,11 @@ pub(crate) fn spawn_watchdog(
             let restarts = shared.obs.counter("serve.worker_restarts");
             let downshifts = shared.obs.counter("serve.brownout_downshifts");
             let upshifts = shared.obs.counter("serve.brownout_upshifts");
-            let drops = shared.obs.counter("serve.admission_drops");
             let mut restarts_used = 0usize;
-            let mut last_drops = drops.get();
+            // Brownout pressure must come from *this* pool's queue, not
+            // the registry counter: replicas share the counter name, and
+            // one overloaded replica must not brown out its healthy peers.
+            let mut last_drops = shared.queue.local_drops();
             let mut last_activity = 0u64;
             let mut quiet_ticks = 0u32;
             while !shutdown.load(Ordering::SeqCst) {
@@ -283,7 +285,7 @@ pub(crate) fn spawn_watchdog(
 
                 // 2. Brownout: one load observation per tick.
                 if let Some(ctrl) = brownout.as_mut() {
-                    let now_drops = drops.get();
+                    let now_drops = shared.queue.local_drops();
                     let delta = now_drops.saturating_sub(last_drops);
                     last_drops = now_drops;
                     if let Some(action) = ctrl.observe_frame(shared.queue.len() as f64, delta) {
@@ -341,6 +343,7 @@ fn handle_wedge(
         return;
     };
     wedges.inc();
+    shared.fault_events.fetch_add(1, Ordering::SeqCst);
     shared.black_box.capture(
         &shared.tracer,
         &format!(
@@ -356,7 +359,7 @@ fn handle_wedge(
         slot.index, cfg.wedge_timeout
     );
     for reply in &inflight.replies {
-        let _ = reply.send(Err(ServeError::WorkerWedged(msg.clone())));
+        reply.deliver(Err(ServeError::WorkerWedged(msg.clone())));
     }
     if !slot.retire() {
         return; // the worker's own death path already did the accounting

@@ -4,7 +4,7 @@
 //! result, never panic, and never claim to have consumed more bytes than it
 //! was given.
 
-use dronet_serve::http::{parse_request, HttpLimits, Method};
+use dronet_serve::http::{parse_request, HttpError, HttpLimits, Method};
 use proptest::prelude::*;
 
 /// A well-formed request to mutate.
@@ -125,6 +125,45 @@ proptest! {
         prop_assert_eq!(req.target, oneshot.target);
         prop_assert_eq!(req.body, oneshot.body);
         prop_assert_eq!(consumed, oneshot_consumed);
+    }
+
+    /// Transfer-Encoding is rejected with its own typed error (the server
+    /// maps it to `501 Not Implemented`) no matter how the bytes arrive:
+    /// the incremental-equivalence property again, but for the rejection —
+    /// every prefix either says "need more data" or reports exactly
+    /// `UnsupportedTransferEncoding`, and once the full head is present the
+    /// rejection is unconditional. Casing, value, and header position must
+    /// not matter (smuggling hinges on a parser that sometimes misses it).
+    #[test]
+    fn transfer_encoding_is_rejected_at_every_split(
+        body_len in 0usize..32,
+        te_idx in 0usize..4,
+        before in any::<bool>(),
+        uppercase in any::<bool>(),
+    ) {
+        let te_value = ["chunked", "identity", "gzip, chunked", "x"][te_idx];
+        let name = if uppercase { "TRANSFER-ENCODING" } else { "Transfer-Encoding" };
+        let te = format!("{name}: {te_value}\r\n");
+        let cl = format!("Content-Length: {body_len}\r\n");
+        let (first, second) = if before { (&te, &cl) } else { (&cl, &te) };
+        let mut bytes =
+            format!("POST /detect HTTP/1.1\r\nHost: x\r\n{first}{second}\r\n").into_bytes();
+        bytes.extend(std::iter::repeat_n(0xAB, body_len));
+        let limits = HttpLimits::default();
+        // One-shot: always the typed rejection.
+        prop_assert_eq!(
+            parse_request(&bytes, &limits).unwrap_err(),
+            HttpError::UnsupportedTransferEncoding
+        );
+        // Incremental: prefixes never panic, never succeed, and the only
+        // error they may surface is the same typed rejection.
+        for cut in 0..bytes.len() {
+            match parse_request(&bytes[..cut], &limits) {
+                Ok(None) => {}
+                Err(HttpError::UnsupportedTransferEncoding) => {}
+                other => prop_assert!(false, "prefix of {cut} bytes parsed as {other:?}"),
+            }
+        }
     }
 
     /// Request smuggling: two `Content-Length` headers are ALWAYS rejected

@@ -18,7 +18,7 @@ use crate::merge::{MergeConfig, TileMerger};
 use crate::selector::{SelectorConfig, TileSelector};
 use crate::{Result, TileError};
 use dronet_detect::track::{Tracker, TrackerConfig};
-use dronet_detect::{Detection, Detector};
+use dronet_detect::{Detection, Detector, FaultKind, FaultPlan};
 use dronet_metrics::BBox;
 use dronet_nn::cost::network_cost;
 use dronet_obs::Tracer;
@@ -77,6 +77,10 @@ pub struct TiledDetector {
     batch_cache: Vec<Option<Tensor>>,
     channels: usize,
     per_tile_flops: f64,
+    /// Detector-side fault schedule applied per batch forward (chaos/test
+    /// knob, same machinery as `detect::fault`). Indexed by forward count.
+    fault: FaultPlan,
+    fault_calls: usize,
 }
 
 impl TiledDetector {
@@ -121,6 +125,8 @@ impl TiledDetector {
             batch_cache,
             channels: c,
             per_tile_flops,
+            fault: FaultPlan::none(),
+            fault_calls: 0,
         })
     }
 
@@ -149,6 +155,15 @@ impl TiledDetector {
     pub fn set_tracing(&mut self, tracer: &Tracer) {
         self.tracer = tracer.clone();
         self.detector.set_tracing(tracer);
+    }
+
+    /// Arms a detector-side fault schedule, applied once per tile batch
+    /// forward in call order ([`FaultKind::DetectorPanic`] panics inside
+    /// the batch, [`FaultKind::SlowDetect`] stalls it; source-side kinds
+    /// are ignored). Deterministic: same plan, same faults.
+    pub fn set_batch_faults(&mut self, plan: FaultPlan) {
+        self.fault = plan;
+        self.fault_calls = 0;
     }
 
     /// Runs one frame through select → batch → merge → track.
@@ -217,8 +232,34 @@ impl TiledDetector {
                 self.grid.extract_into_slice(frame, &tile, dst);
             }
             let ids = vec![frame_id; n];
-            let results = self.detector.detect_batch_frames(batch, Some(&ids))?;
+            // Panic isolation at the batch boundary: a detector that
+            // panics on one poisoned tile batch must not unwind through
+            // the whole-frame pipeline. The driver (grid, caches,
+            // tracker) holds only plain data, so it stays usable after
+            // the catch; the caller decides whether to drop the frame or
+            // retire the detector.
+            let injected = self.fault.fault_for(self.fault_calls).cloned();
+            self.fault_calls += 1;
+            let detector = &mut self.detector;
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                match injected {
+                    Some(FaultKind::DetectorPanic) => {
+                        panic!("injected detector fault on tile batch")
+                    }
+                    Some(FaultKind::SlowDetect(d)) => std::thread::sleep(d),
+                    _ => {}
+                }
+                detector.detect_batch_frames(batch, Some(&ids))
+            }));
             drop(span);
+            let results = match caught {
+                Ok(r) => r?,
+                Err(payload) => {
+                    return Err(TileError::BatchPanicked {
+                        msg: panic_message(payload.as_ref()),
+                    })
+                }
+            };
             tiles.iter().copied().zip(results).collect()
         };
 
@@ -233,6 +274,18 @@ impl TiledDetector {
             tiles_total: self.grid.len(),
             flops: self.per_tile_flops * n as f64,
         })
+    }
+}
+
+/// Renders a caught panic payload as text (panics carry `&str` or
+/// `String`; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -282,6 +335,30 @@ mod tests {
         assert_eq!(out.tiles_total, tiled.grid().len());
         let expect = tiled.per_tile_flops() * out.tiles_selected.len() as f64;
         assert_eq!(out.flops, expect);
+    }
+
+    #[test]
+    fn batch_panic_is_caught_as_typed_error_and_driver_stays_usable() {
+        let mut tiled = build((256, 256), TiledDetectorConfig::default());
+        // First forward panics inside the detector, second runs clean.
+        tiled.set_batch_faults(FaultPlan::from_schedule(vec![Some(
+            FaultKind::DetectorPanic,
+        )]));
+        let frame = Tensor::zeros(Shape::nchw(1, 3, 256, 256));
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep the injected panic quiet
+        let err = tiled.run_tiles(&frame, &[0], 0).unwrap_err();
+        std::panic::set_hook(hook);
+        match err {
+            TileError::BatchPanicked { msg } => {
+                assert!(msg.contains("injected detector fault"), "{msg}");
+            }
+            other => panic!("expected BatchPanicked, got {other}"),
+        }
+        // The poisoned batch is isolated: the very next frame succeeds on
+        // the same driver, same cached batch buffer.
+        let out = tiled.run_tiles(&frame, &[0], 1).unwrap();
+        assert_eq!(out.tiles_selected, vec![0]);
     }
 
     #[test]

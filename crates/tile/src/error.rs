@@ -19,6 +19,13 @@ pub enum TileError {
     },
     /// The wrapped detector failed.
     Detect(DetectError),
+    /// The detector panicked while running a tile micro-batch. The panic
+    /// is caught at the batch boundary so one poisoned batch cannot take
+    /// down a whole-frame pipeline; the driver stays usable.
+    BatchPanicked {
+        /// The panic payload, rendered as text.
+        msg: String,
+    },
 }
 
 impl fmt::Display for TileError {
@@ -29,6 +36,9 @@ impl fmt::Display for TileError {
             }
             TileError::BadFrame { msg } => write!(f, "frame incompatible with tile grid: {msg}"),
             TileError::Detect(e) => write!(f, "tile detection failed: {e}"),
+            TileError::BatchPanicked { msg } => {
+                write!(f, "detector panicked on a tile batch: {msg}")
+            }
         }
     }
 }
@@ -65,5 +75,11 @@ mod tests {
         let wrapped = TileError::from(inner);
         assert!(wrapped.source().is_some());
         assert!(wrapped.to_string().contains("tile detection failed"));
+
+        let p = TileError::BatchPanicked {
+            msg: "boom".to_string(),
+        };
+        assert!(p.to_string().contains("panicked"));
+        assert!(p.source().is_none());
     }
 }
